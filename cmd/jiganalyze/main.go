@@ -1,0 +1,154 @@
+// Command jiganalyze runs an end-to-end scenario plus pipeline and prints
+// the paper's §6/§7 analyses: trace summary (Table 1), coverage (Fig. 6),
+// activity time series (Fig. 8), interference (Fig. 9), protection mode
+// (Fig. 10) and TCP loss (Fig. 11).
+//
+// Usage:
+//
+//	jiganalyze [-pods 8 -aps 9 -clients 16 -day 120s] [-exp all|table1|coverage|timeseries|interference|protection|diagnose|tcploss]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jiganalyze: ")
+	var (
+		pods    = flag.Int("pods", 8, "sensor pods")
+		aps     = flag.Int("aps", 9, "APs")
+		clients = flag.Int("clients", 16, "clients")
+		day     = flag.Duration("day", 120*time.Second, "compressed day")
+		seed    = flag.Int64("seed", 1, "seed")
+		exp     = flag.String("exp", "all", "which analysis to print")
+	)
+	flag.Parse()
+
+	cfg := scenario.Default()
+	cfg.Pods, cfg.APs, cfg.Clients = *pods, *aps, *clients
+	cfg.Day = sim.Time(day.Nanoseconds())
+	cfg.Seed = *seed
+
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.KeepExchanges = true
+	ccfg.KeepJFrames = true
+	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		fmt.Println("== Table 1: trace summary ==")
+		fmt.Print(analysis.Summarize(res, res.JFrames).String())
+		inf := analysis.Inference(res.LLCStats)
+		fmt.Printf("%-28s %.3f%% attempts, %.3f%% exchanges\n\n",
+			"inference required", 100*inf.AttemptRate(), 100*inf.ExchangeRate())
+	}
+	if want("fig4") || want("all") {
+		fmt.Println("== Fig. 4: group dispersion CDF ==")
+		for _, p := range []float64{0.5, 0.75, 0.9, 0.95, 0.99} {
+			fmt.Printf("p%-3.0f %4d us\n", p*100, res.Dispersion.Percentile(p))
+		}
+		fmt.Println()
+	}
+	if want("coverage") {
+		fmt.Println("== Fig. 6 / §6: wired-trace coverage ==")
+		cov := analysis.Coverage(out, res.Exchanges)
+		fmt.Printf("overall %.1f%% of %d wired packets seen wirelessly\n", 100*cov.Overall, cov.TotalWired)
+		fmt.Printf("clients: %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
+			100*cov.ClientCoverage, 100*cov.ClientsAt100, 100*cov.ClientsOver95)
+		fmt.Printf("APs:     %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
+			100*cov.APCoverage, 100*cov.APsAt100, 100*cov.APsOver95)
+		oracle, _ := analysis.OracleCoverage(out)
+		fmt.Printf("oracle (ground truth) coverage of client events: %.1f%%\n\n", 100*oracle)
+	}
+	if want("timeseries") {
+		fmt.Println("== Fig. 8: activity time series (per compressed hour) ==")
+		slots := analysis.TimeSeries(res.JFrames, out.Cfg.HourDur().US64())
+		fmt.Printf("%4s %7s %5s %10s %10s %9s %9s\n", "hr", "clients", "APs", "data B", "mgmt B", "beacon B", "ARP B")
+		for i, s := range slots {
+			fmt.Printf("%4d %7d %5d %10d %10d %9d %9d\n",
+				i, s.ActiveClients, s.ActiveAPs, s.DataBytes, s.MgmtBytes, s.BeaconBytes, s.ARPBytes)
+		}
+		fmt.Printf("broadcast airtime share: %.1f%%\n\n", 100*analysis.BroadcastAirtimeShare(slots))
+	}
+	if want("interference") {
+		fmt.Println("== Fig. 9: interference loss rate ==")
+		apSet := map[dot80211.MAC]bool{}
+		for _, ap := range out.APs {
+			apSet[ap.MAC] = true
+		}
+		rep := analysis.Interference(res.JFrames, res.Exchanges, 50, func(m dot80211.MAC) bool { return apSet[m] })
+		fmt.Printf("(s,r) pairs with >=50 packets: %d of %d\n", len(rep.Pairs), rep.PairsConsidered)
+		fmt.Printf("pairs with interference: %.0f%% (paper 88%%); negative Pi truncated: %.0f%% (paper 11%%)\n",
+			100*rep.FractionWithInterference, 100*rep.NegativePiFraction)
+		fmt.Printf("avg background loss rate: %.3f (paper 0.12)\n", rep.AvgBackgroundLoss)
+		fmt.Printf("AP share among interfered senders: %.0f%% (paper 56%%)\n", 100*rep.SenderSplitAP)
+		for _, p := range []float64{0.5, 0.9, 0.95} {
+			fmt.Printf("X p%-3.0f = %.4f\n", p*100, rep.XPercentile(p))
+		}
+		fmt.Println()
+	}
+	if want("protection") {
+		fmt.Println("== Fig. 10: overprotective APs ==")
+		slotUS := out.Cfg.HourDur().US64()
+		rep := analysis.Protection(res.JFrames, slotUS, slotUS)
+		fmt.Printf("%4s %10s %15s %10s %12s\n", "hr", "protected", "overprotective", "g active", "g affected")
+		for i, s := range rep.Slots {
+			if s.ProtectedAPs == 0 && s.ActiveGClients == 0 {
+				continue
+			}
+			fmt.Printf("%4d %10d %15d %10d %12d\n",
+				i, s.ProtectedAPs, s.Overprotective, s.ActiveGClients, s.GOnOverprotected)
+		}
+		fmt.Printf("peak affected g-client share: %.0f%% (paper 25-50%%)\n", 100*rep.PeakAffectedShare)
+		fmt.Printf("potential throughput factor without protection: %.2f (paper 1.98)\n\n", rep.PotentialSpeedup)
+	}
+	if want("diagnose") {
+		fmt.Println("== §8: per-station diagnosis (top airtime consumers) ==")
+		diags := analysis.Diagnose(res.JFrames, res.Exchanges)
+		n := 0
+		for _, d := range diags {
+			if n >= 8 {
+				break
+			}
+			n++
+			fmt.Printf("%v  airtime %5.1f%%  rate %5.1f Mbps  retries/exch %.2f\n",
+				d.MAC, 100*d.AirtimeShare, d.MeanRateMbps, d.RetryRate)
+			for _, f := range d.Findings {
+				fmt.Printf("    ! %s\n", f)
+			}
+		}
+		fmt.Println()
+	}
+	if want("tcploss") {
+		fmt.Println("== Fig. 11: TCP loss ==")
+		var rates []analysis.FlowLoss
+		for _, r := range res.Transport.LossRates(5) {
+			rates = append(rates, analysis.FlowLoss{
+				DataSegs: r.DataSegs, Losses: r.Losses,
+				WirelessLoss: r.WirelessLoss, WiredLoss: r.WiredLoss, LossRate: r.LossRate,
+			})
+		}
+		rep := analysis.TCPLoss(rates)
+		fmt.Printf("flows analyzed: %d, total losses: %d\n", rep.Flows, rep.TotalLosses)
+		fmt.Printf("wireless share of classified losses: %.0f%% (paper: wireless dominant)\n",
+			100*rep.WirelessShare)
+	}
+}

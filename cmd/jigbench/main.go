@@ -1,0 +1,189 @@
+// Command jigbench regenerates every table and figure of the paper's
+// evaluation end-to-end at a chosen scale and prints paper-vs-measured for
+// each, in the order they appear in the paper. This is the harness behind
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	jigbench                 # default reduced scale (fast)
+//	jigbench -paperscale     # 39 pods / 156 radios / 39 APs
+//	jigbench -fig 9          # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jigbench: ")
+	var (
+		paperscale = flag.Bool("paperscale", false, "full 39-pod deployment")
+		fig        = flag.String("fig", "all", "which figure/table: 2,4,6,7,8,9,10,11,table1,all")
+		seed       = flag.Int64("seed", 3, "seed")
+	)
+	flag.Parse()
+
+	cfg := scenario.Default()
+	cfg.Seed = *seed
+	cfg.BFraction = 0.3
+	if *paperscale {
+		cfg = scenario.PaperScale()
+		cfg.Seed = *seed
+	} else {
+		cfg.Pods, cfg.APs, cfg.Clients = 12, 12, 24
+		cfg.Day = 120 * sim.Second
+	}
+
+	fmt.Printf("scenario: %d pods (%d radios), %d APs, %d clients, day=%v\n",
+		cfg.Pods, cfg.Pods*4, cfg.APs, cfg.Clients, time.Duration(cfg.Day))
+	t0 := time.Now()
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated in %v: %d monitor records, %d transmissions\n",
+		time.Since(t0).Round(time.Millisecond), out.MonitorRecords, len(out.Truth))
+
+	ccfg := core.DefaultConfig()
+	ccfg.KeepExchanges = true
+	ccfg.KeepJFrames = true
+	t1 := time.Now()
+	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mergeTime := time.Since(t1)
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	line := func(id, what, paper, measured string) {
+		fmt.Printf("%-8s %-42s paper: %-22s measured: %s\n", id, what, paper, measured)
+	}
+
+	fmt.Println()
+	if want("table1") {
+		s := analysis.Summarize(res, res.JFrames)
+		line("Table 1", "error events share", "47%", fmt.Sprintf("%.0f%%", s.ErrorEventPct))
+		line("Table 1", "observations per transmission", "2.97", fmt.Sprintf("%.2f", s.AvgInstances))
+		line("Table 1", "clients / APs seen", "1026 / 39 (full bldg)",
+			fmt.Sprintf("%d / %d (scaled)", s.UniqueClients, s.UniqueAPs))
+	}
+	if want("4") {
+		line("Fig 4", "dispersion p90", "<10 us",
+			fmt.Sprintf("%d us", res.Dispersion.Percentile(0.90)))
+		line("Fig 4", "dispersion p99", "<20 us",
+			fmt.Sprintf("%d us", res.Dispersion.Percentile(0.99)))
+	}
+	if want("6") {
+		cov := analysis.Coverage(out, res.Exchanges)
+		oracle, _ := analysis.OracleCoverage(out)
+		line("Fig 6", "wired packets seen wirelessly", "97%", fmt.Sprintf("%.0f%%", 100*cov.Overall))
+		line("Fig 6", "AP stations at >=95% coverage", "94%", fmt.Sprintf("%.0f%%", 100*cov.APsOver95))
+		line("Fig 6", "client stations at >=95%", "78%", fmt.Sprintf("%.0f%%", 100*cov.ClientsOver95))
+		line("§6", "oracle link-event coverage", "95%", fmt.Sprintf("%.0f%%", 100*oracle))
+	}
+	if want("7") {
+		full := cfg.Pods
+		counts := []int{full, full * 3 / 4, full / 2}
+		rows, err := analysis.PodSweep(out, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range rows {
+			paper := []string{"92% cli / 94% AP", "71% cli / ~94% AP", "68% cli / ~94% AP"}[min(i, 2)]
+			line("Fig 7", fmt.Sprintf("coverage with %d pods", r.Pods), paper,
+				fmt.Sprintf("%.0f%% cli / %.0f%% AP (synced=%v)",
+					100*r.ClientCoverage, 100*r.APCoverage, r.Synced))
+		}
+	}
+	if want("8") {
+		slots := analysis.TimeSeries(res.JFrames, out.Cfg.HourDur().US64())
+		peak, night := 0, 0
+		for i, s := range slots {
+			if i >= 10 && i <= 16 && s.ActiveClients > peak {
+				peak = s.ActiveClients
+			}
+			if i >= 1 && i <= 5 && s.ActiveClients > night {
+				night = s.ActiveClients
+			}
+		}
+		line("Fig 8", "diurnal activity (peak vs night clients)", "strong diurnal",
+			fmt.Sprintf("%d vs %d", peak, night))
+		line("Fig 8", "broadcast airtime share", "~10%",
+			fmt.Sprintf("%.0f%%", 100*analysis.BroadcastAirtimeShare(slots)))
+	}
+	if want("9") {
+		apSet := map[dot80211.MAC]bool{}
+		for _, ap := range out.APs {
+			apSet[ap.MAC] = true
+		}
+		rep := analysis.Interference(res.JFrames, res.Exchanges, 100, func(m dot80211.MAC) bool { return apSet[m] })
+		line("Fig 9", "pairs with interference", "88%",
+			fmt.Sprintf("%.0f%% (%d pairs)", 100*rep.FractionWithInterference, len(rep.Pairs)))
+		line("Fig 9", "median interference loss X", "0.025",
+			fmt.Sprintf("%.4f", rep.XPercentile(0.5)))
+		line("Fig 9", "p90 interference loss X", ">=0.1 for 10%",
+			fmt.Sprintf("%.4f", rep.XPercentile(0.9)))
+		line("Fig 9", "avg background loss", "0.12",
+			fmt.Sprintf("%.3f", rep.AvgBackgroundLoss))
+		line("Fig 9", "AP share of interfered senders", "56%",
+			fmt.Sprintf("%.0f%%", 100*rep.SenderSplitAP))
+	}
+	if want("10") {
+		slotUS := out.Cfg.HourDur().US64()
+		rep := analysis.Protection(res.JFrames, slotUS, slotUS)
+		over, prot := 0, 0
+		for _, s := range rep.Slots {
+			over += s.Overprotective
+			prot += s.ProtectedAPs
+		}
+		line("Fig 10", "overprotective AP slot-share", "common with 1h timeout",
+			fmt.Sprintf("%d of %d protected slots", over, prot))
+		line("Fig 10", "peak affected g clients", "25-50%",
+			fmt.Sprintf("%.0f%%", 100*rep.PeakAffectedShare))
+		line("fn 7", "protection overhead factor", "1.98",
+			fmt.Sprintf("%.2f", rep.PotentialSpeedup))
+	}
+	if want("11") {
+		var rates []analysis.FlowLoss
+		for _, r := range res.Transport.LossRates(5) {
+			rates = append(rates, analysis.FlowLoss{
+				DataSegs: r.DataSegs, Losses: r.Losses,
+				WirelessLoss: r.WirelessLoss, WiredLoss: r.WiredLoss, LossRate: r.LossRate,
+			})
+		}
+		rep := analysis.TCPLoss(rates)
+		line("Fig 11", "wireless share of TCP loss", "dominant",
+			fmt.Sprintf("%.0f%% (%d losses over %d flows)", 100*rep.WirelessShare, rep.TotalLosses, rep.Flows))
+	}
+	if want("2") && len(res.JFrames) > 1000 {
+		from := res.JFrames[len(res.JFrames)/2].UnivUS
+		fmt.Println("\nFig 2: synchronized trace visualization")
+		fmt.Print(analysis.Visualize(res.JFrames, from, from+4000, 96))
+	}
+	if want("§4") || *fig == "all" {
+		span := res.JFrames[len(res.JFrames)-1].UnivUS - res.JFrames[0].UnivUS
+		line("§4", "merge faster than real time", "required",
+			fmt.Sprintf("%.1fx (%v for %s of trace)", float64(span)/float64(mergeTime.Microseconds()),
+				mergeTime.Round(time.Millisecond), time.Duration(span*1000).Round(time.Second)))
+	}
+	inf := analysis.Inference(res.LLCStats)
+	line("§5", "attempts needing inference", "0.58%", fmt.Sprintf("%.2f%%", 100*inf.AttemptRate()))
+	line("§5", "exchanges needing inference", "0.14%", fmt.Sprintf("%.2f%%", 100*inf.ExchangeRate()))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+// Command jigsaw merges per-radio jigdump traces into a single synchronized
+// trace: bootstrap synchronization, frame unification and link/transport
+// reconstruction (the paper's full pipeline), printing the merge statistics
+// and optionally a Figure-2-style visualization of a time window.
+//
+// Usage:
+//
+//	jigsaw -in traces/ [-viz 1.5s -vizdur 5ms]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/unify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jigsaw: ")
+	var (
+		in     = flag.String("in", "traces", "directory of radio*.jig traces + meta.json")
+		viz    = flag.Duration("viz", -1, "visualize the merged trace at this offset (e.g. 1.5s)")
+		vizdur = flag.Duration("vizdur", 5*time.Millisecond, "visualization window length")
+		width  = flag.Int("width", 100, "visualization width in columns")
+	)
+	flag.Parse()
+
+	traces := map[int32][]byte{}
+	paths, err := filepath.Glob(filepath.Join(*in, "radio*.jig"))
+	if err != nil || len(paths) == 0 {
+		log.Fatalf("no traces found in %s", *in)
+	}
+	for _, p := range paths {
+		var radio int32
+		base := filepath.Base(p)
+		if _, err := fmt.Sscanf(base, "radio%d.jig", &radio); err != nil {
+			continue
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[radio] = b
+	}
+
+	var meta struct {
+		ClockGroups [][]int32
+		Clients     []scenario.ClientInfo
+		APs         []scenario.APInfo
+	}
+	if mb, err := os.ReadFile(filepath.Join(*in, "meta.json")); err == nil {
+		_ = json.Unmarshal(mb, &meta)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.KeepJFrames = *viz >= 0
+	var firstUS, lastUS int64
+	var nJF int64
+	sink := &core.Sink{OnJFrame: func(j *unify.JFrame) {
+		if nJF == 0 {
+			firstUS = j.UnivUS
+		}
+		lastUS = j.UnivUS
+		nJF++
+	}}
+	start := time.Now()
+	res, err := core.Run(traces, meta.ClockGroups, cfg, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	st := res.UnifyStats
+	fmt.Printf("radios merged:      %d (root r%d, %d reference frames)\n",
+		len(res.Bootstrap.OffsetUS), res.Bootstrap.Root, res.Bootstrap.RefFrames)
+	if !res.Bootstrap.Synced() {
+		fmt.Printf("UNSYNCED radios:    %v\n", res.Bootstrap.Unsynced)
+	}
+	fmt.Printf("events consumed:    %d (%.1f%% phy/CRC errors)\n", st.Events,
+		100*float64(st.PhyErrors+st.CRCErrors)/float64(max64(st.Events, 1)))
+	fmt.Printf("jframes:            %d (%.2f events per jframe)\n", st.JFrames,
+		float64(st.Unified)/float64(max64(st.JFrames, 1)))
+	fmt.Printf("resyncs applied:    %d\n", st.Resyncs)
+	fmt.Printf("dispersion:         p50=%dus p90=%dus p99=%dus\n",
+		res.Dispersion.Percentile(0.5), res.Dispersion.Percentile(0.9), res.Dispersion.Percentile(0.99))
+	fmt.Printf("frame exchanges:    %d (%d attempts, %.2f%% inferred)\n",
+		res.LLCStats.Exchanges, res.LLCStats.Attempts,
+		100*float64(res.LLCStats.InferredAttempts)/float64(max64(res.LLCStats.Attempts, 1)))
+	fmt.Printf("tcp flows:          %d (%d complete handshakes)\n",
+		res.Transport.Stats.Flows, res.Transport.Stats.CompleteFlows)
+	fmt.Printf("oracle resolutions: %d, monitor omissions: %d\n",
+		res.Transport.Stats.ResolvedByOracle, res.Transport.Stats.MonitorOmissions)
+	speedup := float64(lastUS-firstUS) / float64(elapsed.Microseconds()+1)
+	fmt.Printf("merge wall time:    %v (%.1fx faster than real time over %d events)\n",
+		elapsed.Round(time.Millisecond), speedup, st.Events)
+
+	if *viz >= 0 && len(res.JFrames) > 0 {
+		from := res.JFrames[0].UnivUS + viz.Microseconds()
+		s := analysis.Visualize(res.JFrames, from, from+vizdur.Microseconds(), *width)
+		fmt.Println(strings.TrimRight(s, "\n"))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

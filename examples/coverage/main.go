@@ -1,0 +1,61 @@
+// Coverage: reproduce the §6 experiments. The wired distribution trace is
+// the comparison set: every TCP packet that traversed the wire must have
+// appeared as a unicast DATA frame on the air, so the fraction also found
+// in the merged wireless trace measures the monitoring platform's coverage
+// (Fig. 6). Removing sensor pods by visual redundancy shows how coverage
+// degrades — clients fall off quickly, APs barely (Fig. 7) — until the
+// synchronization graph itself partitions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	cfg := scenario.Default()
+	cfg.Seed = 7
+	cfg.Pods, cfg.APs, cfg.Clients = 12, 12, 20
+	cfg.Day = 90 * sim.Second
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.KeepExchanges = true
+	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 6: full-deployment coverage.
+	cov := analysis.Coverage(out, res.Exchanges)
+	fmt.Printf("full deployment (%d pods):\n", cfg.Pods)
+	fmt.Printf("  %.1f%% of %d wired packets captured wirelessly (paper: 97%%)\n",
+		100*cov.Overall, cov.TotalWired)
+	fmt.Printf("  clients: %.0f%% at 100%% coverage, %.0f%% at ≥95%% (paper: 46%%, 78%%)\n",
+		100*cov.ClientsAt100, 100*cov.ClientsOver95)
+	fmt.Printf("  APs:     %.0f%% at 100%% coverage, %.0f%% at ≥95%% (paper: 40%%, 94%%)\n",
+		100*cov.APsAt100, 100*cov.APsOver95)
+	oracle, _ := analysis.OracleCoverage(out)
+	fmt.Printf("  oracle (ground-truth) coverage of client events: %.0f%% (paper: 95%%)\n\n",
+		100*oracle)
+
+	// Fig. 7: pod-count sensitivity.
+	rows, err := analysis.PodSweep(out, []int{12, 9, 6, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pods  radios  synced  AP-coverage  client-coverage")
+	for _, r := range rows {
+		fmt.Printf("%4d  %6d  %6v  %10.0f%%  %14.0f%%\n",
+			r.Pods, r.Radios, r.Synced, 100*r.APCoverage, 100*r.ClientCoverage)
+	}
+	fmt.Println("\npaper: 39→30→20 pods kept AP coverage ≈94% while client coverage fell 92→71→68;")
+	fmt.Println("at 10 pods the synchronization bootstrap partitioned, preventing unification.")
+}

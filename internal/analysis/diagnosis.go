@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dot80211"
+	"repro/internal/llc"
+	"repro/internal/unify"
+)
+
+// StationDiagnosis is the per-station performance report behind the paper's
+// closing questions (§8): "Why is the network slow?" and "How should it be
+// fixed?". It aggregates the cross-layer evidence the unified trace makes
+// available for one transmitter.
+type StationDiagnosis struct {
+	MAC       dot80211.MAC
+	Exchanges int
+	Delivered int
+	Failed    int
+	// RetryRate is retransmission attempts per unicast exchange.
+	RetryRate float64
+	// MeanRateMbps is the airtime-weighted mean data rate.
+	MeanRateMbps float64
+	// AirtimeUS is the station's total transmit airtime; AirtimeShare is
+	// its share of all airtime in the trace.
+	AirtimeUS    int64
+	AirtimeShare float64
+	// ProtectionUS is airtime spent on CTS-to-self overhead.
+	ProtectionUS int64
+	// InterferenceExposure is the fraction of the station's data attempts
+	// that overlapped another transmission.
+	InterferenceExposure float64
+	// Findings are human-readable diagnoses derived from the numbers.
+	Findings []string
+}
+
+// Diagnosis thresholds.
+const (
+	diagRetryRate    = 0.30 // retries per exchange considered "lossy"
+	diagLowRateMbps  = 12.0 // a g-capable station stuck below this is stuck
+	diagProtShare    = 0.20 // protection overhead share of own airtime
+	diagAirtimeShare = 0.25 // single station consuming this much channel
+	diagInterference = 0.25
+)
+
+// Diagnose builds per-station reports from the merged trace, sorted by
+// airtime (the biggest channel consumers first).
+func Diagnose(jframes []*unify.JFrame, exchanges []*llc.Exchange) []StationDiagnosis {
+	type acc struct {
+		d          StationDiagnosis
+		rateWeight float64
+		attempts   int
+		overlapped int
+	}
+	accs := map[dot80211.MAC]*acc{}
+	get := func(m dot80211.MAC) *acc {
+		a := accs[m]
+		if a == nil {
+			a = &acc{d: StationDiagnosis{MAC: m}}
+			accs[m] = a
+		}
+		return a
+	}
+
+	// Airtime & rates from jframes; overlap via interval index.
+	type iv struct{ start, end int64 }
+	byCh := map[dot80211.Channel][]iv{}
+	var totalAir int64
+	for _, j := range jframes {
+		if !j.Valid {
+			continue
+		}
+		end := j.EndUS()
+		if end == j.UnivUS {
+			end = j.UnivUS + 1
+		}
+		byCh[j.Channel] = append(byCh[j.Channel], iv{j.UnivUS, end})
+		tx := j.Frame.Transmitter()
+		air := j.AirtimeUS()
+		totalAir += air
+		if j.Frame.IsCTS() {
+			// CTS-to-self overhead accrues to the protected station
+			// (its own MAC rides in Addr1).
+			a := get(j.Frame.Addr1)
+			a.d.ProtectionUS += air
+			a.d.AirtimeUS += air
+			continue
+		}
+		if tx.IsZero() {
+			continue
+		}
+		a := get(tx)
+		a.d.AirtimeUS += air
+		if j.Frame.IsData() {
+			a.d.MeanRateMbps += j.Rate.Mbps() * float64(air)
+			a.rateWeight += float64(air)
+		}
+	}
+	for ch := range byCh {
+		ivs := byCh[ch]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		byCh[ch] = ivs
+	}
+	overlapping := func(ch dot80211.Channel, s, e int64) bool {
+		ivs := byCh[ch]
+		i := sort.Search(len(ivs), func(k int) bool { return ivs[k].start >= e })
+		hits := 0
+		for k := i - 1; k >= 0; k-- {
+			if ivs[k].end <= s {
+				if s-ivs[k].start > 15_000 {
+					break
+				}
+				continue
+			}
+			if hits++; hits >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, ex := range exchanges {
+		if ex.Transmitter.IsZero() {
+			continue
+		}
+		a := get(ex.Transmitter)
+		a.d.Exchanges++
+		switch ex.Delivery {
+		case llc.DeliveryObserved, llc.DeliveryInferred:
+			a.d.Delivered++
+		case llc.DeliveryFailed:
+			a.d.Failed++
+		}
+		if !ex.Broadcast {
+			a.d.RetryRate += float64(ex.Retransmissions())
+		}
+		for _, at := range ex.Attempts {
+			if at.Data == nil || !at.Data.Frame.IsUnicastData() {
+				continue
+			}
+			a.attempts++
+			if overlapping(at.Data.Channel, at.Data.UnivUS, at.Data.EndUS()) {
+				a.overlapped++
+			}
+		}
+	}
+
+	out := make([]StationDiagnosis, 0, len(accs))
+	for _, a := range accs {
+		d := a.d
+		if d.Exchanges > 0 {
+			d.RetryRate /= float64(d.Exchanges)
+		}
+		if a.rateWeight > 0 {
+			d.MeanRateMbps /= a.rateWeight
+		}
+		if totalAir > 0 {
+			d.AirtimeShare = float64(d.AirtimeUS) / float64(totalAir)
+		}
+		if a.attempts > 0 {
+			d.InterferenceExposure = float64(a.overlapped) / float64(a.attempts)
+		}
+		d.Findings = findings(&d)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AirtimeUS > out[j].AirtimeUS })
+	return out
+}
+
+// findings turns the aggregates into actionable diagnoses.
+func findings(d *StationDiagnosis) []string {
+	var f []string
+	if d.RetryRate > diagRetryRate {
+		f = append(f, fmt.Sprintf("lossy link: %.2f retries per exchange", d.RetryRate))
+	}
+	if d.MeanRateMbps > 0 && d.MeanRateMbps < diagLowRateMbps {
+		f = append(f, fmt.Sprintf("low data rate: averaging %.1f Mbps", d.MeanRateMbps))
+	}
+	if d.AirtimeUS > 0 && float64(d.ProtectionUS) > diagProtShare*float64(d.AirtimeUS) {
+		f = append(f, fmt.Sprintf("protection overhead: %.0f%% of airtime spent on CTS-to-self",
+			100*float64(d.ProtectionUS)/float64(d.AirtimeUS)))
+	}
+	if d.AirtimeShare > diagAirtimeShare {
+		f = append(f, fmt.Sprintf("airtime hog: %.0f%% of the channel", 100*d.AirtimeShare))
+	}
+	if d.InterferenceExposure > diagInterference {
+		f = append(f, fmt.Sprintf("interference exposure: %.0f%% of attempts overlapped",
+			100*d.InterferenceExposure))
+	}
+	if d.Failed > 0 && d.Exchanges > 0 && float64(d.Failed) > 0.05*float64(d.Exchanges) {
+		f = append(f, fmt.Sprintf("abandoned exchanges: %d of %d", d.Failed, d.Exchanges))
+	}
+	return f
+}

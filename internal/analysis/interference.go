@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dot80211"
+	"repro/internal/llc"
+	"repro/internal/unify"
+)
+
+// PairStats accumulates the §7.2 counters for one (sender, receiver) pair:
+//
+//	n   transmissions, n0 without / nx with a simultaneous transmission,
+//	nl0 and nlx of them lost.
+type PairStats struct {
+	S, R                dot80211.MAC
+	N, N0, NL0, NX, NLX int
+}
+
+// Pi computes the conditional probability that a simultaneous transmission
+// causes interference, normalized by the background loss rate:
+//
+//	Pi = [(nlx/nx) − (nl0/n0)] / (1 − nl0/n0)
+func (p *PairStats) Pi() float64 {
+	if p.NX == 0 || p.N0 == 0 {
+		return 0
+	}
+	bg := float64(p.NL0) / float64(p.N0)
+	if bg >= 1 {
+		return 0
+	}
+	return (float64(p.NLX)/float64(p.NX) - bg) / (1 - bg)
+}
+
+// X is the interference loss rate: the probability that any transmission
+// from s to r is lost due to interference: X = Pi · (nx/n). Negative Pi is
+// truncated to zero, as in the paper (11% of pairs there).
+func (p *PairStats) X() float64 {
+	pi := p.Pi()
+	if pi < 0 || p.N == 0 {
+		return 0
+	}
+	return pi * float64(p.NX) / float64(p.N)
+}
+
+// BackgroundLossRate is nl0/n0.
+func (p *PairStats) BackgroundLossRate() float64 {
+	if p.N0 == 0 {
+		return 0
+	}
+	return float64(p.NL0) / float64(p.N0)
+}
+
+// InterferenceReport reproduces Fig. 9 and the §7.2 headline numbers.
+type InterferenceReport struct {
+	Pairs []PairStats // pairs with ≥ MinPackets transmissions
+	// PairsConsidered counts all (s,r) pairs before the threshold.
+	PairsConsidered int
+	// FractionWithInterference is the share of qualifying pairs with
+	// positive Pi (paper: 88%).
+	FractionWithInterference float64
+	// NegativePiFraction is the share with negative Pi, truncated (11%).
+	NegativePiFraction float64
+	// AvgBackgroundLoss is the mean background transmission loss rate
+	// (paper: 0.12).
+	AvgBackgroundLoss float64
+	// SenderSplitAP is the fraction of interfered pairs whose sender is an
+	// AP (paper: 56% APs / 44% clients).
+	SenderSplitAP float64
+	// XCDF is the sorted interference loss rate across pairs (the Fig. 9
+	// curve).
+	XCDF []float64
+}
+
+// Interference estimates co-channel interference from the unified trace
+// (§7.2). For every unicast DATA transmission attempt it decides (a)
+// whether another transmission overlapped it in time on the same channel,
+// and (b) whether it was lost (no ACK captured for that attempt and the
+// exchange never showed delivery evidence for it), then aggregates the
+// conditional-probability estimate per (s,r) pair.
+func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets int, isAP func(dot80211.MAC) bool) *InterferenceReport {
+	// Index jframe intervals per channel for overlap queries.
+	type iv struct{ start, end int64 }
+	byCh := make(map[dot80211.Channel][]iv)
+	for _, j := range jframes {
+		if j.PhyOnly {
+			continue
+		}
+		end := j.EndUS()
+		if end == j.UnivUS {
+			end = j.UnivUS + 1
+		}
+		byCh[j.Channel] = append(byCh[j.Channel], iv{j.UnivUS, end})
+	}
+	for ch := range byCh {
+		ivs := byCh[ch]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		byCh[ch] = ivs
+	}
+	// overlapping reports whether any *other* transmission overlaps
+	// [s,e) on channel ch. The probe interval itself appears in the index,
+	// so we require a second overlapper.
+	overlapping := func(ch dot80211.Channel, s, e int64) bool {
+		ivs := byCh[ch]
+		// First interval with start < e, scanning left while end > s.
+		i := sort.Search(len(ivs), func(k int) bool { return ivs[k].start >= e })
+		hits := 0
+		for k := i - 1; k >= 0; k-- {
+			if ivs[k].end <= s {
+				// Starts are sorted but ends are not; scan a bounded
+				// window back (longest frame ≈ 12 ms).
+				if s-ivs[k].start > 15_000 {
+					break
+				}
+				continue
+			}
+			hits++
+			if hits >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+
+	pairs := make(map[[2]dot80211.MAC]*PairStats)
+	for _, ex := range exchanges {
+		if ex.Broadcast {
+			continue
+		}
+		for ai, at := range ex.Attempts {
+			if at.Data == nil || !at.Data.Frame.IsUnicastData() {
+				continue
+			}
+			key := [2]dot80211.MAC{at.Transmitter, at.Receiver}
+			ps := pairs[key]
+			if ps == nil {
+				ps = &PairStats{S: at.Transmitter, R: at.Receiver}
+				pairs[key] = ps
+			}
+			simultaneous := overlapping(at.Data.Channel, at.Data.UnivUS, at.Data.EndUS())
+			// A transmission attempt was lost if it drew a retransmission
+			// (it was not the final attempt) or the final attempt shows no
+			// delivery evidence.
+			lost := !at.Acked()
+			if ai == len(ex.Attempts)-1 {
+				switch ex.Delivery {
+				case llc.DeliveryObserved, llc.DeliveryInferred:
+					lost = false
+				}
+			}
+			ps.N++
+			if simultaneous {
+				ps.NX++
+				if lost {
+					ps.NLX++
+				}
+			} else {
+				ps.N0++
+				if lost {
+					ps.NL0++
+				}
+			}
+		}
+	}
+
+	rep := &InterferenceReport{PairsConsidered: len(pairs)}
+	var bgSum float64
+	var interfered, negative, apSenders int
+	for _, ps := range pairs {
+		if ps.N < minPackets {
+			continue
+		}
+		rep.Pairs = append(rep.Pairs, *ps)
+		bgSum += ps.BackgroundLossRate()
+		pi := ps.Pi()
+		if pi > 0 {
+			interfered++
+			if isAP != nil && isAP(ps.S) {
+				apSenders++
+			}
+		} else if pi < 0 {
+			negative++
+		}
+		rep.XCDF = append(rep.XCDF, ps.X())
+	}
+	sort.Float64s(rep.XCDF)
+	sort.Slice(rep.Pairs, func(i, j int) bool { return rep.Pairs[i].X() < rep.Pairs[j].X() })
+	if n := len(rep.Pairs); n > 0 {
+		rep.FractionWithInterference = float64(interfered) / float64(n)
+		rep.NegativePiFraction = float64(negative) / float64(n)
+		rep.AvgBackgroundLoss = bgSum / float64(n)
+	}
+	if interfered > 0 {
+		rep.SenderSplitAP = float64(apSenders) / float64(interfered)
+	}
+	return rep
+}
+
+// XPercentile returns the p-th percentile of the interference loss rate.
+func (r *InterferenceReport) XPercentile(p float64) float64 {
+	if len(r.XCDF) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.XCDF)))
+	if i >= len(r.XCDF) {
+		i = len(r.XCDF) - 1
+	}
+	return r.XCDF[i]
+}

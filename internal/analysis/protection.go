@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"repro/internal/dot80211"
+	"repro/internal/unify"
+)
+
+// ProtectionSlot is one time bucket of Fig. 10.
+type ProtectionSlot struct {
+	StartUS          int64
+	ProtectedAPs     int // APs observed using protection mode
+	Overprotective   int // of those, no 802.11b client in range within the practical timeout
+	ActiveGClients   int // active 802.11g clients network-wide
+	GOnOverprotected int // active g clients associated to overprotective APs
+}
+
+// ProtectionReport reproduces §7.3 / Fig. 10.
+type ProtectionReport struct {
+	Slots []ProtectionSlot
+	// PeakAffectedShare is the largest per-slot share of active g clients
+	// sitting behind overprotective APs (paper: 25–50% in busy periods).
+	PeakAffectedShare float64
+	// PotentialSpeedup is footnote 7's bound on the throughput factor a
+	// protected g client could regain (≈2x).
+	PotentialSpeedup float64
+}
+
+// Protection analyzes 802.11g protection-mode usage from the unified trace
+// (§7.3). It observes, per slot:
+//
+//   - which APs use protection, from CTS-to-self transmissions by the AP or
+//     its associated clients (a station's CTS-to-self carries its own MAC);
+//   - which stations are 802.11b, from the PHY tag clients advertise in
+//     probe/association request bodies — the passive analogue of the
+//     paper's probe-response range inference;
+//   - whether an 802.11b client was in range of each protecting AP within
+//     the practical timeout (one minute in the paper, practicalTimeoutUS
+//     here), making the AP's conservative policy "overprotective" when not.
+func Protection(jframes []*unify.JFrame, practicalTimeoutUS, slotUS int64) *ProtectionReport {
+	if len(jframes) == 0 || slotUS <= 0 {
+		return &ProtectionReport{PotentialSpeedup: dot80211.ProtectionOverheadFactor()}
+	}
+	start := jframes[0].UnivUS
+	nSlots := int((jframes[len(jframes)-1].UnivUS-start)/slotUS) + 1
+
+	// Pass 1: classify stations (b/g) and map client→AP associations over
+	// time; record per-AP protection evidence and per-AP b-activity times.
+	phyOf := make(map[dot80211.MAC]byte) // 'b' or 'g'
+	assoc := make(map[dot80211.MAC]dot80211.MAC)
+	ctsBy := make(map[dot80211.MAC][]int64)   // station → CTS-to-self times
+	bNearAP := make(map[dot80211.MAC][]int64) // AP → times a b client was evidently in range
+	apSeen := make(map[dot80211.MAC]bool)
+	type gAct struct {
+		t int64
+		c dot80211.MAC
+	}
+	var gActivity []gAct
+
+	for _, j := range jframes {
+		if !j.Valid {
+			continue
+		}
+		f := &j.Frame
+		switch {
+		case f.IsBeacon():
+			apSeen[f.Addr2] = true
+		case f.Type == dot80211.TypeManagement &&
+			(f.Subtype == dot80211.SubtypeProbeReq || f.Subtype == dot80211.SubtypeAssocReq ||
+				f.Subtype == dot80211.SubtypeAuth):
+			if len(f.Body) > 0 && (f.Body[0] == 'b' || f.Body[0] == 'g') {
+				phyOf[f.Addr2] = f.Body[0]
+			}
+			if f.Subtype == dot80211.SubtypeAssocReq {
+				assoc[f.Addr2] = f.Addr1
+			}
+		case f.IsCTS():
+			// CTS-to-self: RA is the protecting transmitter itself.
+			ctsBy[f.Addr1] = append(ctsBy[f.Addr1], j.UnivUS)
+		case f.IsData():
+			tx := f.Addr2
+			if phyOf[tx] == 'b' {
+				// A b client talking to its AP: evidently in range.
+				if ap := dataAP(f); !ap.IsZero() {
+					bNearAP[ap] = append(bNearAP[ap], j.UnivUS)
+				}
+			}
+			if phyOf[tx] == 'g' && f.Flags&dot80211.FlagToDS != 0 {
+				gActivity = append(gActivity, gAct{j.UnivUS, tx})
+			}
+		}
+	}
+	// protectionAPs: stations emitting CTS-to-self that are APs, plus APs
+	// whose associated clients emit CTS-to-self.
+	protAP := make(map[dot80211.MAC][]int64)
+	for sta, times := range ctsBy {
+		switch {
+		case apSeen[sta]:
+			protAP[sta] = append(protAP[sta], times...)
+		default:
+			if ap, ok := assoc[sta]; ok {
+				protAP[ap] = append(protAP[ap], times...)
+			}
+		}
+	}
+
+	// Pass 2: per-slot judgments.
+	rep := &ProtectionReport{PotentialSpeedup: dot80211.ProtectionOverheadFactor()}
+	rep.Slots = make([]ProtectionSlot, nSlots)
+	for i := range rep.Slots {
+		rep.Slots[i].StartUS = start + int64(i)*slotUS
+	}
+	slotOf := func(us int64) int { return int((us - start) / slotUS) }
+
+	// Active g clients per slot.
+	gPerSlot := make([]map[dot80211.MAC]bool, nSlots)
+	for _, ga := range gActivity {
+		i := slotOf(ga.t)
+		if i < 0 || i >= nSlots {
+			continue
+		}
+		if gPerSlot[i] == nil {
+			gPerSlot[i] = map[dot80211.MAC]bool{}
+		}
+		gPerSlot[i][ga.c] = true
+	}
+
+	// Per slot: protection state per AP and overprotectiveness.
+	for i := range rep.Slots {
+		s := &rep.Slots[i]
+		slotStart := s.StartUS
+		slotEnd := slotStart + slotUS
+		overprotective := map[dot80211.MAC]bool{}
+		for ap, times := range protAP {
+			inSlot := false
+			for _, t := range times {
+				if t >= slotStart && t < slotEnd {
+					inSlot = true
+					break
+				}
+			}
+			if !inSlot {
+				continue
+			}
+			s.ProtectedAPs++
+			// Was any b client in range within the practical timeout
+			// before the end of this slot?
+			needed := false
+			for _, t := range bNearAP[ap] {
+				if t >= slotStart-practicalTimeoutUS && t < slotEnd {
+					needed = true
+					break
+				}
+			}
+			if !needed {
+				s.Overprotective++
+				overprotective[ap] = true
+			}
+		}
+		for c := range gPerSlot[i] {
+			s.ActiveGClients++
+			if overprotective[assoc[c]] {
+				s.GOnOverprotected++
+			}
+		}
+		if s.ActiveGClients > 0 {
+			share := float64(s.GOnOverprotected) / float64(s.ActiveGClients)
+			if share > rep.PeakAffectedShare {
+				rep.PeakAffectedShare = share
+			}
+		}
+	}
+	return rep
+}
+
+// dataAP extracts the AP side of a data frame from its DS bits.
+func dataAP(f *dot80211.Frame) dot80211.MAC {
+	switch {
+	case f.Flags&dot80211.FlagToDS != 0:
+		return f.Addr1
+	case f.Flags&dot80211.FlagFromDS != 0:
+		return f.Addr2
+	}
+	return dot80211.MAC{}
+}
+
+// TCPLossReport reproduces Fig. 11: the per-flow TCP loss rate CDF with the
+// wireless/wired split.
+type TCPLossReport struct {
+	Flows         int
+	LossRates     []float64 // sorted per-flow loss rates
+	WirelessShare float64   // share of classified losses that were wireless
+	TotalLosses   int
+	WirelessLoss  int
+	WiredLoss     int
+}
+
+// TCPLoss summarizes transport losses over handshake-complete flows.
+func TCPLoss(rates []FlowLoss) *TCPLossReport {
+	rep := &TCPLossReport{Flows: len(rates)}
+	for _, r := range rates {
+		rep.LossRates = append(rep.LossRates, r.LossRate)
+		rep.TotalLosses += r.Losses
+		rep.WirelessLoss += r.WirelessLoss
+		rep.WiredLoss += r.WiredLoss
+	}
+	if cl := rep.WirelessLoss + rep.WiredLoss; cl > 0 {
+		rep.WirelessShare = float64(rep.WirelessLoss) / float64(cl)
+	}
+	return rep
+}
+
+// FlowLoss mirrors transport.FlowLossRate without importing it here (the
+// caller converts); it keeps analysis decoupled from transport internals.
+type FlowLoss struct {
+	DataSegs     int
+	Losses       int
+	WirelessLoss int
+	WiredLoss    int
+	LossRate     float64
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/llc"
+	"repro/internal/unify"
+)
+
+// TraceSummary is Table 1: the high-level characteristics of the trace.
+type TraceSummary struct {
+	DurationUS      int64
+	Events          int64   // records across all monitors
+	ErrorEventPct   float64 // physical or CRC errors (paper: 47%)
+	UnifiedEvents   int64   // records merged into jframes
+	JFrames         int64   // paper: 530 M from 1.58 G events
+	AvgInstances    float64 // paper: 2.97 observations per transmission
+	UniqueClients   int     // paper: 1,026 client MACs
+	UniqueAPs       int
+	DataFrames      int64
+	MgmtFrames      int64
+	ControlFrames   int64
+	BeaconFrames    int64
+	BroadcastFrames int64
+	TCPFlows        int64
+	CompleteFlows   int64
+}
+
+// Summarize builds Table 1 from a pipeline result. Clients and APs are told
+// apart by who transmits beacons / carries the FromDS bit, exactly as a
+// passive observer must.
+func Summarize(res *core.Result, jframes []*unify.JFrame) *TraceSummary {
+	s := &TraceSummary{
+		Events:        res.UnifyStats.Events,
+		UnifiedEvents: res.UnifyStats.Unified,
+		JFrames:       res.UnifyStats.JFrames,
+	}
+	errs := res.UnifyStats.PhyErrors + res.UnifyStats.CRCErrors
+	if s.Events > 0 {
+		s.ErrorEventPct = 100 * float64(errs) / float64(s.Events)
+	}
+	var multi, instances int64
+	aps := make(map[dot80211.MAC]bool)
+	clients := make(map[dot80211.MAC]bool)
+	var firstUS, lastUS int64
+	for i, j := range jframes {
+		if i == 0 {
+			firstUS = j.UnivUS
+		}
+		lastUS = j.UnivUS
+		if !j.PhyOnly {
+			multi++
+			instances += int64(len(j.Instances))
+		}
+		if !j.Valid {
+			continue
+		}
+		f := &j.Frame
+		switch {
+		case f.IsBeacon():
+			s.BeaconFrames++
+			s.MgmtFrames++
+			aps[f.Addr2] = true
+		case f.Type == dot80211.TypeManagement:
+			s.MgmtFrames++
+		case f.Type == dot80211.TypeControl:
+			s.ControlFrames++
+		case f.IsData():
+			s.DataFrames++
+			if f.Addr1.IsMulticast() {
+				s.BroadcastFrames++
+			}
+			if f.Flags&dot80211.FlagFromDS != 0 {
+				aps[f.Addr2] = true
+			} else if f.Flags&dot80211.FlagToDS != 0 {
+				clients[f.Addr2] = true
+			}
+		}
+	}
+	for m := range aps {
+		delete(clients, m)
+	}
+	s.UniqueAPs = len(aps)
+	s.UniqueClients = len(clients)
+	s.DurationUS = lastUS - firstUS
+	if multi > 0 {
+		s.AvgInstances = float64(instances) / float64(multi)
+	}
+	s.TCPFlows = res.Transport.Stats.Flows
+	s.CompleteFlows = int64(res.Transport.Stats.CompleteFlows)
+	return s
+}
+
+// String renders the summary as a paper-style table.
+func (s *TraceSummary) String() string {
+	var b strings.Builder
+	row := func(k string, v any) { fmt.Fprintf(&b, "%-28s %v\n", k, v) }
+	row("trace duration (s)", s.DurationUS/1e6)
+	row("monitor events", s.Events)
+	row("error events (%)", fmt.Sprintf("%.1f", s.ErrorEventPct))
+	row("unified events", s.UnifiedEvents)
+	row("jframes", s.JFrames)
+	row("avg observations/frame", fmt.Sprintf("%.2f", s.AvgInstances))
+	row("unique clients", s.UniqueClients)
+	row("unique APs", s.UniqueAPs)
+	row("data frames", s.DataFrames)
+	row("management frames", s.MgmtFrames)
+	row("control frames", s.ControlFrames)
+	row("beacons", s.BeaconFrames)
+	row("broadcast data", s.BroadcastFrames)
+	row("tcp flows (complete)", fmt.Sprintf("%d (%d)", s.TCPFlows, s.CompleteFlows))
+	return b.String()
+}
+
+// InferenceStats reports the §5.1 headline: the share of transmission
+// attempts and frame exchanges that required inference.
+type InferenceStats struct {
+	Attempts         int64
+	InferredAttempts int64
+	Exchanges        int64
+	InferredExch     int64
+}
+
+// AttemptRate returns inferred attempts / attempts.
+func (s InferenceStats) AttemptRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.InferredAttempts) / float64(s.Attempts)
+}
+
+// ExchangeRate returns inferred exchanges / exchanges.
+func (s InferenceStats) ExchangeRate() float64 {
+	if s.Exchanges == 0 {
+		return 0
+	}
+	return float64(s.InferredExch) / float64(s.Exchanges)
+}
+
+// Inference extracts the §5.1 statistics from LLC stats.
+func Inference(st llc.Stats) InferenceStats {
+	return InferenceStats{
+		Attempts: st.Attempts, InferredAttempts: st.InferredAttempts,
+		Exchanges: st.Exchanges, InferredExch: st.InferredExchanges,
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/unify"
+)
+
+// Visualize renders a Figure-2-style view of a slice of the synchronized
+// trace: time on the x-axis, one row per radio, a mark where each radio
+// heard each jframe ('#' decoded, 'x' corrupt, '.' phy error), and a legend
+// line per jframe.
+func Visualize(jframes []*unify.JFrame, fromUS, toUS int64, width int) string {
+	if width < 20 {
+		width = 80
+	}
+	var window []*unify.JFrame
+	radios := map[int32]bool{}
+	for _, j := range jframes {
+		if j.UnivUS < fromUS || j.UnivUS >= toUS {
+			continue
+		}
+		window = append(window, j)
+		for _, in := range j.Instances {
+			radios[in.Radio] = true
+		}
+	}
+	if len(window) == 0 {
+		return "(no jframes in window)\n"
+	}
+	ids := make([]int32, 0, len(radios))
+	for r := range radios {
+		ids = append(ids, r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	span := toUS - fromUS
+	col := func(us int64) int {
+		c := int((us - fromUS) * int64(width) / span)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	rows := make(map[int32][]byte, len(ids))
+	for _, r := range ids {
+		rows[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, j := range window {
+		for _, in := range j.Instances {
+			ch := byte('#')
+			if in.PhyErr {
+				ch = '.'
+			} else if !in.FCSOK {
+				ch = 'x'
+			}
+			rows[in.Radio][col(in.UnivUS)] = ch
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "universal time %d..%d us (%d us/col)\n", fromUS, toUS, span/int64(width))
+	for _, r := range ids {
+		fmt.Fprintf(&b, "r%03d |%s|\n", r, rows[r])
+	}
+	b.WriteString("frames:\n")
+	for _, j := range window {
+		tag, desc := "valid", j.Frame.String()
+		if j.PhyOnly {
+			tag, desc = "phyerr", "(undecodable energy)"
+		} else if !j.Valid {
+			tag = "corrupt"
+		}
+		fmt.Fprintf(&b, "  t=%-10d %-7s x%-2d disp=%-3dus %s\n",
+			j.UnivUS, tag, len(j.Instances), j.DispersionUS, desc)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+// Package building models the physical environment of the deployment: a
+// four-story, 150,000 sq ft office building (the UCSD CSE building of §3.1)
+// with production access points and wireless sensor pods placed through it.
+//
+// The geometry matters because radio propagation — and therefore which
+// monitors overhear which transmissions, the raw material of Jigsaw's
+// synchronization — is governed by distance and by the walls and floors
+// between transmitter and receiver.
+package building
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a 3-D position in meters. Z increases with floor height.
+type Point struct{ X, Y, Z float64 }
+
+// Distance returns the Euclidean distance between two points in meters.
+func (p Point) Distance(q Point) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Dimensions of the modeled building. Four floors of ~115 m x 30 m wings is
+// ≈ 150,000 sq ft total, matching the paper.
+const (
+	FloorsCount   = 4
+	FloorHeightM  = 4.0
+	BuildingXM    = 115.0
+	BuildingYM    = 30.0
+	InteriorWallM = 8.0 // mean spacing of interior walls along a path
+)
+
+// Floor returns which floor (0-based) a point is on.
+func (p Point) Floor() int {
+	f := int(p.Z / FloorHeightM)
+	if f < 0 {
+		f = 0
+	}
+	if f >= FloorsCount {
+		f = FloorsCount - 1
+	}
+	return f
+}
+
+// PodID identifies a sensor pod; RadioID identifies one of the four radios
+// of a pod (two per monitor, two monitors per pod, §3.2).
+type (
+	PodID   int
+	RadioID int
+)
+
+// Pod is a wireless sensor pod: two monitors a meter apart, four radios
+// total, all timestamping with per-monitor clocks. For passive monitoring
+// the two monitors are proximate enough to abstract as a single vantage
+// point (§3.2), which we model as a single position.
+type Pod struct {
+	ID       PodID
+	Pos      Point
+	Radios   []RadioID // 4 radios
+	Monitors [][2]int  // index pairs into Radios sharing one clock: {0,1},{2,3}
+}
+
+// AP is a production access point.
+type AP struct {
+	Index int
+	Pos   Point
+	// Channel assignment: production deployments stripe 1/6/11.
+	Channel int
+}
+
+// Building is the full environment: geometry plus placements.
+type Building struct {
+	Pods []Pod
+	APs  []AP
+}
+
+// Config parameterizes generation.
+type Config struct {
+	NumPods int // paper: 39
+	NumAPs  int // paper: 39 shown + 5 basement = 44; we default 39
+	Seed    int64
+}
+
+// DefaultConfig mirrors the paper's deployment scale.
+func DefaultConfig() Config { return Config{NumPods: 39, NumAPs: 39, Seed: 1} }
+
+// New generates a building with pods and APs laid out on a per-floor grid
+// with jitter, mimicking Figure 1: APs along corridors, pods between and
+// among them. Pod i's radios are RadioID(4i..4i+3).
+func New(cfg Config) *Building {
+	if cfg.NumPods <= 0 {
+		cfg.NumPods = 39
+	}
+	if cfg.NumAPs <= 0 {
+		cfg.NumAPs = 39
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &Building{}
+
+	place := func(n int, corridor bool) []Point {
+		// Distribute n positions over floors; within a floor, along a grid.
+		pts := make([]Point, 0, n)
+		perFloor := (n + FloorsCount - 1) / FloorsCount
+		for f := 0; f < FloorsCount && len(pts) < n; f++ {
+			m := perFloor
+			if rem := n - len(pts); m > rem {
+				m = rem
+			}
+			for i := 0; i < m; i++ {
+				x := (float64(i) + 0.5) / float64(m) * BuildingXM
+				y := BuildingYM / 2
+				if !corridor {
+					// Pods sit between corridor and offices: offset in Y.
+					if i%2 == 0 {
+						y = BuildingYM * 0.3
+					} else {
+						y = BuildingYM * 0.7
+					}
+				}
+				pts = append(pts, Point{
+					X: x + rng.NormFloat64()*3,
+					Y: y + rng.NormFloat64()*2,
+					Z: float64(f)*FloorHeightM + 2.5, // ceiling mounted
+				})
+			}
+		}
+		return pts
+	}
+
+	apPts := place(cfg.NumAPs, true)
+	for i, p := range apPts {
+		b.APs = append(b.APs, AP{Index: i, Pos: p, Channel: []int{1, 6, 11}[i%3]})
+	}
+	podPts := place(cfg.NumPods, false)
+	for i, p := range podPts {
+		pod := Pod{ID: PodID(i), Pos: p}
+		for r := 0; r < 4; r++ {
+			pod.Radios = append(pod.Radios, RadioID(i*4+r))
+		}
+		pod.Monitors = [][2]int{{0, 1}, {2, 3}}
+		b.Pods = append(b.Pods, pod)
+	}
+	return b
+}
+
+// RadioPod maps a RadioID back to its pod index.
+func (b *Building) RadioPod(r RadioID) PodID { return PodID(int(r) / 4) }
+
+// NumRadios returns the total radio count (4 per pod; 156 at full scale).
+func (b *Building) NumRadios() int { return len(b.Pods) * 4 }
+
+// WallsBetween estimates the number of interior walls a straight path
+// between two points crosses on the same floor, from the in-plane distance
+// and mean wall spacing. Floors crossed are counted separately because
+// concrete slabs attenuate far more than drywall.
+func WallsBetween(a, c Point) (walls, floors int) {
+	dx, dy := a.X-c.X, a.Y-c.Y
+	planar := math.Sqrt(dx*dx + dy*dy)
+	walls = int(planar / InteriorWallM)
+	df := a.Floor() - c.Floor()
+	if df < 0 {
+		df = -df
+	}
+	return walls, df
+}
+
+// ClientArea returns a uniformly random office position for placing a
+// wireless client (clients are dispersed through offices, not corridors).
+func ClientArea(rng *rand.Rand) Point {
+	return Point{
+		X: rng.Float64() * BuildingXM,
+		Y: rng.Float64() * BuildingYM,
+		Z: float64(rng.Intn(FloorsCount))*FloorHeightM + 1.0, // desk height
+	}
+}
+
+// ReducePods returns a copy of the building keeping only n pods, removed by
+// "visual redundancy" as in §6: pods whose nearest remaining pod is closest
+// are dropped first, approximating removing overlapping coverage. This is
+// exactly the kind of floorplan-only knowledge the authors used.
+func (b *Building) ReducePods(n int) *Building {
+	if n >= len(b.Pods) {
+		return b
+	}
+	keep := append([]Pod(nil), b.Pods...)
+	for len(keep) > n {
+		// Find the pod with the smallest distance to its nearest neighbor.
+		worst, worstD := -1, math.Inf(1)
+		for i, p := range keep {
+			nearest := math.Inf(1)
+			for j, q := range keep {
+				if i == j {
+					continue
+				}
+				if d := p.Pos.Distance(q.Pos); d < nearest {
+					nearest = d
+				}
+			}
+			if nearest < worstD {
+				worstD, worst = nearest, i
+			}
+		}
+		keep = append(keep[:worst], keep[worst+1:]...)
+	}
+	nb := &Building{APs: b.APs, Pods: keep}
+	return nb
+}
+
+// String summarizes the building for logs.
+func (b *Building) String() string {
+	return fmt.Sprintf("building{%d pods (%d radios), %d APs, %d floors}",
+		len(b.Pods), b.NumRadios(), len(b.APs), FloorsCount)
+}

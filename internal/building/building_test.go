@@ -1,0 +1,183 @@
+package building
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefaultScale(t *testing.T) {
+	b := New(DefaultConfig())
+	if len(b.Pods) != 39 {
+		t.Errorf("pods = %d, want 39", len(b.Pods))
+	}
+	if b.NumRadios() != 156 {
+		t.Errorf("radios = %d, want 156", b.NumRadios())
+	}
+	if len(b.APs) != 39 {
+		t.Errorf("APs = %d, want 39", len(b.APs))
+	}
+}
+
+func TestPodStructure(t *testing.T) {
+	b := New(DefaultConfig())
+	for _, p := range b.Pods {
+		if len(p.Radios) != 4 {
+			t.Fatalf("pod %d has %d radios", p.ID, len(p.Radios))
+		}
+		if len(p.Monitors) != 2 {
+			t.Fatalf("pod %d has %d monitors", p.ID, len(p.Monitors))
+		}
+		for _, r := range p.Radios {
+			if b.RadioPod(r) != p.ID {
+				t.Fatalf("RadioPod(%d) = %d, want %d", r, b.RadioPod(r), p.ID)
+			}
+		}
+	}
+}
+
+func TestAPChannelStriping(t *testing.T) {
+	b := New(DefaultConfig())
+	seen := map[int]int{}
+	for _, ap := range b.APs {
+		seen[ap.Channel]++
+	}
+	for _, ch := range []int{1, 6, 11} {
+		if seen[ch] < 10 {
+			t.Errorf("channel %d only on %d APs", ch, seen[ch])
+		}
+	}
+}
+
+func TestPositionsInsideBuilding(t *testing.T) {
+	b := New(DefaultConfig())
+	check := func(p Point, what string) {
+		if p.X < -15 || p.X > BuildingXM+15 || p.Y < -15 || p.Y > BuildingYM+15 {
+			t.Errorf("%s out of footprint: %+v", what, p)
+		}
+		if f := p.Floor(); f < 0 || f >= FloorsCount {
+			t.Errorf("%s floor %d out of range", what, f)
+		}
+	}
+	for _, ap := range b.APs {
+		check(ap.Pos, "AP")
+	}
+	for _, pod := range b.Pods {
+		check(pod.Pos, "pod")
+	}
+}
+
+func TestAllFloorsCovered(t *testing.T) {
+	b := New(DefaultConfig())
+	podFloors, apFloors := map[int]bool{}, map[int]bool{}
+	for _, p := range b.Pods {
+		podFloors[p.Pos.Floor()] = true
+	}
+	for _, a := range b.APs {
+		apFloors[a.Pos.Floor()] = true
+	}
+	for f := 0; f < FloorsCount; f++ {
+		if !podFloors[f] {
+			t.Errorf("no pods on floor %d", f)
+		}
+		if !apFloors[f] {
+			t.Errorf("no APs on floor %d", f)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Point{0, 0, 0}
+	b := Point{3, 4, 0}
+	if d := a.Distance(b); d != 5 {
+		t.Errorf("distance = %f", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %f", d)
+	}
+}
+
+func TestWallsBetween(t *testing.T) {
+	a := Point{0, 0, 2}
+	b := Point{40, 0, 2}
+	w, f := WallsBetween(a, b)
+	if w != 5 {
+		t.Errorf("walls = %d, want 5 (40m / 8m spacing)", w)
+	}
+	if f != 0 {
+		t.Errorf("floors = %d, want 0", f)
+	}
+	c := Point{0, 0, 2 + 2*FloorHeightM}
+	_, f = WallsBetween(a, c)
+	if f != 2 {
+		t.Errorf("floors = %d, want 2", f)
+	}
+}
+
+func TestReducePods(t *testing.T) {
+	b := New(DefaultConfig())
+	for _, n := range []int{30, 20, 10} {
+		r := b.ReducePods(n)
+		if len(r.Pods) != n {
+			t.Errorf("ReducePods(%d) kept %d", n, len(r.Pods))
+		}
+		if len(r.APs) != len(b.APs) {
+			t.Error("ReducePods must not touch APs")
+		}
+	}
+	// Reducing to current size or more is the identity.
+	if r := b.ReducePods(len(b.Pods)); r != b {
+		t.Error("ReducePods(n>=len) should return the receiver")
+	}
+	// Original must be unmodified.
+	if len(b.Pods) != 39 {
+		t.Error("ReducePods mutated the original")
+	}
+}
+
+func TestReducePodsKeepsSpread(t *testing.T) {
+	// The removal heuristic drops redundant (clustered) pods, so the
+	// remaining set should preserve floor coverage at n=20.
+	b := New(DefaultConfig())
+	r := b.ReducePods(20)
+	floors := map[int]bool{}
+	for _, p := range r.Pods {
+		floors[p.Pos.Floor()] = true
+	}
+	if len(floors) < 3 {
+		t.Errorf("only %d floors covered after reduction", len(floors))
+	}
+}
+
+func TestClientArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		p := ClientArea(rng)
+		if p.X < 0 || p.X > BuildingXM || p.Y < 0 || p.Y > BuildingYM {
+			t.Fatalf("client outside building: %+v", p)
+		}
+	}
+}
+
+func TestQuickDistanceMetric(t *testing.T) {
+	// Property: distance is symmetric and satisfies the triangle inequality.
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay), 0}
+		b := Point{float64(bx), float64(by), 0}
+		c := Point{float64(cx), float64(cy), 0}
+		if a.Distance(b) != b.Distance(a) {
+			return false
+		}
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	b := New(DefaultConfig())
+	if s := b.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,227 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockPerfect(t *testing.T) {
+	c := &Clock{}
+	for _, ns := range []int64{0, 1e3, 5e9, 3600e9} {
+		if got, want := c.LocalUS(ns), ns/1e3; got != want {
+			t.Errorf("LocalUS(%d) = %d, want %d", ns, got, want)
+		}
+	}
+}
+
+func TestClockOffset(t *testing.T) {
+	c := &Clock{OffsetNS: 2_000_000} // +2 ms
+	if got := c.LocalUS(0); got != 2000 {
+		t.Errorf("LocalUS(0) = %d, want 2000", got)
+	}
+}
+
+func TestClockSkewAccumulates(t *testing.T) {
+	c := &Clock{SkewPPM: 100} // fast by 100 ppm
+	// After 10 true seconds the clock should read ~1000 µs ahead.
+	got := c.LocalUS(10e9)
+	want := int64(10e6 + 1000)
+	if d := got - want; d < -1 || d > 1 {
+		t.Errorf("LocalUS(10s) = %d, want %d±1", got, want)
+	}
+}
+
+func TestClockDrift(t *testing.T) {
+	c := &Clock{SkewPPM: 0, DriftPPMH: 10}
+	// At t=1h instantaneous skew is 10 ppm; accumulated error over the hour
+	// averages ~5 ppm ⇒ well under the error of a constant 10 ppm clock.
+	atHour := c.LocalUS(3600e9)
+	errUS := atHour - 3600e6
+	if errUS <= 0 || errUS > 40000 {
+		t.Errorf("drifting clock error after 1h = %d µs", errUS)
+	}
+	constant := &Clock{SkewPPM: 10}
+	if cErr := constant.LocalUS(3600e9) - 3600e6; cErr <= errUS {
+		t.Errorf("constant 10 ppm clock (%d µs) should err more than drifting (%d µs)", cErr, errUS)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := &Clock{OffsetNS: -5e6, SkewPPM: -80, DriftPPMH: 3}
+	prev := int64(math.MinInt64)
+	for ns := int64(0); ns < 60e9; ns += 7e6 {
+		l := c.LocalUS(ns)
+		if l < prev {
+			t.Fatalf("clock ran backwards at t=%dns", ns)
+		}
+		prev = l
+	}
+}
+
+func TestTrueNSApproxInverts(t *testing.T) {
+	c := &Clock{OffsetNS: 123456, SkewPPM: 42, DriftPPMH: -1}
+	for _, ns := range []int64{1e9, 100e9, 3000e9} {
+		l := c.LocalUS(ns)
+		back := c.TrueNSApprox(l)
+		if d := back - ns; d < -2000 || d > 2000 { // within 2 µs
+			t.Errorf("TrueNSApprox(LocalUS(%d)) off by %d ns", ns, d)
+		}
+	}
+}
+
+func TestQuickClockOrderPreserved(t *testing.T) {
+	// Property: for |skew| ≤ 500 ppm, ordering of events ≥10 µs apart is
+	// preserved by any single clock.
+	f := func(offRaw int32, skewRaw int16, t1Raw, gapRaw uint32) bool {
+		c := &Clock{
+			OffsetNS: int64(offRaw),
+			SkewPPM:  float64(skewRaw % 500),
+		}
+		t1 := int64(t1Raw) * 1000
+		t2 := t1 + int64(gapRaw%1e6)*1000 + 10_000 // ≥10 µs later
+		return c.LocalUS(t2) > c.LocalUS(t1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewEstimatorConvergesToTrueSkew(t *testing.T) {
+	c := &Clock{SkewPPM: 37}
+	est := NewSkewEstimator(0.1, 0.05)
+	// Feed (local, universal) pairs every 100 ms of universal time.
+	for i := int64(0); i < 600; i++ {
+		univUS := i * 100_000
+		localUS := c.LocalUS(univUS * 1000)
+		est.Update(localUS, univUS)
+	}
+	if got := est.SkewPPM(); math.Abs(got-37) > 2 {
+		t.Errorf("estimated skew = %.2f ppm, want ≈37", got)
+	}
+}
+
+func TestSkewEstimatorIgnoresOutOfOrder(t *testing.T) {
+	est := NewSkewEstimator(0.1, 0.05)
+	est.Update(0, 0)
+	est.Update(100_000, 100_000)
+	before := est.SkewPPM()
+	est.Update(50_000, 50_000) // goes backwards; must be ignored
+	if est.SkewPPM() != before {
+		t.Error("out-of-order sample changed the estimate")
+	}
+}
+
+func TestSkewEstimatorClipsOutliers(t *testing.T) {
+	est := NewSkewEstimator(0.5, 0.05)
+	est.Update(0, 0)
+	est.Update(200_000, 100_000) // 100% fast = 1e6 ppm: absurd, must clip
+	if got := est.SkewPPM(); got > 1000 {
+		t.Errorf("outlier not clipped: %f ppm", got)
+	}
+}
+
+func TestSkewEstimatorDriftPrediction(t *testing.T) {
+	c := &Clock{SkewPPM: 10, DriftPPMH: 60} // +1 ppm per minute
+	est := NewSkewEstimator(0.2, 0.1)
+	var univUS int64
+	for i := int64(0); i < 1200; i++ { // 2 minutes of 100 ms samples
+		univUS = i * 100_000
+		est.Update(c.LocalUS(univUS*1000), univUS)
+	}
+	// Predict 10 s ahead: true skew there ≈ 10 + 60*(130/3600) ≈ 12.2 ppm.
+	pred := est.PredictedSkewPPM(univUS + 10e6)
+	now := est.SkewPPM()
+	if pred < now {
+		t.Errorf("drift is positive but prediction (%f) below current (%f)", pred, now)
+	}
+}
+
+func TestCorrectionUS(t *testing.T) {
+	est := NewSkewEstimator(1.0, 0.1)
+	est.Update(0, 0)
+	est.Update(1_000_050, 1_000_000) // 50 ppm fast
+	// Over the next second of local time the clock gains ~50 µs.
+	corr := est.CorrectionUS(1_000_000, 2_000_000)
+	if corr < 40 || corr > 60 {
+		t.Errorf("correction = %f µs, want ≈50", corr)
+	}
+}
+
+func TestOffsetTrackerExactAtResync(t *testing.T) {
+	tr := NewOffsetTracker(500)
+	tr.Resync(1000, 1700)
+	if got := tr.ToUniversal(1000); got != 1700 {
+		t.Errorf("mapping not exact at resync point: %d", got)
+	}
+	if tr.OffsetUS() != 700 {
+		t.Errorf("offset = %d, want 700", tr.OffsetUS())
+	}
+	if tr.Resyncs() != 1 {
+		t.Errorf("resyncs = %d", tr.Resyncs())
+	}
+}
+
+func TestOffsetTrackerTracksSkewedClock(t *testing.T) {
+	c := &Clock{OffsetNS: 3e6, SkewPPM: 55}
+	tr := NewOffsetTracker(0)
+	// Resync on every "beacon" for 30 s, then coast for 1 s.
+	var univUS int64
+	for i := int64(0); i <= 300; i++ {
+		univUS = i * 100_000
+		tr.Resync(c.LocalUS(univUS*1000), univUS)
+	}
+	// Coast: predict placement of a frame 1 s later.
+	futureUniv := univUS + 1_000_000
+	local := c.LocalUS(futureUniv * 1000)
+	got := tr.ToUniversal(local)
+	if d := got - futureUniv; d < -5 || d > 5 {
+		t.Errorf("coasted mapping off by %d µs (want |d| ≤ 5)", d)
+	}
+}
+
+func TestOffsetTrackerWithoutCompensationDrifts(t *testing.T) {
+	c := &Clock{SkewPPM: 55}
+	mk := func(comp bool) int64 {
+		tr := NewOffsetTracker(0)
+		tr.SetSkewCompensation(comp)
+		var univUS int64
+		for i := int64(0); i <= 300; i++ {
+			univUS = i * 100_000
+			tr.Resync(c.LocalUS(univUS*1000), univUS)
+		}
+		future := univUS + 1_000_000
+		d := tr.ToUniversal(c.LocalUS(future*1000)) - future
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	with, without := mk(true), mk(false)
+	if with >= without {
+		t.Errorf("skew compensation should reduce coast error: with=%d without=%d", with, without)
+	}
+	if without < 40 { // 55 ppm over 1 s ≈ 55 µs error
+		t.Errorf("uncompensated coast error = %d µs, expected ≈55", without)
+	}
+}
+
+func TestQuickOffsetTrackerConsistency(t *testing.T) {
+	// Property: after a resync at (l,u), ToUniversal(l) == u exactly, for
+	// any prior history.
+	f := func(hist []uint32, l0 uint32, u0 uint32) bool {
+		tr := NewOffsetTracker(0)
+		var lu, uu int64
+		for _, h := range hist {
+			lu += int64(h%100_000) + 1
+			uu += int64(h%100_000) + 1
+			tr.Resync(lu, uu)
+		}
+		l, u := lu+int64(l0%1e6)+1, uu+int64(u0%1e6)+1
+		tr.Resync(l, u)
+		return tr.ToUniversal(l) == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package core wires Jigsaw's stages into the single pipeline the paper
+// describes: bootstrap synchronization over the first window of every
+// per-radio trace (§4.1), streaming frame unification with continuous
+// resynchronization (§4.2), link-layer reconstruction into transmission
+// attempts and frame exchanges (§5.1), and transport-layer flow analysis
+// with the TCP delivery oracle (§5.2).
+//
+// The pipeline operates in a single pass over the trace data (after the
+// bootstrap pre-scan), the property that lets the real system run online,
+// faster than real time.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/llc"
+	"repro/internal/timesync"
+	"repro/internal/tracefile"
+	"repro/internal/transport"
+	"repro/internal/unify"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// Unify holds the unifier's operating point (search window, resync
+	// threshold, skew compensation).
+	Unify unify.Config
+	// BootstrapWindowUS is how much of each trace the bootstrap examines
+	// (paper: the first second).
+	BootstrapWindowUS int64
+	// KeepExchanges retains all frame exchanges in the result (memory
+	// permitting); analyses that stream should use the Sink instead.
+	KeepExchanges bool
+	// KeepJFrames retains all jframes (for visualization and small runs).
+	KeepJFrames bool
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Unify:             unify.DefaultConfig(),
+		BootstrapWindowUS: timesync.DefaultWindowUS,
+	}
+}
+
+// Sink receives pipeline products as they stream. Any callback may be nil.
+type Sink struct {
+	OnJFrame   func(*unify.JFrame)
+	OnExchange func(*llc.Exchange)
+}
+
+// DispersionHistogram buckets jframe group dispersion in 1 µs bins up to
+// its length; the tail bucket absorbs the rest. Only multi-instance jframes
+// count (a singleton has no dispersion), matching Figure 4.
+type DispersionHistogram struct {
+	Bins  []int64 // Bins[i] counts dispersion == i µs
+	Tail  int64
+	Total int64
+}
+
+// Add records one dispersion value.
+func (h *DispersionHistogram) Add(us int64) {
+	h.Total++
+	if int(us) < len(h.Bins) {
+		h.Bins[us]++
+	} else {
+		h.Tail++
+	}
+}
+
+// Percentile returns the smallest dispersion d such that at least p
+// (0..1) of jframes have dispersion ≤ d; -1 if the answer lies in the tail.
+func (h *DispersionHistogram) Percentile(p float64) int64 {
+	if h.Total == 0 {
+		return 0
+	}
+	need := int64(p * float64(h.Total))
+	var cum int64
+	for i, c := range h.Bins {
+		cum += c
+		if cum >= need {
+			return int64(i)
+		}
+	}
+	return -1
+}
+
+// Result summarizes one pipeline run.
+type Result struct {
+	Bootstrap  *timesync.Result
+	UnifyStats unify.Stats
+	LLCStats   llc.Stats
+	Transport  *transport.Analyzer
+	Dispersion DispersionHistogram
+
+	// Retained products (per Config).
+	JFrames   []*unify.JFrame
+	Exchanges []*llc.Exchange
+}
+
+// Run executes the full pipeline over per-radio compressed traces (the
+// bytes produced by tracefile.Writer). clockGroups lists radios sharing a
+// physical clock for cross-channel bridging.
+func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink) (*Result, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: no traces")
+	}
+	if cfg.BootstrapWindowUS == 0 {
+		cfg.BootstrapWindowUS = timesync.DefaultWindowUS
+	}
+	if cfg.Unify.SearchWindowUS == 0 {
+		cfg.Unify = unify.DefaultConfig()
+	}
+	if sink == nil {
+		sink = &Sink{}
+	}
+
+	// Phase 1: bootstrap over each trace's first window.
+	readers := make(map[int32]*tracefile.Reader, len(traces))
+	for r, b := range traces {
+		readers[r] = tracefile.NewReader(bytes.NewReader(b))
+	}
+	window, err := timesync.CollectWindow(readers, cfg.BootstrapWindowUS)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap window: %w", err)
+	}
+	boot, err := timesync.Bootstrap(window, clockGroups)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap: %w", err)
+	}
+
+	// Phase 2: single pass — unify, reconstruct, analyze.
+	sources := make(map[int32]unify.Source, len(traces))
+	for r, b := range traces {
+		sources[r] = &readerSource{r: tracefile.NewReader(bytes.NewReader(b))}
+	}
+	u := unify.New(cfg.Unify, sources, boot)
+	rec := llc.NewReconstructor()
+	ta := transport.NewAnalyzer()
+
+	res := &Result{
+		Bootstrap: boot,
+		Transport: ta,
+		Dispersion: DispersionHistogram{
+			Bins: make([]int64, 1000),
+		},
+	}
+
+	consume := func(exs []*llc.Exchange) {
+		for _, ex := range exs {
+			ta.AddExchange(ex)
+			if sink.OnExchange != nil {
+				sink.OnExchange(ex)
+			}
+			if cfg.KeepExchanges {
+				res.Exchanges = append(res.Exchanges, ex)
+			}
+		}
+	}
+
+	for {
+		j, err := u.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: unify: %w", err)
+		}
+		if len(j.Instances) >= 2 {
+			res.Dispersion.Add(j.DispersionUS)
+		}
+		if sink.OnJFrame != nil {
+			sink.OnJFrame(j)
+		}
+		if cfg.KeepJFrames {
+			res.JFrames = append(res.JFrames, j)
+		}
+		rec.Process(j)
+		consume(rec.Take())
+	}
+	consume(rec.Flush())
+
+	res.UnifyStats = u.Stats
+	res.LLCStats = rec.Stats
+	return res, nil
+}
+
+// readerSource adapts tracefile.Reader to unify.Source.
+type readerSource struct {
+	r *tracefile.Reader
+}
+
+func (s *readerSource) Next() (tracefile.Record, error) { return s.r.Next() }
+
+// TracesFromBuffers converts the scenario's buffer map into the byte map
+// Run consumes.
+func TracesFromBuffers(bufs map[int32]*bytes.Buffer) map[int32][]byte {
+	out := make(map[int32][]byte, len(bufs))
+	for r, b := range bufs {
+		out[r] = b.Bytes()
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package dot80211
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAirtimeCCK(t *testing.T) {
+	cases := []struct {
+		len  int
+		rate Rate
+		p    Preamble
+		want int
+	}{
+		// 14-byte CTS at 2 Mbps long preamble: 192 + 112/2 = 248 (footnote 7).
+		{14, Rate2Mbps, LongPreamble, 248},
+		{14, Rate1Mbps, LongPreamble, 192 + 112},
+		{14, Rate2Mbps, ShortPreamble, 96 + 56},
+		// 1500 bytes at 11 Mbps: 192 + ceil(12000/1.1) = 192 + 10910 = 11102.
+		{1500, Rate11Mbps, LongPreamble, 192 + (12000*10+109)/110},
+		{0, Rate1Mbps, LongPreamble, 192},
+	}
+	for _, c := range cases {
+		if got := AirtimeUS(c.len, c.rate, c.p); got != c.want {
+			t.Errorf("AirtimeUS(%d,%v,%v) = %d, want %d", c.len, c.rate, c.p, got, c.want)
+		}
+	}
+}
+
+func TestAirtimeOFDM(t *testing.T) {
+	// 14-byte ACK at 24 Mbps: 20 + ceil((16+112+6)/96)*4 = 20 + 2*4 = 28 µs.
+	if got := AirtimeUS(14, Rate24Mbps, LongPreamble); got != 28 {
+		t.Errorf("ACK at 24 Mbps = %d, want 28", got)
+	}
+	// 1500 bytes at 54 Mbps: 20 + ceil((16+12000+6)/216)*4 = 20 + 56*4 = 244.
+	if got := AirtimeUS(1500, Rate54Mbps, LongPreamble); got != 244 {
+		t.Errorf("1500B at 54 Mbps = %d, want 244", got)
+	}
+	// Preamble choice must not affect OFDM.
+	if AirtimeUS(100, Rate6Mbps, LongPreamble) != AirtimeUS(100, Rate6Mbps, ShortPreamble) {
+		t.Error("OFDM airtime should ignore CCK preamble selection")
+	}
+}
+
+func TestAirtimeMonotonicInLength(t *testing.T) {
+	for _, r := range append(append([]Rate{}, BRates...), GRates...) {
+		prev := -1
+		for l := 0; l < 400; l += 7 {
+			a := AirtimeUS(l, r, LongPreamble)
+			if a < prev {
+				t.Fatalf("airtime not monotonic at rate %v len %d", r, l)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestAirtimeMonotonicInRate(t *testing.T) {
+	// Within one PHY family, higher rate ⇒ no more airtime for same length.
+	for i := 1; i < len(BRates); i++ {
+		if AirtimeUS(500, BRates[i], LongPreamble) > AirtimeUS(500, BRates[i-1], LongPreamble) {
+			t.Errorf("CCK airtime increased from %v to %v", BRates[i-1], BRates[i])
+		}
+	}
+	for i := 1; i < len(GRates); i++ {
+		if AirtimeUS(500, GRates[i], LongPreamble) > AirtimeUS(500, GRates[i-1], LongPreamble) {
+			t.Errorf("OFDM airtime increased from %v to %v", GRates[i-1], GRates[i])
+		}
+	}
+}
+
+func TestQuickAirtimePositive(t *testing.T) {
+	f := func(l uint16, ri uint8) bool {
+		rates := append(append([]Rate{}, BRates...), GRates...)
+		r := rates[int(ri)%len(rates)]
+		return AirtimeUS(int(l%3000), r, LongPreamble) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatePredicates(t *testing.T) {
+	if Rate11Mbps.IsOFDM() || !Rate54Mbps.IsOFDM() {
+		t.Error("IsOFDM wrong")
+	}
+	if !Rate5_5.Valid() || Rate(30).Valid() {
+		t.Error("Valid wrong")
+	}
+	if Rate5_5.String() != "5.5Mbps" || Rate54Mbps.String() != "54Mbps" {
+		t.Error("rate String wrong")
+	}
+	if Rate11Mbps.Mbps() != 11.0 {
+		t.Error("Mbps wrong")
+	}
+}
+
+func TestTimingConstants(t *testing.T) {
+	if DIFS != 50 {
+		t.Errorf("DIFS = %d, want 50 (SIFS + 2 slots)", DIFS)
+	}
+	if SlotTime != 20 {
+		t.Errorf("slot = %d; the paper's sync precision target is one 20 µs slot", SlotTime)
+	}
+}
+
+func TestNAVValues(t *testing.T) {
+	// DATA at 54 Mbps: NAV covers SIFS + 28 µs ACK.
+	if got := NAVForDataExchange(Rate54Mbps, LongPreamble); got != SIFS+28 {
+		t.Errorf("NAV(54) = %d", got)
+	}
+	nav := NAVForCTSToSelf(1500, Rate54Mbps, LongPreamble)
+	want := uint16(SIFS + 244 + SIFS + 28)
+	if nav != want {
+		t.Errorf("CTS-to-self NAV = %d, want %d", nav, want)
+	}
+}
+
+func TestProtectionOverheadFactor(t *testing.T) {
+	f := ProtectionOverheadFactor()
+	// Footnote 7 quotes 1.98; the printed formula evaluates just below it.
+	// Assert the headline "factor of two" shape.
+	if f < 1.9 || f > 2.05 {
+		t.Errorf("protection overhead factor = %.3f, want ≈2 (paper: 1.98)", f)
+	}
+}
+
+func TestChannels(t *testing.T) {
+	if Channel(1).CenterFreqMHz() != 2412 || Channel(6).CenterFreqMHz() != 2437 ||
+		Channel(11).CenterFreqMHz() != 2462 || Channel(14).CenterFreqMHz() != 2484 {
+		t.Error("center frequencies wrong")
+	}
+	if Channel(0).CenterFreqMHz() != 0 || Channel(15).CenterFreqMHz() != 0 {
+		t.Error("invalid channels should map to 0")
+	}
+	for _, a := range NonOverlappingChannels {
+		for _, b := range NonOverlappingChannels {
+			if a != b && a.Overlaps(b) {
+				t.Errorf("channels %d and %d should not overlap", a, b)
+			}
+		}
+	}
+	if !Channel(1).Overlaps(3) || !Channel(6).Overlaps(6) {
+		t.Error("adjacent/self overlap expected")
+	}
+}
+
+func TestAckAirtime(t *testing.T) {
+	if AckAirtimeUS(Rate54Mbps, LongPreamble) != 28 {
+		t.Error("OFDM ACK should be 28 µs")
+	}
+	if AckAirtimeUS(Rate1Mbps, LongPreamble) != 192+112 {
+		t.Error("1 Mbps ACK wrong")
+	}
+	if AckAirtimeUS(Rate11Mbps, LongPreamble) != 248 {
+		t.Error("11 Mbps data ACKed at 2 Mbps = 248 µs")
+	}
+}

@@ -1,0 +1,490 @@
+// Package llc reconstructs link-layer conversations from the unified jframe
+// stream (§5.1): it assembles jframes into transmission attempts (an
+// optional CTS-to-self, a DATA/management frame, and the trailing ACK,
+// associated by MAC address and by the Duration field's prediction of when
+// an ACK must land), then composes attempts into frame exchanges using the
+// sequence-number FSM (rules R1–R4) plus the paper's heuristics, inferring
+// the presence of transmissions the monitors missed.
+package llc
+
+import (
+	"io"
+
+	"repro/internal/dot80211"
+	"repro/internal/unify"
+)
+
+// Delivery classifies the outcome of a frame exchange as seen (or inferred)
+// from the passive vantage point.
+type Delivery uint8
+
+// Delivery outcomes.
+const (
+	// DeliveryUnknown: no ACK observed — the frame may have been lost, or
+	// the ACK may simply not have been captured. §5.2's transport oracle
+	// disambiguates where TCP state allows.
+	DeliveryUnknown Delivery = iota
+	// DeliveryObserved: the ACK was captured.
+	DeliveryObserved
+	// DeliveryInferred: no ACK seen for the final attempt, but subsequent
+	// sender behaviour (sequence advance, orphan ACK timing) implies
+	// delivery.
+	DeliveryInferred
+	// DeliveryBroadcast: broadcast/multicast frames have no ARQ; delivery
+	// is undefined at the link layer.
+	DeliveryBroadcast
+	// DeliveryFailed: the sender abandoned the exchange (observed retries
+	// exhausted with no delivery evidence).
+	DeliveryFailed
+)
+
+// String names the delivery verdict.
+func (d Delivery) String() string {
+	switch d {
+	case DeliveryObserved:
+		return "delivered"
+	case DeliveryInferred:
+		return "delivered-inferred"
+	case DeliveryBroadcast:
+		return "broadcast"
+	case DeliveryFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Attempt is one transmission attempt: up to three jframes (CTS-to-self,
+// DATA, ACK) associated into a single MAC transaction.
+type Attempt struct {
+	RTS  *unify.JFrame // optional RTS preceding the exchange
+	CTS  *unify.JFrame // optional protection CTS-to-self or RTS response
+	Data *unify.JFrame // nil when the data frame itself was inferred
+	Ack  *unify.JFrame // optional
+
+	Transmitter dot80211.MAC
+	Receiver    dot80211.MAC
+	Seq         uint16
+	HasSeq      bool
+	Retry       bool
+	StartUS     int64
+	EndUS       int64
+	// Inferred marks attempts whose existence or composition required
+	// inference (missing DATA deduced from CTS/ACK timing).
+	Inferred bool
+}
+
+// Acked reports whether this attempt ended with a captured ACK.
+func (a *Attempt) Acked() bool { return a.Ack != nil }
+
+// Exchange is a complete frame exchange: every transmission attempt
+// (including retransmissions) of one MSDU, ending in delivery or
+// abandonment.
+type Exchange struct {
+	Attempts    []*Attempt
+	Transmitter dot80211.MAC
+	Receiver    dot80211.MAC
+	Seq         uint16
+	Broadcast   bool
+	Delivery    Delivery
+	Inferred    bool
+	StartUS     int64
+	EndUS       int64
+}
+
+// Data returns the first attempt's data jframe (nil if all inferred).
+func (e *Exchange) Data() *unify.JFrame {
+	for _, a := range e.Attempts {
+		if a.Data != nil {
+			return a.Data
+		}
+	}
+	return nil
+}
+
+// Retransmissions counts attempts beyond the first.
+func (e *Exchange) Retransmissions() int { return len(e.Attempts) - 1 }
+
+// Timing tolerances (µs).
+const (
+	// ackSlackUS pads the Duration-predicted ACK arrival window to absorb
+	// synchronization dispersion (Fig. 4: ≤20 µs for 99% of jframes).
+	ackSlackUS = 60
+	// ctsGapMaxUS bounds CTS-to-self → DATA separation (SIFS plus slack).
+	ctsGapMaxUS = dot80211.SIFS + 60
+	// exchangeTimeoutUS closes an exchange with no further activity:
+	// "almost all frame exchanges can complete within 500 ms".
+	exchangeTimeoutUS = 500_000
+)
+
+// Stats counts reconstruction outcomes (§5.1 reports 0.58% of attempts and
+// 0.14% of exchanges requiring inference).
+type Stats struct {
+	JFrames           int64
+	Attempts          int64
+	InferredAttempts  int64
+	Exchanges         int64
+	InferredExchanges int64
+	OrphanAcks        int64
+	FlushedUnassigned int64
+}
+
+// Reconstructor consumes jframes in universal-time order and emits frame
+// exchanges as they close.
+type Reconstructor struct {
+	Stats Stats
+
+	// pendingCTS holds CTS frames awaiting their protected DATA, keyed by
+	// the protected transmitter (CTS-to-self carries it in Addr1; an RTS
+	// response is likewise addressed to the data transmitter).
+	pendingCTS map[dot80211.MAC]*unify.JFrame
+	// pendingRTS holds RTS frames awaiting their CTS/DATA, keyed by the
+	// transmitter (RTS carries it in Addr2).
+	pendingRTS map[dot80211.MAC]*unify.JFrame
+	// awaiting is the open attempt per transmitter whose ACK window is
+	// still open.
+	awaiting map[dot80211.MAC]*openAttempt
+	// senders holds per-transmitter exchange state.
+	senders map[dot80211.MAC]*senderState
+
+	out []*Exchange
+	now int64
+}
+
+type openAttempt struct {
+	attempt  *Attempt
+	deadline int64 // latest universal time an ACK may arrive
+}
+
+type senderState struct {
+	cur       *Exchange
+	lastSeen  int64
+	orphanAck *unify.JFrame // queued ACK awaiting position resolution
+}
+
+// NewReconstructor creates an empty reconstructor.
+func NewReconstructor() *Reconstructor {
+	return &Reconstructor{
+		pendingCTS: make(map[dot80211.MAC]*unify.JFrame),
+		pendingRTS: make(map[dot80211.MAC]*unify.JFrame),
+		awaiting:   make(map[dot80211.MAC]*openAttempt),
+		senders:    make(map[dot80211.MAC]*senderState),
+	}
+}
+
+// Process feeds one jframe; completed exchanges become available via Take.
+func (r *Reconstructor) Process(j *unify.JFrame) {
+	if !j.Valid {
+		return // corrupted/phy-only jframes carry no reconstruction weight
+	}
+	r.Stats.JFrames++
+	r.now = j.UnivUS
+	r.expire()
+
+	f := &j.Frame
+	switch {
+	case f.Type == dot80211.TypeControl && f.Subtype == dot80211.SubtypeRTS:
+		// RTS: Addr2 is the transmitter about to send data.
+		r.pendingRTS[f.Addr2] = j
+	case f.IsCTS():
+		// CTS-to-self carries the protecting transmitter in Addr1; a CTS
+		// answering an RTS is addressed to the data transmitter the same
+		// way, so one pending slot serves both.
+		r.pendingCTS[f.Addr1] = j
+	case f.IsACK():
+		r.handleAck(j)
+	case f.IsData() || f.Type == dot80211.TypeManagement:
+		r.handleData(j)
+	}
+}
+
+// expire closes ACK windows and exchanges that have timed out by r.now.
+func (r *Reconstructor) expire() {
+	for tx, oa := range r.awaiting {
+		if r.now > oa.deadline {
+			delete(r.awaiting, tx)
+		}
+	}
+	for tx, ss := range r.senders {
+		if ss.cur != nil && r.now-ss.lastSeen > exchangeTimeoutUS {
+			r.closeExchange(ss, DeliveryUnknown)
+		}
+		if ss.cur == nil && ss.orphanAck == nil && r.now-ss.lastSeen > exchangeTimeoutUS {
+			delete(r.senders, tx)
+		}
+	}
+	for tx, cts := range r.pendingCTS {
+		// The Duration field reserves the medium from the frame's end.
+		if r.now > cts.EndUS()+int64(cts.Frame.Duration)+ackSlackUS {
+			delete(r.pendingCTS, tx)
+		}
+	}
+	for tx, rts := range r.pendingRTS {
+		if r.now > rts.EndUS()+int64(rts.Frame.Duration)+ackSlackUS {
+			delete(r.pendingRTS, tx)
+		}
+	}
+}
+
+// handleData starts a transmission attempt for a DATA or management frame.
+func (r *Reconstructor) handleData(j *unify.JFrame) {
+	f := &j.Frame
+	tx := f.Addr2
+	a := &Attempt{
+		Data:        j,
+		Transmitter: tx,
+		Receiver:    f.Addr1,
+		Seq:         f.Seq,
+		HasSeq:      true,
+		Retry:       f.Retry(),
+		StartUS:     j.UnivUS,
+		EndUS:       j.EndUS(),
+	}
+	// Attach a preceding CTS (protection or RTS response) if timing fits,
+	// and the RTS before that.
+	if cts, ok := r.pendingCTS[tx]; ok {
+		if gap := j.UnivUS - cts.EndUS(); gap >= 0 && gap <= ctsGapMaxUS {
+			a.CTS = cts
+			a.StartUS = cts.UnivUS
+		}
+		delete(r.pendingCTS, tx)
+	}
+	if rts, ok := r.pendingRTS[tx]; ok {
+		start := j.UnivUS
+		if a.CTS != nil {
+			start = a.CTS.UnivUS
+		}
+		if gap := start - rts.EndUS(); gap >= 0 && gap <= ctsGapMaxUS {
+			a.RTS = rts
+			a.StartUS = rts.UnivUS
+		}
+		delete(r.pendingRTS, tx)
+	}
+	r.Stats.Attempts++
+
+	if f.Addr1.IsMulticast() {
+		// R1: broadcast — attempt and exchange are identical.
+		ss := r.sender(tx)
+		r.assignAttempt(ss, a, true)
+		return
+	}
+	// Unicast: open the ACK window predicted by the Duration field. If the
+	// Duration is absent (0), fall back to SIFS + slowest ACK.
+	window := int64(f.Duration)
+	if window == 0 {
+		window = dot80211.SIFS + 304 // 1 Mbps long-preamble ACK
+	}
+	a.EndUS = j.EndUS()
+	r.awaiting[tx] = &openAttempt{attempt: a, deadline: j.EndUS() + window + ackSlackUS}
+	ss := r.sender(tx)
+	r.assignAttempt(ss, a, false)
+}
+
+// handleAck matches an ACK to the open attempt of its addressee, or queues
+// it as an orphan for later inference.
+func (r *Reconstructor) handleAck(j *unify.JFrame) {
+	dataTx := j.Frame.Addr1 // the station being acknowledged
+	if oa, ok := r.awaiting[dataTx]; ok && j.UnivUS <= oa.deadline {
+		oa.attempt.Ack = j
+		oa.attempt.EndUS = j.EndUS()
+		delete(r.awaiting, dataTx)
+		// A captured ACK completes the exchange.
+		if ss := r.senders[dataTx]; ss != nil && ss.cur != nil {
+			ss.lastSeen = r.now
+			r.closeExchange(ss, DeliveryObserved)
+		}
+		return
+	}
+	// Orphan: the DATA (or the whole attempt) was not captured. Queue it
+	// until more frames from this sender resolve its position (§5.1).
+	r.Stats.OrphanAcks++
+	ss := r.sender(dataTx)
+	ss.orphanAck = j
+	ss.lastSeen = r.now
+}
+
+// sender returns (creating) per-transmitter state.
+func (r *Reconstructor) sender(tx dot80211.MAC) *senderState {
+	ss := r.senders[tx]
+	if ss == nil {
+		ss = &senderState{}
+		r.senders[tx] = ss
+	}
+	return ss
+}
+
+// assignAttempt routes an attempt into the sender's exchange stream,
+// applying R1–R4.
+func (r *Reconstructor) assignAttempt(ss *senderState, a *Attempt, broadcast bool) {
+	ss.lastSeen = r.now
+
+	if broadcast {
+		// R1: close any open exchange first (the sender moved on).
+		if ss.cur != nil {
+			r.resolveOrphan(ss, a.Seq)
+			if ss.cur != nil {
+				r.closeExchange(ss, DeliveryUnknown)
+			}
+		}
+		ex := &Exchange{
+			Attempts: []*Attempt{a}, Transmitter: a.Transmitter,
+			Receiver: a.Receiver, Seq: a.Seq, Broadcast: true,
+			Delivery: DeliveryBroadcast, StartUS: a.StartUS, EndUS: a.EndUS,
+		}
+		r.emit(ex)
+		return
+	}
+
+	if ss.cur != nil {
+		delta := int((a.Seq - ss.cur.Seq) & 0x0fff)
+		switch {
+		case delta == 0:
+			// R2: retransmission of the current exchange.
+			ss.cur.Attempts = append(ss.cur.Attempts, a)
+			ss.cur.EndUS = a.EndUS
+			return
+		case delta == 1:
+			// R3: new exchange. Resolve any queued orphan ACK first: it
+			// belonged to a missing final retry of the current exchange.
+			r.resolveOrphan(ss, a.Seq)
+			if ss.cur != nil {
+				r.closeExchange(ss, DeliveryUnknown)
+			}
+		default:
+			// R4: sequence gap — no inferences; flush.
+			if ss.orphanAck != nil {
+				ss.orphanAck = nil
+				r.Stats.FlushedUnassigned++
+			}
+			r.closeExchange(ss, DeliveryUnknown)
+		}
+	} else {
+		r.resolveOrphan(ss, a.Seq)
+	}
+	ss.cur = &Exchange{
+		Attempts: []*Attempt{a}, Transmitter: a.Transmitter,
+		Receiver: a.Receiver, Seq: a.Seq,
+		StartUS: a.StartUS, EndUS: a.EndUS,
+	}
+}
+
+// resolveOrphan decides what a queued orphan ACK meant, given that the
+// sender's next sequence number is nextSeq. If an exchange is open and the
+// orphan arrived within its window, the missing data frame was a (final)
+// retry of that exchange: the exchange completes as delivered-inferred,
+// with an inferred attempt holding the ACK. (Heuristics: data frames are
+// more likely lost than ACKs; exchanges complete within 500 ms.)
+func (r *Reconstructor) resolveOrphan(ss *senderState, nextSeq uint16) {
+	if ss.orphanAck == nil {
+		return
+	}
+	ack := ss.orphanAck
+	ss.orphanAck = nil
+	if ss.cur != nil && ack.UnivUS-ss.cur.StartUS < exchangeTimeoutUS &&
+		ack.UnivUS >= ss.cur.StartUS {
+		inf := &Attempt{
+			Ack:         ack,
+			Transmitter: ss.cur.Transmitter,
+			Receiver:    ss.cur.Receiver,
+			Seq:         ss.cur.Seq, HasSeq: true,
+			StartUS: ack.UnivUS, EndUS: ack.EndUS(),
+			Inferred: true,
+		}
+		r.Stats.Attempts++
+		r.Stats.InferredAttempts++
+		ss.cur.Attempts = append(ss.cur.Attempts, inf)
+		ss.cur.EndUS = inf.EndUS
+		ss.cur.Inferred = true
+		r.closeExchange(ss, DeliveryInferred)
+		return
+	}
+	// No open exchange to bind to: the entire exchange (data + all
+	// context) was missed except this ACK. Emit a fully inferred exchange.
+	inf := &Attempt{
+		Ack:         ack,
+		Transmitter: ack.Frame.Addr1,
+		StartUS:     ack.UnivUS, EndUS: ack.EndUS(),
+		Inferred: true,
+	}
+	r.Stats.Attempts++
+	r.Stats.InferredAttempts++
+	ex := &Exchange{
+		Attempts: []*Attempt{inf}, Transmitter: ack.Frame.Addr1,
+		Delivery: DeliveryInferred, Inferred: true,
+		StartUS: inf.StartUS, EndUS: inf.EndUS,
+	}
+	r.Stats.InferredExchanges++
+	r.emit(ex)
+}
+
+// closeExchange finalizes the sender's current exchange.
+func (r *Reconstructor) closeExchange(ss *senderState, verdict Delivery) {
+	ex := ss.cur
+	if ex == nil {
+		return
+	}
+	ss.cur = nil
+	// An observed ACK on any attempt upgrades the verdict.
+	for _, a := range ex.Attempts {
+		if a.Acked() && !a.Inferred {
+			verdict = DeliveryObserved
+		}
+	}
+	if verdict == DeliveryUnknown {
+		// Retries exhausted? If we saw a long retry train with no ACK the
+		// exchange very likely failed; with few attempts it is ambiguous.
+		if len(ex.Attempts) >= 7 {
+			verdict = DeliveryFailed
+		}
+	}
+	ex.Delivery = verdict
+	if ex.Inferred {
+		r.Stats.InferredExchanges++
+	}
+	r.emit(ex)
+}
+
+// emit queues a finished exchange for Take.
+func (r *Reconstructor) emit(ex *Exchange) {
+	r.Stats.Exchanges++
+	r.out = append(r.out, ex)
+}
+
+// Take returns exchanges completed so far and clears the buffer.
+func (r *Reconstructor) Take() []*Exchange {
+	out := r.out
+	r.out = nil
+	return out
+}
+
+// Flush closes every open exchange at end of trace and returns the
+// remainder.
+func (r *Reconstructor) Flush() []*Exchange {
+	for _, ss := range r.senders {
+		r.resolveOrphan(ss, 0)
+		if ss.cur != nil {
+			r.closeExchange(ss, DeliveryUnknown)
+		}
+	}
+	return r.Take()
+}
+
+// Run drains a jframe iterator through the reconstructor, returning all
+// exchanges in completion order.
+func Run(next func() (*unify.JFrame, error)) ([]*Exchange, *Stats, error) {
+	r := NewReconstructor()
+	var out []*Exchange
+	for {
+		j, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, &r.Stats, err
+		}
+		r.Process(j)
+		out = append(out, r.Take()...)
+	}
+	out = append(out, r.Flush()...)
+	return out, &r.Stats, nil
+}

@@ -1,0 +1,162 @@
+package mac
+
+import (
+	"repro/internal/dot80211"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// assocStage tracks the client association handshake.
+type assocStage uint8
+
+const (
+	asIdle assocStage = iota
+	asProbing
+	asAuthenticating
+	asAssociating
+	asAssociated
+)
+
+// Client is a wireless station that associates with an AP and exchanges
+// data through it. Its PHY mode determines whether it is one of the legacy
+// 802.11b stations that trigger protection mode.
+type Client struct {
+	*Station
+
+	// OnAssociated fires when the association handshake completes.
+	OnAssociated func()
+	// FromWireless is invoked for each downlink data frame received.
+	FromWireless func(src dot80211.MAC, payload []byte)
+
+	ap       dot80211.MAC
+	apProt   bool // AP currently advertises protection (from beacons)
+	stage    assocStage
+	retryCnt int
+}
+
+// NewClient creates a client station.
+func NewClient(eng *sim.Engine, med *radio.Medium, pos Position, cfg Config) *Client {
+	c := &Client{Station: NewStation(eng, med, pos, cfg)}
+	c.Station.OnMgmt = c.handleMgmt
+	c.Station.Deliver = c.handleData
+	return c
+}
+
+// phyByte encodes the client's PHY for probe/assoc bodies.
+func (c *Client) phyByte() byte {
+	if c.cfg.PHY == PHY80211b {
+		return 'b'
+	}
+	return 'g'
+}
+
+// Associate begins the probe → auth → assoc handshake toward the AP with
+// the given BSSID. The handshake restarts (with fresh probes) if a step
+// times out, like a real supplicant.
+func (c *Client) Associate(bssid dot80211.MAC) {
+	c.ap = bssid
+	c.stage = asProbing
+	c.retryCnt = 0
+	c.sendProbe()
+}
+
+// Reassociate tears down the current association (sending a disassociation
+// frame to the old AP) and joins a new one — the roaming behaviour of the
+// §6 oracle laptop moving between building locations.
+func (c *Client) Reassociate(bssid dot80211.MAC) {
+	if c.stage == asAssociated && c.ap != bssid && !c.ap.IsZero() {
+		dis := dot80211.NewMgmt(dot80211.SubtypeDisassoc, c.ap, c.cfg.MAC, c.ap, 0, nil)
+		c.SendMgmt(dis, nil)
+	}
+	c.apProt = false
+	c.Associate(bssid)
+}
+
+func (c *Client) sendProbe() {
+	if c.stage != asProbing {
+		return
+	}
+	f := dot80211.NewProbeReq(c.cfg.MAC, 0, "")
+	f.Body = append([]byte{c.phyByte()}, f.Body...)
+	c.SendMgmt(f, nil)
+	c.retryCnt++
+	if c.retryCnt < 20 {
+		c.eng.After(200*sim.Millisecond, func() {
+			if c.stage == asProbing {
+				c.sendProbe()
+			}
+		})
+	}
+}
+
+func (c *Client) handleMgmt(f dot80211.Frame) {
+	switch f.Subtype {
+	case dot80211.SubtypeBeacon:
+		if f.Addr2 == c.ap && len(f.Body) >= 9 {
+			c.apProt = f.Body[8]&beaconFlagProtection != 0
+		}
+	case dot80211.SubtypeProbeResp:
+		if c.stage == asProbing && f.Addr2 == c.ap {
+			c.stage = asAuthenticating
+			auth := dot80211.NewMgmt(dot80211.SubtypeAuth, c.ap, c.cfg.MAC, c.ap, 0, []byte{c.phyByte()})
+			c.SendMgmt(auth, nil)
+		}
+	case dot80211.SubtypeAuth:
+		if c.stage == asAuthenticating && f.Addr2 == c.ap {
+			c.stage = asAssociating
+			req := dot80211.NewMgmt(dot80211.SubtypeAssocReq, c.ap, c.cfg.MAC, c.ap, 0, []byte{c.phyByte()})
+			c.SendMgmt(req, nil)
+		}
+	case dot80211.SubtypeAssocResp:
+		if c.stage == asAssociating && f.Addr2 == c.ap {
+			c.stage = asAssociated
+			if c.OnAssociated != nil {
+				c.OnAssociated()
+			}
+		}
+	}
+}
+
+func (c *Client) handleData(f dot80211.Frame) {
+	if c.FromWireless != nil {
+		c.FromWireless(f.Addr3, f.Body)
+	}
+}
+
+// IsAssociated reports handshake completion.
+func (c *Client) IsAssociated() bool { return c.stage == asAssociated }
+
+// BSSID returns the AP the client is (being) associated with.
+func (c *Client) BSSID() dot80211.MAC { return c.ap }
+
+// Scan issues a background probe request (clients periodically scan even
+// while associated; probe requests let APs sense 802.11b stations in range,
+// which matters for the §7.3 protection-mode analysis).
+func (c *Client) Scan() {
+	f := dot80211.NewProbeReq(c.cfg.MAC, 0, "")
+	f.Body = append([]byte{c.phyByte()}, f.Body...)
+	c.SendMgmt(f, nil)
+}
+
+// SendLocalBroadcast transmits a broadcast DATA frame (application-level
+// broadcast such as the MS-Office license announcement of footnote 6).
+// Broadcasts are unacknowledged and go at the lowest rate.
+func (c *Client) SendLocalBroadcast(payload []byte) {
+	c.SendData(dot80211.Broadcast, c.ap, payload, dot80211.Rate1Mbps, false, nil)
+}
+
+// SendUplink queues a data frame through the AP toward final destination
+// dst (a wired host or another wireless client). Protection mode applies to
+// OFDM transmissions when the AP advertises it.
+func (c *Client) SendUplink(dst dot80211.MAC, payload []byte, onDone func(bool)) {
+	if c.stage != asAssociated {
+		if onDone != nil {
+			onDone(false)
+		}
+		return
+	}
+	f := dot80211.NewData(c.ap, c.cfg.MAC, dst, c.nextSeq(), payload)
+	f.Flags |= dot80211.FlagToDS
+	prot := c.apProt && c.cfg.PHY == PHY80211g
+	c.enqueue(outFrame{frame: f, rate: 0, protect: prot, onDone: onDone})
+}

@@ -1,0 +1,477 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+func apMAC(i int) dot80211.MAC  { return dot80211.MAC{0xaa, 0, 0, 0, 0, byte(i)} }
+func cliMAC(i int) dot80211.MAC { return dot80211.MAC{0xc2, 0, 0, 0, 0, byte(i)} }
+
+type world struct {
+	eng *sim.Engine
+	med *radio.Medium
+}
+
+func newWorld(seed int64) *world {
+	eng := sim.NewEngine(seed)
+	med := radio.NewMedium(eng, radio.NewPropagation(seed))
+	return &world{eng, med}
+}
+
+func (w *world) ap(id radio.NodeID, x float64) *AP {
+	return NewAP(w.eng, w.med, building.Point{X: x, Y: 15, Z: 2.5},
+		Config{ID: id, MAC: apMAC(int(id)), Channel: 1}, "test-net")
+}
+
+func (w *world) client(id radio.NodeID, x float64, phy PHYMode) *Client {
+	return NewClient(w.eng, w.med, building.Point{X: x, Y: 14, Z: 1},
+		Config{ID: id, MAC: cliMAC(int(id)), Channel: 1, PHY: phy})
+}
+
+func TestAssociationHandshake(t *testing.T) {
+	w := newWorld(1)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 12, PHY80211g)
+	done := false
+	cl.OnAssociated = func() { done = true }
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if !done || !cl.IsAssociated() {
+		t.Fatal("association did not complete")
+	}
+	if phy, ok := ap.Associated(cl.MAC()); !ok || phy != PHY80211g {
+		t.Errorf("AP association record wrong: %v %v", phy, ok)
+	}
+	if ap.ProbeResponses == 0 {
+		t.Error("no probe responses sent")
+	}
+}
+
+func TestUplinkDelivery(t *testing.T) {
+	w := newWorld(2)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 12, PHY80211g)
+	var gotSrc, gotDst dot80211.MAC
+	var gotPayload []byte
+	ap.ToWired = func(src, dst dot80211.MAC, p []byte) { gotSrc, gotDst, gotPayload = src, dst, p }
+	dst := dot80211.MAC{0xee, 0, 0, 0, 0, 1}
+	delivered := false
+	cl.OnAssociated = func() {
+		cl.SendUplink(dst, []byte("tcp-segment"), func(ok bool) { delivered = ok })
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if !delivered {
+		t.Fatal("uplink not delivered")
+	}
+	if gotSrc != cl.MAC() || gotDst != dst || string(gotPayload) != "tcp-segment" {
+		t.Errorf("bridged frame wrong: src=%v dst=%v payload=%q", gotSrc, gotDst, gotPayload)
+	}
+	// Delivered counts every ACKed exchange: auth, assoc-req and the data
+	// frame.
+	if cl.Stats.Delivered != 3 {
+		t.Errorf("client delivered count = %d, want 3 (auth+assoc+data)", cl.Stats.Delivered)
+	}
+}
+
+func TestDownlinkDelivery(t *testing.T) {
+	w := newWorld(3)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 12, PHY80211g)
+	var got []byte
+	cl.FromWireless = func(src dot80211.MAC, p []byte) { got = p }
+	src := dot80211.MAC{0xee, 0, 0, 0, 0, 9}
+	cl.OnAssociated = func() {
+		ap.SendToClient(cl.MAC(), src, []byte("response"), nil)
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if string(got) != "response" {
+		t.Fatalf("downlink payload = %q", got)
+	}
+}
+
+func TestSendToUnassociatedFails(t *testing.T) {
+	w := newWorld(3)
+	ap := w.ap(1, 10)
+	okCalled, okVal := false, true
+	if ap.SendToClient(cliMAC(9), dot80211.MAC{}, nil, func(ok bool) { okCalled, okVal = true, ok }) {
+		t.Error("SendToClient to unknown client returned true")
+	}
+	if !okCalled || okVal {
+		t.Error("onDone(false) expected")
+	}
+}
+
+func TestBeaconsEmitted(t *testing.T) {
+	w := newWorld(4)
+	ap := w.ap(1, 10)
+	beacons := 0
+	mon := &beaconCounter{n: &beacons}
+	w.med.Register(99, building.Point{X: 11, Y: 15, Z: 2.5}, 1, mon, false)
+	w.eng.Run(3 * sim.Second)
+	// ~29 beacons in 3 s at 102.4 ms.
+	if beacons < 20 || beacons > 35 {
+		t.Errorf("observed %d beacons in 3s, want ≈29", beacons)
+	}
+	_ = ap
+}
+
+type beaconCounter struct {
+	radio.NopListener
+	n *int
+}
+
+func (b *beaconCounter) OnReceive(info radio.RxInfo) {
+	if info.Outcome != radio.RxOK {
+		return
+	}
+	if f, err := dot80211.Decode(info.Bytes); err == nil && f.IsBeacon() {
+		*b.n++
+	}
+}
+
+func TestRetryOnLostAck(t *testing.T) {
+	// A client far from the AP: marginal link forces retries; check that
+	// retry transmissions carry the retry bit and bump stats.
+	w := newWorld(5)
+	ap := w.ap(1, 10)
+	// 45 m away, several walls: lossy but usable at low rate.
+	cl := w.client(2, 55, PHY80211g)
+	var sawRetryBit bool
+	sniffer := &retrySniffer{saw: &sawRetryBit}
+	w.med.Register(99, building.Point{X: 30, Y: 15, Z: 2.5}, 1, sniffer, false)
+	cl.OnAssociated = func() {
+		for i := 0; i < 40; i++ {
+			cl.SendUplink(dot80211.MAC{0xee}, make([]byte, 800), nil)
+		}
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(20 * sim.Second)
+	if cl.Stats.Retries == 0 {
+		t.Skip("link happened to be clean for this seed; retry path untested here")
+	}
+	if !sawRetryBit {
+		t.Error("retries occurred but no frame with retry bit observed")
+	}
+}
+
+type retrySniffer struct {
+	radio.NopListener
+	saw *bool
+}
+
+func (r *retrySniffer) OnReceive(info radio.RxInfo) {
+	if info.Outcome != radio.RxOK {
+		return
+	}
+	if f, err := dot80211.Decode(info.Bytes); err == nil && f.IsData() && f.Retry() {
+		*r.saw = true
+	}
+}
+
+func TestProtectionModeCTSToSelf(t *testing.T) {
+	w := newWorld(6)
+	ap := w.ap(1, 10)
+	ap.ProtectionTimeout = DefaultProtectionTimeout
+	bCli := w.client(2, 12, PHY80211b)
+	gCli := w.client(3, 14, PHY80211g)
+
+	w.eng.After(0, func() { bCli.Associate(ap.MAC()) })
+	w.eng.After(2*sim.Second, func() { gCli.Associate(ap.MAC()) })
+	// After both associate, g client sends OFDM data: must be protected.
+	w.eng.After(4*sim.Second, func() {
+		if !ap.ProtectionOn() {
+			t.Error("AP should be in protection mode with a b client associated")
+		}
+		for i := 0; i < 10; i++ {
+			gCli.SendUplink(dot80211.MAC{0xee}, make([]byte, 1000), nil)
+		}
+	})
+	w.eng.Run(10 * sim.Second)
+	if gCli.Stats.TxCTSSelf == 0 {
+		t.Error("g client sent OFDM data under protection but no CTS-to-self")
+	}
+}
+
+func TestNoProtectionWithoutBClients(t *testing.T) {
+	w := newWorld(7)
+	ap := w.ap(1, 10)
+	gCli := w.client(2, 12, PHY80211g)
+	w.eng.After(0, func() { gCli.Associate(ap.MAC()) })
+	w.eng.After(3*sim.Second, func() {
+		if ap.ProtectionOn() {
+			t.Error("protection on with no b clients ever seen")
+		}
+		for i := 0; i < 10; i++ {
+			gCli.SendUplink(dot80211.MAC{0xee}, make([]byte, 1000), nil)
+		}
+	})
+	w.eng.Run(10 * sim.Second)
+	if gCli.Stats.TxCTSSelf != 0 {
+		t.Errorf("unprotected network sent %d CTS-to-self", gCli.Stats.TxCTSSelf)
+	}
+}
+
+func TestProtectionTimesOut(t *testing.T) {
+	w := newWorld(8)
+	ap := w.ap(1, 10)
+	ap.ProtectionTimeout = PracticalProtectionTimeout
+	bCli := w.client(2, 12, PHY80211b)
+	w.eng.After(0, func() { bCli.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if !ap.ProtectionOn() {
+		t.Fatal("protection should be on right after b client activity")
+	}
+	// Idle past the timeout (b client sends nothing).
+	w.eng.Run(5*sim.Second + PracticalProtectionTimeout + 10*sim.Second)
+	if ap.ProtectionOn() {
+		t.Error("protection should have timed out after 1 minute of b silence")
+	}
+}
+
+func TestBroadcastDownlinkNoAck(t *testing.T) {
+	w := newWorld(9)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 12, PHY80211g)
+	got := 0
+	cl.FromWireless = func(src dot80211.MAC, p []byte) { got++ }
+	cl.OnAssociated = func() {
+		ap.SendBroadcastDownlink(dot80211.MAC{0xee}, []byte("arp who-has"))
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	preAcks := 0
+	w.eng.Run(5 * sim.Second)
+	_ = preAcks
+	if got != 1 {
+		t.Errorf("broadcast received %d times, want 1", got)
+	}
+	if ap.Stats.Failed != 0 {
+		t.Error("broadcast must not count as failed exchange")
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	w := newWorld(10)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 12, PHY80211g)
+	var seqs []uint16
+	sn := &seqSniffer{src: cl.MAC(), seqs: &seqs}
+	w.med.Register(99, building.Point{X: 11, Y: 14, Z: 2}, 1, sn, false)
+	cl.OnAssociated = func() {
+		for i := 0; i < 5; i++ {
+			cl.SendUplink(dot80211.MAC{0xee}, []byte{byte(i)}, nil)
+		}
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if len(seqs) < 5 {
+		t.Fatalf("sniffed %d data frames", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1] && seqs[i] != (seqs[i-1]+1)&0xfff {
+			t.Errorf("sequence jump %d -> %d", seqs[i-1], seqs[i])
+		}
+	}
+}
+
+type seqSniffer struct {
+	radio.NopListener
+	src  dot80211.MAC
+	seqs *[]uint16
+}
+
+func (s *seqSniffer) OnReceive(info radio.RxInfo) {
+	if info.Outcome != radio.RxOK {
+		return
+	}
+	if f, err := dot80211.Decode(info.Bytes); err == nil && f.IsData() && f.Addr2 == s.src {
+		*s.seqs = append(*s.seqs, f.Seq)
+	}
+}
+
+func TestDuplicateFiltering(t *testing.T) {
+	// Force the AP's ACKs to be lost by placing the client where it can
+	// hear nothing? Simpler: deliver the same frame twice via direct
+	// Deliver calls is not possible; instead verify RxDup counting through
+	// a lossy link where retries after ACK loss cause duplicates.
+	w := newWorld(11)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 50, PHY80211b)
+	delivered := 0
+	ap.ToWired = func(src, dst dot80211.MAC, p []byte) { delivered++ }
+	sent := 0
+	cl.OnAssociated = func() {
+		for i := 0; i < 50; i++ {
+			cl.SendUplink(dot80211.MAC{0xee}, make([]byte, 600), nil)
+			sent++
+		}
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(30 * sim.Second)
+	if delivered > sent {
+		t.Errorf("duplicates leaked upward: delivered %d of %d sent", delivered, sent)
+	}
+}
+
+func TestBRateLadderForBClients(t *testing.T) {
+	w := newWorld(12)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 11, PHY80211b)
+	var rates []dot80211.Rate
+	rs := &rateSniffer{src: cl.MAC(), rates: &rates}
+	w.med.Register(99, building.Point{X: 11, Y: 14, Z: 2}, 1, rs, false)
+	cl.OnAssociated = func() {
+		for i := 0; i < 10; i++ {
+			cl.SendUplink(dot80211.MAC{0xee}, make([]byte, 200), nil)
+		}
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if len(rates) == 0 {
+		t.Fatal("no data frames sniffed")
+	}
+	for _, r := range rates {
+		if r.IsOFDM() {
+			t.Fatalf("b client transmitted OFDM rate %v", r)
+		}
+	}
+}
+
+type rateSniffer struct {
+	radio.NopListener
+	src   dot80211.MAC
+	rates *[]dot80211.Rate
+}
+
+func (s *rateSniffer) OnReceive(info radio.RxInfo) {
+	if info.Outcome != radio.RxOK {
+		return
+	}
+	if f, err := dot80211.Decode(info.Bytes); err == nil && f.IsData() && f.Addr2 == s.src {
+		*s.rates = append(*s.rates, info.Rate)
+	}
+}
+
+func TestDataFramesCarryNAV(t *testing.T) {
+	w := newWorld(13)
+	ap := w.ap(1, 10)
+	cl := w.client(2, 12, PHY80211g)
+	var durs []uint16
+	ds := &durSniffer{src: cl.MAC(), durs: &durs}
+	w.med.Register(99, building.Point{X: 11, Y: 14, Z: 2}, 1, ds, false)
+	cl.OnAssociated = func() { cl.SendUplink(dot80211.MAC{0xee}, make([]byte, 500), nil) }
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(5 * sim.Second)
+	if len(durs) == 0 {
+		t.Fatal("no data frames sniffed")
+	}
+	for _, d := range durs {
+		if d == 0 {
+			t.Error("unicast data frame with zero Duration")
+		}
+	}
+}
+
+type durSniffer struct {
+	radio.NopListener
+	src  dot80211.MAC
+	durs *[]uint16
+}
+
+func (s *durSniffer) OnReceive(info radio.RxInfo) {
+	if info.Outcome != radio.RxOK {
+		return
+	}
+	if f, err := dot80211.Decode(info.Bytes); err == nil && f.IsData() && f.Addr2 == s.src {
+		*s.durs = append(*s.durs, f.Duration)
+	}
+}
+
+func TestTwoClientsShareChannel(t *testing.T) {
+	w := newWorld(14)
+	ap := w.ap(1, 10)
+	c1 := w.client(2, 12, PHY80211g)
+	c2 := w.client(3, 8, PHY80211g)
+	deliveries := 0
+	ap.ToWired = func(src, dst dot80211.MAC, p []byte) { deliveries++ }
+	start := func(c *Client) func() {
+		return func() {
+			for i := 0; i < 20; i++ {
+				c.SendUplink(dot80211.MAC{0xee}, make([]byte, 1000), nil)
+			}
+		}
+	}
+	c1.OnAssociated = start(c1)
+	c2.OnAssociated = start(c2)
+	w.eng.After(0, func() { c1.Associate(ap.MAC()) })
+	w.eng.After(sim.Second, func() { c2.Associate(ap.MAC()) })
+	w.eng.Run(30 * sim.Second)
+	if deliveries < 38 {
+		t.Errorf("only %d/40 frames delivered with two contending clients", deliveries)
+	}
+}
+
+func TestStationStringer(t *testing.T) {
+	w := newWorld(15)
+	cl := w.client(2, 12, PHY80211b)
+	if s := cl.String(); s == "" {
+		t.Error("empty String")
+	}
+	if cl.PHY() != PHY80211b || cl.Channel() != 1 || cl.ID() != 2 {
+		t.Error("accessors wrong")
+	}
+	if PHY80211b.String() != "11b" || PHY80211g.String() != "11g" {
+		t.Error("PHY names")
+	}
+}
+
+func TestRTSCTSHandshake(t *testing.T) {
+	w := newWorld(20)
+	ap := w.ap(1, 10)
+	cl := NewClient(w.eng, w.med, building.Point{X: 12, Y: 14, Z: 1},
+		Config{ID: 2, MAC: cliMAC(2), Channel: 1, PHY: PHY80211g, RTSThresholdBytes: 500})
+	delivered := 0
+	ap.ToWired = func(src, dst dot80211.MAC, p []byte) { delivered++ }
+	cl.OnAssociated = func() {
+		for i := 0; i < 5; i++ {
+			cl.SendUplink(dot80211.MAC{0xee}, make([]byte, 1200), nil) // above threshold
+		}
+		cl.SendUplink(dot80211.MAC{0xee}, make([]byte, 100), nil) // below threshold
+	}
+	w.eng.After(0, func() { cl.Associate(ap.MAC()) })
+	w.eng.Run(10 * sim.Second)
+	if delivered != 6 {
+		t.Fatalf("delivered %d of 6 frames under RTS/CTS", delivered)
+	}
+	// One RTS per above-threshold attempt (retries resend the RTS, so the
+	// count may exceed the 5 distinct frames but never reach the small one).
+	if cl.Stats.TxRTS < 5 || cl.Stats.TxRTS > 5+cl.Stats.Retries {
+		t.Errorf("RTS count = %d (retries=%d), want 5 + retries", cl.Stats.TxRTS, cl.Stats.Retries)
+	}
+	if ap.Stats.TxCTSResp < 5 {
+		t.Errorf("AP CTS responses = %d, want ≥5", ap.Stats.TxCTSResp)
+	}
+}
+
+func TestRTSWithoutCTSRetries(t *testing.T) {
+	// No AP present: RTS gets no CTS; sender must back off, retry and
+	// eventually abandon like a missing ACK.
+	w := newWorld(21)
+	cl := NewClient(w.eng, w.med, building.Point{X: 12, Y: 14, Z: 1},
+		Config{ID: 2, MAC: cliMAC(2), Channel: 1, PHY: PHY80211g, RTSThresholdBytes: 500})
+	// Bypass association to exercise the raw data path.
+	cl.SendData(dot80211.MAC{0x02, 0xee}, dot80211.MAC{0x02, 0xee}, make([]byte, 1200), 0, false, nil)
+	w.eng.Run(10 * sim.Second)
+	if cl.Stats.Failed != 1 {
+		t.Errorf("failed exchanges = %d, want 1", cl.Stats.Failed)
+	}
+	if cl.Stats.TxRTS < 2 {
+		t.Errorf("RTS attempts = %d, want retries", cl.Stats.TxRTS)
+	}
+}

@@ -1,0 +1,88 @@
+package mac
+
+import "repro/internal/dot80211"
+
+// arfState is per-destination Auto Rate Fallback state: step the rate up
+// after a streak of successes, down after consecutive failures. This is the
+// rate-adaptation behaviour whose artifact — rate drops after losses —
+// the paper's §5.1 heuristics rely on.
+type arfState struct {
+	idx       int // index into the station's rate ladder
+	successes int
+	failures  int
+}
+
+const (
+	arfUpAfter   = 10
+	arfDownAfter = 2
+)
+
+// ladder returns the station's rate ladder by PHY.
+func (s *Station) ladder() []dot80211.Rate {
+	if s.cfg.PHY == PHY80211b {
+		return dot80211.BRates
+	}
+	// 11g stations use the full OFDM ladder (CCK rates are left for
+	// protection/control traffic).
+	return dot80211.GRates
+}
+
+// rateFor returns the current data rate toward dst.
+func (s *Station) rateFor(dst dot80211.MAC) dot80211.Rate {
+	l := s.ladder()
+	st := s.rates[dst]
+	if st == nil {
+		st = &arfState{idx: len(l) - 2} // start one below the top
+		if st.idx < 0 {
+			st.idx = 0
+		}
+		s.rates[dst] = st
+	}
+	return l[st.idx]
+}
+
+// stepDown lowers the rate by the retry count without touching ARF state:
+// the rate used for a retransmission never exceeds the original.
+func (s *Station) stepDown(r dot80211.Rate, retries int) dot80211.Rate {
+	l := s.ladder()
+	idx := 0
+	for i, v := range l {
+		if v == r {
+			idx = i
+			break
+		}
+	}
+	idx -= retries
+	if idx < 0 {
+		idx = 0
+	}
+	return l[idx]
+}
+
+// rateOK records a delivered exchange toward dst.
+func (s *Station) rateOK(dst dot80211.MAC) {
+	st := s.rates[dst]
+	if st == nil {
+		return
+	}
+	st.failures = 0
+	st.successes++
+	if st.successes >= arfUpAfter && st.idx < len(s.ladder())-1 {
+		st.idx++
+		st.successes = 0
+	}
+}
+
+// rateFail records a failed transmission attempt toward dst.
+func (s *Station) rateFail(dst dot80211.MAC) {
+	st := s.rates[dst]
+	if st == nil {
+		return
+	}
+	st.successes = 0
+	st.failures++
+	if st.failures >= arfDownAfter && st.idx > 0 {
+		st.idx--
+		st.failures = 0
+	}
+}

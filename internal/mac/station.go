@@ -1,0 +1,552 @@
+// Package mac implements the 802.11 DCF media-access layer for the
+// simulated substrate: CSMA/CA with DIFS/SIFS timing, binary-exponential
+// backoff, link-layer retransmission with the retry bit, sequence numbers,
+// Duration/NAV virtual carrier sense, immediate ACKs, beacons, the
+// probe/auth/associate handshake and 802.11g CTS-to-self protection mode.
+//
+// The goal is not a standards-complete MAC but one that emits every protocol
+// artifact Jigsaw's reconstruction layer consumes: retries with (usually)
+// the retry bit set, monotonically increasing sequence numbers, Duration
+// fields that predict ACK timing, CTS-to-self preceding protected OFDM
+// exchanges, and ACKs that may or may not be observed by any given monitor.
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// PHYMode selects a station's radio capability.
+type PHYMode uint8
+
+// PHY modes.
+const (
+	PHY80211b PHYMode = iota // CCK only, cannot sense/decode OFDM
+	PHY80211g                // ERP-OFDM + CCK
+)
+
+// String names the mode.
+func (m PHYMode) String() string {
+	if m == PHY80211b {
+		return "11b"
+	}
+	return "11g"
+}
+
+// Retry limits per the standard: frames longer than the RTS threshold use
+// the long retry limit (4 attempts), short frames the short limit (7).
+// The distinction matters to the paper's §7.4 analysis: a bulky TCP data
+// segment exhausts its MAC retries far sooner than the small frames
+// carrying TCP acknowledgments, which is part of why the wireless hop
+// dominates TCP-visible loss.
+const (
+	shortRetryLimit   = 7
+	longRetryLimit    = 4
+	retryLenThreshold = 256
+)
+
+// retryLimitFor returns the attempt budget for a frame of wire length n.
+func retryLimitFor(n int) int {
+	if n > retryLenThreshold {
+		return longRetryLimit
+	}
+	return shortRetryLimit
+}
+
+// ackTimeoutSlackUS pads the ACK wait beyond SIFS + ACK airtime.
+const ackTimeoutSlackUS = 40
+
+// maxQueue bounds the transmit queue; overflow drops from the tail like a
+// real driver under load.
+const maxQueue = 200
+
+// outFrame is one queued MSDU with its transmit policy.
+type outFrame struct {
+	frame    dot80211.Frame
+	rate     dot80211.Rate
+	attempts int
+	protect  bool // precede with CTS-to-self
+	noRetry  bool // broadcast/multicast: fire and forget
+	onDone   func(delivered bool)
+}
+
+// Config parameterizes a Station.
+type Config struct {
+	ID       radio.NodeID
+	MAC      dot80211.MAC
+	Channel  dot80211.Channel
+	PHY      PHYMode
+	PowerDBm float64
+	Preamble dot80211.Preamble
+
+	// BrokenRetryBit reproduces the Intel quirk of footnote 5: retransmit
+	// without setting the retry bit.
+	BrokenRetryBit bool
+
+	// RTSThresholdBytes enables the RTS/CTS handshake for unicast data
+	// frames whose wire length exceeds it (0 disables, matching the
+	// production network, where only CTS-to-self protection was observed).
+	RTSThresholdBytes int
+}
+
+// Station is a DCF transmitter/receiver attached to the medium. AP and
+// Client embed it.
+type Station struct {
+	cfg Config
+	eng *sim.Engine
+	med *radio.Medium
+
+	// Deliver is invoked for each successfully received unicast DATA frame
+	// addressed to this station (after duplicate filtering) and for each
+	// broadcast DATA frame.
+	Deliver func(f dot80211.Frame)
+	// OnMgmt is invoked for received management frames addressed to us or
+	// broadcast.
+	OnMgmt func(f dot80211.Frame)
+
+	seq     uint16
+	queue   []outFrame
+	cur     *outFrame
+	cw      int // current contention window
+	backoff int // remaining backoff slots
+
+	state     stationState
+	navUntil  sim.Time
+	difsTimer sim.Handle
+	boTimer   sim.Handle
+	boStart   sim.Time
+	ackTimer  sim.Handle
+	navTimer  sim.Handle
+
+	// duplicate filter: last seq seen per transmitter
+	lastRxSeq map[dot80211.MAC]uint16
+
+	// rate adaptation (ARF-like) per destination
+	rates map[dot80211.MAC]*arfState
+
+	// pendingSend continues an RTS/CTS exchange once the CTS arrives.
+	pendingSend func()
+
+	// Stats for tests and the trace summary.
+	Stats Stats
+}
+
+// Stats counts MAC-level outcomes at this station.
+type Stats struct {
+	TxData     int // DATA transmission attempts put on air
+	TxMgmt     int
+	TxCTSSelf  int
+	TxRTS      int
+	TxCTSResp  int
+	TxAcks     int
+	Retries    int
+	Delivered  int // frame exchanges completed (ACK received)
+	Failed     int // frame exchanges abandoned at retry limit
+	RxData     int
+	RxDup      int
+	QueueDrops int
+}
+
+type stationState uint8
+
+const (
+	stIdle stationState = iota
+	stContend
+	stTx
+	stWaitAck
+	stWaitCTS
+)
+
+// NewStation creates a station and registers it on the medium.
+func NewStation(eng *sim.Engine, med *radio.Medium, pos Position, cfg Config) *Station {
+	if cfg.PowerDBm == 0 {
+		cfg.PowerDBm = radio.ClientTxPowerDBm
+	}
+	s := &Station{
+		cfg: cfg, eng: eng, med: med, cw: dot80211.CWMin,
+		lastRxSeq: make(map[dot80211.MAC]uint16),
+		rates:     make(map[dot80211.MAC]*arfState),
+	}
+	med.Register(cfg.ID, pos, cfg.Channel, s, cfg.PHY == PHY80211b)
+	return s
+}
+
+// Position aliases the building point to keep the mac API readable.
+type Position = building.Point
+
+// MAC returns the station's address.
+func (s *Station) MAC() dot80211.MAC { return s.cfg.MAC }
+
+// ID returns the station's medium node id.
+func (s *Station) ID() radio.NodeID { return s.cfg.ID }
+
+// Channel returns the tuned channel.
+func (s *Station) Channel() dot80211.Channel { return s.cfg.Channel }
+
+// PHY returns the station's PHY mode.
+func (s *Station) PHY() PHYMode { return s.cfg.PHY }
+
+// nextSeq returns the next 12-bit sequence number.
+func (s *Station) nextSeq() uint16 {
+	v := s.seq
+	s.seq = (s.seq + 1) & 0x0fff
+	return v
+}
+
+// SendData queues a unicast or broadcast DATA frame. rate 0 selects rate
+// adaptation. protect requests CTS-to-self (protection mode). onDone, if
+// non-nil, reports delivery (true) or abandonment (false); broadcast frames
+// report true when transmitted.
+func (s *Station) SendData(ra, bssid dot80211.MAC, body []byte, rate dot80211.Rate, protect bool, onDone func(bool)) {
+	f := dot80211.NewData(ra, s.cfg.MAC, bssid, s.nextSeq(), body)
+	s.enqueue(outFrame{frame: f, rate: rate, protect: protect && rate.IsOFDM() || protect && rate == 0,
+		noRetry: ra.IsMulticast(), onDone: onDone})
+}
+
+// SendMgmt queues a management frame (beacons are broadcast/no-retry;
+// probe/auth/assoc are unicast with ARQ). Management frames go at a basic
+// rate.
+func (s *Station) SendMgmt(f dot80211.Frame, onDone func(bool)) {
+	f.Seq = s.nextSeq()
+	rate := dot80211.Rate1Mbps
+	s.enqueue(outFrame{frame: f, rate: rate, noRetry: f.Addr1.IsMulticast(), onDone: onDone})
+}
+
+func (s *Station) enqueue(of outFrame) {
+	if len(s.queue) >= maxQueue {
+		s.Stats.QueueDrops++
+		if of.onDone != nil {
+			of.onDone(false)
+		}
+		return
+	}
+	s.queue = append(s.queue, of)
+	s.kick()
+}
+
+// kick starts channel access if we are idle with work pending.
+func (s *Station) kick() {
+	if s.state != stIdle || (s.cur == nil && len(s.queue) == 0) {
+		return
+	}
+	if s.cur == nil {
+		s.cur = &s.queue[0]
+		s.queue = s.queue[1:]
+		s.backoff = s.eng.Rand().Intn(s.cw + 1)
+	}
+	s.state = stContend
+	s.tryAccess()
+}
+
+// mediumFree reports physical-and-virtual idle.
+func (s *Station) mediumFree() bool {
+	return !s.med.Busy(s.cfg.ID) && s.eng.Now() >= s.navUntil
+}
+
+// tryAccess begins (or resumes) the DIFS + backoff procedure.
+func (s *Station) tryAccess() {
+	if s.state != stContend {
+		return
+	}
+	s.difsTimer.Cancel()
+	s.boTimer.Cancel()
+	if !s.mediumFree() {
+		// NAV may expire with no medium transition; wake ourselves then.
+		if now := s.eng.Now(); s.navUntil > now && !s.med.Busy(s.cfg.ID) {
+			s.navTimer.Cancel()
+			s.navTimer = s.eng.At(s.navUntil, s.tryAccess)
+		}
+		return
+	}
+	s.difsTimer = s.eng.After(sim.US(dot80211.DIFS), func() {
+		if s.state != stContend || !s.mediumFree() {
+			return
+		}
+		if s.backoff == 0 {
+			s.transmitCurrent()
+			return
+		}
+		s.boStart = s.eng.Now()
+		s.boTimer = s.eng.After(sim.US(int64(s.backoff)*dot80211.SlotTime), func() {
+			s.backoff = 0
+			if s.state == stContend && s.mediumFree() {
+				s.transmitCurrent()
+			}
+		})
+	})
+}
+
+// pauseBackoff freezes the countdown when the medium turns busy.
+func (s *Station) pauseBackoff() {
+	s.difsTimer.Cancel()
+	if s.boStart != 0 {
+		consumed := int((s.eng.Now() - s.boStart) / sim.US(dot80211.SlotTime))
+		if consumed > s.backoff {
+			consumed = s.backoff
+		}
+		s.backoff -= consumed
+		s.boStart = 0
+	}
+	s.boTimer.Cancel()
+}
+
+// transmitCurrent puts the current frame (optionally preceded by
+// CTS-to-self) on the air.
+func (s *Station) transmitCurrent() {
+	of := s.cur
+	if of == nil {
+		s.state = stIdle
+		return
+	}
+	s.state = stTx
+	rate := of.rate
+	if rate == 0 {
+		rate = s.rateFor(of.frame.Addr1)
+		if of.attempts > 0 {
+			// The coded rate of a frame never increases in response to a
+			// loss (§5.1 heuristic): retries step down.
+			rate = s.stepDown(rate, of.attempts)
+		}
+	}
+	of.frame.Flags &^= dot80211.FlagRetry
+	if of.attempts > 0 && !s.cfg.BrokenRetryBit {
+		of.frame.Flags |= dot80211.FlagRetry
+	}
+	if of.attempts > 0 {
+		s.Stats.Retries++
+	}
+	of.attempts++
+
+	wantAck := !of.noRetry
+	dataLen := of.frame.WireLen()
+	if wantAck {
+		of.frame.Duration = dot80211.NAVForDataExchange(rate, s.cfg.Preamble)
+	} else {
+		of.frame.Duration = 0
+	}
+
+	sendData := func() {
+		if of.frame.IsData() {
+			s.Stats.TxData++
+		} else {
+			s.Stats.TxMgmt++
+		}
+		wire := of.frame.Encode()
+		air := sim.US(int64(dot80211.AirtimeUS(len(wire), rate, s.cfg.Preamble)))
+		s.med.TransmitFrom(s.cfg.ID, s.cfg.PowerDBm, s.cfg.Channel, rate, s.cfg.Preamble, wire)
+		if wantAck {
+			s.state = stWaitAck
+			timeout := air + sim.US(dot80211.SIFS+int64(dot80211.AckAirtimeUS(rate, s.cfg.Preamble))+ackTimeoutSlackUS)
+			s.ackTimer = s.eng.After(timeout, s.ackTimedOut)
+		} else {
+			s.eng.After(air, func() { s.completeCurrent(true) })
+		}
+	}
+
+	switch {
+	case of.protect && rate.IsOFDM():
+		// CTS-to-self at 2 Mbps, long preamble (the APs' conservative
+		// setting from footnote 7), then SIFS, then the data frame.
+		cts := dot80211.NewCTSToSelf(s.cfg.MAC, dot80211.NAVForCTSToSelf(dataLen, rate, s.cfg.Preamble))
+		ctsWire := cts.Encode()
+		s.Stats.TxCTSSelf++
+		s.med.TransmitFrom(s.cfg.ID, s.cfg.PowerDBm, s.cfg.Channel, dot80211.Rate2Mbps, dot80211.LongPreamble, ctsWire)
+		ctsAir := sim.US(int64(dot80211.CTSAirtimeUS(dot80211.Rate2Mbps, dot80211.LongPreamble)))
+		s.eng.After(ctsAir+sim.US(dot80211.SIFS), sendData)
+	case s.cfg.RTSThresholdBytes > 0 && wantAck && dataLen > s.cfg.RTSThresholdBytes:
+		// RTS/CTS: reserve the channel past any hidden terminals. The RTS
+		// Duration covers CTS + DATA + ACK (plus the SIFS between each);
+		// the responder's CTS covers the remainder.
+		ctrlRate := dot80211.Rate2Mbps
+		ctsUS := dot80211.CTSAirtimeUS(ctrlRate, s.cfg.Preamble)
+		dataUS := dot80211.AirtimeUS(dataLen, rate, s.cfg.Preamble)
+		ackUS := dot80211.AckAirtimeUS(rate, s.cfg.Preamble)
+		rts := dot80211.NewRTS(of.frame.Addr1, s.cfg.MAC,
+			uint16(3*dot80211.SIFS+ctsUS+dataUS+ackUS))
+		s.Stats.TxRTS++
+		wire := rts.Encode()
+		s.med.TransmitFrom(s.cfg.ID, s.cfg.PowerDBm, s.cfg.Channel, ctrlRate, s.cfg.Preamble, wire)
+		rtsAir := sim.US(int64(dot80211.AirtimeUS(len(wire), ctrlRate, s.cfg.Preamble)))
+		// Await the CTS: if it does not arrive in time, the attempt fails
+		// like a missing ACK (retry with backoff).
+		s.state = stWaitCTS
+		s.pendingSend = sendData
+		s.ackTimer = s.eng.After(rtsAir+sim.US(dot80211.SIFS+int64(ctsUS)+ackTimeoutSlackUS), s.ackTimedOut)
+	default:
+		sendData()
+	}
+}
+
+// ackTimedOut handles a missing ACK: double the window and retry, or give
+// up at the retry limit.
+func (s *Station) ackTimedOut() {
+	if (s.state != stWaitAck && s.state != stWaitCTS) || s.cur == nil {
+		return
+	}
+	s.pendingSend = nil
+	of := s.cur
+	s.rateFail(of.frame.Addr1)
+	if of.attempts >= retryLimitFor(of.frame.WireLen()) {
+		s.completeCurrent(false)
+		return
+	}
+	s.cw = min(2*s.cw+1, dot80211.CWMax)
+	s.backoff = s.eng.Rand().Intn(s.cw + 1)
+	s.state = stContend
+	s.tryAccess()
+}
+
+// completeCurrent finishes the current frame exchange and moves on.
+func (s *Station) completeCurrent(ok bool) {
+	of := s.cur
+	if of == nil {
+		return
+	}
+	s.ackTimer.Cancel()
+	s.cur = nil
+	s.cw = dot80211.CWMin
+	if ok {
+		if !of.noRetry {
+			s.Stats.Delivered++
+		}
+	} else {
+		s.Stats.Failed++
+	}
+	if of.onDone != nil {
+		of.onDone(ok)
+	}
+	s.state = stIdle
+	s.kick()
+}
+
+// OnReceive implements radio.Listener: decode, ACK, filter duplicates,
+// deliver upward, and track NAV.
+func (s *Station) OnReceive(info radio.RxInfo) {
+	if info.Outcome != radio.RxOK {
+		return
+	}
+	f, err := dot80211.Decode(info.Bytes)
+	if err != nil {
+		return
+	}
+
+	// NAV: any valid frame not addressed to us reserves the medium.
+	if f.Addr1 != s.cfg.MAC && f.Duration > 0 && f.Duration < 0x8000 {
+		until := info.End + sim.US(int64(f.Duration))
+		if until > s.navUntil {
+			s.navUntil = until
+		}
+	}
+
+	switch {
+	case f.IsACK():
+		if f.Addr1 == s.cfg.MAC && s.state == stWaitAck && s.cur != nil {
+			s.rateOK(s.cur.frame.Addr1)
+			s.completeCurrent(true)
+		}
+	case f.Subtype == dot80211.SubtypeRTS && f.Type == dot80211.TypeControl:
+		if f.Addr1 == s.cfg.MAC {
+			// Respond with CTS after SIFS; its Duration is the RTS's minus
+			// the CTS itself and one SIFS.
+			ctrlRate := dot80211.Rate2Mbps
+			ctsUS := dot80211.CTSAirtimeUS(ctrlRate, s.cfg.Preamble)
+			dur := int(f.Duration) - dot80211.SIFS - ctsUS
+			if dur < 0 {
+				dur = 0
+			}
+			cts := dot80211.NewCTSToSelf(f.Addr2, uint16(dur))
+			wire := cts.Encode()
+			s.eng.After(sim.US(dot80211.SIFS), func() {
+				s.Stats.TxCTSResp++
+				s.med.TransmitFrom(s.cfg.ID, s.cfg.PowerDBm, s.cfg.Channel, ctrlRate, s.cfg.Preamble, wire)
+			})
+		}
+	case f.IsCTS():
+		if f.Addr1 == s.cfg.MAC && s.state == stWaitCTS && s.pendingSend != nil {
+			// Our RTS was answered: transmit the data after SIFS.
+			s.ackTimer.Cancel()
+			send := s.pendingSend
+			s.pendingSend = nil
+			s.eng.After(sim.US(dot80211.SIFS), send)
+		}
+	case f.IsData():
+		if f.Addr1 == s.cfg.MAC {
+			s.sendAck(f.Addr2, info.Rate)
+			if last, ok := s.lastRxSeq[f.Addr2]; ok && last == f.Seq && f.Retry() {
+				s.Stats.RxDup++
+				return
+			}
+			s.lastRxSeq[f.Addr2] = f.Seq
+			s.Stats.RxData++
+			if s.Deliver != nil {
+				s.Deliver(f)
+			}
+		} else if f.Addr1.IsMulticast() {
+			s.Stats.RxData++
+			if s.Deliver != nil {
+				s.Deliver(f)
+			}
+		}
+	case f.Type == dot80211.TypeManagement:
+		if f.Addr1 == s.cfg.MAC || f.Addr1.IsMulticast() {
+			if f.Addr1 == s.cfg.MAC {
+				s.sendAck(f.Addr2, info.Rate)
+				if last, ok := s.lastRxSeq[f.Addr2]; ok && last == f.Seq && f.Retry() {
+					s.Stats.RxDup++
+					return
+				}
+				s.lastRxSeq[f.Addr2] = f.Seq
+			}
+			if s.OnMgmt != nil {
+				s.OnMgmt(f)
+			}
+		}
+	}
+}
+
+// sendAck transmits an immediate ACK after SIFS; ACKs ignore carrier sense
+// per the standard (the SIFS priority guarantees the channel).
+func (s *Station) sendAck(ra dot80211.MAC, dataRate dot80211.Rate) {
+	ack := dot80211.NewAck(ra)
+	wire := ack.Encode()
+	ackRate := dot80211.Rate2Mbps
+	if dataRate.IsOFDM() {
+		ackRate = dot80211.Rate24Mbps
+	} else if dataRate == dot80211.Rate1Mbps {
+		ackRate = dot80211.Rate1Mbps
+	}
+	s.eng.After(sim.US(dot80211.SIFS), func() {
+		s.Stats.TxAcks++
+		s.med.TransmitFrom(s.cfg.ID, s.cfg.PowerDBm, s.cfg.Channel, ackRate, s.cfg.Preamble, wire)
+	})
+}
+
+// OnMediumBusy implements radio.Listener.
+func (s *Station) OnMediumBusy(src radio.NodeID, until sim.Time) {
+	if s.state == stContend {
+		s.pauseBackoff()
+	}
+}
+
+// OnMediumIdle implements radio.Listener.
+func (s *Station) OnMediumIdle() {
+	if s.state == stContend {
+		s.tryAccess()
+	}
+}
+
+// String describes the station.
+func (s *Station) String() string {
+	return fmt.Sprintf("sta{%v %v ch%d}", s.cfg.MAC, s.cfg.PHY, s.cfg.Channel)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

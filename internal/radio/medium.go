@@ -1,0 +1,410 @@
+package radio
+
+import (
+	"math/rand"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/sim"
+)
+
+// RxOutcome classifies what a receiver got from one transmission.
+type RxOutcome uint8
+
+// Outcomes, in decreasing order of fidelity.
+const (
+	RxOK       RxOutcome = iota // frame decoded, FCS valid
+	RxCorrupt                   // header recovered, payload damaged (FCS fails)
+	RxPhyError                  // energy detected, nothing decodable
+	RxNothing                   // below detection floor
+)
+
+// String names the outcome.
+func (o RxOutcome) String() string {
+	switch o {
+	case RxOK:
+		return "ok"
+	case RxCorrupt:
+		return "corrupt"
+	case RxPhyError:
+		return "phyerr"
+	default:
+		return "nothing"
+	}
+}
+
+// RxInfo describes one reception event delivered to a listener.
+type RxInfo struct {
+	Src     NodeID
+	Start   sim.Time // true time the transmission began
+	End     sim.Time // true time it ended
+	Channel dot80211.Channel
+	Rate    dot80211.Rate
+	RSSIdBm float64
+	Outcome RxOutcome
+	Bytes   []byte // wire bytes; damaged copy when Outcome==RxCorrupt; nil for phy errors
+	TxID    uint64 // unique id of the physical transmission (ground truth key)
+}
+
+// Listener receives frames (monitors) and medium busy/idle transitions
+// (MAC carrier sense). A node's listener methods are invoked synchronously
+// from the simulation loop.
+type Listener interface {
+	// OnReceive delivers the outcome of a transmission at its end time.
+	OnReceive(info RxInfo)
+	// OnMediumBusy signals that a transmission this node can physically
+	// sense began; until is its scheduled end.
+	OnMediumBusy(src NodeID, until sim.Time)
+	// OnMediumIdle signals the sensed transmission count returned to zero.
+	OnMediumIdle()
+}
+
+// NopListener implements Listener with no-ops for embedding.
+type NopListener struct{}
+
+func (NopListener) OnReceive(RxInfo)              {}
+func (NopListener) OnMediumBusy(NodeID, sim.Time) {}
+func (NopListener) OnMediumIdle()                 {}
+
+// node is the medium's registry entry for one radio endpoint.
+type node struct {
+	id       NodeID
+	pos      building.Point
+	channel  dot80211.Channel
+	listener Listener
+	legacyB  bool // 802.11b-only PHY: cannot sense or decode OFDM
+	sensing  int  // count of currently-sensed transmissions
+}
+
+// transmission is one in-flight frame on the medium.
+type transmission struct {
+	id      uint64
+	src     NodeID
+	pos     building.Point
+	power   float64
+	channel dot80211.Channel
+	rate    dot80211.Rate
+	bytes   []byte
+	start   sim.Time
+	end     sim.Time
+	noise   bool // broadband noise burst (microwave oven), not a frame
+	// interfMW accumulates, per potential receiver, the linear power of all
+	// transmissions that overlapped this one.
+	interfMW map[NodeID]float64
+	// sensedBy records which nodes incremented their carrier-sense count at
+	// start, so the decrement at end stays balanced even if nodes retune.
+	sensedBy []NodeID
+}
+
+// Medium is the shared wireless channel. All transmissions flow through it;
+// it computes per-receiver outcomes using the propagation model and SINR,
+// and drives carrier sense at every registered node.
+type Medium struct {
+	eng   *sim.Engine
+	prop  *Propagation
+	rng   *rand.Rand
+	nodes map[NodeID]*node
+	// order preserves registration order so per-node iteration (and hence
+	// RNG consumption) is deterministic across runs.
+	order []*node
+	// active transmissions by channel-overlap groups; small, scanned linearly.
+	active []*transmission
+	nextTx uint64
+
+	// FloorLossProb is the residual loss probability applied even at high
+	// SINR (multipath fades the model doesn't capture). Tuned so good links
+	// see ~1% frame loss, contributing the paper's 0.12 average background
+	// transmission loss rate together with marginal links.
+	FloorLossProb float64
+
+	// Ground-truth hook: invoked for every physical transmission. The
+	// scenario layer uses it to build the oracle trace.
+	OnTransmit func(tx TxRecord)
+}
+
+// TxRecord is the ground-truth record of one physical transmission.
+type TxRecord struct {
+	ID      uint64
+	Src     NodeID
+	Channel dot80211.Channel
+	Rate    dot80211.Rate
+	Start   sim.Time
+	End     sim.Time
+	Bytes   []byte
+	Noise   bool
+}
+
+// NewMedium creates a medium over the given engine and propagation model.
+func NewMedium(eng *sim.Engine, prop *Propagation) *Medium {
+	return &Medium{
+		eng:           eng,
+		prop:          prop,
+		rng:           eng.NewStream(0x6d656469),
+		nodes:         make(map[NodeID]*node),
+		FloorLossProb: 0.01,
+	}
+}
+
+// Register adds a radio endpoint. legacyB marks 802.11b-only PHYs, which
+// cannot sense OFDM transmissions (the root cause of protection mode, §2).
+func (m *Medium) Register(id NodeID, pos building.Point, ch dot80211.Channel, l Listener, legacyB bool) {
+	if old, ok := m.nodes[id]; ok {
+		// Re-registration (e.g. a placement probe upgraded to a real
+		// station): update in place so the iteration order holds a single
+		// entry per node.
+		old.pos, old.channel, old.listener, old.legacyB = pos, ch, l, legacyB
+		return
+	}
+	n := &node{id: id, pos: pos, channel: ch, listener: l, legacyB: legacyB}
+	m.nodes[id] = n
+	m.order = append(m.order, n)
+}
+
+// SetChannel retunes a registered node (monitors scanning, clients roaming).
+func (m *Medium) SetChannel(id NodeID, ch dot80211.Channel) {
+	if n, ok := m.nodes[id]; ok {
+		n.channel = ch
+	}
+}
+
+// SetPosition moves a node (client mobility).
+func (m *Medium) SetPosition(id NodeID, pos building.Point) {
+	if n, ok := m.nodes[id]; ok {
+		n.pos = pos
+	}
+}
+
+// NodeChannel returns the channel a node is tuned to.
+func (m *Medium) NodeChannel(id NodeID) dot80211.Channel {
+	if n, ok := m.nodes[id]; ok {
+		return n.channel
+	}
+	return 0
+}
+
+// canSense reports whether node n physically senses transmission t: tuned
+// to an overlapping channel, power above the carrier-sense threshold, and
+// the PHY able to detect the modulation.
+func (m *Medium) canSense(n *node, t *transmission) (bool, float64) {
+	if n.id == t.src || !n.channel.Overlaps(t.channel) {
+		return false, 0
+	}
+	rssi := m.prop.RSSIdBm(t.src, n.id, t.pos, n.pos, t.power)
+	if n.legacyB && t.rate.IsOFDM() {
+		// Legacy CCK PHYs fail to defer to OFDM frames (the 802.11g
+		// protection problem): no carrier sense regardless of power.
+		return false, rssi
+	}
+	if t.noise {
+		// Broadband noise trips energy detect at a higher threshold.
+		return rssi >= CarrierSenseDBm+6, rssi
+	}
+	return rssi >= CarrierSenseDBm, rssi
+}
+
+// Busy reports whether node id currently senses any transmission
+// (physical carrier sense only; NAV is the MAC's business).
+func (m *Medium) Busy(id NodeID) bool {
+	n, ok := m.nodes[id]
+	if !ok {
+		return false
+	}
+	return n.sensing > 0
+}
+
+// Transmit puts a frame on the air from src at client power. Returns the
+// transmission id. The frame is delivered to each listener at end time with
+// a per-receiver outcome; busy/idle transitions fire at start and end.
+func (m *Medium) Transmit(src NodeID, ch dot80211.Channel, rate dot80211.Rate, pre dot80211.Preamble, wire []byte) uint64 {
+	n, ok := m.nodes[src]
+	if !ok {
+		return 0
+	}
+	return m.transmit(src, n.pos, ClientTxPowerDBm, ch, rate, pre, wire, false, 0)
+}
+
+// TransmitFrom is Transmit with explicit power (APs transmit hotter).
+func (m *Medium) TransmitFrom(src NodeID, powerDBm float64, ch dot80211.Channel, rate dot80211.Rate, pre dot80211.Preamble, wire []byte) uint64 {
+	n, ok := m.nodes[src]
+	if !ok {
+		return 0
+	}
+	return m.transmit(src, n.pos, powerDBm, ch, rate, pre, wire, false, 0)
+}
+
+// EmitNoise injects a broadband noise burst (e.g. a microwave oven) from a
+// position for the given duration. Noise raises the interference floor for
+// overlapping receptions and appears at monitors as physical-error events.
+func (m *Medium) EmitNoise(src NodeID, powerDBm float64, ch dot80211.Channel, dur sim.Time) uint64 {
+	n, ok := m.nodes[src]
+	if !ok {
+		return 0
+	}
+	return m.transmit(src, n.pos, powerDBm, ch, 0, dot80211.LongPreamble, nil, true, dur)
+}
+
+func (m *Medium) transmit(src NodeID, pos building.Point, power float64, ch dot80211.Channel,
+	rate dot80211.Rate, pre dot80211.Preamble, wire []byte, noise bool, noiseDur sim.Time) uint64 {
+
+	now := m.eng.Now()
+	var dur sim.Time
+	if noise {
+		dur = noiseDur
+	} else {
+		dur = sim.US(int64(dot80211.AirtimeUS(len(wire), rate, pre)))
+	}
+	m.nextTx++
+	t := &transmission{
+		id: m.nextTx, src: src, pos: pos, power: power, channel: ch,
+		rate: rate, bytes: wire, start: now, end: now + dur, noise: noise,
+		interfMW: make(map[NodeID]float64),
+	}
+
+	if m.OnTransmit != nil {
+		m.OnTransmit(TxRecord{
+			ID: t.id, Src: src, Channel: ch, Rate: rate,
+			Start: t.start, End: t.end, Bytes: wire, Noise: noise,
+		})
+	}
+
+	// Cross-accumulate interference with every overlapping active tx.
+	for _, o := range m.active {
+		if !o.channel.Overlaps(t.channel) {
+			continue
+		}
+		for _, rx := range m.order {
+			// o's receivers gain interference from t; t's from o.
+			o.interfMW[rx.id] += dbmToMW(m.prop.RSSIdBm(t.src, rx.id, t.pos, rx.pos, t.power))
+			t.interfMW[rx.id] += dbmToMW(m.prop.RSSIdBm(o.src, rx.id, o.pos, rx.pos, o.power))
+		}
+	}
+	m.active = append(m.active, t)
+
+	// Carrier-sense busy notifications.
+	for _, rx := range m.order {
+		if ok, _ := m.canSense(rx, t); ok {
+			rx.sensing++
+			t.sensedBy = append(t.sensedBy, rx.id)
+			rx.listener.OnMediumBusy(src, t.end)
+		}
+	}
+
+	m.eng.At(t.end, func() { m.finish(t) })
+	return t.id
+}
+
+// finish completes a transmission: compute per-receiver outcomes, deliver
+// frames, and fire idle transitions.
+func (m *Medium) finish(t *transmission) {
+	// Remove from active list.
+	for i, o := range m.active {
+		if o == t {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	for _, id := range t.sensedBy {
+		rx, ok := m.nodes[id]
+		if !ok {
+			continue
+		}
+		rx.sensing--
+		if rx.sensing <= 0 {
+			rx.sensing = 0
+			rx.listener.OnMediumIdle()
+		}
+	}
+	for _, rx := range m.order {
+		m.deliver(rx, t)
+	}
+}
+
+// deliver computes the outcome of transmission t at receiver rx and invokes
+// the listener when there is anything to observe.
+func (m *Medium) deliver(rx *node, t *transmission) {
+	if rx.id == t.src || !rx.channel.Overlaps(t.channel) {
+		return
+	}
+	rssi := m.prop.RSSIdBm(t.src, rx.id, t.pos, rx.pos, t.power)
+	if rssi < DetectFloorDBm {
+		return // invisible
+	}
+	info := RxInfo{
+		Src: t.src, Start: t.start, End: t.end, Channel: t.channel,
+		Rate: t.rate, RSSIdBm: rssi, TxID: t.id,
+	}
+	if t.noise {
+		info.Outcome = RxPhyError
+		rx.listener.OnReceive(info)
+		return
+	}
+	if rx.legacyB && t.rate.IsOFDM() {
+		// A CCK PHY sees an OFDM frame only as undecodable energy.
+		info.Outcome = RxPhyError
+		rx.listener.OnReceive(info)
+		return
+	}
+
+	nPlusI := dbmToMW(NoiseFloorDBm) + t.interfMW[rx.id]
+	sinrDB := rssi - mwToDBm(nPlusI)
+
+	margin := sinrDB - SNRThresholdDB(t.rate)
+	switch {
+	case margin >= 5:
+		if m.rng.Float64() < m.FloorLossProb {
+			info.Outcome = RxCorrupt
+		} else {
+			info.Outcome = RxOK
+		}
+	case margin >= 0:
+		// Linear success ramp over the 5 dB transition region.
+		if m.rng.Float64() < margin/5*(1-m.FloorLossProb) {
+			info.Outcome = RxOK
+		} else {
+			info.Outcome = RxCorrupt
+		}
+	default:
+		if rssi >= PreambleFloorDBm {
+			info.Outcome = RxCorrupt
+		} else {
+			info.Outcome = RxPhyError
+		}
+	}
+
+	switch info.Outcome {
+	case RxOK:
+		info.Bytes = t.bytes
+	case RxCorrupt:
+		info.Bytes = m.corrupt(t.bytes)
+	}
+	rx.listener.OnReceive(info)
+}
+
+// corrupt returns a damaged copy of wire bytes: random byte flips and
+// possible truncation, as a real capture of a frame that failed its FCS.
+func (m *Medium) corrupt(wire []byte) []byte {
+	if len(wire) == 0 {
+		return nil
+	}
+	n := len(wire)
+	if m.rng.Float64() < 0.3 && n > 12 {
+		// Truncation: reception died partway through.
+		n = 12 + m.rng.Intn(n-12)
+	}
+	c := make([]byte, n)
+	copy(c, wire[:n])
+	flips := 1 + m.rng.Intn(4)
+	for i := 0; i < flips; i++ {
+		c[m.rng.Intn(n)] ^= byte(1 << m.rng.Intn(8))
+	}
+	return c
+}
+
+// RSSIBetween exposes the link budget for diagnostics and placement tests.
+func (m *Medium) RSSIBetween(a, b NodeID, powerDBm float64) float64 {
+	na, nb := m.nodes[a], m.nodes[b]
+	if na == nil || nb == nil {
+		return -200
+	}
+	return m.prop.RSSIdBm(a, b, na.pos, nb.pos, powerDBm)
+}

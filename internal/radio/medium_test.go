@@ -1,0 +1,286 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/sim"
+)
+
+// collector records everything a node hears.
+type collector struct {
+	NopListener
+	rx   []RxInfo
+	busy int
+	idle int
+}
+
+func (c *collector) OnReceive(i RxInfo)            { c.rx = append(c.rx, i) }
+func (c *collector) OnMediumBusy(NodeID, sim.Time) { c.busy++ }
+func (c *collector) OnMediumIdle()                 { c.idle++ }
+
+func testMedium(seed int64) (*sim.Engine, *Medium) {
+	eng := sim.NewEngine(seed)
+	return eng, NewMedium(eng, NewPropagation(seed))
+}
+
+func wireData(seq uint16, body int) []byte {
+	f := dot80211.NewData(
+		dot80211.MAC{2, 0, 0, 0, 0, 2}, dot80211.MAC{2, 0, 0, 0, 0, 1},
+		dot80211.MAC{2, 0, 0, 0, 0, 9}, seq, make([]byte, body))
+	return f.Encode()
+}
+
+func TestCloseReceiverDecodes(t *testing.T) {
+	eng, m := testMedium(1)
+	rx := &collector{}
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 5, Y: 0, Z: 2}, 1, rx, false)
+	m.FloorLossProb = 0 // determinism for this test
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 100))
+	eng.Run(sim.Second)
+	if len(rx.rx) != 1 {
+		t.Fatalf("got %d receptions, want 1", len(rx.rx))
+	}
+	if rx.rx[0].Outcome != RxOK {
+		t.Errorf("outcome = %v, want ok (rssi=%.1f)", rx.rx[0].Outcome, rx.rx[0].RSSIdBm)
+	}
+	if _, err := dot80211.Decode(rx.rx[0].Bytes); err != nil {
+		t.Errorf("delivered frame does not decode: %v", err)
+	}
+}
+
+func TestFarReceiverHearsNothing(t *testing.T) {
+	eng, m := testMedium(1)
+	rx := &collector{}
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	// Other end of the building, three floors up: far below detect floor.
+	m.Register(2, building.Point{X: 110, Y: 28, Z: 14}, 1, rx, false)
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 100))
+	eng.Run(sim.Second)
+	if len(rx.rx) != 0 {
+		t.Errorf("distant radio heard %d receptions (rssi=%.1f)", len(rx.rx), rx.rx[0].RSSIdBm)
+	}
+}
+
+func TestCrossChannelIsolation(t *testing.T) {
+	eng, m := testMedium(1)
+	rx := &collector{}
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 3, Y: 0, Z: 2}, 11, rx, false)
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 100))
+	eng.Run(sim.Second)
+	if len(rx.rx) != 0 {
+		t.Error("channel 11 radio heard channel 1 frame")
+	}
+}
+
+func TestCarrierSenseTransitions(t *testing.T) {
+	eng, m := testMedium(1)
+	cs := &collector{}
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 8, Y: 0, Z: 2}, 1, cs, false)
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 500))
+	if !m.Busy(2) {
+		t.Error("nearby node should sense the transmission")
+	}
+	eng.Run(sim.Second)
+	if cs.busy != 1 || cs.idle != 1 {
+		t.Errorf("busy=%d idle=%d, want 1/1", cs.busy, cs.idle)
+	}
+	if m.Busy(2) {
+		t.Error("medium still busy after end")
+	}
+}
+
+func TestLegacyBCannotSenseOFDM(t *testing.T) {
+	eng, m := testMedium(1)
+	b := &collector{}
+	g := &collector{}
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 5, Y: 0, Z: 2}, 1, b, true)  // legacy 11b
+	m.Register(3, building.Point{X: 5, Y: 2, Z: 2}, 1, g, false) // 11g
+	m.Transmit(1, 1, dot80211.Rate54Mbps, dot80211.LongPreamble, wireData(1, 500))
+	if m.Busy(2) {
+		t.Error("legacy b node must not carrier-sense OFDM")
+	}
+	if !m.Busy(3) {
+		t.Error("g node should carrier-sense OFDM")
+	}
+	eng.Run(sim.Second)
+	if b.busy != 0 {
+		t.Error("legacy b got busy notification for OFDM")
+	}
+	// The b node still sees undecodable energy as a phy error.
+	if len(b.rx) != 1 || b.rx[0].Outcome != RxPhyError {
+		t.Errorf("legacy b rx = %+v, want one phy error", b.rx)
+	}
+	if len(g.rx) != 1 || g.rx[0].Outcome != RxOK {
+		t.Errorf("g rx = %+v, want clean decode", g.rx)
+	}
+}
+
+func TestInterferenceCorruptsOverlap(t *testing.T) {
+	eng, m := testMedium(3)
+	rx := &collector{}
+	m.FloorLossProb = 0
+	// Receiver in the middle; two transmitters either side ("hidden" from
+	// each other is irrelevant here — we force the overlap directly).
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 40, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(3, building.Point{X: 20, Y: 0, Z: 2}, 1, rx, false)
+
+	// Without interference: clean.
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 800))
+	eng.Run(20 * sim.Millisecond)
+	if len(rx.rx) != 1 || rx.rx[0].Outcome != RxOK {
+		t.Fatalf("baseline reception not clean: %+v", rx.rx)
+	}
+	rx.rx = nil
+
+	// With a simultaneous equal-power transmission: SINR ≈ 0 dB ⇒ corrupt.
+	eng.After(0, func() {
+		m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(2, 800))
+		m.Transmit(2, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(3, 800))
+	})
+	eng.Run(40 * sim.Millisecond)
+	if len(rx.rx) != 2 {
+		t.Fatalf("got %d receptions, want 2", len(rx.rx))
+	}
+	for _, r := range rx.rx {
+		if r.Outcome == RxOK {
+			t.Errorf("overlapping equal-power frames decoded cleanly (SINR should be ~0): %+v", r)
+		}
+	}
+}
+
+func TestCaptureStrongerWins(t *testing.T) {
+	eng, m := testMedium(3)
+	rx := &collector{}
+	m.FloorLossProb = 0
+	// Strong transmitter adjacent to receiver, weak one far away.
+	m.Register(1, building.Point{X: 19, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 90, Y: 20, Z: 2}, 1, NopListener{}, false)
+	m.Register(3, building.Point{X: 20, Y: 0, Z: 2}, 1, rx, false)
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 800))
+	m.Transmit(2, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(2, 800))
+	eng.Run(sim.Second)
+	var strongOK bool
+	for _, r := range rx.rx {
+		if r.Src == 1 && r.Outcome == RxOK {
+			strongOK = true
+		}
+	}
+	if !strongOK {
+		t.Errorf("capture effect failed: %+v", rx.rx)
+	}
+}
+
+func TestNoiseBurstIsPhyError(t *testing.T) {
+	eng, m := testMedium(1)
+	rx := &collector{}
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 5, Y: 0, Z: 2}, 1, rx, false)
+	m.EmitNoise(1, 20, 1, 10*sim.Millisecond)
+	eng.Run(sim.Second)
+	if len(rx.rx) != 1 || rx.rx[0].Outcome != RxPhyError {
+		t.Errorf("noise burst rx = %+v, want one phy error", rx.rx)
+	}
+	if rx.rx[0].Bytes != nil {
+		t.Error("noise has no frame bytes")
+	}
+}
+
+func TestCorruptedFrameFailsFCS(t *testing.T) {
+	eng, m := testMedium(9)
+	rx := &collector{}
+	m.FloorLossProb = 1.0 // force corruption on an otherwise perfect link
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	m.Register(2, building.Point{X: 5, Y: 0, Z: 2}, 1, rx, false)
+	m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(7, 200))
+	eng.Run(sim.Second)
+	if len(rx.rx) != 1 || rx.rx[0].Outcome != RxCorrupt {
+		t.Fatalf("rx = %+v, want corrupt", rx.rx)
+	}
+	if _, err := dot80211.Decode(rx.rx[0].Bytes); err == nil {
+		t.Error("corrupted frame decoded with valid FCS")
+	}
+}
+
+func TestGroundTruthHook(t *testing.T) {
+	eng, m := testMedium(1)
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	var recs []TxRecord
+	m.OnTransmit = func(r TxRecord) { recs = append(recs, r) }
+	id := m.Transmit(1, 1, dot80211.Rate11Mbps, dot80211.LongPreamble, wireData(1, 64))
+	eng.Run(sim.Second)
+	if len(recs) != 1 || recs[0].ID != id || recs[0].Src != 1 {
+		t.Errorf("ground truth records = %+v", recs)
+	}
+	if recs[0].End <= recs[0].Start {
+		t.Error("transmission has no duration")
+	}
+}
+
+func TestAirtimeMatchesPHY(t *testing.T) {
+	eng, m := testMedium(1)
+	m.Register(1, building.Point{X: 0, Y: 0, Z: 2}, 1, NopListener{}, false)
+	var rec TxRecord
+	m.OnTransmit = func(r TxRecord) { rec = r }
+	wire := wireData(1, 1400)
+	m.Transmit(1, 1, dot80211.Rate54Mbps, dot80211.LongPreamble, wire)
+	eng.Run(sim.Second)
+	want := sim.US(int64(dot80211.AirtimeUS(len(wire), dot80211.Rate54Mbps, dot80211.LongPreamble)))
+	if rec.End-rec.Start != want {
+		t.Errorf("airtime = %v, want %v", rec.End-rec.Start, want)
+	}
+}
+
+func TestShadowingDeterministicAndSymmetric(t *testing.T) {
+	p1 := NewPropagation(11)
+	p2 := NewPropagation(11)
+	a, b := building.Point{X: 0, Y: 0, Z: 2}, building.Point{X: 30, Y: 10, Z: 2}
+	l1 := p1.PathLossDB(1, 2, a, b)
+	l2 := p2.PathLossDB(1, 2, a, b)
+	if l1 != l2 {
+		t.Error("shadowing not deterministic across instances")
+	}
+	if p1.PathLossDB(2, 1, b, a) != l1 {
+		t.Error("path loss not reciprocal")
+	}
+	p3 := NewPropagation(12)
+	if p3.PathLossDB(1, 2, a, b) == l1 {
+		t.Error("different seeds should shadow differently")
+	}
+}
+
+func TestPathLossIncreasesWithDistance(t *testing.T) {
+	p := NewPropagation(0)
+	a := building.Point{X: 0, Y: 0, Z: 2}
+	prev := -1.0
+	for _, d := range []float64{1, 5, 10, 20, 50, 100} {
+		// Use the same node pair so shadowing is constant.
+		l := p.PathLossDB(1, 2, a, building.Point{X: d, Y: 0, Z: 2})
+		if l <= prev {
+			t.Errorf("loss at %fm (%f) not greater than previous (%f)", d, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestRegisterSetChannelPosition(t *testing.T) {
+	_, m := testMedium(1)
+	m.Register(5, building.Point{X: 1, Y: 1, Z: 2}, 6, NopListener{}, false)
+	if m.NodeChannel(5) != 6 {
+		t.Error("NodeChannel")
+	}
+	m.SetChannel(5, 11)
+	if m.NodeChannel(5) != 11 {
+		t.Error("SetChannel")
+	}
+	m.SetPosition(5, building.Point{X: 50, Y: 1, Z: 2})
+	if m.NodeChannel(99) != 0 {
+		t.Error("unknown node should report channel 0")
+	}
+}

@@ -1,0 +1,128 @@
+// Package radio models 2.4 GHz indoor propagation and the shared wireless
+// medium: who hears whom, at what signal strength, and what happens when
+// transmissions overlap.
+//
+// This package is the substitute for the paper's physical layer. Its job is
+// to reproduce the *phenomena* Jigsaw contends with: spatial diversity (no
+// monitor hears everything), corrupted and truncated receptions, physical
+// error events, co-channel interference from hidden terminals, and 802.11b
+// radios that cannot sense OFDM transmissions. Magnitudes are tuned so the
+// monitoring platform's coverage matches the paper's §6 measurements.
+package radio
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+)
+
+// NodeID identifies a radio endpoint on the medium: a station, an AP radio,
+// or a monitor radio.
+type NodeID int32
+
+// Propagation constants. Log-distance path loss with wall/floor attenuation
+// and per-link lognormal shadowing — the standard indoor model.
+const (
+	RefLossDB       = 40.0 // path loss at 1 m, 2.4 GHz
+	PathLossExp     = 3.0  // indoor with obstructions
+	WallLossDB      = 4.0  // per interior wall
+	MaxWallsCounted = 5    // diffraction: far walls stop adding loss
+	FloorLossDB     = 13.0 // per concrete slab
+	ShadowSigmaDB   = 6.0  // lognormal shadowing std dev per link
+
+	NoiseFloorDBm    = -96.0
+	DetectFloorDBm   = -94.0 // below this, energy is invisible
+	PreambleFloorDBm = -91.0 // above this, a frame header is recoverable
+	CarrierSenseDBm  = -82.0 // physical carrier sense threshold
+
+	APTxPowerDBm     = 18.0
+	ClientTxPowerDBm = 15.0
+)
+
+// snrThresholdDB maps a rate to the SINR (dB) needed to decode its payload.
+var snrThresholdDB = map[dot80211.Rate]float64{
+	dot80211.Rate1Mbps: 4, dot80211.Rate2Mbps: 6,
+	dot80211.Rate5_5: 8, dot80211.Rate11Mbps: 10,
+	dot80211.Rate6Mbps: 8, dot80211.Rate9Mbps: 9,
+	dot80211.Rate12Mbps: 11, dot80211.Rate18Mbps: 13,
+	dot80211.Rate24Mbps: 16, dot80211.Rate36Mbps: 20,
+	dot80211.Rate48Mbps: 24, dot80211.Rate54Mbps: 26,
+}
+
+// SNRThresholdDB returns the decode threshold for a rate.
+func SNRThresholdDB(r dot80211.Rate) float64 {
+	if t, ok := snrThresholdDB[r]; ok {
+		return t
+	}
+	return 26
+}
+
+// Propagation computes path loss between positions, memoizing per-link
+// shadowing so a link's quality is stable across a run (slow fading is out
+// of scope; the paper's inference problems come from topology, not fast
+// fading).
+type Propagation struct {
+	seed    int64
+	shadows map[[2]NodeID]float64
+}
+
+// NewPropagation creates a propagation model whose shadowing draws derive
+// deterministically from seed.
+func NewPropagation(seed int64) *Propagation {
+	return &Propagation{seed: seed, shadows: make(map[[2]NodeID]float64)}
+}
+
+// shadowing returns the reciprocal per-link shadowing term in dB.
+func (p *Propagation) shadowing(a, b NodeID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	k := [2]NodeID{a, b}
+	if s, ok := p.shadows[k]; ok {
+		return s
+	}
+	h := int64(a)*int64(-0x61c8864680b583eb) ^ int64(b)*int64(-0x3d4d51c2d82b14b1) ^ p.seed
+	rng := rand.New(rand.NewSource(h))
+	s := rng.NormFloat64() * ShadowSigmaDB
+	p.shadows[k] = s
+	return s
+}
+
+// PathLossDB returns the loss in dB between two positions for the link
+// (a, b), including distance, wall, floor and shadowing terms.
+func (p *Propagation) PathLossDB(a, b NodeID, pa, pb building.Point) float64 {
+	d := pa.Distance(pb)
+	if d < 1 {
+		d = 1
+	}
+	walls, floors := building.WallsBetween(pa, pb)
+	if walls > MaxWallsCounted {
+		walls = MaxWallsCounted
+	}
+	loss := RefLossDB + 10*PathLossExp*math.Log10(d) +
+		float64(walls)*WallLossDB + float64(floors)*FloorLossDB +
+		p.shadowing(a, b)
+	if loss < RefLossDB {
+		loss = RefLossDB
+	}
+	return loss
+}
+
+// RSSIdBm returns the received signal strength at b for a transmission from
+// a at txPowerDBm.
+func (p *Propagation) RSSIdBm(a, b NodeID, pa, pb building.Point, txPowerDBm float64) float64 {
+	return txPowerDBm - p.PathLossDB(a, b, pa, pb)
+}
+
+// dbmToMW converts dBm to linear milliwatts.
+func dbmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// mwToDBm converts linear milliwatts to dBm.
+func mwToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return -200
+	}
+	return 10 * math.Log10(mw)
+}

@@ -1,0 +1,15 @@
+package scenario
+
+import "fmt"
+
+// finish closes trace writers and returns the output bundle.
+func (s *state) finish() (*Output, error) {
+	for _, m := range s.monitors {
+		m.flush()
+		if err := m.w.Close(); err != nil {
+			return nil, fmt.Errorf("scenario: closing trace for radio %d: %w", m.id, err)
+		}
+		s.out.Indexes[int32(m.id)] = m.w.Index()
+	}
+	return s.out, nil
+}

@@ -1,0 +1,199 @@
+// Package scenario assembles the full substrate — building, medium, APs,
+// clients, monitors, wired network, workload — runs a compressed "day" of
+// the production network, and emits everything the paper's pipeline and
+// experiments consume:
+//
+//   - one jigdump-format trace per monitor radio (156 at paper scale),
+//     timestamped by imperfect per-monitor clocks;
+//   - the lossless wired distribution-network trace (§6's comparison set);
+//   - the ground-truth transmission log (the §6 oracle);
+//   - the roster of APs and clients with PHY modes and positions.
+//
+// Time compression: the simulated day maps 24 "hours" onto Config.Day of
+// simulation time. MAC and TCP dynamics run at natural timescales; only the
+// workload schedule compresses. EXPERIMENTS.md documents the scaling.
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/clock"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/mac"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/tracefile"
+)
+
+// Node-id namespaces on the medium.
+const (
+	nodeMonitorBase = 0     // monitor radios: 0..NumRadios-1
+	nodeAPBase      = 10000 // APs
+	nodeClientBase  = 20000 // clients
+	nodeNoiseBase   = 30000 // noise sources
+)
+
+// Config parameterizes a scenario run.
+type Config struct {
+	Seed    int64
+	Pods    int // sensor pods (4 radios each); paper: 39
+	APs     int // production APs; paper: 39
+	Clients int
+	// BFraction of clients are legacy 802.11b (they trigger protection).
+	BFraction float64
+	// Day is the compressed duration representing 24 hours.
+	Day sim.Time
+	// FlowMeanGap is the mean pause between flows for an active client.
+	FlowMeanGap sim.Time
+	// ARPInterval is the Vernier management server's sweep period; every
+	// sweep broadcasts through every AP nearly simultaneously (§7.1).
+	ARPInterval sim.Time
+	// ProbeInterval is the clients' background scan period.
+	ProbeInterval sim.Time
+	// OfficeInterval is the MS-Office license broadcast period per
+	// afflicted client (footnote 6).
+	OfficeInterval sim.Time
+	// ProtectionTimeout for all APs (paper default: one hour).
+	ProtectionTimeout sim.Time
+	// BrokenRetryFrac of clients retransmit without the retry bit
+	// (footnote 5's Intel quirk).
+	BrokenRetryFrac float64
+	// NoiseSources is the number of microwave-oven interferers.
+	NoiseSources int
+	// SnapLen for monitor captures.
+	SnapLen int
+	// WiredLossProb on the distribution network.
+	WiredLossProb float64
+	// OracleLocations, when positive, adds one roaming "oracle laptop"
+	// (§6's controlled experiment) that visits this many locations spread
+	// through the building, generating the web/ssh/scp workload at each.
+	OracleLocations int
+}
+
+// Default returns a laptop-scale configuration suitable for tests: a
+// quarter of the building for a few compressed hours.
+func Default() Config {
+	return Config{
+		Seed: 1, Pods: 8, APs: 9, Clients: 16, BFraction: 0.2,
+		Day: 120 * sim.Second, FlowMeanGap: 10 * sim.Second,
+		ARPInterval: 2 * sim.Second, ProbeInterval: 20 * sim.Second,
+		OfficeInterval:    15 * sim.Second,
+		ProtectionTimeout: mac.DefaultProtectionTimeout,
+		BrokenRetryFrac:   0.03, NoiseSources: 1,
+		SnapLen: tracefile.DefaultSnapLen, WiredLossProb: 0.002,
+	}
+}
+
+// PaperScale returns the full deployment: 39 pods (156 radios), 39 APs.
+func PaperScale() Config {
+	c := Default()
+	c.Pods, c.APs, c.Clients = 39, 39, 64
+	c.Day = 240 * sim.Second
+	return c
+}
+
+// WiredPacket is one packet observed at the wired distribution tap.
+type WiredPacket struct {
+	TimeUS    int64
+	Seg       tcpsim.Segment
+	Src, Dst  dot80211.MAC
+	Delivered bool
+	Downlink  bool // toward a wireless client
+}
+
+// TxKind classifies a ground-truth transmission.
+type TxKind uint8
+
+// Transmission kinds.
+const (
+	TxData TxKind = iota
+	TxMgmt
+	TxAck
+	TxCTS
+	TxOther
+	TxNoise
+)
+
+// TxSummary is the ground-truth record of one physical transmission: the
+// §6 oracle knows everything the monitors might have missed.
+type TxSummary struct {
+	ID      uint64
+	Src     radio.NodeID
+	SrcMAC  dot80211.MAC
+	Dest    dot80211.MAC
+	Kind    TxKind
+	Channel dot80211.Channel
+	Rate    dot80211.Rate
+	StartUS int64 // true time
+	Seq     uint16
+	Retry   bool
+	Unicast bool
+	WireLen int
+}
+
+// ClientInfo describes one client in the roster.
+type ClientInfo struct {
+	MAC     dot80211.MAC
+	IP      uint32
+	PHY     mac.PHYMode
+	APIndex int
+	Node    radio.NodeID
+	Pos     building.Point
+}
+
+// APInfo describes one AP.
+type APInfo struct {
+	MAC     dot80211.MAC
+	Channel dot80211.Channel
+	Node    radio.NodeID
+	Pos     building.Point
+}
+
+// Output bundles everything a run produces.
+type Output struct {
+	Cfg         Config
+	Building    *building.Building
+	Traces      map[int32]*bytes.Buffer // radio id → compressed jigdump trace
+	Indexes     map[int32][]tracefile.IndexEntry
+	ClockGroups [][]int32 // radios sharing a physical clock (per monitor)
+	Wired       []WiredPacket
+	Truth       []TxSummary
+	// CapturedValid[txID] counts monitor radios that decoded transmission
+	// txID; CapturedAny counts radios that recorded any evidence of it.
+	CapturedValid map[uint64]int
+	CapturedAny   map[uint64]int
+	// CapturedCorrupt / CapturedPhy break CapturedAny down by outcome.
+	CapturedCorrupt map[uint64]int
+	CapturedPhy     map[uint64]int
+	Clients         []ClientInfo
+	APs             []APInfo
+	// FlowsCompleted counts TCP connections that ran to completion.
+	FlowsCompleted int
+	FlowsStarted   int
+	// MonitorRecords counts captured records across all radios.
+	MonitorRecords int64
+	// MonitorClocks exposes each radio's true clock model for validation
+	// tests and diagnostics (the pipeline itself never sees these).
+	MonitorClocks map[int32]*clock.Clock
+	// OracleMAC is the roaming oracle client's address (zero if disabled).
+	OracleMAC dot80211.MAC
+}
+
+// HourDur returns the simulated duration of one compressed hour.
+func (c Config) HourDur() sim.Time { return c.Day / 24 }
+
+// Run executes the scenario and returns its output.
+func Run(cfg Config) (*Output, error) {
+	if cfg.Pods <= 0 || cfg.APs <= 0 {
+		return nil, fmt.Errorf("scenario: need pods and APs")
+	}
+	s := newState(cfg)
+	s.buildWorld()
+	s.scheduleWorkload()
+	s.eng.Run(cfg.Day)
+	return s.finish()
+}

@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+)
+
+// quickCfg is a small fast configuration for unit tests.
+func quickCfg() Config {
+	c := Default()
+	c.Pods, c.APs, c.Clients = 4, 4, 8
+	c.Day = 30 * sim.Second
+	c.FlowMeanGap = 5 * sim.Second
+	return c
+}
+
+func TestRunProducesTraces(t *testing.T) {
+	out, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 16 {
+		t.Fatalf("traces = %d, want 16 (4 pods x 4 radios)", len(out.Traces))
+	}
+	if len(out.ClockGroups) != 8 {
+		t.Errorf("clock groups = %d, want 8 (2 per pod)", len(out.ClockGroups))
+	}
+	if out.MonitorRecords == 0 {
+		t.Fatal("monitors captured nothing")
+	}
+	// Every trace must parse and be time-ordered per radio.
+	total := 0
+	for rid, buf := range out.Traces {
+		recs, err := tracefile.ReadAll(buf)
+		if err != nil {
+			t.Fatalf("radio %d trace: %v", rid, err)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].LocalUS < recs[i-1].LocalUS {
+				t.Fatalf("radio %d trace out of order at %d", rid, i)
+			}
+		}
+		total += len(recs)
+	}
+	if int64(total) != out.MonitorRecords {
+		t.Errorf("trace records %d != counter %d", total, out.MonitorRecords)
+	}
+}
+
+func TestRunGroundTruthAndWired(t *testing.T) {
+	out, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Truth) == 0 {
+		t.Fatal("no ground truth")
+	}
+	kinds := map[TxKind]int{}
+	for _, tx := range out.Truth {
+		kinds[tx.Kind]++
+	}
+	if kinds[TxMgmt] == 0 {
+		t.Error("no management transmissions (beacons!)")
+	}
+	if kinds[TxData] == 0 {
+		t.Error("no data transmissions")
+	}
+	if kinds[TxAck] == 0 {
+		t.Error("no ACKs")
+	}
+	if kinds[TxNoise] == 0 {
+		t.Error("no noise bursts despite a noise source")
+	}
+	if len(out.Wired) == 0 {
+		t.Error("wired tap empty")
+	}
+	if out.FlowsStarted == 0 {
+		t.Error("no flows started")
+	}
+	if out.FlowsCompleted == 0 {
+		t.Error("no flows completed")
+	}
+}
+
+func TestRunClientsAssociateAndMix(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Clients = 12
+	cfg.BFraction = 0.5
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b, g int
+	for _, c := range out.Clients {
+		if c.PHY == mac.PHY80211b {
+			b++
+		} else {
+			g++
+		}
+	}
+	if b == 0 || g == 0 {
+		t.Errorf("phy mix degenerate: b=%d g=%d", b, g)
+	}
+}
+
+func TestRunCapturedCoverage(t *testing.T) {
+	out, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count what fraction of AP unicast data transmissions were captured
+	// by at least one monitor; pods sit near APs, so this should be high.
+	var apTx, captured int
+	for _, tx := range out.Truth {
+		if tx.Kind == TxData && tx.Unicast && tx.SrcMAC[0] == 0xaa {
+			apTx++
+			if out.CapturedValid[tx.ID] > 0 {
+				captured++
+			}
+		}
+	}
+	if apTx == 0 {
+		t.Skip("no AP unicast data in this configuration")
+	}
+	cov := float64(captured) / float64(apTx)
+	if cov < 0.7 {
+		t.Errorf("AP data coverage = %.2f, want high (paper: ~0.97)", cov)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MonitorRecords != b.MonitorRecords || len(a.Truth) != len(b.Truth) ||
+		a.FlowsCompleted != b.FlowsCompleted {
+		t.Errorf("runs differ: %d/%d records, %d/%d truth, %d/%d flows",
+			a.MonitorRecords, b.MonitorRecords, len(a.Truth), len(b.Truth),
+			a.FlowsCompleted, b.FlowsCompleted)
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestHourDur(t *testing.T) {
+	c := Config{Day: 24 * sim.Second}
+	if c.HourDur() != sim.Second {
+		t.Error("HourDur wrong")
+	}
+}
+
+func TestOracleRoamingClient(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Day = 40 * sim.Second
+	cfg.OracleLocations = 4
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OracleMAC.IsZero() {
+		t.Fatal("no oracle MAC recorded")
+	}
+	// The oracle client must appear in the roster and generate traffic.
+	var found bool
+	for _, c := range out.Clients {
+		if c.MAC == out.OracleMAC {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("oracle not in roster")
+	}
+	var oracleTx, mgmtTx int
+	for _, tx := range out.Truth {
+		if tx.SrcMAC == out.OracleMAC {
+			oracleTx++
+			if tx.Kind == TxMgmt {
+				mgmtTx++
+			}
+		}
+	}
+	if oracleTx < 50 {
+		t.Errorf("oracle generated only %d transmissions", oracleTx)
+	}
+	// Roaming means repeated association handshakes.
+	if mgmtTx < 8 {
+		t.Errorf("oracle mgmt transmissions = %d; expected reassociations at 4 locations", mgmtTx)
+	}
+}
+
+func TestOracleDisabledByDefault(t *testing.T) {
+	out, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OracleMAC.IsZero() {
+		t.Error("oracle enabled without OracleLocations")
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Time{5 * Millisecond, Millisecond, 3 * Millisecond} {
+		d := d
+		e.At(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run(Second)
+	if len(got) != 3 {
+		t.Fatalf("ran %d events", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events out of order: %v", got)
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := NewEngine(1)
+	var inner Time
+	e.At(10*Millisecond, func() {
+		e.After(5*Millisecond, func() { inner = e.Now() })
+	})
+	e.Run(Second)
+	if inner != 15*Millisecond {
+		t.Errorf("inner time = %v, want 15ms", inner)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	h := e.At(Millisecond, func() { ran = true })
+	h.Cancel()
+	e.Run(Second)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Cancelling zero handle must not panic.
+	var zero Handle
+	zero.Cancel()
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(Millisecond, func() { ran++ })
+	e.At(2*Second, func() { ran++ })
+	end := e.Run(Second)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1", ran)
+	}
+	if end != Second {
+		t.Errorf("end = %v, want horizon", end)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(Millisecond, func() { ran++; e.Stop() })
+	e.At(2*Millisecond, func() { ran++ })
+	e.Run(Second)
+	if ran != 1 {
+		t.Errorf("Stop did not halt: ran=%d", ran)
+	}
+}
+
+func TestPastEventClamps(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.At(10*Millisecond, func() {
+		e.At(Millisecond, func() { at = e.Now() }) // in the past
+	})
+	e.Run(Second)
+	if at != 10*Millisecond {
+		t.Errorf("past event ran at %v, want clamp to 10ms", at)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var vals []int64
+		var tick func()
+		tick = func() {
+			vals = append(vals, e.Rand().Int63n(1000))
+			if len(vals) < 50 {
+				e.After(Time(e.Rand().Int63n(int64(Millisecond)))+1, tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run(Second)
+		return vals
+	}
+	a, b := run(), b2(run)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func b2(f func() []int64) []int64 { return f() }
+
+func TestNewStreamIndependence(t *testing.T) {
+	e1 := NewEngine(7)
+	e2 := NewEngine(7)
+	s1 := e1.NewStream(1)
+	_ = e2.NewStream(99) // different id consumed first
+	s2 := e2.NewStream(1)
+	// Streams with the same id from the same seed but different derivation
+	// order differ — that's fine; the property we need is determinism of a
+	// fixed derivation order.
+	e3 := NewEngine(7)
+	s3 := e3.NewStream(1)
+	for i := 0; i < 10; i++ {
+		if s1.Int63() != s3.Int63() {
+			t.Fatal("same derivation order should give identical streams")
+		}
+	}
+	_ = s2
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if US(5) != 5*Microsecond || MS(3) != 3*Millisecond {
+		t.Error("constructors wrong")
+	}
+	if Seconds(1.5) != Second+500*Millisecond {
+		t.Error("Seconds wrong")
+	}
+	if (2 * Second).US64() != 2_000_000 {
+		t.Error("US64 wrong")
+	}
+	if (500 * Millisecond).SecondsF() != 0.5 {
+		t.Error("SecondsF wrong")
+	}
+}
+
+func TestQuickEventOrdering(t *testing.T) {
+	// Property: any batch of scheduled delays executes in nondecreasing
+	// time order.
+	f := func(delays []uint32) bool {
+		e := NewEngine(3)
+		var got []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { got = append(got, e.Now()) })
+		}
+		e.Run(Time(1) << 40)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

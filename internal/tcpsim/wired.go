@@ -1,0 +1,94 @@
+package tcpsim
+
+import (
+	"math/rand"
+
+	"repro/internal/dot80211"
+	"repro/internal/sim"
+)
+
+// WiredNet models the campus distribution network plus upstream Internet
+// paths: per-destination latency, independent (low) loss, and a lossless
+// tap that records every packet for the §6 wired-trace comparisons.
+type WiredNet struct {
+	eng *sim.Engine
+	rng *rand.Rand
+
+	// LatencyLocal applies to hosts on the local distribution network;
+	// LatencyRemote to Internet hosts.
+	LatencyLocal  sim.Time
+	LatencyRemote sim.Time
+	// LossProb is the independent drop probability per wired traversal —
+	// small, as Fig. 11 expects the wireless component of TCP loss to
+	// dominate.
+	LossProb float64
+
+	hosts map[dot80211.MAC]func(Segment)
+	// lastDelivery enforces per-destination FIFO: wired paths do not
+	// reorder packets within a flow, and spurious reordering would fire
+	// TCP dup-ACK fast retransmits that never happen in reality.
+	lastDelivery map[dot80211.MAC]sim.Time
+
+	// Tap, when set, observes every segment accepted onto the wire with
+	// its delivery verdict — this is the "second trace of the same traffic
+	// captured on the wired distribution network".
+	Tap func(seg Segment, srcMAC, dstMAC dot80211.MAC, delivered bool)
+
+	Stats WiredStats
+}
+
+// WiredStats counts wired-segment events.
+type WiredStats struct {
+	Forwarded int
+	Dropped   int
+}
+
+// NewWiredNet builds the wired network.
+func NewWiredNet(eng *sim.Engine) *WiredNet {
+	return &WiredNet{
+		eng:           eng,
+		rng:           eng.NewStream(0x77697265),
+		LatencyLocal:  500 * sim.Microsecond,
+		LatencyRemote: 20 * sim.Millisecond,
+		LossProb:      0.002,
+		hosts:         make(map[dot80211.MAC]func(Segment)),
+		lastDelivery:  make(map[dot80211.MAC]sim.Time),
+	}
+}
+
+// Attach registers a host (wired server or an AP's wireless client reached
+// via that AP) under a MAC-like address.
+func (w *WiredNet) Attach(addr dot80211.MAC, deliver func(Segment)) {
+	w.hosts[addr] = deliver
+}
+
+// Detach removes a host.
+func (w *WiredNet) Detach(addr dot80211.MAC) { delete(w.hosts, addr) }
+
+// Forward routes a segment toward dst, applying latency and loss. remote
+// selects the Internet latency profile.
+func (w *WiredNet) Forward(src, dst dot80211.MAC, seg Segment, remote bool) {
+	deliver, ok := w.hosts[dst]
+	dropped := !ok || w.rng.Float64() < w.LossProb
+	if w.Tap != nil {
+		w.Tap(seg, src, dst, !dropped)
+	}
+	if dropped {
+		w.Stats.Dropped++
+		return
+	}
+	w.Stats.Forwarded++
+	lat := w.LatencyLocal
+	if remote {
+		lat = w.LatencyRemote
+	}
+	// Jitter: ±10% so ACK compression and timer interleavings vary — but
+	// never reordering within a destination (FIFO queues on the path).
+	jitter := sim.Time(w.rng.Int63n(int64(lat)/5+1)) - lat/10
+	at := w.eng.Now() + lat + jitter
+	if last := w.lastDelivery[dst]; at < last {
+		at = last
+	}
+	w.lastDelivery[dst] = at
+	w.eng.At(at, func() { deliver(seg) })
+}

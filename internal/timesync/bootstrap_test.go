@@ -1,0 +1,254 @@
+package timesync
+
+import (
+	"testing"
+
+	"repro/internal/dot80211"
+	"repro/internal/tracefile"
+)
+
+// mkData builds a unique reference-eligible frame.
+func mkData(seq uint16, body byte) []byte {
+	f := dot80211.NewData(
+		dot80211.MAC{2, 0, 0, 0, 0, 9}, dot80211.MAC{2, 0, 0, 0, 0, 1},
+		dot80211.MAC{2, 0, 0, 0, 0, 7}, seq, []byte{body, body + 1})
+	return f.Encode()
+}
+
+// obs emits a record of frame at a radio whose clock offset from true time
+// is offUS: local = true + off.
+func obs(radio int32, trueUS, offUS int64, frame []byte) tracefile.Record {
+	return tracefile.Record{
+		LocalUS: trueUS + offUS, RadioID: radio, Channel: 1,
+		Rate: uint16(dot80211.Rate11Mbps), Flags: tracefile.FlagFCSOK, Frame: frame,
+	}
+}
+
+// checkConsistent verifies that universal timestamps derived from the
+// returned offsets agree across radios: for a frame transmitted at true
+// time t observed at radios i, j: local_i + T_i == local_j + T_j.
+func checkConsistent(t *testing.T, res *Result, trueOff map[int32]int64) {
+	t.Helper()
+	// universal = local + T = true + off + T, so off + T must be equal
+	// across radios (all shifted by the same constant).
+	var base int64
+	first := true
+	for r, T := range res.OffsetUS {
+		v := trueOff[r] + T
+		if first {
+			base, first = v, false
+			continue
+		}
+		if d := v - base; d < -2 || d > 2 {
+			t.Errorf("radio %d inconsistent: off+T=%d, base=%d", r, v, base)
+		}
+	}
+}
+
+func TestBootstrapSingleSharedFrame(t *testing.T) {
+	trueOff := map[int32]int64{0: 0, 1: 5000, 2: -3000}
+	f := mkData(1, 10)
+	recs := []tracefile.Record{
+		obs(0, 1000, trueOff[0], f),
+		obs(1, 1000, trueOff[1], f),
+		obs(2, 1000, trueOff[2], f),
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced() {
+		t.Fatalf("unsynced: %v", res.Unsynced)
+	}
+	checkConsistent(t, res, trueOff)
+	if res.RefFrames != 1 {
+		t.Errorf("RefFrames = %d, want 1", res.RefFrames)
+	}
+}
+
+func TestBootstrapTransitive(t *testing.T) {
+	// r0 and r2 share nothing; r1 bridges (the paper's r1-r2-r3 example).
+	trueOff := map[int32]int64{0: 100, 1: -20000, 2: 31337}
+	fa, fb := mkData(1, 10), mkData(2, 20)
+	recs := []tracefile.Record{
+		obs(0, 1000, trueOff[0], fa),
+		obs(1, 1000, trueOff[1], fa),
+		obs(1, 5000, trueOff[1], fb),
+		obs(2, 5000, trueOff[2], fb),
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced() {
+		t.Fatalf("unsynced: %v", res.Unsynced)
+	}
+	checkConsistent(t, res, trueOff)
+	if res.RefFrames != 2 {
+		t.Errorf("RefFrames = %d, want 2", res.RefFrames)
+	}
+}
+
+func TestBootstrapLongChain(t *testing.T) {
+	// 20 radios in a line, each sharing one frame with the next.
+	trueOff := map[int32]int64{}
+	var recs []tracefile.Record
+	for i := int32(0); i < 20; i++ {
+		trueOff[i] = int64(i) * 7919 // arbitrary distinct offsets
+	}
+	for i := int32(0); i < 19; i++ {
+		f := mkData(uint16(i+1), byte(i))
+		tt := int64(i+1) * 1000
+		recs = append(recs, obs(i, tt, trueOff[i], f), obs(i+1, tt, trueOff[i+1], f))
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced() {
+		t.Fatalf("unsynced: %v", res.Unsynced)
+	}
+	checkConsistent(t, res, trueOff)
+}
+
+func TestBootstrapPartitionDetected(t *testing.T) {
+	trueOff := map[int32]int64{0: 0, 1: 10, 2: 20, 3: 30}
+	fa, fb := mkData(1, 1), mkData(2, 2)
+	recs := []tracefile.Record{
+		obs(0, 1000, trueOff[0], fa), obs(1, 1000, trueOff[1], fa),
+		obs(2, 2000, trueOff[2], fb), obs(3, 2000, trueOff[3], fb),
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Synced() {
+		t.Fatal("disjoint components reported synced")
+	}
+	if len(res.Unsynced) != 2 {
+		t.Errorf("unsynced = %v, want the two radios of the second island", res.Unsynced)
+	}
+}
+
+func TestBootstrapClockGroupBridgesChannels(t *testing.T) {
+	// Radios 0,1 on channel 1 share fa; radios 2,3 on channel 6 share fb.
+	// Radios 1 and 2 are the two radios of one monitor: same clock.
+	trueOff := map[int32]int64{0: 11, 1: 2222, 2: 2222, 3: -940}
+	fa, fb := mkData(1, 1), mkData(2, 2)
+	recs := []tracefile.Record{
+		obs(0, 1000, trueOff[0], fa), obs(1, 1000, trueOff[1], fa),
+		obs(2, 2000, trueOff[2], fb), obs(3, 2000, trueOff[3], fb),
+	}
+	res, err := Bootstrap(recs, [][]int32{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced() {
+		t.Fatalf("clock group did not bridge: %v", res.Unsynced)
+	}
+	checkConsistent(t, res, trueOff)
+}
+
+func TestBootstrapIgnoresIneligibleFrames(t *testing.T) {
+	// ACKs and retries must not create sync edges.
+	ackF := dot80211.NewAck(dot80211.MAC{2, 0, 0, 0, 0, 1})
+	ack := ackF.Encode()
+	retry := dot80211.NewData(dot80211.MAC{2}, dot80211.MAC{4}, dot80211.MAC{6}, 7, []byte{1})
+	retry.Flags |= dot80211.FlagRetry
+	rw := retry.Encode()
+	recs := []tracefile.Record{
+		obs(0, 1000, 0, ack), obs(1, 1000, 50, ack),
+		obs(0, 2000, 0, rw), obs(1, 2000, 50, rw),
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Synced() {
+		t.Error("sync built from ACKs/retries; they are not unique references")
+	}
+}
+
+func TestBootstrapIgnoresCorruptFrames(t *testing.T) {
+	f := mkData(3, 9)
+	bad := append([]byte(nil), f...)
+	bad[len(bad)-1] ^= 0xff
+	recs := []tracefile.Record{
+		{LocalUS: 100, RadioID: 0, Frame: bad}, // no FCSOK flag
+		{LocalUS: 150, RadioID: 1, Frame: bad},
+		obs(0, 2000, 0, f), obs(1, 2000, -7, f),
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced() {
+		t.Fatal("valid frame should still sync")
+	}
+	// Offset difference must come from the valid frame (-7), not the
+	// corrupt pair (-50).
+	d := res.OffsetUS[0] - res.OffsetUS[1]
+	if d != -7 {
+		t.Errorf("offset delta = %d, want -7", d)
+	}
+}
+
+func TestBootstrapPoisonsAmbiguousReferences(t *testing.T) {
+	// The same "unique" content seen twice at one radio (e.g. a station
+	// retransmitting without the retry bit) must poison that reference.
+	f := mkData(5, 5)
+	recs := []tracefile.Record{
+		obs(0, 1000, 0, f), obs(0, 3000, 0, f), // radio 0 hears it twice!
+		obs(1, 1000, 40, f),
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Synced() {
+		t.Error("ambiguous reference used for sync")
+	}
+}
+
+func TestBootstrapNoRadios(t *testing.T) {
+	if _, err := Bootstrap(nil, nil); err == nil {
+		t.Error("empty bootstrap should error")
+	}
+}
+
+func TestBootstrapPrefersLargeSets(t *testing.T) {
+	// A frame heard by 4 radios should anchor G rather than pairwise ones.
+	trueOff := map[int32]int64{0: 1, 1: 2, 2: 3, 3: 4}
+	big := mkData(1, 1)
+	var recs []tracefile.Record
+	for r := int32(0); r < 4; r++ {
+		recs = append(recs, obs(r, 1000, trueOff[r], big))
+	}
+	// Add noise: pairwise frames.
+	for i := 0; i < 3; i++ {
+		f := mkData(uint16(10+i), byte(30+i))
+		recs = append(recs, obs(int32(i), 2000, trueOff[int32(i)], f),
+			obs(int32(i+1), 2000, trueOff[int32(i+1)], f))
+	}
+	res, err := Bootstrap(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced() {
+		t.Fatal("unsynced")
+	}
+	checkConsistent(t, res, trueOff)
+	if res.RefFrames != 1 {
+		t.Errorf("G has %d frames; the single 4-radio set should suffice", res.RefFrames)
+	}
+}
+
+func TestContentKeyDistinguishes(t *testing.T) {
+	a, b := mkData(1, 1), mkData(1, 2)
+	if ContentKey(a) == ContentKey(b) {
+		t.Error("different frames, same key")
+	}
+	if ContentKey(a) != ContentKey(mkData(1, 1)) {
+		t.Error("same content, different key")
+	}
+}

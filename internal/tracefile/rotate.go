@@ -1,0 +1,115 @@
+package tracefile
+
+import (
+	"fmt"
+	"io"
+)
+
+// RotatingWriter splits a radio's capture into consecutive segments by
+// local-clock period, mirroring jigdump's behaviour of "creating a new file
+// pair each hour" (§3.3). Each segment is an independent trace stream with
+// its own metadata index.
+type RotatingWriter struct {
+	open     func(segment int) (io.Writer, error)
+	periodUS int64
+	snapLen  int
+
+	cur      *Writer
+	seg      int
+	segStart int64
+	started  bool
+	indexes  [][]IndexEntry
+}
+
+// NewRotatingWriter creates a rotating writer. open is called with the
+// segment number (0, 1, …) to obtain each segment's destination; periodUS
+// is the rotation period in local-clock microseconds (an hour in the
+// paper's deployment).
+func NewRotatingWriter(open func(segment int) (io.Writer, error), periodUS int64) *RotatingWriter {
+	return &RotatingWriter{open: open, periodUS: periodUS, snapLen: DefaultSnapLen, seg: -1}
+}
+
+// SetSnapLen sets the per-frame capture limit for subsequent segments.
+func (w *RotatingWriter) SetSnapLen(n int) { w.snapLen = n }
+
+// WriteRecord appends a record, rotating first if its timestamp falls past
+// the current segment's period.
+func (w *RotatingWriter) WriteRecord(r Record) error {
+	if !w.started {
+		w.started = true
+		w.segStart = r.LocalUS
+	}
+	for w.cur == nil || r.LocalUS >= w.segStart+w.periodUS {
+		if err := w.rotate(r.LocalUS); err != nil {
+			return err
+		}
+	}
+	return w.cur.WriteRecord(r)
+}
+
+// rotate closes the current segment and opens the next.
+func (w *RotatingWriter) rotate(nowUS int64) error {
+	if w.cur != nil {
+		if err := w.cur.Close(); err != nil {
+			return err
+		}
+		w.indexes = append(w.indexes, w.cur.Index())
+		w.segStart += w.periodUS
+	} else {
+		w.segStart = nowUS
+	}
+	w.seg++
+	dst, err := w.open(w.seg)
+	if err != nil {
+		return fmt.Errorf("tracefile: opening segment %d: %w", w.seg, err)
+	}
+	w.cur = NewWriter(dst)
+	w.cur.SetSnapLen(w.snapLen)
+	return nil
+}
+
+// Close finishes the current segment.
+func (w *RotatingWriter) Close() error {
+	if w.cur == nil {
+		return nil
+	}
+	err := w.cur.Close()
+	w.indexes = append(w.indexes, w.cur.Index())
+	w.cur = nil
+	return err
+}
+
+// Segments returns how many segments were produced.
+func (w *RotatingWriter) Segments() int { return w.seg + 1 }
+
+// Indexes returns the per-segment metadata indexes (valid after Close).
+func (w *RotatingWriter) Indexes() [][]IndexEntry { return w.indexes }
+
+// MultiReader iterates records across consecutive segment streams as one
+// trace.
+type MultiReader struct {
+	readers []*Reader
+	i       int
+}
+
+// NewMultiReader chains segment streams in order.
+func NewMultiReader(segments ...io.Reader) *MultiReader {
+	rs := make([]*Reader, len(segments))
+	for i, s := range segments {
+		rs[i] = NewReader(s)
+	}
+	return &MultiReader{readers: rs}
+}
+
+// Next returns the next record across all segments; io.EOF at the true end.
+func (m *MultiReader) Next() (Record, error) {
+	for m.i < len(m.readers) {
+		rec, err := m.readers[m.i].Next()
+		if err == io.EOF {
+			m.i++
+			continue
+		}
+		return rec, err
+	}
+	return Record{}, io.EOF
+}

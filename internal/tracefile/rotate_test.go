@@ -1,0 +1,108 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRotatingWriterSplitsByPeriod(t *testing.T) {
+	var bufs []*bytes.Buffer
+	w := NewRotatingWriter(func(seg int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		bufs = append(bufs, b)
+		return b, nil
+	}, 1_000_000) // 1 s segments
+
+	// 3.5 "seconds" of records at 100 ms spacing.
+	recs := make([]Record, 0, 35)
+	for i := int64(0); i < 35; i++ {
+		r := Record{LocalUS: i * 100_000, Frame: []byte{byte(i), 1, 2, 3}, Flags: FlagFCSOK}
+		recs = append(recs, r)
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() != 4 {
+		t.Fatalf("segments = %d, want 4", w.Segments())
+	}
+	if len(w.Indexes()) != 4 {
+		t.Fatalf("indexes = %d", len(w.Indexes()))
+	}
+	// Each segment covers exactly one period.
+	for i, b := range bufs {
+		rs, err := ReadAll(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.LocalUS < int64(i)*1_000_000 || r.LocalUS >= int64(i+1)*1_000_000 {
+				t.Fatalf("record at %d in segment %d", r.LocalUS, i)
+			}
+		}
+	}
+}
+
+func TestRotatingWriterSkipsEmptyPeriods(t *testing.T) {
+	opened := 0
+	w := NewRotatingWriter(func(seg int) (io.Writer, error) {
+		opened++
+		return &bytes.Buffer{}, nil
+	}, 1_000_000)
+	// Two records 5 periods apart: intermediate segments are created
+	// (like empty hourly files) but contain nothing.
+	w.WriteRecord(Record{LocalUS: 0, Frame: []byte{1}})
+	w.WriteRecord(Record{LocalUS: 5_100_000, Frame: []byte{2}})
+	w.Close()
+	if opened != 6 {
+		t.Errorf("opened %d segments, want 6 (hourly files even when idle)", opened)
+	}
+}
+
+func TestMultiReaderChains(t *testing.T) {
+	var bufs []*bytes.Buffer
+	w := NewRotatingWriter(func(seg int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		bufs = append(bufs, b)
+		return b, nil
+	}, 500_000)
+	for i := int64(0); i < 20; i++ {
+		w.WriteRecord(Record{LocalUS: i * 100_000, Frame: []byte{byte(i)}, Flags: FlagFCSOK})
+	}
+	w.Close()
+
+	var readers []io.Reader
+	for _, b := range bufs {
+		readers = append(readers, bytes.NewReader(b.Bytes()))
+	}
+	mr := NewMultiReader(readers...)
+	var got []int64
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec.LocalUS)
+	}
+	if len(got) != 20 {
+		t.Fatalf("read %d records, want 20", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatal("multi-reader out of order")
+		}
+	}
+}
+
+func TestMultiReaderEmpty(t *testing.T) {
+	mr := NewMultiReader()
+	if _, err := mr.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}

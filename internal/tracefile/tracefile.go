@@ -1,0 +1,342 @@
+// Package tracefile implements the jigdump-style per-radio trace format:
+// the stream of physical-layer event records each monitor radio produces,
+// serialized in compressed blocks with a separate metadata index
+// (§3.3: jigdump reads 64 KB at a time, compresses with LZO — we use
+// DEFLATE from the standard library — and writes data and metadata index
+// separately, rotating files hourly).
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record flags.
+const (
+	FlagFCSOK  uint8 = 1 << 0 // frame passed its FCS
+	FlagPhyErr uint8 = 1 << 1 // physical error event: energy, no frame
+)
+
+// Record is one captured physical-layer event at one radio: a valid frame,
+// a corrupted frame, or a physical error. Timestamps are the radio's local
+// 1 µs clock — synchronization to universal time is Jigsaw's job, not the
+// capture format's.
+type Record struct {
+	LocalUS int64  // local receive timestamp, microseconds
+	RadioID int32  // capturing radio
+	Channel uint8  // tuned channel
+	RSSIdBm int8   // received signal strength
+	Rate    uint16 // coded rate in 100 kbps units (dot80211.Rate)
+	Flags   uint8
+	// OrigLen is the frame's true on-air byte length before snap
+	// truncation (like a radiotap/pcap original-length field); airtime
+	// computations must use it, not len(Frame).
+	OrigLen uint16
+	Frame   []byte // captured wire bytes (nil for phy errors), snap-limited
+}
+
+// FCSOK reports whether the record's frame passed its checksum.
+func (r *Record) FCSOK() bool { return r.Flags&FlagFCSOK != 0 }
+
+// IsPhyErr reports whether the record is a physical error event.
+func (r *Record) IsPhyErr() bool { return r.Flags&FlagPhyErr != 0 }
+
+// DefaultSnapLen bounds captured frame bytes: MAC header plus up to 200
+// payload bytes, like the paper's captures (§5).
+const DefaultSnapLen = 228
+
+// blockTarget is the uncompressed block size at which the writer flushes,
+// mirroring jigdump's 64 KB reads.
+const blockTarget = 64 * 1024
+
+// magic identifies trace streams and blocks.
+var magic = [4]byte{'J', 'I', 'G', '1'}
+
+// IndexEntry describes one compressed block for the metadata index.
+type IndexEntry struct {
+	Offset       int64 // byte offset of the block in the data stream
+	CompLen      int32
+	RawLen       int32
+	Records      int32
+	FirstLocalUS int64
+	LastLocalUS  int64
+}
+
+// Writer serializes records into compressed blocks. It is not safe for
+// concurrent use; the capture path is single-threaded per radio.
+type Writer struct {
+	w       io.Writer
+	offset  int64
+	buf     bytes.Buffer // uncompressed pending records
+	count   int32
+	firstUS int64
+	lastUS  int64
+	index   []IndexEntry
+	snapLen int
+	closed  bool
+}
+
+// NewWriter creates a trace writer with the default snap length.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, snapLen: DefaultSnapLen}
+}
+
+// SetSnapLen overrides the per-frame capture byte limit (0 = unlimited).
+func (w *Writer) SetSnapLen(n int) { w.snapLen = n }
+
+// WriteRecord appends one record, flushing a block when the target size is
+// reached.
+func (w *Writer) WriteRecord(r Record) error {
+	if w.closed {
+		return errors.New("tracefile: writer closed")
+	}
+	frame := r.Frame
+	if r.OrigLen == 0 {
+		r.OrigLen = uint16(len(frame))
+	}
+	if w.snapLen > 0 && len(frame) > w.snapLen {
+		frame = frame[:w.snapLen]
+	}
+	if w.count == 0 {
+		w.firstUS = r.LocalUS
+	}
+	w.lastUS = r.LocalUS
+	var hdr [20]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(r.LocalUS))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(r.RadioID))
+	hdr[12] = r.Channel
+	hdr[13] = uint8(r.RSSIdBm)
+	binary.LittleEndian.PutUint16(hdr[14:16], r.Rate)
+	hdr[16] = r.Flags
+	hdr[17] = 0
+	binary.LittleEndian.PutUint16(hdr[18:20], r.OrigLen)
+	w.buf.Write(hdr[:])
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(frame)))
+	w.buf.Write(l[:])
+	w.buf.Write(frame)
+	w.count++
+	if w.buf.Len() >= blockTarget {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock compresses and emits the pending block.
+func (w *Writer) flushBlock() error {
+	if w.count == 0 {
+		return nil
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Write(w.buf.Bytes()); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	var bh [24]byte
+	copy(bh[0:4], magic[:])
+	binary.LittleEndian.PutUint32(bh[4:8], uint32(comp.Len()))
+	binary.LittleEndian.PutUint32(bh[8:12], uint32(w.buf.Len()))
+	binary.LittleEndian.PutUint32(bh[12:16], uint32(w.count))
+	binary.LittleEndian.PutUint64(bh[16:24], uint64(w.firstUS))
+	if _, err := w.w.Write(bh[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(comp.Bytes()); err != nil {
+		return err
+	}
+	w.index = append(w.index, IndexEntry{
+		Offset:  w.offset,
+		CompLen: int32(comp.Len()), RawLen: int32(w.buf.Len()),
+		Records: w.count, FirstLocalUS: w.firstUS, LastLocalUS: w.lastUS,
+	})
+	w.offset += int64(len(bh)) + int64(comp.Len())
+	w.buf.Reset()
+	w.count = 0
+	return nil
+}
+
+// Close flushes the final block. The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flushBlock()
+}
+
+// Index returns the metadata index built during writing (valid after
+// Close). Callers persist it with WriteIndex for the paired metadata file.
+func (w *Writer) Index() []IndexEntry { return w.index }
+
+// WriteIndex serializes a metadata index to out.
+func WriteIndex(out io.Writer, idx []IndexEntry) error {
+	bw := bufio.NewWriter(out)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(idx)))
+	bw.Write(n[:])
+	for _, e := range idx {
+		var b [36]byte
+		binary.LittleEndian.PutUint64(b[0:8], uint64(e.Offset))
+		binary.LittleEndian.PutUint32(b[8:12], uint32(e.CompLen))
+		binary.LittleEndian.PutUint32(b[12:16], uint32(e.RawLen))
+		binary.LittleEndian.PutUint32(b[16:20], uint32(e.Records))
+		binary.LittleEndian.PutUint64(b[20:28], uint64(e.FirstLocalUS))
+		binary.LittleEndian.PutUint64(b[28:36], uint64(e.LastLocalUS))
+		bw.Write(b[:])
+	}
+	return bw.Flush()
+}
+
+// ReadIndex parses a metadata index.
+func ReadIndex(in io.Reader) ([]IndexEntry, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(in, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, errors.New("tracefile: bad index magic")
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(in, n[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(n[:])
+	idx := make([]IndexEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var b [36]byte
+		if _, err := io.ReadFull(in, b[:]); err != nil {
+			return nil, err
+		}
+		idx = append(idx, IndexEntry{
+			Offset:       int64(binary.LittleEndian.Uint64(b[0:8])),
+			CompLen:      int32(binary.LittleEndian.Uint32(b[8:12])),
+			RawLen:       int32(binary.LittleEndian.Uint32(b[12:16])),
+			Records:      int32(binary.LittleEndian.Uint32(b[16:20])),
+			FirstLocalUS: int64(binary.LittleEndian.Uint64(b[20:28])),
+			LastLocalUS:  int64(binary.LittleEndian.Uint64(b[28:36])),
+		})
+	}
+	return idx, nil
+}
+
+// Reader iterates records from a trace stream.
+type Reader struct {
+	r     io.Reader
+	block *bytes.Reader
+	err   error
+}
+
+// NewReader wraps a trace stream for record iteration.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next record. io.EOF signals a clean end of trace.
+func (t *Reader) Next() (Record, error) {
+	var rec Record
+	if t.err != nil {
+		return rec, t.err
+	}
+	for t.block == nil || t.block.Len() == 0 {
+		if err := t.loadBlock(); err != nil {
+			t.err = err
+			return rec, err
+		}
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(t.block, hdr[:]); err != nil {
+		t.err = fmt.Errorf("tracefile: corrupt block: %w", err)
+		return rec, t.err
+	}
+	rec.LocalUS = int64(binary.LittleEndian.Uint64(hdr[0:8]))
+	rec.RadioID = int32(binary.LittleEndian.Uint32(hdr[8:12]))
+	rec.Channel = hdr[12]
+	rec.RSSIdBm = int8(hdr[13])
+	rec.Rate = binary.LittleEndian.Uint16(hdr[14:16])
+	rec.Flags = hdr[16]
+	rec.OrigLen = binary.LittleEndian.Uint16(hdr[18:20])
+	var l [2]byte
+	if _, err := io.ReadFull(t.block, l[:]); err != nil {
+		t.err = fmt.Errorf("tracefile: corrupt block: %w", err)
+		return rec, t.err
+	}
+	n := binary.LittleEndian.Uint16(l[:])
+	if n > 0 {
+		rec.Frame = make([]byte, n)
+		if _, err := io.ReadFull(t.block, rec.Frame); err != nil {
+			t.err = fmt.Errorf("tracefile: corrupt block: %w", err)
+			return rec, t.err
+		}
+	}
+	return rec, nil
+}
+
+// loadBlock reads and decompresses the next block.
+func (t *Reader) loadBlock() error {
+	var bh [24]byte
+	if _, err := io.ReadFull(t.r, bh[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return io.EOF
+		}
+		return err
+	}
+	if [4]byte(bh[0:4]) != magic {
+		return errors.New("tracefile: bad block magic")
+	}
+	compLen := binary.LittleEndian.Uint32(bh[4:8])
+	rawLen := binary.LittleEndian.Uint32(bh[8:12])
+	comp := make([]byte, compLen)
+	if _, err := io.ReadFull(t.r, comp); err != nil {
+		return fmt.Errorf("tracefile: truncated block: %w", err)
+	}
+	fr := flate.NewReader(bytes.NewReader(comp))
+	raw := make([]byte, 0, rawLen)
+	buf := bytes.NewBuffer(raw)
+	if _, err := io.Copy(buf, fr); err != nil {
+		return fmt.Errorf("tracefile: decompress: %w", err)
+	}
+	t.block = bytes.NewReader(buf.Bytes())
+	return nil
+}
+
+// ReadAll drains a reader into a slice.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr := NewReader(r)
+	var recs []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// WriteAll serializes records to w and returns the index.
+func WriteAll(w io.Writer, recs []Record) ([]IndexEntry, error) {
+	tw := NewWriter(w)
+	for _, r := range recs {
+		if err := tw.WriteRecord(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return tw.Index(), nil
+}

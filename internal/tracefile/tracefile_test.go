@@ -1,0 +1,280 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	ts := int64(0)
+	for i := range recs {
+		ts += rng.Int63n(10_000)
+		var frame []byte
+		flags := uint8(0)
+		switch rng.Intn(3) {
+		case 0:
+			frame = make([]byte, 14+rng.Intn(180))
+			rng.Read(frame)
+			flags = FlagFCSOK
+		case 1:
+			frame = make([]byte, 14+rng.Intn(180))
+			rng.Read(frame)
+		case 2:
+			flags = FlagPhyErr
+		}
+		recs[i] = Record{
+			LocalUS: ts, RadioID: int32(rng.Intn(156)),
+			Channel: uint8([]int{1, 6, 11}[rng.Intn(3)]),
+			RSSIdBm: int8(-30 - rng.Intn(60)),
+			Rate:    uint16(rng.Intn(540)), Flags: flags,
+			OrigLen: uint16(len(frame)), Frame: frame,
+		}
+	}
+	return recs
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	recs := sample(10, 1)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestRoundTripMultiBlock(t *testing.T) {
+	recs := sample(5000, 2) // several 64 KB blocks
+	var buf bytes.Buffer
+	idx, err := WriteAll(&buf, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(idx))
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Error("multi-block round trip mismatch")
+	}
+}
+
+func TestSnapLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	big := make([]byte, 1500)
+	if err := w.WriteRecord(Record{LocalUS: 1, Frame: big, Flags: FlagFCSOK}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Frame) != DefaultSnapLen {
+		t.Errorf("frame len = %d, want snap %d", len(got[0].Frame), DefaultSnapLen)
+	}
+}
+
+func TestSnapLenZeroUnlimited(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetSnapLen(0)
+	big := make([]byte, 1500)
+	w.WriteRecord(Record{LocalUS: 1, Frame: big})
+	w.Close()
+	got, _ := ReadAll(&buf)
+	if len(got[0].Frame) != 1500 {
+		t.Errorf("frame len = %d, want 1500", len(got[0].Frame))
+	}
+}
+
+func TestIndexTimesAndCounts(t *testing.T) {
+	recs := sample(5000, 3)
+	var buf bytes.Buffer
+	idx, err := WriteAll(&buf, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int32(0)
+	for i, e := range idx {
+		total += e.Records
+		if e.FirstLocalUS > e.LastLocalUS {
+			t.Errorf("block %d time range inverted", i)
+		}
+		if i > 0 && idx[i-1].LastLocalUS > e.FirstLocalUS {
+			t.Errorf("blocks %d/%d overlap in time", i-1, i)
+		}
+	}
+	if int(total) != len(recs) {
+		t.Errorf("index counts %d records, want %d", total, len(recs))
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	recs := sample(3000, 4)
+	var buf bytes.Buffer
+	idx, err := WriteAll(&buf, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ibuf bytes.Buffer
+	if err := WriteIndex(&ibuf, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&ibuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, idx) {
+		t.Error("index round trip mismatch")
+	}
+}
+
+func TestIndexOffsetsAddressBlocks(t *testing.T) {
+	recs := sample(5000, 5)
+	var buf bytes.Buffer
+	idx, err := WriteAll(&buf, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i, e := range idx {
+		if string(data[e.Offset:e.Offset+4]) != "JIG1" {
+			t.Errorf("block %d offset %d does not start with magic", i, e.Offset)
+		}
+	}
+}
+
+func TestCompressionShrinksRedundantData(t *testing.T) {
+	// Beacon-like highly repetitive frames should compress well.
+	frame := bytes.Repeat([]byte{0xAB}, 200)
+	var recs []Record
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, Record{LocalUS: int64(i) * 100, Frame: frame, Flags: FlagFCSOK})
+	}
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	raw := len(recs) * (20 + len(frame))
+	if buf.Len() >= raw/4 {
+		t.Errorf("compressed %d bytes of %d raw; expected ≥4x shrink", buf.Len(), raw)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	idx, err := WriteAll(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 0 || buf.Len() != 0 {
+		t.Error("empty trace should produce no output")
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("reading empty trace: %v, %d recs", err, len(recs))
+	}
+}
+
+func TestWriterClosedRejects(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Close()
+	if err := w.WriteRecord(Record{}); err == nil {
+		t.Error("write after close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("XXXXGARBAGEGARBAGEGARBAGE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader([]byte("XXXX\x00\x00\x00\x00"))); err == nil {
+		t.Error("bad index magic accepted")
+	}
+}
+
+func TestReaderTruncatedBlock(t *testing.T) {
+	recs := sample(100, 6)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	_, err := ReadAll(bytes.NewReader(cut))
+	if err == nil || err == io.EOF {
+		t.Errorf("truncated stream returned %v, want hard error", err)
+	}
+}
+
+func TestPhyErrRecordsHaveNoFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteRecord(Record{LocalUS: 5, Flags: FlagPhyErr})
+	w.Close()
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].IsPhyErr() || got[0].FCSOK() || got[0].Frame != nil {
+		t.Errorf("phy error record mangled: %+v", got[0])
+	}
+}
+
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(ts int64, radio int32, ch, rssi, flags uint8, rate uint16, frame []byte) bool {
+		if len(frame) > 65535 {
+			frame = frame[:65535]
+		}
+		rec := Record{
+			LocalUS: ts, RadioID: radio, Channel: ch, RSSIdBm: int8(rssi),
+			Rate: rate, Flags: flags, OrigLen: uint16(len(frame)), Frame: frame,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.SetSnapLen(0)
+		if w.WriteRecord(rec) != nil {
+			return false
+		}
+		if w.Close() != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		if len(frame) == 0 {
+			// nil and empty both decode as nil
+			return g.LocalUS == ts && g.RadioID == radio && len(g.Frame) == 0
+		}
+		return reflect.DeepEqual(g, rec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

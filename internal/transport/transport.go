@@ -1,0 +1,442 @@
+// Package transport reconstructs TCP flows from frame exchanges (§5.2) in
+// the style of Jaiswal et al.'s passive analysis, adapted for the two
+// ambiguities of the wireless vantage point:
+//
+//  1. A frame exchange's delivery can be unknown (no ACK captured). TCP is
+//     the oracle: a later acknowledgment covering the segment's sequence
+//     space proves the link-layer frame was delivered.
+//  2. Monitors are not lossless. A TCP acknowledgment covering a sequence
+//     hole — bytes never observed as data on the air — reveals packets that
+//     were delivered but missed by every monitor.
+//
+// The package also classifies TCP-visible losses as wireless (the segment's
+// 802.11 exchange failed) or wired (the exchange succeeded yet TCP
+// retransmitted), which drives Figure 11.
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/llc"
+	"repro/internal/tcpsim"
+)
+
+// LossKind classifies a TCP retransmission's cause.
+type LossKind uint8
+
+// Loss kinds.
+const (
+	LossUnknown  LossKind = iota
+	LossWireless          // the original segment's frame exchange failed
+	LossWired             // frame exchange delivered; loss was beyond the air
+)
+
+// String names the loss kind.
+func (k LossKind) String() string {
+	switch k {
+	case LossWireless:
+		return "wireless"
+	case LossWired:
+		return "wired"
+	default:
+		return "unknown"
+	}
+}
+
+// SegObs is one observed TCP segment (one frame exchange carrying it).
+type SegObs struct {
+	Seg    tcpsim.Segment
+	Ex     *llc.Exchange
+	TimeUS int64
+	// ResolvedDelivered is set when a covering ACK proved delivery of an
+	// exchange whose link-layer verdict was unknown.
+	ResolvedDelivered bool
+	// Retransmission marks a segment whose sequence range was already
+	// observed with data from the same direction.
+	Retransmission bool
+	LossOf         LossKind // for retransmissions: what lost the original
+}
+
+// interval is a half-open byte range [lo, hi) of TCP sequence space.
+type interval struct{ lo, hi uint32 }
+
+// dirState tracks one direction (identified by source IP) of a flow.
+type dirState struct {
+	srcIP      uint32
+	iss        uint32
+	sawSyn     bool
+	observed   []interval // merged data coverage observed on the air
+	maxAckSeen uint32     // highest cumulative ACK sent BY this direction
+	ackValid   bool
+	// pendingUnknown holds data observations with unresolved delivery,
+	// keyed by segment end for covering-ACK resolution.
+	pendingUnknown []*SegObs
+	segs           map[uint32]int // seq → distinct-transmission count (rtx detection)
+	// macSeqs records the 802.11 sequence numbers already seen carrying a
+	// given TCP seq: a reappearance with the same MAC seq is a duplicate
+	// observation of the same frame exchange (monitor artifacts), while a
+	// new MAC seq is a genuine TCP retransmission. This cross-layer check
+	// is exactly the kind the unified trace makes possible (§5.2).
+	macSeqs      map[uint32]map[uint16]bool
+	firstObs     map[uint32]*SegObs
+	dataSegs     int
+	rtxSegs      int
+	omittedBytes int64 // sequence holes covered by ACKs: monitor misses
+}
+
+// Flow is a reconstructed TCP connection.
+type Flow struct {
+	Key tcpsim.FlowKey
+	// HandshakeComplete: SYN and SYN|ACK both observed (§7.4 keeps only
+	// such flows, eliminating scans and connection failures).
+	HandshakeComplete bool
+	FirstUS, LastUS   int64
+	Observations      []*SegObs
+
+	// RTT samples (µs) from data→covering-ACK delays, per direction of the
+	// data (keyed by source IP of the data sender).
+	RTTSamplesUS map[uint32][]int64
+
+	synSeen, synAckSeen bool
+	dirs                map[uint32]*dirState
+}
+
+// dir returns (creating) the direction state for a source IP.
+func (f *Flow) dir(ip uint32) *dirState {
+	d := f.dirs[ip]
+	if d == nil {
+		d = &dirState{
+			srcIP: ip, segs: make(map[uint32]int),
+			macSeqs:  make(map[uint32]map[uint16]bool),
+			firstObs: make(map[uint32]*SegObs),
+		}
+		f.dirs[ip] = d
+	}
+	return d
+}
+
+// Stats aggregates analyzer-level counters.
+type Stats struct {
+	Exchanges        int64
+	TCPSegments      int64
+	NonTCP           int64
+	Flows            int64
+	CompleteFlows    int64
+	ResolvedByOracle int64 // unknown deliveries proven by covering ACKs
+	MonitorOmissions int64 // segments inferred delivered but never captured
+	Retransmissions  int64
+	WirelessLosses   int64
+	WiredLosses      int64
+	UnknownLosses    int64
+}
+
+// Analyzer consumes frame exchanges and reconstructs flows.
+type Analyzer struct {
+	Stats Stats
+	flows map[tcpsim.FlowKey]*Flow
+}
+
+// NewAnalyzer creates an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{flows: make(map[tcpsim.FlowKey]*Flow)}
+}
+
+// AddExchange feeds one frame exchange; non-TCP payloads are counted and
+// skipped. Exchanges must arrive in (approximately) time order.
+func (a *Analyzer) AddExchange(ex *llc.Exchange) {
+	a.Stats.Exchanges++
+	data := ex.Data()
+	if data == nil || len(data.Frame.Body) == 0 {
+		return
+	}
+	seg, err := tcpsim.DecodeSegment(data.Frame.Body)
+	if err != nil {
+		a.Stats.NonTCP++
+		return
+	}
+	a.Stats.TCPSegments++
+
+	key := seg.Key()
+	f := a.flows[key]
+	if f == nil {
+		f = &Flow{
+			Key: key, FirstUS: ex.StartUS,
+			RTTSamplesUS: make(map[uint32][]int64),
+			dirs:         make(map[uint32]*dirState),
+		}
+		a.flows[key] = f
+		a.Stats.Flows++
+	}
+	f.LastUS = ex.EndUS
+
+	obs := &SegObs{Seg: seg, Ex: ex, TimeUS: ex.StartUS}
+	f.Observations = append(f.Observations, obs)
+
+	d := f.dir(seg.SrcIP)
+	if seg.IsSYN() {
+		d.sawSyn = true
+		d.iss = seg.Seq
+		if seg.IsACK() {
+			f.synAckSeen = true
+		} else {
+			f.synSeen = true
+		}
+		if f.synSeen && f.synAckSeen && !f.HandshakeComplete {
+			f.HandshakeComplete = true
+			a.Stats.CompleteFlows++
+		}
+	}
+
+	if seg.PayloadLen > 0 {
+		a.observeData(f, d, obs)
+	}
+	if seg.IsACK() && !seg.IsSYN() {
+		a.observeAck(f, d, obs)
+	}
+}
+
+// observeData records data coverage, detects retransmissions and tracks
+// unresolved deliveries.
+func (a *Analyzer) observeData(f *Flow, d *dirState, obs *SegObs) {
+	seg := &obs.Seg
+	ms := d.macSeqs[seg.Seq]
+	if ms == nil {
+		ms = make(map[uint16]bool)
+		d.macSeqs[seg.Seq] = ms
+	}
+	if ms[obs.Ex.Seq] {
+		// Duplicate observation of a transmission already accounted for
+		// (the same MAC frame surfacing twice in the merged trace); it is
+		// not a TCP event.
+		return
+	}
+	ms[obs.Ex.Seq] = true
+	d.dataSegs++
+	if n := d.segs[seg.Seq]; n > 0 {
+		obs.Retransmission = true
+		d.rtxSegs++
+		a.Stats.Retransmissions++
+		obs.LossOf = a.classifyLoss(d, seg.Seq)
+		switch obs.LossOf {
+		case LossWireless:
+			a.Stats.WirelessLosses++
+		case LossWired:
+			a.Stats.WiredLosses++
+		default:
+			a.Stats.UnknownLosses++
+		}
+	} else {
+		d.firstObs[seg.Seq] = obs
+	}
+	d.segs[seg.Seq]++
+	d.observed = addInterval(d.observed, seg.Seq, seg.Seq+uint32(seg.PayloadLen))
+
+	// Track exchanges whose delivery is unknown for oracle resolution.
+	switch obs.Ex.Delivery {
+	case llc.DeliveryUnknown, llc.DeliveryFailed:
+		d.pendingUnknown = append(d.pendingUnknown, obs)
+	}
+}
+
+// classifyLoss decides what lost the previous transmission of seq.
+func (a *Analyzer) classifyLoss(d *dirState, seq uint32) LossKind {
+	prev := d.firstObs[seq]
+	if prev == nil {
+		return LossUnknown
+	}
+	switch prev.Ex.Delivery {
+	case llc.DeliveryObserved, llc.DeliveryInferred:
+		return LossWired
+	case llc.DeliveryFailed:
+		return LossWireless
+	case llc.DeliveryUnknown:
+		if prev.ResolvedDelivered {
+			return LossWired
+		}
+		return LossWireless
+	}
+	return LossUnknown
+}
+
+// observeAck applies the TCP oracle: a cumulative ACK from direction d
+// covers sequence space of the opposite direction.
+func (a *Analyzer) observeAck(f *Flow, d *dirState, obs *SegObs) {
+	ackVal := obs.Seg.Ack
+	if d.ackValid && !seqLess(d.maxAckSeen, ackVal) {
+		return // not a new high-water mark
+	}
+	d.maxAckSeen = ackVal
+	d.ackValid = true
+
+	// Opposite direction: the data being covered.
+	od := f.dir(obs.Seg.DstIP)
+
+	// 1. Resolve unknown deliveries (§5.2: "observing a covering TCP ACK
+	// proves that the link-layer frame containing the associated data was
+	// actually delivered").
+	keep := od.pendingUnknown[:0]
+	for _, p := range od.pendingUnknown {
+		if seqLEQ(p.Seg.SeqEnd(), ackVal) {
+			p.ResolvedDelivered = true
+			a.Stats.ResolvedByOracle++
+			// RTT sample from first transmission to covering ACK.
+			if !p.Retransmission {
+				f.RTTSamplesUS[p.Seg.SrcIP] = append(f.RTTSamplesUS[p.Seg.SrcIP], obs.TimeUS-p.TimeUS)
+			}
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	od.pendingUnknown = keep
+
+	// 2. Monitor omissions: ACK-covered bytes never observed as data.
+	if od.sawSyn {
+		covered := coveredBytes(od.observed, od.iss+1, ackVal)
+		want := int64(ackVal - (od.iss + 1))
+		if want > 0 && covered < want {
+			missing := want - covered - od.omittedBytes
+			if missing > 0 {
+				od.omittedBytes += missing
+				a.Stats.MonitorOmissions += (missing + tcpsim.MSS - 1) / tcpsim.MSS
+			}
+		}
+	}
+}
+
+// addInterval merges [lo,hi) into a sorted interval set.
+func addInterval(set []interval, lo, hi uint32) []interval {
+	if lo == hi {
+		return set
+	}
+	set = append(set, interval{lo, hi})
+	sort.Slice(set, func(i, j int) bool { return seqLess(set[i].lo, set[j].lo) })
+	out := set[:1]
+	for _, iv := range set[1:] {
+		lastIdx := len(out) - 1
+		if seqLEQ(iv.lo, out[lastIdx].hi) {
+			if seqLess(out[lastIdx].hi, iv.hi) {
+				out[lastIdx].hi = iv.hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// coveredBytes counts observed bytes within [lo, hi).
+func coveredBytes(set []interval, lo, hi uint32) int64 {
+	var total int64
+	for _, iv := range set {
+		s, e := iv.lo, iv.hi
+		if seqLess(s, lo) {
+			s = lo
+		}
+		if seqLess(hi, e) {
+			e = hi
+		}
+		if seqLess(s, e) {
+			total += int64(e - s)
+		}
+	}
+	return total
+}
+
+// seq comparison with wraparound (mirrors tcpsim's unexported helpers).
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool  { return int32(a-b) <= 0 }
+
+// Flows returns reconstructed flows sorted by first observation time.
+func (a *Analyzer) Flows() []*Flow {
+	out := make([]*Flow, 0, len(a.flows))
+	for _, f := range a.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstUS < out[j].FirstUS })
+	return out
+}
+
+// FlowLossRate summarizes one flow's TCP loss rate and its split, over
+// handshake-complete flows (Fig. 11's metric).
+type FlowLossRate struct {
+	Key           tcpsim.FlowKey
+	DataSegs      int
+	Losses        int
+	WirelessLoss  int
+	WiredLoss     int
+	LossRate      float64
+	WirelessShare float64
+}
+
+// LossRates computes per-flow loss rates over handshake-complete flows with
+// at least minSegs data segments.
+func (a *Analyzer) LossRates(minSegs int) []FlowLossRate {
+	var out []FlowLossRate
+	for _, f := range a.flows {
+		if !f.HandshakeComplete {
+			continue
+		}
+		var r FlowLossRate
+		r.Key = f.Key
+		for _, o := range f.Observations {
+			if o.Seg.PayloadLen == 0 {
+				continue
+			}
+			r.DataSegs++
+			if o.Retransmission {
+				r.Losses++
+				switch o.LossOf {
+				case LossWireless:
+					r.WirelessLoss++
+				case LossWired:
+					r.WiredLoss++
+				}
+			}
+		}
+		if r.DataSegs < minSegs {
+			continue
+		}
+		r.LossRate = float64(r.Losses) / float64(r.DataSegs)
+		if r.Losses > 0 {
+			r.WirelessShare = float64(r.WirelessLoss) / float64(r.Losses)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LossRate < out[j].LossRate })
+	return out
+}
+
+// RTTReport summarizes the round-trip-time estimates the Jaiswal-style
+// analysis extracts from data→covering-ACK delays, per flow direction.
+type RTTReport struct {
+	Samples  int
+	MinUS    int64
+	MedianUS int64
+	P90US    int64
+	MaxUS    int64
+}
+
+// RTTSummary aggregates RTT samples across all reconstructed flows for the
+// direction whose data originates at srcIP selector (nil = all directions).
+func (a *Analyzer) RTTSummary(include func(srcIP uint32) bool) RTTReport {
+	var all []int64
+	for _, f := range a.flows {
+		for ip, ss := range f.RTTSamplesUS {
+			if include != nil && !include(ip) {
+				continue
+			}
+			all = append(all, ss...)
+		}
+	}
+	var rep RTTReport
+	rep.Samples = len(all)
+	if len(all) == 0 {
+		return rep
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.MinUS = all[0]
+	rep.MedianUS = all[len(all)/2]
+	rep.P90US = all[int(float64(len(all))*0.9)]
+	rep.MaxUS = all[len(all)-1]
+	return rep
+}

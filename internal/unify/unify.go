@@ -1,0 +1,540 @@
+// Package unify implements Jigsaw's frame unification (§4.2): merging the
+// per-radio traces into a single universal-time stream of jframes, each
+// representing one physical transmission with the set of radios that heard
+// it, while continuously resynchronizing every radio's clock.
+//
+// The algorithm is the paper's: a single priority queue holds the earliest
+// unconsumed instance from each trace, mapped into universal time through a
+// per-radio offset-plus-skew model. Instances popped within a search window
+// are grouped by content into jframes (content comparison short-circuits on
+// length, rate and FCS), each jframe is timestamped with the median of its
+// instances, and whenever a jframe's group dispersion exceeds a threshold
+// the member radios' clocks are snapped back into agreement. Per-radio skew
+// and drift are tracked with EWMAs so that radios which go quiet (up to the
+// ~100 ms beacon gap) stay placed correctly in universal time.
+package unify
+
+import (
+	"bytes"
+	"container/heap"
+	"io"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/dot80211"
+	"repro/internal/timesync"
+	"repro/internal/tracefile"
+)
+
+// Config tunes the unifier.
+type Config struct {
+	// SearchWindowUS bounds how far (in universal µs) past a candidate
+	// instance the queue is searched for duplicates. Paper default: 10 ms.
+	SearchWindowUS int64
+	// GapUS closes a batch when successive queue heads are further apart
+	// than this. Duplicates of one transmission differ by clock dispersion
+	// only, so any value above worst-case dispersion is safe; distinct
+	// transmissions are separated by at least a SIFS plus a preamble.
+	GapUS int64
+	// ResyncDispersionUS is the minimum group dispersion that triggers
+	// resynchronization of member clocks. Paper: 10 µs.
+	ResyncDispersionUS int64
+	// JoinToleranceUS bounds how far (in universal µs) an instance may sit
+	// from a group's representative and still join it. It must exceed the
+	// worst plausible clock dispersion but stay below typical spacing of
+	// identical-content transmissions (ACK trains, retries).
+	JoinToleranceUS int64
+	// SkewCompensation toggles the EWMA skew/drift model (ablation: the
+	// paper found it necessary at scale).
+	SkewCompensation bool
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		SearchWindowUS:     10_000, // 10 ms
+		GapUS:              250,
+		ResyncDispersionUS: 10,
+		JoinToleranceUS:    200,
+		SkewCompensation:   true,
+	}
+}
+
+// Instance is one radio's reception contributing to a jframe.
+type Instance struct {
+	Radio   int32
+	LocalUS int64
+	UnivUS  int64 // after offset+skew mapping
+	RSSIdBm int8
+	FCSOK   bool
+	PhyErr  bool
+}
+
+// JFrame is one unified physical transmission (or error event).
+type JFrame struct {
+	UnivUS  int64 // median instance universal timestamp
+	Frame   dot80211.Frame
+	Wire    []byte // representative wire bytes (from a valid instance)
+	Rate    dot80211.Rate
+	Channel dot80211.Channel
+	Valid   bool // at least one FCS-valid instance
+	PhyOnly bool // physical-error event with no frame content
+	// WireLen is the true on-air frame length (captures are snapped).
+	WireLen   int
+	Instances []Instance
+	// DispersionUS is the group dispersion: latest minus earliest instance
+	// universal timestamp (Figure 4's metric).
+	DispersionUS int64
+}
+
+// AirtimeUS estimates the jframe's on-air duration from its true length
+// and rate.
+func (j *JFrame) AirtimeUS() int64 {
+	if j.PhyOnly || !j.Valid {
+		return 0
+	}
+	n := j.WireLen
+	if n == 0 {
+		n = len(j.Wire)
+	}
+	return int64(dot80211.AirtimeUS(n, j.Rate, dot80211.LongPreamble))
+}
+
+// EndUS returns the universal end time (timestamps mark reception start).
+func (j *JFrame) EndUS() int64 { return j.UnivUS + j.AirtimeUS() }
+
+// Source supplies one radio's time-ordered records. Next returns io.EOF at
+// end of trace.
+type Source interface {
+	Next() (tracefile.Record, error)
+}
+
+// sliceSource adapts an in-memory record slice.
+type sliceSource struct {
+	recs []tracefile.Record
+	i    int
+}
+
+// NewSliceSource wraps records (must be time-ordered) as a Source.
+func NewSliceSource(recs []tracefile.Record) Source { return &sliceSource{recs: recs} }
+
+func (s *sliceSource) Next() (tracefile.Record, error) {
+	if s.i >= len(s.recs) {
+		return tracefile.Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// queueEntry is one radio's head instance in the priority queue.
+type queueEntry struct {
+	univUS int64
+	rec    tracefile.Record
+	radio  int32
+	idx    int // heap index
+}
+
+type instanceHeap []*queueEntry
+
+func (h instanceHeap) Len() int           { return len(h) }
+func (h instanceHeap) Less(i, j int) bool { return h[i].univUS < h[j].univUS }
+func (h instanceHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *instanceHeap) Push(x any)        { e := x.(*queueEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *instanceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Stats accumulates unifier counters for Table 1.
+type Stats struct {
+	Events       int64 // records consumed
+	PhyErrors    int64 // physical-error records
+	CRCErrors    int64 // FCS-failed frame records
+	Unified      int64 // records merged into jframes (valid + matched errors)
+	JFrames      int64
+	Resyncs      int64
+	MaxDispersUS int64
+}
+
+// Unifier merges per-radio sources into a jframe stream.
+type Unifier struct {
+	cfg      Config
+	sources  map[int32]Source
+	trackers map[int32]*clock.OffsetTracker
+	heap     instanceHeap
+	pending  []*JFrame // jframes assembled from the current batch
+	Stats    Stats
+}
+
+// New creates a unifier over per-radio sources using bootstrap offsets.
+// Radios without a bootstrap offset are skipped (unsynced partitions cannot
+// be merged, as the paper observes at 10 pods).
+func New(cfg Config, sources map[int32]Source, boot *timesync.Result) *Unifier {
+	u := &Unifier{
+		cfg:      cfg,
+		sources:  make(map[int32]Source),
+		trackers: make(map[int32]*clock.OffsetTracker),
+	}
+	for radio, src := range sources {
+		off, ok := boot.OffsetUS[radio]
+		if !ok {
+			continue
+		}
+		u.sources[radio] = src
+		tr := clock.NewOffsetTracker(off)
+		tr.SetSkewCompensation(cfg.SkewCompensation)
+		u.trackers[radio] = tr
+	}
+	// Deterministic initial queue population (map order varies per run).
+	radios := make([]int32, 0, len(u.sources))
+	for radio := range u.sources {
+		radios = append(radios, radio)
+	}
+	sort.Slice(radios, func(i, j int) bool { return radios[i] < radios[j] })
+	for _, radio := range radios {
+		u.advance(radio)
+	}
+	return u
+}
+
+// advance pulls the next record for a radio into the queue.
+func (u *Unifier) advance(radio int32) {
+	src := u.sources[radio]
+	if src == nil {
+		return
+	}
+	rec, err := src.Next()
+	if err != nil {
+		delete(u.sources, radio)
+		return
+	}
+	u.Stats.Events++
+	if rec.IsPhyErr() {
+		u.Stats.PhyErrors++
+	} else if !rec.FCSOK() {
+		u.Stats.CRCErrors++
+	}
+	e := &queueEntry{
+		univUS: u.trackers[radio].ToUniversal(rec.LocalUS),
+		rec:    rec, radio: radio,
+	}
+	heap.Push(&u.heap, e)
+}
+
+// Next returns the next jframe in universal-time order, or io.EOF.
+func (u *Unifier) Next() (*JFrame, error) {
+	for len(u.pending) == 0 {
+		if len(u.heap) == 0 {
+			return nil, io.EOF
+		}
+		u.batch()
+	}
+	j := u.pending[0]
+	u.pending = u.pending[1:]
+	return j, nil
+}
+
+// batch pops a run of instances and groups them into jframes.
+//
+// The boundary rule must never cut through a cluster of instances of one
+// transmission (cluster diameter is bounded by clock dispersion, well under
+// GapUS), so a batch closes at the first inter-instance gap larger than
+// GapUS. To bound work during dense bursts, once the batch spans the search
+// window it also closes at any gap that clearly separates clusters, and
+// unconditionally at four windows.
+func (u *Unifier) batch() {
+	first := heap.Pop(&u.heap).(*queueEntry)
+	u.advance(first.radio)
+	batch := []*queueEntry{first}
+	last := first.univUS
+	lastRadio := first.radio
+	for len(u.heap) > 0 {
+		head := u.heap[0]
+		gap := head.univUS - last
+		span := head.univUS - first.univUS
+		gapLimit := u.cfg.GapUS
+		// An untrusted radio (no recent resync) may be placed hundreds of
+		// microseconds off; keep the batch open across the full search
+		// window so its instances can still reach their group — this is
+		// what the paper's wide search window buys.
+		if !u.trusted(head.radio, head.univUS) || !u.trusted(lastRadio, last) {
+			gapLimit = u.cfg.SearchWindowUS
+		}
+		if gap > gapLimit {
+			break // natural boundary between transmissions
+		}
+		if span > u.cfg.SearchWindowUS && gap > gapLimit {
+			break // soft cap, between dispersion clusters
+		}
+		if span > 4*u.cfg.SearchWindowUS {
+			break // hard cap
+		}
+		e := heap.Pop(&u.heap).(*queueEntry)
+		u.advance(e.radio)
+		last = e.univUS
+		lastRadio = e.radio
+		batch = append(batch, e)
+	}
+	u.pending = append(u.pending, u.group(batch)...)
+}
+
+// trusted reports whether a radio's clock mapping has been confirmed by
+// recent resynchronization: enough samples and not too long coasting.
+func (u *Unifier) trusted(radio int32, nowUnivUS int64) bool {
+	tr := u.trackers[radio]
+	if tr == nil || tr.Resyncs() < 3 {
+		return false
+	}
+	return nowUnivUS-tr.LastResyncUnivUS() <= trustedCoastUS
+}
+
+// trustedCoastUS is how long a clock may coast before its placements are
+// treated as loose again (20 ppm over 5 s is 100 µs of drift).
+const trustedCoastUS = 5_000_000
+
+// joinTol returns the grouping tolerance for instance e: tight for trusted
+// radios, the full search window for untrusted ones.
+func (u *Unifier) joinTol(e *queueEntry) int64 {
+	if u.trusted(e.radio, e.univUS) {
+		return u.cfg.JoinToleranceUS
+	}
+	return u.cfg.SearchWindowUS
+}
+
+// near reports whether two instances' universal timestamps are within tol.
+func near(a, b *queueEntry, tol int64) bool {
+	d := a.univUS - b.univUS
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// contentEqual compares two frame captures with the paper's short-circuit:
+// length, rate and FCS first, then bytes.
+func contentEqual(a, b *tracefile.Record) bool {
+	if len(a.Frame) != len(b.Frame) || a.Rate != b.Rate {
+		return false
+	}
+	return bytes.Equal(a.Frame, b.Frame)
+}
+
+// group partitions a batch into jframes. Valid frames group by exact
+// content — but a single radio cannot receive one transmission twice, so a
+// group never takes two instances from the same radio: that is how
+// identical-content frames (ACKs to the same station, retransmissions)
+// that land in one batch still separate into distinct jframes. Corrupted
+// frames attach by decoded transmitter address (§4.2), to a valid group if
+// one exists or to each other otherwise; phy errors become singleton error
+// jframes.
+func (u *Unifier) group(batch []*queueEntry) []*JFrame {
+	var frames []*JFrame
+	type grp struct {
+		rep     *queueEntry
+		tx      dot80211.MAC
+		ctrlKey string // subtype+RA identity for transmitterless control frames
+		valid   bool
+		members []*queueEntry
+		radios  map[int32]bool
+	}
+	var groups []*grp
+	var corrupt []*queueEntry
+
+	newGroup := func(e *queueEntry, valid bool) *grp {
+		f, _, _ := dot80211.DecodeCapture(e.rec.Frame)
+		g := &grp{
+			rep: e, tx: f.Transmitter(), valid: valid,
+			members: []*queueEntry{e},
+			radios:  map[int32]bool{e.radio: true},
+		}
+		if f.Type == dot80211.TypeControl {
+			g.ctrlKey = ctrlKeyOf(f)
+		}
+		groups = append(groups, g)
+		return g
+	}
+
+	for _, e := range batch {
+		switch {
+		case e.rec.IsPhyErr():
+			frames = append(frames, u.emit([]*queueEntry{e}, nil))
+		case e.rec.FCSOK():
+			placed := false
+			for _, g := range groups {
+				tol := max64(u.joinTol(e), u.joinTol(g.rep))
+				if g.valid && !g.radios[e.radio] && near(e, g.rep, tol) &&
+					contentEqual(&g.rep.rec, &e.rec) {
+					g.members = append(g.members, e)
+					g.radios[e.radio] = true
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				newGroup(e, true)
+			}
+		default:
+			corrupt = append(corrupt, e)
+		}
+	}
+
+	// Attach corrupted instances by transmitter (the paper's rule); control
+	// frames carry no transmitter, so ACK/CTS corruptions match on subtype
+	// plus receiver address instead. Valid groups are preferred over
+	// corrupt-only ones.
+	for _, e := range corrupt {
+		f, _, _ := dot80211.DecodeCapture(e.rec.Frame) // partial decode is fine
+		tx := f.Transmitter()
+		ctrl := f.Type == dot80211.TypeControl && !f.Addr1.IsZero()
+		var target *grp
+		for _, g := range groups {
+			// Corrupt frames never drive resynchronization, so the wide
+			// untrusted-radio tolerance buys nothing and multiplies false
+			// matches; always attach tightly.
+			tol := 2 * u.cfg.JoinToleranceUS
+			if g.radios[e.radio] || !near(e, g.rep, tol) {
+				continue
+			}
+			switch {
+			case !tx.IsZero() && g.tx == tx:
+			case ctrl && g.ctrlKey == ctrlKeyOf(f):
+			default:
+				continue
+			}
+			if g.valid {
+				target = g
+				break
+			}
+			if target == nil {
+				target = g
+			}
+		}
+		if target != nil {
+			target.members = append(target.members, e)
+			target.radios[e.radio] = true
+		} else {
+			newGroup(e, false)
+		}
+	}
+
+	for _, g := range groups {
+		frames = append(frames, u.emit(g.members, g.rep))
+	}
+	// Batches can yield multiple jframes (simultaneous transmissions);
+	// keep output time-ordered.
+	sort.SliceStable(frames, func(i, j int) bool { return frames[i].UnivUS < frames[j].UnivUS })
+	return frames
+}
+
+// emit builds a jframe from grouped instances and applies resynchronization.
+func (u *Unifier) emit(members []*queueEntry, rep *queueEntry) *JFrame {
+	j := &JFrame{}
+	for _, e := range members {
+		j.Instances = append(j.Instances, Instance{
+			Radio: e.radio, LocalUS: e.rec.LocalUS, UnivUS: e.univUS,
+			RSSIdBm: e.rec.RSSIdBm, FCSOK: e.rec.FCSOK(), PhyErr: e.rec.IsPhyErr(),
+		})
+	}
+	sort.Slice(j.Instances, func(a, b int) bool { return j.Instances[a].UnivUS < j.Instances[b].UnivUS })
+	// Median timestamp and group dispersion over the FCS-valid instances:
+	// those are the radios whose clock agreement the jframe evidences.
+	// Corrupt attachments ride along without weighing on either metric.
+	lo, hi, mid, nOK := int64(0), int64(0), int64(0), 0
+	for _, in := range j.Instances {
+		if !in.FCSOK {
+			continue
+		}
+		if nOK == 0 {
+			lo = in.UnivUS
+		}
+		hi = in.UnivUS
+		nOK++
+	}
+	if nOK > 0 {
+		k := 0
+		for _, in := range j.Instances {
+			if in.FCSOK {
+				if k == nOK/2 {
+					mid = in.UnivUS
+				}
+				k++
+			}
+		}
+		j.UnivUS = mid
+		j.DispersionUS = hi - lo
+	} else {
+		j.UnivUS = j.Instances[len(j.Instances)/2].UnivUS
+		j.DispersionUS = j.Instances[len(j.Instances)-1].UnivUS - j.Instances[0].UnivUS
+	}
+	if j.DispersionUS > u.Stats.MaxDispersUS {
+		u.Stats.MaxDispersUS = j.DispersionUS
+	}
+
+	if rep == nil {
+		j.PhyOnly = true
+		j.Channel = dot80211.Channel(members[0].rec.Channel)
+		u.Stats.JFrames++
+		return j
+	}
+	j.Wire = rep.rec.Frame
+	j.WireLen = int(rep.rec.OrigLen)
+	j.Rate = dot80211.Rate(rep.rec.Rate)
+	j.Channel = dot80211.Channel(rep.rec.Channel)
+	// The capture hardware validated the FCS on the air; a snapped capture
+	// cannot re-validate, so trust the record's flag once the header parses.
+	f, _, err := dot80211.DecodeCapture(rep.rec.Frame)
+	j.Frame = f
+	j.Valid = rep.rec.FCSOK() && err == nil
+	u.Stats.JFrames++
+	u.Stats.Unified += int64(len(members))
+
+	// Continuous resynchronization: only unique frames drive clocks, and
+	// only when dispersion exceeds the threshold (§4.2's accuracy/overhead
+	// tradeoff).
+	if j.Valid && j.Frame.UniqueForSync() && len(members) >= 2 &&
+		j.DispersionUS >= u.cfg.ResyncDispersionUS {
+		for _, e := range members {
+			if !e.rec.FCSOK() {
+				continue
+			}
+			u.trackers[e.radio].Resync(e.rec.LocalUS, j.UnivUS)
+			u.Stats.Resyncs++
+		}
+	}
+	return j
+}
+
+// Tracker exposes a radio's clock state for diagnostics.
+func (u *Unifier) Tracker(radio int32) *clock.OffsetTracker { return u.trackers[radio] }
+
+// Drain consumes the whole stream, returning all jframes.
+func (u *Unifier) Drain() ([]*JFrame, error) {
+	var out []*JFrame
+	for {
+		j, err := u.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, j)
+	}
+}
+
+// ctrlKeyOf identifies a transmitterless control frame by subtype and RA.
+func ctrlKeyOf(f dot80211.Frame) string {
+	return string([]byte{byte(f.Subtype)}) + string(f.Addr1[:])
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,445 @@
+package unify
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/dot80211"
+	"repro/internal/timesync"
+	"repro/internal/tracefile"
+)
+
+// testbed generates synthetic multi-radio traces with known ground truth.
+type testbed struct {
+	clocks map[int32]*clock.Clock
+	recs   map[int32][]tracefile.Record
+	rng    *rand.Rand
+	seq    uint16
+}
+
+func newTestbed(seed int64) *testbed {
+	return &testbed{
+		clocks: map[int32]*clock.Clock{},
+		recs:   map[int32][]tracefile.Record{},
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (tb *testbed) addRadio(id int32, offUS int64, skewPPM float64) {
+	tb.clocks[id] = &clock.Clock{OffsetNS: offUS * 1000, SkewPPM: skewPPM}
+	tb.recs[id] = nil
+}
+
+// tx emits a unique data frame at true time (ns) heard by the given radios.
+func (tb *testbed) tx(trueNS int64, radios ...int32) []byte {
+	tb.seq++
+	f := dot80211.NewData(
+		dot80211.MAC{2, 0, 0, 0, 0, 9}, dot80211.MAC{2, 0, 0, 0, 0, 1},
+		dot80211.MAC{2, 0, 0, 0, 0, 7}, tb.seq&0xfff,
+		[]byte{byte(tb.seq), byte(tb.seq >> 8), 0x5a})
+	wire := f.Encode()
+	tb.txWire(trueNS, wire, tracefile.FlagFCSOK, radios...)
+	return wire
+}
+
+func (tb *testbed) txWire(trueNS int64, wire []byte, flags uint8, radios ...int32) {
+	for _, r := range radios {
+		tb.recs[r] = append(tb.recs[r], tracefile.Record{
+			LocalUS: tb.clocks[r].LocalUS(trueNS),
+			RadioID: r, Channel: 1, Rate: uint16(dot80211.Rate11Mbps),
+			Flags: flags, Frame: wire,
+		})
+	}
+}
+
+// build runs bootstrap + unifier over the generated traces. t may be nil
+// (property-test callers); bootstrap failures then panic.
+func (tb *testbed) build(t *testing.T, cfg Config) *Unifier {
+	if t != nil {
+		t.Helper()
+	}
+	var window []tracefile.Record
+	sources := map[int32]Source{}
+	for r, recs := range tb.recs {
+		for _, rec := range recs {
+			if rec.LocalUS < 1_000_000 {
+				window = append(window, rec)
+			}
+		}
+		sources[r] = NewSliceSource(recs)
+	}
+	boot, err := timesync.Bootstrap(window, nil)
+	if err != nil {
+		if t == nil {
+			panic(err)
+		}
+		t.Fatal(err)
+	}
+	return New(cfg, sources, boot)
+}
+
+func TestUnifySimpleDuplicates(t *testing.T) {
+	tb := newTestbed(1)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 5000, 0)
+	tb.addRadio(2, -3000, 0)
+	for i := int64(0); i < 100; i++ {
+		tb.tx(i*10e6, 0, 1, 2) // every 10 ms, heard by all
+	}
+	u := tb.build(t, DefaultConfig())
+	frames, err := u.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 100 {
+		t.Fatalf("got %d jframes, want 100", len(frames))
+	}
+	for _, j := range frames {
+		if len(j.Instances) != 3 {
+			t.Fatalf("jframe has %d instances, want 3", len(j.Instances))
+		}
+		if !j.Valid {
+			t.Error("valid frame not marked valid")
+		}
+		if j.DispersionUS > 2 {
+			t.Errorf("dispersion %d µs with perfect clocks", j.DispersionUS)
+		}
+	}
+	if u.Stats.Unified != 300 {
+		t.Errorf("unified = %d, want 300", u.Stats.Unified)
+	}
+}
+
+func TestUnifyTimeOrderAndMedian(t *testing.T) {
+	tb := newTestbed(2)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 100_000, 0) // +100 ms offset
+	tb.addRadio(2, 0, 0)
+	for i := int64(0); i < 50; i++ {
+		tb.tx(i*5e6, 0, 1, 2)
+	}
+	u := tb.build(t, DefaultConfig())
+	frames, _ := u.Drain()
+	if len(frames) != 50 {
+		t.Fatalf("got %d jframes", len(frames))
+	}
+	prev := int64(-1)
+	for _, j := range frames {
+		if j.UnivUS < prev {
+			t.Fatal("jframes out of universal-time order")
+		}
+		prev = j.UnivUS
+	}
+	// Median of 3 instances with consistent mapping ⇒ all within ±1 µs.
+	for _, j := range frames {
+		mid := j.Instances[1].UnivUS
+		if j.UnivUS != mid {
+			t.Errorf("timestamp %d is not the median %d", j.UnivUS, mid)
+		}
+	}
+}
+
+func TestUnifyDistinctSimultaneousNotMerged(t *testing.T) {
+	tb := newTestbed(3)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 0, 0)
+	// Bootstrap anchor.
+	tb.tx(1e6, 0, 1)
+	// Two different frames transmitted at the same instant (hidden
+	// terminals): radios each hear one.
+	f1 := dot80211.NewData(dot80211.MAC{2, 1}, dot80211.MAC{2, 2}, dot80211.MAC{2, 3}, 100, []byte("aa"))
+	f2 := dot80211.NewData(dot80211.MAC{2, 4}, dot80211.MAC{2, 5}, dot80211.MAC{2, 6}, 200, []byte("bb"))
+	tb.txWire(50e6, f1.Encode(), tracefile.FlagFCSOK, 0)
+	tb.txWire(50e6, f2.Encode(), tracefile.FlagFCSOK, 1)
+	u := tb.build(t, DefaultConfig())
+	frames, _ := u.Drain()
+	if len(frames) != 3 {
+		t.Fatalf("got %d jframes, want 3 (anchor + two simultaneous)", len(frames))
+	}
+}
+
+func TestUnifyCorruptAttachesByTransmitter(t *testing.T) {
+	tb := newTestbed(4)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 0, 0)
+	tb.addRadio(2, 0, 0)
+	tb.tx(1e6, 0, 1, 2) // anchor
+	// One transmission: radios 0,1 decode it; radio 2 gets a corrupted copy.
+	f := dot80211.NewData(dot80211.MAC{2, 9}, dot80211.MAC{2, 8}, dot80211.MAC{2, 7}, 300, []byte("payload"))
+	wire := f.Encode()
+	bad := append([]byte(nil), wire...)
+	bad[len(bad)-2] ^= 0x40
+	tb.txWire(10e6, wire, tracefile.FlagFCSOK, 0, 1)
+	tb.txWire(10e6, bad, 0, 2)
+	u := tb.build(t, DefaultConfig())
+	frames, _ := u.Drain()
+	if len(frames) != 2 {
+		t.Fatalf("got %d jframes, want 2", len(frames))
+	}
+	j := frames[1]
+	if len(j.Instances) != 3 {
+		t.Fatalf("corrupt instance not attached: %d instances", len(j.Instances))
+	}
+	okCount := 0
+	for _, in := range j.Instances {
+		if in.FCSOK {
+			okCount++
+		}
+	}
+	if okCount != 2 {
+		t.Errorf("fcs-ok instances = %d, want 2", okCount)
+	}
+	if !j.Valid {
+		t.Error("jframe with valid instances must be valid")
+	}
+}
+
+func TestUnifyPhyErrorsSingleton(t *testing.T) {
+	tb := newTestbed(5)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 0, 0)
+	tb.tx(1e6, 0, 1)
+	tb.txWire(20e6, nil, tracefile.FlagPhyErr, 0)
+	tb.txWire(20e6, nil, tracefile.FlagPhyErr, 1)
+	u := tb.build(t, DefaultConfig())
+	frames, _ := u.Drain()
+	// anchor + two singleton phy error jframes.
+	if len(frames) != 3 {
+		t.Fatalf("got %d jframes, want 3", len(frames))
+	}
+	phy := 0
+	for _, j := range frames {
+		if j.PhyOnly {
+			phy++
+			if len(j.Instances) != 1 {
+				t.Error("phy error jframes are per-radio singletons")
+			}
+		}
+	}
+	if phy != 2 {
+		t.Errorf("phy jframes = %d", phy)
+	}
+	if u.Stats.PhyErrors != 2 {
+		t.Errorf("stats.PhyErrors = %d", u.Stats.PhyErrors)
+	}
+}
+
+// dispersionPercentile runs a long skewed-clock scenario and reports the
+// p-th percentile group dispersion over multi-instance jframes.
+func dispersionPercentile(t *testing.T, cfg Config, p float64, seconds int) int64 {
+	t.Helper()
+	tb := newTestbed(6)
+	tb.addRadio(0, 0, 12)    // +12 ppm
+	tb.addRadio(1, 5000, -9) // -9 ppm
+	tb.addRadio(2, -900, 30) // +30 ppm
+	// Beacon-like cadence: one shared frame every ~100 ms, plus
+	// pairwise-only frames between.
+	for ms := int64(0); ms < int64(seconds)*1000; ms += 100 {
+		tb.tx(ms*1e6, 0, 1, 2)
+		tb.tx(ms*1e6+33e6, 0, 1)
+		tb.tx(ms*1e6+66e6, 1, 2)
+	}
+	u := tb.build(t, cfg)
+	frames, err := u.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disp []int64
+	for _, j := range frames {
+		if len(j.Instances) >= 2 {
+			disp = append(disp, j.DispersionUS)
+		}
+	}
+	if len(disp) == 0 {
+		t.Fatal("no multi-instance jframes")
+	}
+	sort.Slice(disp, func(i, j int) bool { return disp[i] < disp[j] })
+	return disp[int(float64(len(disp))*p)]
+}
+
+func TestUnifyDispersionStaysTight(t *testing.T) {
+	// The paper's Fig. 4 bar: with skew compensation, 90% of jframes see
+	// dispersion < 10 µs despite tens-of-ppm clock skews.
+	p90 := dispersionPercentile(t, DefaultConfig(), 0.90, 60)
+	if p90 >= 10 {
+		t.Errorf("p90 dispersion = %d µs, want < 10", p90)
+	}
+}
+
+func TestUnifyAblationNoSkewCompensation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkewCompensation = false
+	with := dispersionPercentile(t, DefaultConfig(), 0.90, 60)
+	without := dispersionPercentile(t, cfg, 0.90, 60)
+	if without <= with {
+		t.Errorf("skew compensation should tighten dispersion: with=%d without=%d", with, without)
+	}
+}
+
+func TestUnifyResyncCounted(t *testing.T) {
+	tb := newTestbed(7)
+	tb.addRadio(0, 0, 50) // 50 ppm apart: dispersion grows fast
+	tb.addRadio(1, 0, -50)
+	for ms := int64(0); ms < 30_000; ms += 100 {
+		tb.tx(ms*1e6, 0, 1)
+	}
+	u := tb.build(t, DefaultConfig())
+	if _, err := u.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Stats.Resyncs == 0 {
+		t.Error("100 ppm relative skew must trigger resyncs")
+	}
+	if u.Stats.JFrames == 0 || u.Stats.Events == 0 {
+		t.Error("stats not accumulated")
+	}
+}
+
+func TestUnifyUnsyncedRadioSkipped(t *testing.T) {
+	tb := newTestbed(8)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 0, 0)
+	tb.addRadio(9, 12345, 0) // never shares a frame: unsyncable
+	tb.tx(1e6, 0, 1)
+	tb.tx(2e6, 0, 1)
+	lone := dot80211.NewData(dot80211.MAC{2, 1}, dot80211.MAC{2, 2}, dot80211.MAC{2, 3}, 55, []byte("x"))
+	tb.txWire(3e6, lone.Encode(), tracefile.FlagFCSOK, 9)
+	u := tb.build(t, DefaultConfig())
+	frames, _ := u.Drain()
+	for _, j := range frames {
+		for _, in := range j.Instances {
+			if in.Radio == 9 {
+				t.Fatal("unsynced radio leaked into merge")
+			}
+		}
+	}
+	if len(frames) != 2 {
+		t.Errorf("got %d jframes, want 2", len(frames))
+	}
+}
+
+func TestUnifyEOF(t *testing.T) {
+	tb := newTestbed(9)
+	tb.addRadio(0, 0, 0)
+	tb.addRadio(1, 0, 0)
+	tb.tx(1e6, 0, 1)
+	u := tb.build(t, DefaultConfig())
+	if _, err := u.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Next(); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestJFrameAirtime(t *testing.T) {
+	f := dot80211.NewData(dot80211.MAC{2, 1}, dot80211.MAC{2, 2}, dot80211.MAC{2, 3}, 1, make([]byte, 100))
+	j := &JFrame{Wire: f.Encode(), Rate: dot80211.Rate11Mbps, Valid: true, UnivUS: 1000}
+	want := int64(dot80211.AirtimeUS(len(j.Wire), dot80211.Rate11Mbps, dot80211.LongPreamble))
+	if j.AirtimeUS() != want {
+		t.Errorf("airtime = %d, want %d", j.AirtimeUS(), want)
+	}
+	if j.EndUS() != 1000+want {
+		t.Error("EndUS wrong")
+	}
+	p := &JFrame{PhyOnly: true}
+	if p.AirtimeUS() != 0 {
+		t.Error("phy-only jframes have no airtime")
+	}
+}
+
+// Invariants over a randomized scenario: conservation (every record lands
+// in exactly one jframe instance), per-jframe radio uniqueness, and time
+// order.
+func TestUnifyInvariants(t *testing.T) {
+	tb := newTestbed(42)
+	rng := rand.New(rand.NewSource(99))
+	nRadios := int32(6)
+	for r := int32(0); r < nRadios; r++ {
+		tb.addRadio(r, rng.Int63n(20_000)-10_000, rng.NormFloat64()*15)
+	}
+	records := 0
+	for i := int64(0); i < 400; i++ {
+		// Random subsets of radios hear each transmission.
+		var hear []int32
+		for r := int32(0); r < nRadios; r++ {
+			if rng.Float64() < 0.5 {
+				hear = append(hear, r)
+			}
+		}
+		if len(hear) == 0 {
+			hear = []int32{rng.Int31n(nRadios)}
+		}
+		tb.tx(i*3e6, hear...)
+		records += len(hear)
+	}
+	u := tb.build(t, DefaultConfig())
+	frames, err := u.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation.
+	total := 0
+	for _, j := range frames {
+		total += len(j.Instances)
+		seen := map[int32]bool{}
+		for _, in := range j.Instances {
+			if seen[in.Radio] {
+				t.Fatalf("radio %d appears twice in one jframe", in.Radio)
+			}
+			seen[in.Radio] = true
+		}
+	}
+	if total != records {
+		t.Errorf("instances = %d, records = %d: events lost or duplicated", total, records)
+	}
+	// Time order.
+	prev := int64(-1 << 62)
+	for _, j := range frames {
+		if j.UnivUS < prev {
+			t.Fatal("jframes out of order")
+		}
+		prev = j.UnivUS
+	}
+	if u.Stats.Events != int64(records) {
+		t.Errorf("stats events = %d, want %d", u.Stats.Events, records)
+	}
+}
+
+// Property: with perfect clocks, a transmission heard by k radios always
+// forms exactly one jframe with k instances, for random k-subsets.
+func TestQuickPerfectClocksAlwaysUnify(t *testing.T) {
+	f := func(mask uint8, seed int64) bool {
+		tb := newTestbed(seed)
+		for r := int32(0); r < 8; r++ {
+			tb.addRadio(r, 0, 0)
+		}
+		var hear []int32
+		for r := int32(0); r < 8; r++ {
+			if mask&(1<<r) != 0 {
+				hear = append(hear, r)
+			}
+		}
+		if len(hear) == 0 {
+			return true
+		}
+		tb.tx(1e6, 0, 1, 2, 3, 4, 5, 6, 7) // bootstrap anchor
+		tb.tx(50e6, hear...)
+		u := tb.build(nil, DefaultConfig())
+		frames, err := u.Drain()
+		if err != nil {
+			return false
+		}
+		if len(frames) != 2 {
+			return false
+		}
+		return len(frames[1].Instances) == len(hear)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package workload models the user population and traffic mix of the
+// production network (§7.1): a diurnal activity pattern peaking between
+// late morning and late afternoon, a mix of short web flows, interactive
+// ssh sessions and bulk scp copies (the same mix the §6 oracle experiment
+// generated), plus the broadcast pathologies the paper calls out — the
+// Vernier management server's periodic ARPs and the Mac MS-Office
+// license-announcement UDP broadcasts (footnote 6).
+package workload
+
+import "math/rand"
+
+// DiurnalWeight returns the relative client-activity level at an hour of
+// day in [0, 24). The shape follows Fig. 8(a): most clients active from
+// 10am to 5pm, many in the early morning and well into the night, and a
+// floor of always-on devices overnight.
+func DiurnalWeight(hour float64) float64 {
+	for hour < 0 {
+		hour += 24
+	}
+	for hour >= 24 {
+		hour -= 24
+	}
+	switch {
+	case hour < 6:
+		return 0.12 // overnight background devices
+	case hour < 8:
+		return 0.18
+	case hour < 10:
+		return 0.30 + (hour-8)/2*0.45 // morning ramp
+	case hour < 17:
+		return 0.85 + 0.15*bump(hour) // working-day plateau with meeting bumps
+	case hour < 20:
+		return 0.75 - (hour-17)/3*0.35 // evening decline
+	default:
+		return 0.25
+	}
+}
+
+// bump adds the on-the-hour meeting burstiness Fig. 8(b) notes: traffic
+// bursts start on hour and half-hour boundaries.
+func bump(hour float64) float64 {
+	frac := hour - float64(int(hour))
+	if frac < 0.15 || (frac > 0.5 && frac < 0.65) {
+		return 1.0
+	}
+	return 0.0
+}
+
+// Session is one contiguous active period for a client.
+type Session struct {
+	StartHour float64
+	Hours     float64
+}
+
+// SampleSessions draws a client's active periods across a day, weighted by
+// the diurnal template. Overnight devices get a single day-long session.
+func SampleSessions(rng *rand.Rand) []Session {
+	if rng.Float64() < 0.10 {
+		// Always-on laptop left running (the overnight population).
+		return []Session{{StartHour: 0, Hours: 24}}
+	}
+	n := 1 + rng.Intn(3)
+	out := make([]Session, 0, n)
+	for i := 0; i < n; i++ {
+		// Rejection-sample a start hour from the diurnal curve.
+		var h float64
+		for {
+			h = rng.Float64() * 24
+			if rng.Float64() < DiurnalWeight(h) {
+				break
+			}
+		}
+		out = append(out, Session{StartHour: h, Hours: 0.5 + rng.ExpFloat64()*1.5})
+	}
+	return out
+}
+
+// FlowKind labels the traffic classes of the §6 oracle workload.
+type FlowKind uint8
+
+// Flow kinds.
+const (
+	FlowWeb FlowKind = iota // short request, modest response
+	FlowSSH                 // interactive: small both ways
+	FlowSCP                 // bulk copy
+)
+
+// String names the kind.
+func (k FlowKind) String() string {
+	switch k {
+	case FlowWeb:
+		return "web"
+	case FlowSSH:
+		return "ssh"
+	default:
+		return "scp"
+	}
+}
+
+// FlowSpec describes one TCP connection to generate.
+type FlowSpec struct {
+	Kind      FlowKind
+	UpBytes   int64 // client → server application bytes
+	DownBytes int64 // server → client application bytes
+	Remote    bool  // Internet host (higher RTT) vs local distribution net
+}
+
+// SampleFlow draws a flow from the paper's mix: mostly web browsing,
+// interactive ssh, occasional bulk copies ("producing both short and long
+// flows as well as small and large packets").
+func SampleFlow(rng *rand.Rand) FlowSpec {
+	r := rng.Float64()
+	switch {
+	case r < 0.62:
+		return FlowSpec{
+			Kind:      FlowWeb,
+			UpBytes:   300 + rng.Int63n(1200),
+			DownBytes: 2_000 + rng.Int63n(120_000),
+			Remote:    rng.Float64() < 0.8,
+		}
+	case r < 0.85:
+		return FlowSpec{
+			Kind:      FlowSSH,
+			UpBytes:   200 + rng.Int63n(3_000),
+			DownBytes: 500 + rng.Int63n(8_000),
+			Remote:    rng.Float64() < 0.3,
+		}
+	default:
+		up := rng.Float64() < 0.5
+		size := 50_000 + rng.Int63n(400_000)
+		fs := FlowSpec{Kind: FlowSCP, Remote: false}
+		if up {
+			fs.UpBytes, fs.DownBytes = size, 2_000
+		} else {
+			fs.UpBytes, fs.DownBytes = 2_000, size
+		}
+		return fs
+	}
+}
+
+// Broadcast pathologies (§7.1).
+
+// VernierARPIntervalHours is how often the management server ARP-sweeps
+// registered clients; the paper identifies it as the largest ARP source.
+// Expressed per simulated hour and scaled by the scenario's compression.
+const VernierARPPerHour = 360 // one sweep every 10 s of wall time
+
+// OfficeBroadcastPerHour is the per-infected-client rate of MS-Office
+// license broadcasts (footnote 6: almost 100,000 frames in the day trace).
+const OfficeBroadcastPerHour = 60
+
+// OfficeClientFraction is the share of clients running the broadcasting
+// Mac Office suite.
+const OfficeClientFraction = 0.08

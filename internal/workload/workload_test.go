@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	// Midday beats night; the curve is everywhere positive and bounded.
+	if DiurnalWeight(12) <= DiurnalWeight(3) {
+		t.Error("midday should beat 3am")
+	}
+	if DiurnalWeight(14) <= DiurnalWeight(21) {
+		t.Error("afternoon should beat late evening")
+	}
+	for h := 0.0; h < 24; h += 0.25 {
+		w := DiurnalWeight(h)
+		if w <= 0 || w > 1.01 {
+			t.Fatalf("weight(%f) = %f out of range", h, w)
+		}
+	}
+}
+
+func TestDiurnalWraps(t *testing.T) {
+	if DiurnalWeight(-1) != DiurnalWeight(23) {
+		t.Error("negative hours should wrap")
+	}
+	if DiurnalWeight(25) != DiurnalWeight(1) {
+		t.Error("hours ≥24 should wrap")
+	}
+}
+
+func TestMeetingBumps(t *testing.T) {
+	// On-the-hour bumps during the working day (Fig. 8b's burstiness).
+	if DiurnalWeight(13.05) <= DiurnalWeight(13.3) {
+		t.Error("on-the-hour bump missing")
+	}
+}
+
+func TestSampleSessionsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	overnight := 0
+	for i := 0; i < 500; i++ {
+		ss := SampleSessions(rng)
+		if len(ss) == 0 {
+			t.Fatal("no sessions")
+		}
+		for _, s := range ss {
+			if s.StartHour < 0 || s.StartHour >= 24 {
+				t.Fatalf("start hour %f", s.StartHour)
+			}
+			if s.Hours <= 0 {
+				t.Fatalf("duration %f", s.Hours)
+			}
+		}
+		if len(ss) == 1 && ss[0].Hours == 24 {
+			overnight++
+		}
+	}
+	// ~10% of clients are always-on devices.
+	if overnight < 20 || overnight > 100 {
+		t.Errorf("overnight clients = %d/500, want ≈50", overnight)
+	}
+}
+
+func TestSessionStartsFollowDiurnal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	day, night := 0, 0
+	for i := 0; i < 2000; i++ {
+		for _, s := range SampleSessions(rng) {
+			if s.Hours == 24 {
+				continue
+			}
+			if s.StartHour >= 10 && s.StartHour < 17 {
+				day++
+			}
+			if s.StartHour >= 0 && s.StartHour < 6 {
+				night++
+			}
+		}
+	}
+	if day <= night*2 {
+		t.Errorf("daytime starts (%d) should dominate nighttime (%d)", day, night)
+	}
+}
+
+func TestSampleFlowMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kinds := map[FlowKind]int{}
+	for i := 0; i < 5000; i++ {
+		fs := SampleFlow(rng)
+		kinds[fs.Kind]++
+		if fs.UpBytes <= 0 || fs.DownBytes <= 0 {
+			t.Fatalf("degenerate flow: %+v", fs)
+		}
+		switch fs.Kind {
+		case FlowWeb:
+			if fs.DownBytes < fs.UpBytes {
+				t.Fatalf("web flows download: %+v", fs)
+			}
+		case FlowSCP:
+			if fs.UpBytes < 10_000 && fs.DownBytes < 10_000 {
+				t.Fatalf("scp flows are bulk: %+v", fs)
+			}
+		}
+	}
+	if kinds[FlowWeb] < kinds[FlowSSH] || kinds[FlowSSH] < kinds[FlowSCP] {
+		t.Errorf("mix ordering wrong: %v", kinds)
+	}
+	for _, k := range []FlowKind{FlowWeb, FlowSSH, FlowSCP} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %v never sampled", k)
+		}
+	}
+}
+
+func TestFlowKindString(t *testing.T) {
+	if FlowWeb.String() != "web" || FlowSSH.String() != "ssh" || FlowSCP.String() != "scp" {
+		t.Error("kind names")
+	}
+}

@@ -1,0 +1,92 @@
+// Package jigsaw reproduces "Jigsaw: Solving the Puzzle of Enterprise
+// 802.11 Analysis" (Cheng, Bellardo, Benkö, Snoeren, Voelker, Savage —
+// SIGCOMM 2006) as a Go library.
+//
+// Jigsaw merges the traces of many passive 802.11 monitors into a single
+// globally synchronized trace and reconstructs every link-layer and
+// transport-layer conversation from it. This module implements the three
+// contributions of the paper — large-scale passive clock synchronization,
+// frame unification, and multi-layer reconstruction — together with the
+// entire substrate needed to exercise them without the authors' building:
+// a discrete-event 802.11b/g simulator (PHY propagation, DCF MAC, TCP
+// endpoints, a wired distribution network, imperfect monitor clocks, and a
+// diurnal enterprise workload).
+//
+// # Layout
+//
+//	internal/dot80211   802.11 frames, rates, airtime, protection math
+//	internal/clock      monitor clock models + skew/drift estimators
+//	internal/building   geometry, pod/AP placement
+//	internal/radio      propagation, SINR medium, carrier sense
+//	internal/sim        discrete-event engine
+//	internal/mac        DCF stations, APs, clients, protection policy
+//	internal/tcpsim     TCP endpoints + wired network
+//	internal/workload   diurnal activity and flow mix
+//	internal/tracefile  jigdump trace format (compressed blocks + index)
+//	internal/scenario   end-to-end simulation producing traces
+//	internal/timesync   §4.1 bootstrap synchronization
+//	internal/unify      §4.2 frame unification + continuous resync
+//	internal/llc        §5.1 attempts / frame exchanges / inference
+//	internal/transport  §5.2 TCP reconstruction + delivery oracle
+//	internal/core       the full pipeline
+//	internal/analysis   §6–7 experiments (all tables and figures)
+//	internal/baseline   beacon-only sync and naive-merge comparators
+//
+// The top-level facade re-exports the pieces a user of the library touches
+// most: simulate a deployment, run the pipeline, analyze the result.
+//
+// # Quick start
+//
+//	out, _ := jigsaw.Simulate(jigsaw.DefaultScenario())
+//	res, _ := jigsaw.Merge(out, jigsaw.DefaultPipeline())
+//	fmt.Println(jigsaw.Summarize(res))
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package jigsaw
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// ScenarioConfig parameterizes the simulated deployment.
+type ScenarioConfig = scenario.Config
+
+// ScenarioOutput bundles the traces, wired tap, ground truth and roster a
+// simulation produces.
+type ScenarioOutput = scenario.Output
+
+// PipelineConfig tunes the merge pipeline (search window, resync threshold,
+// skew compensation, retention).
+type PipelineConfig = core.Config
+
+// Result is the pipeline output: bootstrap state, unification statistics,
+// dispersion histogram, reconstruction stats and the transport analyzer.
+type Result = core.Result
+
+// DefaultScenario returns a laptop-scale deployment configuration.
+func DefaultScenario() ScenarioConfig { return scenario.Default() }
+
+// PaperScaleScenario returns the full 39-pod / 156-radio deployment.
+func PaperScaleScenario() ScenarioConfig { return scenario.PaperScale() }
+
+// DefaultPipeline returns the paper's pipeline operating point (10 ms
+// search window, 10 µs resync threshold, skew compensation on).
+func DefaultPipeline() PipelineConfig { return core.DefaultConfig() }
+
+// Simulate runs the substrate and returns per-radio traces plus ground
+// truth.
+func Simulate(cfg ScenarioConfig) (*ScenarioOutput, error) { return scenario.Run(cfg) }
+
+// Merge runs the Jigsaw pipeline over a simulation's traces.
+func Merge(out *ScenarioOutput, cfg PipelineConfig) (*Result, error) {
+	return core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, cfg, nil)
+}
+
+// Summarize builds the Table-1 style trace summary (requires
+// cfg.KeepJFrames during Merge).
+func Summarize(res *Result) string {
+	return analysis.Summarize(res, res.JFrames).String()
+}
