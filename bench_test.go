@@ -24,9 +24,25 @@ import (
 
 // benchState caches one scenario + pipeline run shared by all benchmarks
 // (regenerating the substrate per benchmark would swamp the measurements).
+// The cached pieces are treated as immutable: traces holds its own copy of
+// every trace's bytes (not views into out.Traces buffers), and tracesCopy
+// hands each benchmark iteration a fresh map, so re-running core.Run —
+// including from parallel benchmark goroutines — can never alias state that
+// another benchmark (or the cached res) still reads.
 type benchState struct {
-	out *scenario.Output
-	res *core.Result
+	out    *scenario.Output
+	res    *core.Result
+	traces map[int32][]byte
+}
+
+// tracesCopy returns a fresh radio→bytes map over the immutable trace
+// copies; callers may add or drop radios without affecting the cache.
+func (s *benchState) tracesCopy() map[int32][]byte {
+	m := make(map[int32][]byte, len(s.traces))
+	for k, v := range s.traces {
+		m[k] = v
+	}
+	return m
 }
 
 var (
@@ -46,25 +62,56 @@ func setupBench(b *testing.B) *benchState {
 		if err != nil {
 			panic(err)
 		}
+		traces := make(map[int32][]byte, len(out.Traces))
+		for r, buf := range out.Traces {
+			traces[r] = append([]byte(nil), buf.Bytes()...)
+		}
 		ccfg := core.DefaultConfig()
 		ccfg.KeepExchanges = true
 		ccfg.KeepJFrames = true
-		res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+		res, err := core.Run(traces, out.ClockGroups, ccfg, nil)
 		if err != nil {
 			panic(err)
 		}
-		bench = benchState{out: out, res: res}
+		bench = benchState{out: out, res: res, traces: traces}
 	})
 	return &bench
 }
 
 // BenchmarkMergeThroughput measures the §4 requirement: trace merging must
-// run faster than real time in a single pass. Reports events/sec and the
-// realtime multiple.
+// run faster than real time in a single pass. Pinned to the Workers=1
+// serial reference path; BenchmarkPipelineParallel is the multicore
+// counterpart. Reports events/sec and the realtime multiple.
 func BenchmarkMergeThroughput(b *testing.B) {
 	s := setupBench(b)
-	traces := core.TracesFromBuffers(s.out.Traces)
+	traces := s.tracesCopy()
 	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(traces, s.out.ClockGroups, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.UnifyStats.Events
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(events)/perOp, "events/s")
+	b.ReportMetric(s.out.Cfg.Day.SecondsF()/perOp, "x-realtime")
+}
+
+// BenchmarkPipelineParallel runs the identical workload through the sharded
+// pipeline at GOMAXPROCS workers; compare its events/s against
+// BenchmarkMergeThroughput's for the parallel speedup (the determinism test
+// guarantees the two paths produce identical results, so the comparison is
+// apples-to-apples).
+func BenchmarkPipelineParallel(b *testing.B) {
+	s := setupBench(b)
+	traces := s.tracesCopy()
+	cfg := core.DefaultConfig()
+	cfg.Workers = 0 // GOMAXPROCS
 	b.ResetTimer()
 	var events int64
 	for i := 0; i < b.N; i++ {
@@ -84,7 +131,7 @@ func BenchmarkMergeThroughput(b *testing.B) {
 // Figure 4 while measuring the unification cost.
 func BenchmarkFig4GroupDispersion(b *testing.B) {
 	s := setupBench(b)
-	traces := core.TracesFromBuffers(s.out.Traces)
+	traces := s.tracesCopy()
 	b.ResetTimer()
 	var p90, p99 int64
 	for i := 0; i < b.N; i++ {
@@ -206,7 +253,7 @@ func BenchmarkFig11TCPLoss(b *testing.B) {
 // skew/drift model on and off (§4.2: required at scale).
 func BenchmarkAblationSkewCompensation(b *testing.B) {
 	s := setupBench(b)
-	traces := core.TracesFromBuffers(s.out.Traces)
+	traces := s.tracesCopy()
 	for _, on := range []bool{true, false} {
 		name := "off"
 		if on {
@@ -233,7 +280,7 @@ func BenchmarkAblationSkewCompensation(b *testing.B) {
 // drop slow radios).
 func BenchmarkAblationSearchWindow(b *testing.B) {
 	s := setupBench(b)
-	traces := core.TracesFromBuffers(s.out.Traces)
+	traces := s.tracesCopy()
 	for _, winUS := range []int64{1_000, 10_000, 100_000} {
 		b.Run(formatUS(winUS), func(b *testing.B) {
 			cfg := core.DefaultConfig()
@@ -254,7 +301,7 @@ func BenchmarkAblationSearchWindow(b *testing.B) {
 // BenchmarkAblationResyncThreshold sweeps the 10 µs dispersion threshold.
 func BenchmarkAblationResyncThreshold(b *testing.B) {
 	s := setupBench(b)
-	traces := core.TracesFromBuffers(s.out.Traces)
+	traces := s.tracesCopy()
 	for _, thr := range []int64{1, 10, 100} {
 		b.Run(formatUS(thr), func(b *testing.B) {
 			cfg := core.DefaultConfig()
@@ -278,8 +325,8 @@ func BenchmarkAblationResyncThreshold(b *testing.B) {
 func BenchmarkBaselineBeaconSync(b *testing.B) {
 	s := setupBench(b)
 	var recs []tracefile.Record
-	for _, buf := range s.out.Traces {
-		rs, err := tracefile.ReadAll(bytes.NewReader(buf.Bytes()))
+	for _, blob := range s.traces {
+		rs, err := tracefile.ReadAll(bytes.NewReader(blob))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -318,8 +365,8 @@ func BenchmarkBaselineNaiveMerge(b *testing.B) {
 	s := setupBench(b)
 	traces := map[int32][]tracefile.Record{}
 	var total int
-	for radio, buf := range s.out.Traces {
-		rs, err := tracefile.ReadAll(bytes.NewReader(buf.Bytes()))
+	for radio, blob := range s.traces {
+		rs, err := tracefile.ReadAll(bytes.NewReader(blob))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -342,8 +389,8 @@ func BenchmarkUnifierOnly(b *testing.B) {
 	s := setupBench(b)
 	perRadio := map[int32][]tracefile.Record{}
 	var window []tracefile.Record
-	for radio, buf := range s.out.Traces {
-		rs, err := tracefile.ReadAll(bytes.NewReader(buf.Bytes()))
+	for radio, blob := range s.traces {
+		rs, err := tracefile.ReadAll(bytes.NewReader(blob))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -397,9 +444,9 @@ func BenchmarkTracefileRoundTrip(b *testing.B) {
 	s := setupBench(b)
 	var radio int32 = -1
 	var blob []byte
-	for r, buf := range s.out.Traces {
-		if blob == nil || buf.Len() > len(blob) {
-			radio, blob = r, buf.Bytes()
+	for r, bs := range s.traces {
+		if blob == nil || len(bs) > len(blob) {
+			radio, blob = r, bs
 		}
 	}
 	_ = radio

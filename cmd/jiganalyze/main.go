@@ -31,6 +31,7 @@ func main() {
 		day     = flag.Duration("day", 120*time.Second, "compressed day")
 		seed    = flag.Int64("seed", 1, "seed")
 		exp     = flag.String("exp", "all", "which analysis to print")
+		workers = flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ccfg := core.DefaultConfig()
+	ccfg.Workers = *workers
 	ccfg.KeepExchanges = true
 	ccfg.KeepJFrames = true
 	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)

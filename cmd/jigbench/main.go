@@ -3,17 +3,32 @@
 // each, in the order they appear in the paper. This is the harness behind
 // EXPERIMENTS.md.
 //
+// With -sweep it becomes a batch harness instead: it fans a list of
+// scenario configurations (the cartesian product of deployments, 802.11b
+// fractions and seeds) across a worker pool, runs the full
+// simulate-merge-analyze pipeline on each, and emits one JSON row per
+// scenario — the config-sweep workload for studying how the system behaves
+// across operating points.
+//
 // Usage:
 //
 //	jigbench                 # default reduced scale (fast)
 //	jigbench -paperscale     # 39 pods / 156 radios / 39 APs
 //	jigbench -fig 9          # a single figure
+//	jigbench -workers 8      # pipeline parallelism (0 = GOMAXPROCS)
+//
+//	jigbench -sweep -sweep-pods 6,9,12 -sweep-bfrac 0.1,0.3 \
+//	         -sweep-seeds 1,2,3 -sweep-day 60s -workers 4
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -30,15 +45,233 @@ func main() {
 		paperscale = flag.Bool("paperscale", false, "full 39-pod deployment")
 		fig        = flag.String("fig", "all", "which figure/table: 2,4,6,7,8,9,10,11,table1,all")
 		seed       = flag.Int64("seed", 3, "seed")
+		workers    = flag.Int("workers", 0, "pipeline workers in figure mode / pool size in sweep mode (0 = GOMAXPROCS)")
+
+		sweep        = flag.Bool("sweep", false, "batch mode: sweep scenario configs, one JSON row each")
+		sweepPods    = flag.String("sweep-pods", "6,9,12", "comma-separated pod counts")
+		sweepAPs     = flag.String("sweep-aps", "", "AP counts parallel to -sweep-pods (default: same as pods)")
+		sweepClients = flag.String("sweep-clients", "", "client counts parallel to -sweep-pods (default: 2x pods)")
+		sweepBFrac   = flag.String("sweep-bfrac", "0.3", "comma-separated 802.11b client fractions")
+		sweepSeeds   = flag.String("sweep-seeds", "1,2,3", "comma-separated seeds")
+		sweepDay     = flag.Duration("sweep-day", 60*time.Second, "compressed day per scenario")
+		mergeWorkers = flag.Int("merge-workers", 1, "pipeline workers inside each sweep scenario (1 keeps the pool unoversubscribed)")
 	)
 	flag.Parse()
 
+	if *sweep {
+		runSweep(sweepArgs{
+			pods: *sweepPods, aps: *sweepAPs, clients: *sweepClients,
+			bfrac: *sweepBFrac, seeds: *sweepSeeds, day: *sweepDay,
+			poolWorkers: *workers, mergeWorkers: *mergeWorkers,
+		})
+		return
+	}
+	runFigures(*paperscale, *fig, *seed, *workers)
+}
+
+// sweepArgs collects the batch-mode flag values.
+type sweepArgs struct {
+	pods, aps, clients string
+	bfrac, seeds       string
+	day                time.Duration
+	poolWorkers        int
+	mergeWorkers       int
+}
+
+// sweepRow is one scenario's JSON record: its operating point plus the
+// headline metrics of every pipeline stage.
+type sweepRow struct {
+	Pods      int     `json:"pods"`
+	Radios    int     `json:"radios"`
+	APs       int     `json:"aps"`
+	Clients   int     `json:"clients"`
+	BFraction float64 `json:"b_fraction"`
+	Seed      int64   `json:"seed"`
+	DaySec    float64 `json:"day_sec"`
+
+	MonitorRecords  int64   `json:"monitor_records"`
+	Transmissions   int     `json:"transmissions"`
+	JFrames         int64   `json:"jframes"`
+	Exchanges       int64   `json:"exchanges"`
+	Flows           int64   `json:"flows"`
+	CompleteFlows   int64   `json:"complete_flows"`
+	DispersionP90US int64   `json:"dispersion_p90_us"`
+	DispersionP99US int64   `json:"dispersion_p99_us"`
+	CoverageOverall float64 `json:"coverage_overall"`
+	WirelessShare   float64 `json:"tcp_wireless_loss_share"`
+	MergeMS         int64   `json:"merge_ms"`
+	XRealtime       float64 `json:"x_realtime"`
+	Err             string  `json:"err,omitempty"`
+}
+
+// runSweep fans the config grid across scenario.RunBatch and prints one
+// JSON row per scenario, in grid order, to stdout.
+func runSweep(a sweepArgs) {
+	pods := parseInts(a.pods)
+	if len(pods) == 0 {
+		log.Fatal("sweep: empty -sweep-pods")
+	}
+	aps := parseIntsDefault(a.aps, pods, func(p int) int { return p })
+	clients := parseIntsDefault(a.clients, pods, func(p int) int { return 2 * p })
+	bfracs := parseFloats(a.bfrac)
+	seeds := parseInts64(a.seeds)
+	if len(bfracs) == 0 || len(seeds) == 0 {
+		log.Fatal("sweep: empty -sweep-bfrac or -sweep-seeds")
+	}
+
+	var cfgs []scenario.Config
+	for i, p := range pods {
+		for _, bf := range bfracs {
+			for _, sd := range seeds {
+				cfg := scenario.Default()
+				cfg.Pods, cfg.APs, cfg.Clients = p, aps[i], clients[i]
+				cfg.BFraction = bf
+				cfg.Seed = sd
+				cfg.Day = sim.Time(a.day.Nanoseconds())
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	log.Printf("sweep: %d scenarios (%d deployments x %d b-fractions x %d seeds), pool=%d",
+		len(cfgs), len(pods), len(bfracs), len(seeds), a.poolWorkers)
+
+	rows := make([]sweepRow, len(cfgs))
+	t0 := time.Now()
+	results := scenario.RunBatch(cfgs, a.poolWorkers, func(idx int, out *scenario.Output) error {
+		rows[idx] = measureScenario(out, a.mergeWorkers)
+		return nil
+	})
+	for i, r := range results {
+		rows[i].Pods = cfgs[i].Pods
+		rows[i].APs = cfgs[i].APs
+		rows[i].Clients = cfgs[i].Clients
+		rows[i].BFraction = cfgs[i].BFraction
+		rows[i].Seed = cfgs[i].Seed
+		rows[i].DaySec = cfgs[i].Day.SecondsF()
+		if r.Err != nil {
+			rows[i].Err = r.Err.Error()
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("sweep: done in %v", time.Since(t0).Round(time.Millisecond))
+}
+
+// measureScenario runs the pipeline over one scenario's traces and distills
+// the row metrics. Runs inside the batch pool.
+func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
+	var row sweepRow
+	row.Radios = len(out.Traces) // the true monitor count (0 on scenario error)
+	row.MonitorRecords = out.MonitorRecords
+	row.Transmissions = len(out.Truth)
+
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = mergeWorkers
+	ccfg.KeepExchanges = true
+	t1 := time.Now()
+	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	mergeDur := time.Since(t1)
+
+	row.JFrames = res.UnifyStats.JFrames
+	row.Exchanges = res.LLCStats.Exchanges
+	row.Flows = res.Transport.Stats.Flows
+	row.CompleteFlows = res.Transport.Stats.CompleteFlows
+	row.DispersionP90US = res.Dispersion.Percentile(0.90)
+	row.DispersionP99US = res.Dispersion.Percentile(0.99)
+	row.CoverageOverall = analysis.Coverage(out, res.Exchanges).Overall
+	rep := analysis.TCPLoss(flowLosses(res))
+	row.WirelessShare = rep.WirelessShare
+	row.MergeMS = mergeDur.Milliseconds()
+	row.XRealtime = out.Cfg.Day.SecondsF() / mergeDur.Seconds()
+	return row
+}
+
+// flowLosses adapts transport loss rates to the analysis package's rows.
+func flowLosses(res *core.Result) []analysis.FlowLoss {
+	var rates []analysis.FlowLoss
+	for _, r := range res.Transport.LossRates(5) {
+		rates = append(rates, analysis.FlowLoss{
+			DataSegs: r.DataSegs, Losses: r.Losses,
+			WirelessLoss: r.WirelessLoss, WiredLoss: r.WiredLoss, LossRate: r.LossRate,
+		})
+	}
+	return rates
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			log.Fatalf("sweep: bad int %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// parseIntsDefault parses a list parallel to base, deriving missing entries
+// with fn.
+func parseIntsDefault(s string, base []int, fn func(int) int) []int {
+	if strings.TrimSpace(s) == "" {
+		out := make([]int, len(base))
+		for i, b := range base {
+			out[i] = fn(b)
+		}
+		return out
+	}
+	out := parseInts(s)
+	if len(out) != len(base) {
+		log.Fatalf("sweep: list %q must parallel -sweep-pods (%d entries)", s, len(base))
+	}
+	return out
+}
+
+func parseInts64(s string) []int64 {
+	var out []int64
+	for _, v := range parseInts(s) {
+		out = append(out, int64(v))
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			log.Fatalf("sweep: bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// runFigures is the original paper-vs-measured mode.
+func runFigures(paperscale bool, fig string, seed int64, workers int) {
 	cfg := scenario.Default()
-	cfg.Seed = *seed
+	cfg.Seed = seed
 	cfg.BFraction = 0.3
-	if *paperscale {
+	if paperscale {
 		cfg = scenario.PaperScale()
-		cfg.Seed = *seed
+		cfg.Seed = seed
 	} else {
 		cfg.Pods, cfg.APs, cfg.Clients = 12, 12, 24
 		cfg.Day = 120 * sim.Second
@@ -55,6 +288,7 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), out.MonitorRecords, len(out.Truth))
 
 	ccfg := core.DefaultConfig()
+	ccfg.Workers = workers
 	ccfg.KeepExchanges = true
 	ccfg.KeepJFrames = true
 	t1 := time.Now()
@@ -64,7 +298,7 @@ func main() {
 	}
 	mergeTime := time.Since(t1)
 
-	want := func(f string) bool { return *fig == "all" || *fig == f }
+	want := func(f string) bool { return fig == "all" || fig == f }
 	line := func(id, what, paper, measured string) {
 		fmt.Printf("%-8s %-42s paper: %-22s measured: %s\n", id, what, paper, measured)
 	}
@@ -154,14 +388,7 @@ func main() {
 			fmt.Sprintf("%.2f", rep.PotentialSpeedup))
 	}
 	if want("11") {
-		var rates []analysis.FlowLoss
-		for _, r := range res.Transport.LossRates(5) {
-			rates = append(rates, analysis.FlowLoss{
-				DataSegs: r.DataSegs, Losses: r.Losses,
-				WirelessLoss: r.WirelessLoss, WiredLoss: r.WiredLoss, LossRate: r.LossRate,
-			})
-		}
-		rep := analysis.TCPLoss(rates)
+		rep := analysis.TCPLoss(flowLosses(res))
 		line("Fig 11", "wireless share of TCP loss", "dominant",
 			fmt.Sprintf("%.0f%% (%d losses over %d flows)", 100*rep.WirelessShare, rep.TotalLosses, rep.Flows))
 	}
@@ -170,7 +397,7 @@ func main() {
 		fmt.Println("\nFig 2: synchronized trace visualization")
 		fmt.Print(analysis.Visualize(res.JFrames, from, from+4000, 96))
 	}
-	if want("§4") || *fig == "all" {
+	if want("§4") || fig == "all" {
 		span := res.JFrames[len(res.JFrames)-1].UnivUS - res.JFrames[0].UnivUS
 		line("§4", "merge faster than real time", "required",
 			fmt.Sprintf("%.1fx (%v for %s of trace)", float64(span)/float64(mergeTime.Microseconds()),

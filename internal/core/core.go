@@ -1,4 +1,4 @@
-// Package core wires Jigsaw's stages into the single pipeline the paper
+// Package core wires Jigsaw's stages into the pipeline the paper
 // describes: bootstrap synchronization over the first window of every
 // per-radio trace (§4.1), streaming frame unification with continuous
 // resynchronization (§4.2), link-layer reconstruction into transmission
@@ -7,14 +7,40 @@
 //
 // The pipeline operates in a single pass over the trace data (after the
 // bootstrap pre-scan), the property that lets the real system run online,
-// faster than real time.
+// faster than real time. With Config.Workers > 1 the pass is spread across
+// the machine:
+//
+//   - the bootstrap pre-scan decodes each radio's first window concurrently
+//     (every radio's window is independent);
+//   - per-radio trace decompression is prefetched by background readers;
+//   - unification (inherently serial: one priority queue over all radios)
+//     runs on Run's caller goroutine as the router, streaming jframes over
+//     channels to
+//   - link-layer reconstruction, sharded by conversation key (the
+//     transmitter MAC that owns all reconstructor state a frame can touch)
+//     across Workers reconstructors, whose exchanges are
+//   - merged back into one canonical close-order stream by a
+//     watermark-driven heap, feeding
+//   - transport analysis, sharded by TCP flow 4-tuple so both directions of
+//     a connection land in one analyzer.
+//
+// Sharding is result-invariant: each reconstructor sees exactly the frame
+// subsequence that can touch its state, exchanges carry deterministic close
+// stamps (llc.Exchange.CloseUS), and the merged stream is released in
+// canonical (CloseUS, ...) order — so a parallel run's Result is identical
+// to the serial (Workers == 1) reference path, which the tests assert.
 package core
 
 import (
 	"bytes"
+	"container/heap"
 	"fmt"
 	"io"
+	"math"
+	"runtime"
+	"sync"
 
+	"repro/internal/dot80211"
 	"repro/internal/llc"
 	"repro/internal/timesync"
 	"repro/internal/tracefile"
@@ -35,9 +61,15 @@ type Config struct {
 	KeepExchanges bool
 	// KeepJFrames retains all jframes (for visualization and small runs).
 	KeepJFrames bool
+	// Workers sets the pipeline's parallelism: 0 uses GOMAXPROCS, 1 runs
+	// the single-goroutine serial reference path, and larger values shard
+	// reconstruction and transport analysis across that many workers.
+	// Results are identical at every setting.
+	Workers int
 }
 
-// DefaultConfig returns the paper's defaults.
+// DefaultConfig returns the paper's defaults (Workers auto-sizes to the
+// machine).
 func DefaultConfig() Config {
 	return Config{
 		Unify:             unify.DefaultConfig(),
@@ -46,6 +78,10 @@ func DefaultConfig() Config {
 }
 
 // Sink receives pipeline products as they stream. Any callback may be nil.
+// With Workers > 1, OnJFrame fires from the goroutine driving unification
+// (Run's caller) and OnExchange from the merge goroutine: each callback is
+// invoked serially and in stream order, but the two may run concurrently
+// with each other.
 type Sink struct {
 	OnJFrame   func(*unify.JFrame)
 	OnExchange func(*llc.Exchange)
@@ -95,7 +131,9 @@ type Result struct {
 	Transport  *transport.Analyzer
 	Dispersion DispersionHistogram
 
-	// Retained products (per Config).
+	// Retained products (per Config). Exchanges are in canonical close
+	// order (llc.Exchange.CloseUS with deterministic tiebreaks), the same
+	// order the transport analyzer consumed them in.
 	JFrames   []*unify.JFrame
 	Exchanges []*llc.Exchange
 }
@@ -116,13 +154,18 @@ func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink)
 	if sink == nil {
 		sink = &Sink{}
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	// Phase 1: bootstrap over each trace's first window.
+	// Phase 1: bootstrap over each trace's first window, pre-scanning the
+	// independent per-radio windows concurrently.
 	readers := make(map[int32]*tracefile.Reader, len(traces))
 	for r, b := range traces {
 		readers[r] = tracefile.NewReader(bytes.NewReader(b))
 	}
-	window, err := timesync.CollectWindow(readers, cfg.BootstrapWindowUS)
+	window, err := timesync.CollectWindowParallel(readers, cfg.BootstrapWindowUS, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: bootstrap window: %w", err)
 	}
@@ -131,7 +174,83 @@ func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink)
 		return nil, fmt.Errorf("core: bootstrap: %w", err)
 	}
 
+	res := &Result{
+		Bootstrap: boot,
+		Dispersion: DispersionHistogram{
+			Bins: make([]int64, 1000),
+		},
+	}
+
 	// Phase 2: single pass — unify, reconstruct, analyze.
+	if workers <= 1 {
+		err = runSerial(traces, boot, cfg, sink, res)
+	} else {
+		err = runParallel(traces, boot, cfg, sink, res, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// observeJFrame applies the per-jframe bookkeeping every driver shares.
+func observeJFrame(res *Result, cfg Config, sink *Sink, j *unify.JFrame) {
+	if len(j.Instances) >= 2 {
+		res.Dispersion.Add(j.DispersionUS)
+	}
+	if sink.OnJFrame != nil {
+		sink.OnJFrame(j)
+	}
+	if cfg.KeepJFrames {
+		res.JFrames = append(res.JFrames, j)
+	}
+}
+
+// deliverExchange applies the per-exchange bookkeeping every driver shares.
+// Both drivers call it in canonical close order.
+func deliverExchange(res *Result, cfg Config, sink *Sink, ex *llc.Exchange) {
+	if sink.OnExchange != nil {
+		sink.OnExchange(ex)
+	}
+	if cfg.KeepExchanges {
+		res.Exchanges = append(res.Exchanges, ex)
+	}
+}
+
+// exchangeLess is the canonical exchange order: close stamp first, then
+// deterministic tiebreaks. Both the serial sort and the parallel merge heap
+// use it, so the two paths feed the transport analyzer one identical stream.
+func exchangeLess(a, b *llc.Exchange) bool {
+	if a.CloseUS != b.CloseUS {
+		return a.CloseUS < b.CloseUS
+	}
+	if a.StartUS != b.StartUS {
+		return a.StartUS < b.StartUS
+	}
+	if a.EndUS != b.EndUS {
+		return a.EndUS < b.EndUS
+	}
+	if c := bytes.Compare(a.Transmitter[:], b.Transmitter[:]); c != 0 {
+		return c < 0
+	}
+	if c := bytes.Compare(a.Receiver[:], b.Receiver[:]); c != 0 {
+		return c < 0
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Delivery != b.Delivery {
+		return a.Delivery < b.Delivery
+	}
+	return len(a.Attempts) < len(b.Attempts)
+}
+
+// runSerial is the single-goroutine reference path: one reconstructor over
+// the whole jframe stream, its exchanges released to one transport analyzer
+// in canonical close order as the reconstructor's watermark advances — the
+// same streaming release rule the parallel merger uses, so the pass stays
+// online with bounded buffering.
+func runSerial(traces map[int32][]byte, boot *timesync.Result, cfg Config, sink *Sink, res *Result) error {
 	sources := make(map[int32]unify.Source, len(traces))
 	for r, b := range traces {
 		sources[r] = &readerSource{r: tracefile.NewReader(bytes.NewReader(b))}
@@ -139,52 +258,274 @@ func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink)
 	u := unify.New(cfg.Unify, sources, boot)
 	rec := llc.NewReconstructor()
 	ta := transport.NewAnalyzer()
-
-	res := &Result{
-		Bootstrap: boot,
-		Transport: ta,
-		Dispersion: DispersionHistogram{
-			Bins: make([]int64, 1000),
-		},
-	}
-
-	consume := func(exs []*llc.Exchange) {
-		for _, ex := range exs {
+	h := &exchangeHeap{}
+	release := func(limit int64) {
+		for h.Len() > 0 && (*h)[0].ex.CloseUS < limit {
+			ex := heap.Pop(h).(routedExchange).ex
+			deliverExchange(res, cfg, sink, ex)
 			ta.AddExchange(ex)
-			if sink.OnExchange != nil {
-				sink.OnExchange(ex)
-			}
-			if cfg.KeepExchanges {
-				res.Exchanges = append(res.Exchanges, ex)
-			}
 		}
 	}
-
 	for {
 		j, err := u.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: unify: %w", err)
+			return fmt.Errorf("core: unify: %w", err)
 		}
-		if len(j.Instances) >= 2 {
-			res.Dispersion.Add(j.DispersionUS)
-		}
-		if sink.OnJFrame != nil {
-			sink.OnJFrame(j)
-		}
-		if cfg.KeepJFrames {
-			res.JFrames = append(res.JFrames, j)
-		}
+		observeJFrame(res, cfg, sink, j)
 		rec.Process(j)
-		consume(rec.Take())
+		for _, ex := range rec.Take() {
+			heap.Push(h, routedExchange{ex: ex})
+		}
+		release(rec.Watermark())
 	}
-	consume(rec.Flush())
-
+	for _, ex := range rec.Flush() {
+		heap.Push(h, routedExchange{ex: ex})
+	}
+	release(math.MaxInt64)
+	res.Transport = ta
 	res.UnifyStats = u.Stats
 	res.LLCStats = rec.Stats
-	return res, nil
+	return nil
+}
+
+// Parallel-path tuning. tickEvery bounds how stale an idle shard's clock
+// (and hence the release watermark) can get; the batch sizes amortize
+// channel synchronization without adding meaningful latency.
+const (
+	tickEvery     = 64
+	stageChanBuf  = 128
+	exchangeBatch = 128
+	flushEvery    = 32
+	prefetchBatch = 256
+)
+
+// llcMsg carries either a jframe or a clock tick to a reconstruction shard.
+type llcMsg struct {
+	j      *unify.JFrame
+	tickUS int64
+}
+
+// routedExchange pairs an exchange with its transport shard, computed in
+// the llc workers so the single merge goroutine stays decode-free.
+type routedExchange struct {
+	ex    *llc.Exchange
+	shard int
+}
+
+// mergeMsg carries a shard's newly closed exchanges and its watermark (a
+// lower bound on every CloseUS it can still emit) to the merger. stats is
+// non-nil on the shard's final message.
+type mergeMsg struct {
+	worker    int
+	exchanges []routedExchange
+	watermark int64
+	stats     *llc.Stats
+}
+
+// runParallel is the sharded pipeline: unification streams jframes to
+// conversation-keyed reconstruction shards, a watermark-driven heap merges
+// their exchanges back into canonical close order, and flow-keyed transport
+// shards consume the merged stream — all stages overlapping.
+func runParallel(traces map[int32][]byte, boot *timesync.Result, cfg Config, sink *Sink, res *Result, workers int) error {
+	// Per-radio prefetchers decompress each trace in the background; only
+	// synchronized radios get one (the unifier skips the rest, and an
+	// unconsumed prefetcher would leak its goroutine).
+	sources := make(map[int32]unify.Source, len(traces))
+	for r, b := range traces {
+		if _, ok := boot.OffsetUS[r]; ok {
+			sources[r] = newPrefetchSource(b)
+		}
+	}
+	u := unify.New(cfg.Unify, sources, boot)
+
+	llcIn := make([]chan llcMsg, workers)
+	for i := range llcIn {
+		llcIn[i] = make(chan llcMsg, stageChanBuf)
+	}
+	merged := make(chan mergeMsg, workers*2)
+	var llcWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		llcWG.Add(1)
+		go func(id int) {
+			defer llcWG.Done()
+			llcShardWorker(id, workers, llcIn[id], merged)
+		}(w)
+	}
+	go func() {
+		llcWG.Wait()
+		close(merged)
+	}()
+
+	tIn := make([]chan *llc.Exchange, workers)
+	for i := range tIn {
+		tIn[i] = make(chan *llc.Exchange, stageChanBuf)
+	}
+	analyzers := make([]*transport.Analyzer, workers)
+	var tWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tWG.Add(1)
+		go func(id int) {
+			defer tWG.Done()
+			ta := transport.NewAnalyzer()
+			for ex := range tIn[id] {
+				ta.AddExchange(ex)
+			}
+			analyzers[id] = ta
+		}(w)
+	}
+
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		mergeExchanges(merged, tIn, res, cfg, sink, workers)
+	}()
+
+	// Router (this goroutine): drive unification, observe every jframe,
+	// dispatch valid ones to their conversation's shard, and tick all
+	// shards periodically so quiet ones expire state and advance their
+	// watermarks just as an unsharded reconstructor would.
+	var uerr error
+	count := 0
+	for {
+		j, err := u.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			uerr = fmt.Errorf("core: unify: %w", err)
+			break
+		}
+		observeJFrame(res, cfg, sink, j)
+		if j.Valid {
+			shard := int(macHash(llc.ConversationKey(j)) % uint64(workers))
+			llcIn[shard] <- llcMsg{j: j}
+		}
+		count++
+		if count%tickEvery == 0 {
+			for i := range llcIn {
+				llcIn[i] <- llcMsg{tickUS: j.UnivUS}
+			}
+		}
+	}
+	for i := range llcIn {
+		close(llcIn[i])
+	}
+	<-mergeDone
+	tWG.Wait()
+	if uerr != nil {
+		return uerr
+	}
+
+	ta := analyzers[0]
+	for _, o := range analyzers[1:] {
+		ta.Absorb(o)
+	}
+	res.Transport = ta
+	res.UnifyStats = u.Stats
+	return nil
+}
+
+// llcShardWorker runs one conversation shard's reconstructor, forwarding
+// closed exchanges (pre-routed to their transport shard) and watermarks to
+// the merger in batches.
+func llcShardWorker(id, tShards int, in <-chan llcMsg, out chan<- mergeMsg) {
+	rec := llc.NewReconstructor()
+	var batch []routedExchange
+	route := func(exs []*llc.Exchange) {
+		for _, ex := range exs {
+			batch = append(batch, routedExchange{ex: ex, shard: transport.FlowShard(ex, tShards)})
+		}
+	}
+	msgs := 0
+	for m := range in {
+		if m.j != nil {
+			rec.Process(m.j)
+		} else {
+			rec.Tick(m.tickUS)
+		}
+		route(rec.Take())
+		msgs++
+		if msgs >= flushEvery || len(batch) >= exchangeBatch {
+			out <- mergeMsg{worker: id, exchanges: batch, watermark: rec.Watermark()}
+			batch, msgs = nil, 0
+		}
+	}
+	route(rec.Flush())
+	st := rec.Stats
+	out <- mergeMsg{worker: id, exchanges: batch, watermark: math.MaxInt64, stats: &st}
+}
+
+// exchangeHeap orders routed exchanges by the canonical close key.
+type exchangeHeap []routedExchange
+
+func (h exchangeHeap) Len() int           { return len(h) }
+func (h exchangeHeap) Less(i, j int) bool { return exchangeLess(h[i].ex, h[j].ex) }
+func (h exchangeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *exchangeHeap) Push(x any)        { *h = append(*h, x.(routedExchange)) }
+func (h *exchangeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = routedExchange{}
+	*h = old[:n-1]
+	return e
+}
+
+// mergeExchanges re-serializes the shards' exchange streams into canonical
+// close order. An exchange is released once its close stamp lies strictly
+// below every shard's watermark — at that point no shard can still emit an
+// earlier one — then routed to its flow's transport shard. Closes the
+// transport channels when all shards have finished.
+func mergeExchanges(in <-chan mergeMsg, tIn []chan *llc.Exchange, res *Result, cfg Config, sink *Sink, workers int) {
+	wm := make([]int64, workers)
+	for i := range wm {
+		wm[i] = math.MinInt64
+	}
+	h := &exchangeHeap{}
+	release := func(limit int64) {
+		for h.Len() > 0 && (*h)[0].ex.CloseUS < limit {
+			re := heap.Pop(h).(routedExchange)
+			deliverExchange(res, cfg, sink, re.ex)
+			tIn[re.shard] <- re.ex
+		}
+	}
+	for m := range in {
+		for _, re := range m.exchanges {
+			heap.Push(h, re)
+		}
+		if m.watermark > wm[m.worker] {
+			wm[m.worker] = m.watermark
+		}
+		if m.stats != nil {
+			res.LLCStats.Add(*m.stats)
+		}
+		low := wm[0]
+		for _, v := range wm[1:] {
+			if v < low {
+				low = v
+			}
+		}
+		release(low)
+	}
+	release(math.MaxInt64)
+	for i := range tIn {
+		close(tIn[i])
+	}
+}
+
+// macHash is FNV-1a over a MAC address, for shard routing — hand-rolled
+// because it runs once per valid jframe and hash/fnv's interface-based
+// hasher would allocate on this hot path.
+func macHash(m dot80211.MAC) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range m {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // readerSource adapts tracefile.Reader to unify.Source.
@@ -193,6 +534,54 @@ type readerSource struct {
 }
 
 func (s *readerSource) Next() (tracefile.Record, error) { return s.r.Next() }
+
+// prefetchSource decodes a radio's compressed trace in a background
+// goroutine, handing record batches to the unifier through a channel so
+// per-radio decompression overlaps with unification (and with every other
+// radio's decompression). Read errors end the stream early, matching the
+// unifier's drop-radio-on-error behaviour for direct readers.
+type prefetchSource struct {
+	ch  <-chan []tracefile.Record
+	cur []tracefile.Record
+	i   int
+}
+
+func newPrefetchSource(b []byte) *prefetchSource {
+	ch := make(chan []tracefile.Record, 4)
+	go func() {
+		defer close(ch)
+		r := tracefile.NewReader(bytes.NewReader(b))
+		batch := make([]tracefile.Record, 0, prefetchBatch)
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				if len(batch) > 0 {
+					ch <- batch
+				}
+				return
+			}
+			batch = append(batch, rec)
+			if len(batch) == prefetchBatch {
+				ch <- batch
+				batch = make([]tracefile.Record, 0, prefetchBatch)
+			}
+		}
+	}()
+	return &prefetchSource{ch: ch}
+}
+
+func (s *prefetchSource) Next() (tracefile.Record, error) {
+	for s.i >= len(s.cur) {
+		cur, ok := <-s.ch
+		if !ok {
+			return tracefile.Record{}, io.EOF
+		}
+		s.cur, s.i = cur, 0
+	}
+	rec := s.cur[s.i]
+	s.i++
+	return rec, nil
+}
 
 // TracesFromBuffers converts the scenario's buffer map into the byte map
 // Run consumes.

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/transport"
+)
+
+// flowSummary condenses one reconstructed flow for cross-run comparison.
+type flowSummary struct {
+	handshake      bool
+	firstUS        int64
+	lastUS         int64
+	observations   int
+	retransmission int
+	resolved       int
+	rttSamples     int
+}
+
+func summarizeFlows(ta *transport.Analyzer) map[tcpsim.FlowKey]flowSummary {
+	out := make(map[tcpsim.FlowKey]flowSummary)
+	for _, f := range ta.Flows() {
+		s := flowSummary{
+			handshake:    f.HandshakeComplete,
+			firstUS:      f.FirstUS,
+			lastUS:       f.LastUS,
+			observations: len(f.Observations),
+		}
+		for _, o := range f.Observations {
+			if o.Retransmission {
+				s.retransmission++
+			}
+			if o.ResolvedDelivered {
+				s.resolved++
+			}
+		}
+		for _, ss := range f.RTTSamplesUS {
+			s.rttSamples += len(ss)
+		}
+		out[f.Key] = s
+	}
+	return out
+}
+
+// requireIdentical asserts two pipeline results agree on everything the
+// paper's analyses consume: unification stats, dispersion histogram,
+// jframe count, the exact canonical exchange sequence, reconstruction
+// stats, transport stats and per-flow summaries.
+func requireIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.UnifyStats != b.UnifyStats {
+		t.Errorf("%s: unify stats differ:\n  a=%+v\n  b=%+v", label, a.UnifyStats, b.UnifyStats)
+	}
+	if a.LLCStats != b.LLCStats {
+		t.Errorf("%s: llc stats differ:\n  a=%+v\n  b=%+v", label, a.LLCStats, b.LLCStats)
+	}
+	if a.Dispersion.Total != b.Dispersion.Total || a.Dispersion.Tail != b.Dispersion.Tail {
+		t.Errorf("%s: dispersion totals differ: %d/%d vs %d/%d", label,
+			a.Dispersion.Total, a.Dispersion.Tail, b.Dispersion.Total, b.Dispersion.Tail)
+	}
+	for i := range a.Dispersion.Bins {
+		if a.Dispersion.Bins[i] != b.Dispersion.Bins[i] {
+			t.Errorf("%s: dispersion bin %d differs: %d vs %d", label, i,
+				a.Dispersion.Bins[i], b.Dispersion.Bins[i])
+			break
+		}
+	}
+	if len(a.JFrames) != len(b.JFrames) {
+		t.Errorf("%s: jframe count differs: %d vs %d", label, len(a.JFrames), len(b.JFrames))
+	}
+	if len(a.Exchanges) != len(b.Exchanges) {
+		t.Fatalf("%s: exchange count differs: %d vs %d", label, len(a.Exchanges), len(b.Exchanges))
+	}
+	for i := range a.Exchanges {
+		x, y := a.Exchanges[i], b.Exchanges[i]
+		if x.CloseUS != y.CloseUS || x.StartUS != y.StartUS || x.EndUS != y.EndUS ||
+			x.Transmitter != y.Transmitter || x.Receiver != y.Receiver ||
+			x.Seq != y.Seq || x.Broadcast != y.Broadcast ||
+			x.Delivery != y.Delivery || x.Inferred != y.Inferred ||
+			len(x.Attempts) != len(y.Attempts) {
+			t.Fatalf("%s: exchange %d differs:\n  a=%+v\n  b=%+v", label, i, x, y)
+		}
+	}
+	if a.Transport.Stats != b.Transport.Stats {
+		t.Errorf("%s: transport stats differ:\n  a=%+v\n  b=%+v", label,
+			a.Transport.Stats, b.Transport.Stats)
+	}
+	fa, fb := summarizeFlows(a.Transport), summarizeFlows(b.Transport)
+	if len(fa) != len(fb) {
+		t.Fatalf("%s: flow count differs: %d vs %d", label, len(fa), len(fb))
+	}
+	for k, sa := range fa {
+		sb, ok := fb[k]
+		if !ok {
+			t.Errorf("%s: flow %v missing from second run", label, k)
+			continue
+		}
+		if sa != sb {
+			t.Errorf("%s: flow %v differs: %+v vs %+v", label, k, sa, sb)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract of the sharded
+// pipeline: across seeds and shard counts, Workers=N must produce results
+// identical to the Workers=1 serial reference path.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := scenario.Default()
+			cfg.Seed = seed
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
+			cfg.Day = 30 * sim.Second
+			out, err := scenario.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces := TracesFromBuffers(out.Traces)
+
+			run := func(workers int) *Result {
+				ccfg := DefaultConfig()
+				ccfg.Workers = workers
+				ccfg.KeepExchanges = true
+				ccfg.KeepJFrames = true
+				res, err := Run(traces, out.ClockGroups, ccfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+
+			serial := run(1)
+			for _, w := range []int{2, 4} {
+				requireIdentical(t, fmt.Sprintf("workers=%d", w), serial, run(w))
+			}
+		})
+	}
+}
+
+// TestParallelExchangeOrderCanonical asserts the retained exchange slice is
+// in canonical close order (the order the transport analyzer consumed).
+func TestParallelExchangeOrderCanonical(t *testing.T) {
+	out := scenarioOut(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+	cfg.KeepExchanges = true
+	res, err := Run(TracesFromBuffers(out.Traces), out.ClockGroups, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exchanges) == 0 {
+		t.Fatal("no exchanges")
+	}
+	for i := 1; i < len(res.Exchanges); i++ {
+		if exchangeLess(res.Exchanges[i], res.Exchanges[i-1]) {
+			t.Fatalf("exchange %d out of canonical order: %d after %d",
+				i, res.Exchanges[i].CloseUS, res.Exchanges[i-1].CloseUS)
+		}
+	}
+}

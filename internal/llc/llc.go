@@ -9,6 +9,7 @@ package llc
 
 import (
 	"io"
+	"math"
 
 	"repro/internal/dot80211"
 	"repro/internal/unify"
@@ -90,6 +91,15 @@ type Exchange struct {
 	Inferred    bool
 	StartUS     int64
 	EndUS       int64
+	// CloseUS is the universal time at which the exchange's fate was
+	// decided: the closing frame's timestamp for direct closes, the orphan
+	// ACK's timestamp for inferred completions, and lastSeen plus the
+	// exchange timeout for abandonment. Unlike the moment of emission
+	// (which depends on when the reconstructor's clock happened to
+	// advance), CloseUS is a pure function of the sender's frame
+	// subsequence, so sharded reconstructors stamp identical values and a
+	// (CloseUS, ...) sort yields one canonical exchange order.
+	CloseUS int64
 }
 
 // Data returns the first attempt's data jframe (nil if all inferred).
@@ -129,6 +139,18 @@ type Stats struct {
 	FlushedUnassigned int64
 }
 
+// Add accumulates another reconstructor's counters (sharded pipelines sum
+// per-shard stats into the totals an unsharded run would report).
+func (s *Stats) Add(o Stats) {
+	s.JFrames += o.JFrames
+	s.Attempts += o.Attempts
+	s.InferredAttempts += o.InferredAttempts
+	s.Exchanges += o.Exchanges
+	s.InferredExchanges += o.InferredExchanges
+	s.OrphanAcks += o.OrphanAcks
+	s.FlushedUnassigned += o.FlushedUnassigned
+}
+
 // Reconstructor consumes jframes in universal-time order and emits frame
 // exchanges as they close.
 type Reconstructor struct {
@@ -147,8 +169,9 @@ type Reconstructor struct {
 	// senders holds per-transmitter exchange state.
 	senders map[dot80211.MAC]*senderState
 
-	out []*Exchange
-	now int64
+	out       []*Exchange
+	now       int64
+	watermark int64
 }
 
 type openAttempt struct {
@@ -169,8 +192,45 @@ func NewReconstructor() *Reconstructor {
 		pendingRTS: make(map[dot80211.MAC]*unify.JFrame),
 		awaiting:   make(map[dot80211.MAC]*openAttempt),
 		senders:    make(map[dot80211.MAC]*senderState),
+		now:        math.MinInt64,
+		watermark:  math.MinInt64,
 	}
 }
+
+// ConversationKey returns the MAC address that keys every piece of
+// reconstructor state a valid jframe can touch: the transmitter for
+// DATA/management/RTS frames, the addressee (the protected or acknowledged
+// transmitter) for CTS and ACK. Feeding each jframe to the reconstructor
+// owning its key partitions the stream without changing any per-sender
+// outcome, which is the sharding contract the parallel pipeline relies on.
+func ConversationKey(j *unify.JFrame) dot80211.MAC {
+	f := &j.Frame
+	if f.Type == dot80211.TypeControl && f.Subtype != dot80211.SubtypeRTS {
+		// CTS carries the protected transmitter in Addr1; ACK carries the
+		// acknowledged transmitter in Addr1.
+		return f.Addr1
+	}
+	return f.Addr2
+}
+
+// Tick advances the reconstructor's clock without delivering a frame,
+// expiring timed-out state exactly as an unrelated sender's frame would in
+// an unsharded run. Safe at any time ≤ the next frame's timestamp; outcomes
+// never depend on tick cadence (expiry stamps are deterministic).
+func (r *Reconstructor) Tick(univUS int64) {
+	if univUS <= r.now {
+		return
+	}
+	r.now = univUS
+	r.expire()
+}
+
+// Watermark returns a lower bound on the CloseUS of every exchange this
+// reconstructor can still emit: no future Take or Flush will yield an
+// exchange stamped earlier. The parallel pipeline's merger releases heap
+// entries strictly below the minimum watermark across shards, keeping the
+// merged stream in canonical order while it flows.
+func (r *Reconstructor) Watermark() int64 { return r.watermark }
 
 // Process feeds one jframe; completed exchanges become available via Take.
 func (r *Reconstructor) Process(j *unify.JFrame) {
@@ -198,21 +258,46 @@ func (r *Reconstructor) Process(j *unify.JFrame) {
 	}
 }
 
-// expire closes ACK windows and exchanges that have timed out by r.now.
+// expire closes ACK windows and exchanges that have timed out by r.now, and
+// recomputes the watermark from the remaining open state. Expiry timing is
+// result-neutral: whenever a sender's next frame arrives, Process runs
+// expire first, so state past its deadline is gone by then whether or not
+// an intervening frame (or Tick) cleared it earlier — and timed-out closes
+// are stamped with their deadline, not with r.now.
 func (r *Reconstructor) expire() {
 	for tx, oa := range r.awaiting {
 		if r.now > oa.deadline {
 			delete(r.awaiting, tx)
 		}
 	}
+	wm := r.now
 	for tx, ss := range r.senders {
+		// An orphan ACK whose sender has no open exchange can only ever
+		// resolve to a fully inferred exchange (resolveOrphan runs before a
+		// new exchange opens); once it ages past the exchange timeout, emit
+		// that now instead of pinning the watermark until the next frame.
+		if ss.orphanAck != nil && ss.cur == nil && r.now-ss.orphanAck.UnivUS > exchangeTimeoutUS {
+			r.resolveOrphan(ss, 0)
+		}
 		if ss.cur != nil && r.now-ss.lastSeen > exchangeTimeoutUS {
-			r.closeExchange(ss, DeliveryUnknown)
+			r.closeExchange(ss, DeliveryUnknown, ss.lastSeen+exchangeTimeoutUS)
 		}
 		if ss.cur == nil && ss.orphanAck == nil && r.now-ss.lastSeen > exchangeTimeoutUS {
 			delete(r.senders, tx)
+			continue
+		}
+		if ss.cur != nil {
+			if s := ss.lastSeen + exchangeTimeoutUS; s < wm {
+				wm = s
+			}
+		}
+		if ss.orphanAck != nil {
+			if s := ss.orphanAck.UnivUS; s < wm {
+				wm = s
+			}
 		}
 	}
+	r.watermark = wm
 	for tx, cts := range r.pendingCTS {
 		// The Duration field reserves the medium from the frame's end.
 		if r.now > cts.EndUS()+int64(cts.Frame.Duration)+ackSlackUS {
@@ -291,7 +376,7 @@ func (r *Reconstructor) handleAck(j *unify.JFrame) {
 		// A captured ACK completes the exchange.
 		if ss := r.senders[dataTx]; ss != nil && ss.cur != nil {
 			ss.lastSeen = r.now
-			r.closeExchange(ss, DeliveryObserved)
+			r.closeExchange(ss, DeliveryObserved, r.now)
 		}
 		return
 	}
@@ -323,13 +408,14 @@ func (r *Reconstructor) assignAttempt(ss *senderState, a *Attempt, broadcast boo
 		if ss.cur != nil {
 			r.resolveOrphan(ss, a.Seq)
 			if ss.cur != nil {
-				r.closeExchange(ss, DeliveryUnknown)
+				r.closeExchange(ss, DeliveryUnknown, r.now)
 			}
 		}
 		ex := &Exchange{
 			Attempts: []*Attempt{a}, Transmitter: a.Transmitter,
 			Receiver: a.Receiver, Seq: a.Seq, Broadcast: true,
 			Delivery: DeliveryBroadcast, StartUS: a.StartUS, EndUS: a.EndUS,
+			CloseUS: r.now,
 		}
 		r.emit(ex)
 		return
@@ -348,7 +434,7 @@ func (r *Reconstructor) assignAttempt(ss *senderState, a *Attempt, broadcast boo
 			// belonged to a missing final retry of the current exchange.
 			r.resolveOrphan(ss, a.Seq)
 			if ss.cur != nil {
-				r.closeExchange(ss, DeliveryUnknown)
+				r.closeExchange(ss, DeliveryUnknown, r.now)
 			}
 		default:
 			// R4: sequence gap — no inferences; flush.
@@ -356,7 +442,7 @@ func (r *Reconstructor) assignAttempt(ss *senderState, a *Attempt, broadcast boo
 				ss.orphanAck = nil
 				r.Stats.FlushedUnassigned++
 			}
-			r.closeExchange(ss, DeliveryUnknown)
+			r.closeExchange(ss, DeliveryUnknown, r.now)
 		}
 	} else {
 		r.resolveOrphan(ss, a.Seq)
@@ -395,7 +481,9 @@ func (r *Reconstructor) resolveOrphan(ss *senderState, nextSeq uint16) {
 		ss.cur.Attempts = append(ss.cur.Attempts, inf)
 		ss.cur.EndUS = inf.EndUS
 		ss.cur.Inferred = true
-		r.closeExchange(ss, DeliveryInferred)
+		// The exchange's fate was sealed when the orphan ACK landed; stamp
+		// that, not the (cadence-dependent) moment the inference ran.
+		r.closeExchange(ss, DeliveryInferred, ack.UnivUS)
 		return
 	}
 	// No open exchange to bind to: the entire exchange (data + all
@@ -412,17 +500,21 @@ func (r *Reconstructor) resolveOrphan(ss *senderState, nextSeq uint16) {
 		Attempts: []*Attempt{inf}, Transmitter: ack.Frame.Addr1,
 		Delivery: DeliveryInferred, Inferred: true,
 		StartUS: inf.StartUS, EndUS: inf.EndUS,
+		CloseUS: ack.UnivUS,
 	}
 	r.Stats.InferredExchanges++
 	r.emit(ex)
 }
 
-// closeExchange finalizes the sender's current exchange.
-func (r *Reconstructor) closeExchange(ss *senderState, verdict Delivery) {
+// closeExchange finalizes the sender's current exchange, stamping closeUS
+// (which call sites derive only from the sender's own frames, never from
+// when the reconstructor's clock happened to advance).
+func (r *Reconstructor) closeExchange(ss *senderState, verdict Delivery, closeUS int64) {
 	ex := ss.cur
 	if ex == nil {
 		return
 	}
+	ex.CloseUS = closeUS
 	ss.cur = nil
 	// An observed ACK on any attempt upgrades the verdict.
 	for _, a := range ex.Attempts {
@@ -458,14 +550,17 @@ func (r *Reconstructor) Take() []*Exchange {
 }
 
 // Flush closes every open exchange at end of trace and returns the
-// remainder.
+// remainder. Flushed exchanges are stamped as if the stream had run on to
+// their timeout, so truncating a trace at different points (or sharding it)
+// yields the same stamps.
 func (r *Reconstructor) Flush() []*Exchange {
 	for _, ss := range r.senders {
 		r.resolveOrphan(ss, 0)
 		if ss.cur != nil {
-			r.closeExchange(ss, DeliveryUnknown)
+			r.closeExchange(ss, DeliveryUnknown, ss.lastSeen+exchangeTimeoutUS)
 		}
 	}
+	r.watermark = math.MaxInt64
 	return r.Take()
 }
 

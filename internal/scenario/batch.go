@@ -1,0 +1,66 @@
+// Batch execution: fan a list of scenario configurations across a worker
+// pool. Every scenario is an independent deterministic simulation (its RNG
+// is seeded from its Config), so batches parallelize perfectly and results
+// do not depend on scheduling — the config-sweep workload the paper's
+// evaluation methodology implies (one deployment per operating point).
+package scenario
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult pairs one config of a batch with what its run produced.
+type BatchResult struct {
+	Index int
+	Cfg   Config
+	// Out is the scenario output, retained only when RunBatch was called
+	// without a process callback (a callback consumes outputs inside the
+	// pool so a long sweep never holds every trace in memory at once).
+	Out *Output
+	// Err is the scenario error, or the process callback's error.
+	Err error
+}
+
+// RunBatch simulates every config across a pool of workers (0 = GOMAXPROCS)
+// and returns results indexed like cfgs. If process is non-nil it is
+// invoked inside the pool as each scenario completes — it runs concurrently
+// for distinct indices and must be safe for that — and the output is
+// released afterwards instead of being retained in the result.
+func RunBatch(cfgs []Config, workers int, process func(idx int, out *Output) error) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]BatchResult, len(cfgs))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cfgs) {
+					return
+				}
+				r := BatchResult{Index: i, Cfg: cfgs[i]}
+				out, err := Run(cfgs[i])
+				switch {
+				case err != nil:
+					r.Err = err
+				case process != nil:
+					r.Err = process(i, out)
+				default:
+					r.Out = out
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func tinyCfg(seed int64) Config {
+	cfg := Default()
+	cfg.Seed = seed
+	cfg.Pods, cfg.APs, cfg.Clients = 2, 2, 3
+	cfg.Day = 10 * sim.Second
+	cfg.NoiseSources = 0
+	return cfg
+}
+
+// TestRunBatchMatchesDirectRuns: batch execution must be a pure fan-out —
+// each slot's output identical to running its config directly, regardless
+// of worker count.
+func TestRunBatchMatchesDirectRuns(t *testing.T) {
+	cfgs := []Config{tinyCfg(1), tinyCfg(2), tinyCfg(3), tinyCfg(4)}
+	results := RunBatch(cfgs, 3, nil)
+	if len(results) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(results), len(cfgs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.Out == nil {
+			t.Fatalf("result %d misplaced or empty: %+v", i, r)
+		}
+		direct, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Out.MonitorRecords != direct.MonitorRecords ||
+			len(r.Out.Truth) != len(direct.Truth) ||
+			r.Out.FlowsCompleted != direct.FlowsCompleted {
+			t.Errorf("result %d diverges from direct run: records %d vs %d, truth %d vs %d, flows %d vs %d",
+				i, r.Out.MonitorRecords, direct.MonitorRecords,
+				len(r.Out.Truth), len(direct.Truth),
+				r.Out.FlowsCompleted, direct.FlowsCompleted)
+		}
+	}
+}
+
+// TestRunBatchProcessCallback: the callback consumes outputs inside the
+// pool (results hold no Output) and its error lands in the right slot.
+func TestRunBatchProcessCallback(t *testing.T) {
+	cfgs := []Config{tinyCfg(1), tinyCfg(2), tinyCfg(3)}
+	var calls int64
+	wantErr := errors.New("boom")
+	results := RunBatch(cfgs, 0, func(idx int, out *Output) error {
+		atomic.AddInt64(&calls, 1)
+		if out == nil || out.MonitorRecords == 0 {
+			t.Errorf("callback %d: empty output", idx)
+		}
+		if idx == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if calls != int64(len(cfgs)) {
+		t.Fatalf("callback ran %d times, want %d", calls, len(cfgs))
+	}
+	for i, r := range results {
+		if r.Out != nil {
+			t.Errorf("result %d retained output despite callback", i)
+		}
+		if i == 1 && !errors.Is(r.Err, wantErr) {
+			t.Errorf("result 1 error = %v, want boom", r.Err)
+		}
+		if i != 1 && r.Err != nil {
+			t.Errorf("result %d error = %v", i, r.Err)
+		}
+	}
+}
+
+// TestRunBatchBadConfig: a failing config reports its error without
+// disturbing its neighbours.
+func TestRunBatchBadConfig(t *testing.T) {
+	bad := tinyCfg(1)
+	bad.Pods = 0
+	results := RunBatch([]Config{tinyCfg(1), bad}, 2, nil)
+	if results[0].Err != nil || results[0].Out == nil {
+		t.Errorf("good config failed: %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Error("bad config did not error")
+	}
+}

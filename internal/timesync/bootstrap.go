@@ -28,6 +28,8 @@ import (
 	"hash/fnv"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dot80211"
 	"repro/internal/tracefile"
@@ -178,7 +180,17 @@ func Bootstrap(recs []tracefile.Record, clockGroups [][]int32) (*Result, error) 
 			adj[a] = append(adj[a], edge{to: b, delta: delta})
 			adj[b] = append(adj[b], edge{to: a, delta: -delta})
 		}
-		for _, s := range g {
+		// Walk G in sorted key order: BFS assigns each radio's offset
+		// through the first path that reaches it, so adjacency insertion
+		// order must not depend on map iteration (which varies per process)
+		// for the bootstrap to be reproducible.
+		gKeys := make([]uint64, 0, len(g))
+		for k := range g {
+			gKeys = append(gKeys, k)
+		}
+		sort.Slice(gKeys, func(i, j int) bool { return gKeys[i] < gKeys[j] })
+		for _, k := range gKeys {
+			s := g[k]
 			base := s.obs[0]
 			for _, o := range s.obs[1:] {
 				addEdge(base.Radio, o.Radio, base.LocalUS-o.LocalUS)
@@ -296,27 +308,82 @@ func Bootstrap(recs []tracefile.Record, clockGroups [][]int32) (*Result, error) 
 // In the real system jigdump traces begin near-simultaneously (NTP-aligned
 // wall clocks, footnote 4); our simulated traces all start at t=0, so the
 // first windowUS of local time is the natural equivalent.
+//
+// Records are returned grouped per radio in ascending radio-ID order, so
+// the output is deterministic regardless of map iteration.
 func CollectWindow(readers map[int32]*tracefile.Reader, windowUS int64) ([]tracefile.Record, error) {
+	return CollectWindowParallel(readers, windowUS, 1)
+}
+
+// CollectWindowParallel is CollectWindow with the per-radio pre-scan fanned
+// across up to workers goroutines. Each radio's window is independent (its
+// own reader, its own decompression), so the scan parallelizes perfectly;
+// the output is byte-identical to CollectWindow's.
+func CollectWindowParallel(readers map[int32]*tracefile.Reader, windowUS int64, workers int) ([]tracefile.Record, error) {
+	radios := make([]int32, 0, len(readers))
+	for r := range readers {
+		radios = append(radios, r)
+	}
+	sort.Slice(radios, func(i, j int) bool { return radios[i] < radios[j] })
+
+	windows := make([][]tracefile.Record, len(radios))
+	errs := make([]error, len(radios))
+	if workers > len(radios) {
+		workers = len(radios)
+	}
+	if workers <= 1 {
+		for i, r := range radios {
+			windows[i], errs[i] = collectRadioWindow(readers[r], windowUS)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(radios) {
+						return
+					}
+					windows[i], errs[i] = collectRadioWindow(readers[radios[i]], windowUS)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	var out []tracefile.Record
-	for _, r := range readers {
-		var first int64
-		started := false
-		for {
-			rec, err := r.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			if !started {
-				first = rec.LocalUS
-				started = true
-			}
-			out = append(out, rec)
-			if rec.LocalUS-first > windowUS {
-				break
-			}
+	for i, w := range windows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, w...)
+	}
+	return out, nil
+}
+
+// collectRadioWindow reads one radio's bootstrap window.
+func collectRadioWindow(r *tracefile.Reader, windowUS int64) ([]tracefile.Record, error) {
+	var out []tracefile.Record
+	var first int64
+	started := false
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !started {
+			first = rec.LocalUS
+			started = true
+		}
+		out = append(out, rec)
+		if rec.LocalUS-first > windowUS {
+			break
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package timesync
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/dot80211"
@@ -250,5 +251,51 @@ func TestContentKeyDistinguishes(t *testing.T) {
 	}
 	if ContentKey(a) != ContentKey(mkData(1, 1)) {
 		t.Error("same content, different key")
+	}
+}
+
+// TestCollectWindowParallelMatchesSerial: the fanned-out pre-scan must
+// return byte-identical windows to the serial scan, for any worker count.
+func TestCollectWindowParallelMatchesSerial(t *testing.T) {
+	mkReaders := func() map[int32]*tracefile.Reader {
+		readers := make(map[int32]*tracefile.Reader)
+		for radio := int32(0); radio < 7; radio++ {
+			var buf bytes.Buffer
+			w := tracefile.NewWriter(&buf)
+			for i := 0; i < 500; i++ {
+				rec := obs(radio, int64(i)*4000, int64(radio)*17, mkData(uint16(i), byte(i)))
+				if err := w.WriteRecord(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			readers[radio] = tracefile.NewReader(bytes.NewReader(buf.Bytes()))
+		}
+		return readers
+	}
+
+	want, err := CollectWindow(mkReaders(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty serial window")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := CollectWindowParallel(mkReaders(), 1_000_000, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].RadioID != want[i].RadioID || got[i].LocalUS != want[i].LocalUS ||
+				!bytes.Equal(got[i].Frame, want[i].Frame) {
+				t.Fatalf("workers=%d: record %d differs", workers, i)
+			}
+		}
 	}
 }

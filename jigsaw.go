@@ -35,6 +35,27 @@
 // The top-level facade re-exports the pieces a user of the library touches
 // most: simulate a deployment, run the pipeline, analyze the result.
 //
+// # Concurrency architecture
+//
+// The pipeline runs online in a single pass; with PipelineConfig.Workers
+// greater than one (the default — it auto-sizes to GOMAXPROCS) that pass
+// is spread across the machine:
+//
+//	bootstrap pre-scan    worker pool over the independent radio windows
+//	trace decompression   per-radio background prefetchers
+//	unification           serial (one priority queue), on the caller's goroutine
+//	llc reconstruction    sharded by conversation key across Workers
+//	canonical merge       watermark-driven heap re-serializing exchanges
+//	transport analysis    sharded by TCP flow 4-tuple across Workers
+//
+// Sharding never changes results: each reconstruction shard receives
+// exactly the jframe subsequence that can touch its state, every exchange
+// carries a deterministic close stamp, and the merge releases exchanges in
+// canonical close order — so Workers=N output is identical to the
+// Workers=1 serial reference, a property the test suite asserts seed by
+// seed. Batch experiment sweeps fan whole scenarios across a pool with
+// scenario.RunBatch (see cmd/jigbench -sweep).
+//
 // # Quick start
 //
 //	out, _ := jigsaw.Simulate(jigsaw.DefaultScenario())
