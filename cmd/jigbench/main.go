@@ -19,6 +19,13 @@
 //
 //	jigbench -sweep -sweep-pods 6,9,12 -sweep-bfrac 0.1,0.3 \
 //	         -sweep-seeds 1,2,3 -sweep-day 60s -workers 4
+//
+// -sweep-cc adds a congestion-control axis to the grid: a pipe-separated
+// list of per-flow CC mixes ("fixed|reno=1,cubic=1,bbr=1"), each mix a
+// weighted spec as accepted by cc.ParseMixSpec. Non-fixed mixes run over
+// the bounded bottleneck queue so the controllers contend for real buffer,
+// and each JSON row reports the mix, per-algorithm goodput and the CC
+// fingerprinter's accuracy against ground truth.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/dot80211"
 	"repro/internal/scenario"
@@ -54,6 +62,9 @@ func main() {
 		sweepBFrac   = flag.String("sweep-bfrac", "0.3", "comma-separated 802.11b client fractions")
 		sweepSeeds   = flag.String("sweep-seeds", "1,2,3", "comma-separated seeds")
 		sweepDay     = flag.Duration("sweep-day", 60*time.Second, "compressed day per scenario")
+		sweepCC      = flag.String("sweep-cc", "fixed", "pipe-separated CC mixes, e.g. 'fixed|reno=1,cubic=1,bbr=1'")
+		sweepQueue   = flag.Int("sweep-queue-pkts", 32, "bottleneck FIFO depth for non-fixed CC mixes")
+		sweepBtl     = flag.Float64("sweep-bottleneck-mbps", 30, "bottleneck drain rate for non-fixed CC mixes")
 		mergeWorkers = flag.Int("merge-workers", 1, "pipeline workers inside each sweep scenario (1 keeps the pool unoversubscribed)")
 	)
 	flag.Parse()
@@ -62,6 +73,7 @@ func main() {
 		runSweep(sweepArgs{
 			pods: *sweepPods, aps: *sweepAPs, clients: *sweepClients,
 			bfrac: *sweepBFrac, seeds: *sweepSeeds, day: *sweepDay,
+			ccMixes: *sweepCC, queuePkts: *sweepQueue, btlMbps: *sweepBtl,
 			poolWorkers: *workers, mergeWorkers: *mergeWorkers,
 		})
 		return
@@ -73,6 +85,9 @@ func main() {
 type sweepArgs struct {
 	pods, aps, clients string
 	bfrac, seeds       string
+	ccMixes            string
+	queuePkts          int
+	btlMbps            float64
 	day                time.Duration
 	poolWorkers        int
 	mergeWorkers       int
@@ -88,6 +103,7 @@ type sweepRow struct {
 	BFraction float64 `json:"b_fraction"`
 	Seed      int64   `json:"seed"`
 	DaySec    float64 `json:"day_sec"`
+	CCMix     string  `json:"cc_mix"`
 
 	MonitorRecords  int64   `json:"monitor_records"`
 	Transmissions   int     `json:"transmissions"`
@@ -99,9 +115,23 @@ type sweepRow struct {
 	DispersionP99US int64   `json:"dispersion_p99_us"`
 	CoverageOverall float64 `json:"coverage_overall"`
 	WirelessShare   float64 `json:"tcp_wireless_loss_share"`
-	MergeMS         int64   `json:"merge_ms"`
-	XRealtime       float64 `json:"x_realtime"`
-	Err             string  `json:"err,omitempty"`
+	// PerCCGoodputBps is ground-truth goodput by congestion-control
+	// algorithm; CCAccuracy/CCClassified score the transport
+	// fingerprinter against that truth. None are omitempty: on a mixed-CC
+	// row (CCMix != "fixed") zero/empty values mean "measured, nothing
+	// there", which must stay distinguishable from a fixed row's
+	// "not measured" (null map, absent accuracy semantics).
+	PerCCGoodputBps map[string]float64 `json:"per_cc_goodput_bps"`
+	CCAccuracy      float64            `json:"cc_fingerprint_accuracy"`
+	CCClassified    int                `json:"cc_fingerprint_classified"`
+	// CCAccuracyWired scores the same fingerprinter over the wired
+	// distribution tap — the pre-MAC vantage where window dynamics
+	// survive serialization (see analysis.WiredCCFingerprints).
+	CCAccuracyWired   float64 `json:"cc_fingerprint_accuracy_wired"`
+	CCClassifiedWired int     `json:"cc_fingerprint_classified_wired"`
+	MergeMS           int64   `json:"merge_ms"`
+	XRealtime         float64 `json:"x_realtime"`
+	Err               string  `json:"err,omitempty"`
 }
 
 // runSweep fans the config grid across scenario.RunBatch and prints one
@@ -118,22 +148,30 @@ func runSweep(a sweepArgs) {
 	if len(bfracs) == 0 || len(seeds) == 0 {
 		log.Fatal("sweep: empty -sweep-bfrac or -sweep-seeds")
 	}
+	mixes := parseMixes(a.ccMixes)
 
 	var cfgs []scenario.Config
 	for i, p := range pods {
 		for _, bf := range bfracs {
 			for _, sd := range seeds {
-				cfg := scenario.Default()
-				cfg.Pods, cfg.APs, cfg.Clients = p, aps[i], clients[i]
-				cfg.BFraction = bf
-				cfg.Seed = sd
-				cfg.Day = sim.Time(a.day.Nanoseconds())
-				cfgs = append(cfgs, cfg)
+				for _, mix := range mixes {
+					cfg := scenario.Default()
+					cfg.Pods, cfg.APs, cfg.Clients = p, aps[i], clients[i]
+					cfg.BFraction = bf
+					cfg.Seed = sd
+					cfg.Day = sim.Time(a.day.Nanoseconds())
+					cfg.CCMix = mix
+					if len(mix) > 0 {
+						cfg.WiredQueuePkts = a.queuePkts
+						cfg.WiredBottleneckMbps = a.btlMbps
+					}
+					cfgs = append(cfgs, cfg)
+				}
 			}
 		}
 	}
-	log.Printf("sweep: %d scenarios (%d deployments x %d b-fractions x %d seeds), pool=%d",
-		len(cfgs), len(pods), len(bfracs), len(seeds), a.poolWorkers)
+	log.Printf("sweep: %d scenarios (%d deployments x %d b-fractions x %d seeds x %d cc-mixes), pool=%d",
+		len(cfgs), len(pods), len(bfracs), len(seeds), len(mixes), a.poolWorkers)
 
 	rows := make([]sweepRow, len(cfgs))
 	t0 := time.Now()
@@ -148,6 +186,7 @@ func runSweep(a sweepArgs) {
 		rows[i].BFraction = cfgs[i].BFraction
 		rows[i].Seed = cfgs[i].Seed
 		rows[i].DaySec = cfgs[i].Day.SecondsF()
+		rows[i].CCMix = cc.FormatMix(cfgs[i].CCMix)
 		if r.Err != nil {
 			rows[i].Err = r.Err.Error()
 		}
@@ -190,9 +229,47 @@ func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 	row.CoverageOverall = analysis.Coverage(out, res.Exchanges).Overall
 	rep := analysis.TCPLoss(flowLosses(res))
 	row.WirelessShare = rep.WirelessShare
+	if len(out.Cfg.CCMix) > 0 {
+		row.PerCCGoodputBps = make(map[string]float64)
+		for _, r := range analysis.CCFairness(out.FlowCCs, out.Cfg.Day.SecondsF()) {
+			row.PerCCGoodputBps[r.Algo] = r.GoodputBps
+		}
+		conf := analysis.CCConfusionReport(out.FlowCCs, res.Transport.FingerprintCC())
+		row.CCAccuracy = conf.Accuracy
+		row.CCClassified = conf.Classified
+		wired := analysis.CCConfusionReport(out.FlowCCs, analysis.WiredCCFingerprints(out))
+		row.CCAccuracyWired = wired.Accuracy
+		row.CCClassifiedWired = wired.Classified
+	}
 	row.MergeMS = mergeDur.Milliseconds()
 	row.XRealtime = out.Cfg.Day.SecondsF() / mergeDur.Seconds()
 	return row
+}
+
+// parseMixes splits the pipe-separated -sweep-cc grid axis. An empty entry
+// or a pure-fixed spec ("fixed", "fixed=1") denotes the compatibility mode
+// (nil mix: no per-flow rng draw, no bottleneck queue) — the same
+// semantics cmd/jigsim gives -cc.
+func parseMixes(s string) []map[string]float64 {
+	var out []map[string]float64
+	for _, part := range strings.Split(s, "|") {
+		mix, err := cc.ParseMixSpec(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		m, err := cc.NewMix(mix)
+		if err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		if m == nil {
+			mix = nil // effectively pure-fixed: the compatibility baseline
+		}
+		out = append(out, mix)
+	}
+	if len(out) == 0 {
+		out = append(out, nil)
+	}
+	return out
 }
 
 // flowLosses adapts transport loss rates to the analysis package's rows.

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	jigsim -out traces/ -pods 39 -aps 39 -clients 64 -day 240s [-seed 1]
+//
+// Congestion control: -cc assigns per-flow controllers, either one
+// algorithm ("-cc bbr") or a weighted mix ("-cc reno=0.5,cubic=0.3,bbr=0.2");
+// the default (empty) keeps the fixed-window compatibility mode. With a mix,
+// -queue-pkts / -bottleneck-mbps bound the wired bottleneck FIFO so the
+// controllers have real queue dynamics to fight over.
 package main
 
 import (
@@ -14,8 +20,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/cc"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tracefile"
@@ -32,6 +41,9 @@ func main() {
 		day     = flag.Duration("day", 120*time.Second, "compressed day duration")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		bfrac   = flag.Float64("bfrac", 0.2, "fraction of 802.11b clients")
+		ccSpec  = flag.String("cc", "", "per-flow congestion control: name or weighted mix, e.g. reno=0.5,cubic=0.3,bbr=0.2 (empty = fixed window)")
+		qPkts   = flag.Int("queue-pkts", 0, "wired bottleneck FIFO depth in packets (0 = unqueued legacy wire)")
+		btlMbps = flag.Float64("bottleneck-mbps", 0, "wired bottleneck drain rate in Mbps (0 = 100)")
 	)
 	flag.Parse()
 
@@ -40,6 +52,22 @@ func main() {
 	cfg.Day = sim.Time(day.Nanoseconds())
 	cfg.Seed = *seed
 	cfg.BFraction = *bfrac
+	mix, err := cc.ParseMixSpec(*ccSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cc.NewMix(mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m == nil {
+		// "-cc fixed" means the compatibility path itself: a nil mix draws
+		// nothing from the workload rng, keeping traces bit-identical.
+		mix = nil
+	}
+	cfg.CCMix = mix
+	cfg.WiredQueuePkts = *qPkts
+	cfg.WiredBottleneckMbps = *btlMbps
 
 	start := time.Now()
 	res, err := scenario.Run(cfg)
@@ -79,5 +107,23 @@ func main() {
 	log.Printf("%d radios, %d monitor records, %d transmissions, %d wired packets",
 		len(res.Traces), res.MonitorRecords, len(res.Truth), len(res.Wired))
 	log.Printf("flows: %d started, %d completed", res.FlowsStarted, res.FlowsCompleted)
+	if len(cfg.CCMix) > 0 {
+		log.Printf("cc mix %s, per-algorithm shares:", cc.FormatMix(cfg.CCMix))
+		for _, line := range splitLines(analysis.FairnessTable(
+			analysis.CCFairness(res.FlowCCs, cfg.Day.SecondsF()))) {
+			log.Print(line)
+		}
+	}
 	log.Printf("traces written to %s", *out)
+}
+
+// splitLines breaks a table into log lines, dropping the trailing blank.
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
 }

@@ -1,0 +1,302 @@
+package cc
+
+// bbrCC implements a BBR v1-style model-based controller: it estimates the
+// bottleneck bandwidth (windowed max of delivery-rate samples) and the
+// path's propagation delay (windowed min RTT), paces transmissions at a
+// gain times the bandwidth estimate, and caps inflight at a multiple of
+// the estimated BDP. States follow the v1 machine — STARTUP (exponential
+// gain until the bandwidth estimate plateaus), DRAIN (undo the startup
+// queue), PROBE_BW (the 8-phase 1.25/0.75/1×… pacing-gain cycle) and a
+// minimal PROBE_RTT (shrink the window when the min-RTT estimate staled).
+// Unlike Reno/CUBIC it does not back off multiplicatively on packet loss,
+// which is exactly the fairness asymmetry the mixed-CC experiments (and
+// arXiv:2505.07741) study.
+type bbrCC struct {
+	mss int64
+
+	mode bbrMode
+
+	// Delivery bookkeeping: cumulative bytes sent and acked, plus a short
+	// history of (timeUS, delivered) for rate sampling.
+	sentBytes      int64
+	delivered      int64
+	history        []bbrAckPoint
+	lastBWSample   float64
+	bwSamplesTaken int
+
+	// Windowed max-bandwidth filter, one slot per round.
+	bwFilter []bbrBWSlot
+
+	// Windowed min-RTT filter.
+	minRTTUS   int64
+	minRTTAtUS int64
+
+	// Round counting: a round ends roughly one min-RTT after it began.
+	round        int64
+	roundStartUS int64
+
+	// Startup plateau detection.
+	fullBW       float64
+	fullBWRounds int
+
+	// PROBE_BW gain cycle position.
+	cycleIdx int
+
+	// PROBE_RTT bookkeeping.
+	probeRTTDoneUS int64
+
+	// Pacing release clock (µs): earliest next transmission.
+	nextSendUS int64
+
+	// rtoRecovery collapses the window to one segment after a timeout
+	// until delivery resumes (BBR's CA_LOSS conservation response).
+	rtoRecovery bool
+}
+
+type bbrMode uint8
+
+const (
+	bbrStartup bbrMode = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+type bbrAckPoint struct {
+	us        int64
+	delivered int64
+}
+
+type bbrBWSlot struct {
+	round int64
+	bw    float64 // bytes per µs
+}
+
+// BBR v1 constants.
+const (
+	bbrHighGain       = 2.885 // 2/ln(2): startup pacing and cwnd gain
+	bbrCwndGain       = 2.0   // steady-state cwnd = 2·BDP
+	bbrBWWindowRounds = 10
+	bbrMinRTTWindowUS = 10_000_000 // re-probe min RTT after 10 s
+	bbrProbeRTTDurUS  = 200_000
+	bbrInitialWindow  = 8 // segments, before any path estimates exist
+	bbrMinWindow      = 4 // segments
+	bbrStartupRounds  = 3 // plateau rounds before declaring the pipe full
+)
+
+// bbrProbeBWGains is the PROBE_BW pacing-gain cycle: probe up, drain the
+// probe's queue, then cruise.
+var bbrProbeBWGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBR returns a BBR controller.
+func NewBBR(mssBytes int) Controller {
+	return &bbrCC{mss: int64(mssBytes), mode: bbrStartup}
+}
+
+// pacingGain returns the current pacing gain for the mode.
+func (b *bbrCC) pacingGain() float64 {
+	switch b.mode {
+	case bbrStartup:
+		return bbrHighGain
+	case bbrDrain:
+		return 1 / bbrHighGain
+	case bbrProbeRTT:
+		return 1
+	default:
+		return bbrProbeBWGains[b.cycleIdx]
+	}
+}
+
+// maxBW returns the windowed-max bandwidth estimate in bytes/µs.
+func (b *bbrCC) maxBW() float64 {
+	var max float64
+	for _, s := range b.bwFilter {
+		if s.round > b.round-bbrBWWindowRounds && s.bw > max {
+			max = s.bw
+		}
+	}
+	return max
+}
+
+// bdpBytes returns the estimated bandwidth-delay product.
+func (b *bbrCC) bdpBytes() float64 {
+	bw := b.maxBW()
+	if bw == 0 || b.minRTTUS == 0 {
+		return 0
+	}
+	return bw * float64(b.minRTTUS)
+}
+
+// roundDurUS is the nominal round length: one min RTT (10 ms before any
+// sample exists).
+func (b *bbrCC) roundDurUS() int64 {
+	if b.minRTTUS > 0 {
+		return b.minRTTUS
+	}
+	return 10_000
+}
+
+func (b *bbrCC) OnSend(bytes int64, nowUS int64) {
+	b.sentBytes += bytes
+	rate := b.pacingGain() * b.maxBW()
+	if rate <= 0 {
+		return
+	}
+	next := b.nextSendUS
+	if next < nowUS {
+		next = nowUS
+	}
+	b.nextSendUS = next + int64(float64(bytes)/rate)
+}
+
+func (b *bbrCC) OnAck(ackedBytes int64, nowUS int64) {
+	if ackedBytes <= 0 {
+		return
+	}
+	b.rtoRecovery = false
+	b.delivered += ackedBytes
+
+	// Delivery-rate sample: delivered bytes over a sliding window of at
+	// least one min RTT (smooths ACK compression). Cumulative jumps from
+	// retransmission holes filling are excluded — those bytes arrived over
+	// many RTTs, and folding the jump into one window would poison the max
+	// filter with rates far above the bottleneck.
+	if ackedBytes > 4*b.mss {
+		// Hole-fill jump: restart the sampling window after it.
+		b.history = append(b.history[:0], bbrAckPoint{us: nowUS, delivered: b.delivered})
+	} else {
+		b.history = append(b.history, bbrAckPoint{us: nowUS, delivered: b.delivered})
+		winUS := b.roundDurUS()
+		if winUS < 5_000 {
+			winUS = 5_000
+		}
+		cut := 0
+		for cut < len(b.history)-1 && b.history[cut].us < nowUS-winUS {
+			cut++
+		}
+		b.history = b.history[cut:]
+		// Sample only over a mature window: a near-empty one (right after
+		// a hole-fill reset, or under ACK compression) divides a burst by
+		// a tiny span and overshoots the real rate.
+		if first := b.history[0]; nowUS-first.us >= winUS/2 {
+			b.lastBWSample = float64(b.delivered-first.delivered) / float64(nowUS-first.us)
+			b.bwSamplesTaken++
+			b.recordBW(b.lastBWSample)
+		}
+	}
+
+	// Round advancement drives the state machine. A long delivery gap
+	// (stall, backed-off RTO) would otherwise replay one idle "round" per
+	// min RTT here; snap forward and count the gap as a couple of rounds.
+	if b.roundStartUS == 0 {
+		b.roundStartUS = nowUS
+	}
+	if dur := b.roundDurUS(); nowUS-b.roundStartUS > 4*dur {
+		b.roundStartUS = nowUS - 2*dur
+	}
+	for nowUS >= b.roundStartUS+b.roundDurUS() {
+		b.roundStartUS += b.roundDurUS()
+		b.round++
+		b.onRoundEnd(nowUS)
+	}
+
+	// PROBE_RTT entry: the min-RTT estimate went stale.
+	if b.mode == bbrProbeBW && b.minRTTAtUS > 0 &&
+		nowUS-b.minRTTAtUS > bbrMinRTTWindowUS {
+		b.mode = bbrProbeRTT
+		b.probeRTTDoneUS = nowUS + bbrProbeRTTDurUS
+	}
+	if b.mode == bbrProbeRTT && nowUS >= b.probeRTTDoneUS {
+		b.minRTTAtUS = nowUS // refreshed by draining the pipe
+		b.mode = bbrProbeBW
+	}
+}
+
+// recordBW folds a bandwidth sample into the current round's filter slot.
+func (b *bbrCC) recordBW(bw float64) {
+	if n := len(b.bwFilter); n > 0 && b.bwFilter[n-1].round == b.round {
+		if bw > b.bwFilter[n-1].bw {
+			b.bwFilter[n-1].bw = bw
+		}
+	} else {
+		b.bwFilter = append(b.bwFilter, bbrBWSlot{round: b.round, bw: bw})
+		if len(b.bwFilter) > bbrBWWindowRounds+2 {
+			b.bwFilter = b.bwFilter[1:]
+		}
+	}
+}
+
+// onRoundEnd advances STARTUP/DRAIN/PROBE_BW per-round state.
+func (b *bbrCC) onRoundEnd(nowUS int64) {
+	switch b.mode {
+	case bbrStartup:
+		// Pipe-full test: bandwidth stopped growing ≥25% per round.
+		bw := b.maxBW()
+		if bw > b.fullBW*1.25 {
+			b.fullBW = bw
+			b.fullBWRounds = 0
+		} else if b.bwSamplesTaken > 0 {
+			b.fullBWRounds++
+			if b.fullBWRounds >= bbrStartupRounds {
+				b.mode = bbrDrain
+			}
+		}
+	case bbrDrain:
+		if float64(b.sentBytes-b.delivered) <= b.bdpBytes() {
+			b.mode = bbrProbeBW
+			b.cycleIdx = 2 // start cruising, not probing
+		}
+	case bbrProbeBW:
+		b.cycleIdx = (b.cycleIdx + 1) % len(bbrProbeBWGains)
+	}
+}
+
+func (b *bbrCC) OnLoss(nowUS int64, timeout bool) {
+	// BBR's model, not packet loss, sets the operating point; only an RTO
+	// (pipe drained, model stale) collapses the window.
+	if timeout {
+		b.rtoRecovery = true
+	}
+}
+
+func (b *bbrCC) OnRTTSample(rttUS int64, nowUS int64) {
+	if rttUS <= 0 {
+		return
+	}
+	if b.minRTTUS == 0 || rttUS <= b.minRTTUS ||
+		nowUS-b.minRTTAtUS > bbrMinRTTWindowUS {
+		b.minRTTUS = rttUS
+		b.minRTTAtUS = nowUS
+	}
+}
+
+func (b *bbrCC) CwndSegments() int {
+	if b.rtoRecovery {
+		return 1
+	}
+	if b.mode == bbrProbeRTT {
+		return bbrMinWindow
+	}
+	bdp := b.bdpBytes()
+	if bdp == 0 {
+		return bbrInitialWindow
+	}
+	gain := bbrCwndGain
+	if b.mode == bbrStartup || b.mode == bbrDrain {
+		gain = bbrHighGain
+	}
+	segs := clampSegments(gain*bdp, b.mss)
+	if segs < bbrMinWindow {
+		segs = bbrMinWindow
+	}
+	return segs
+}
+
+func (b *bbrCC) PacingGate(nowUS int64) int64 {
+	if b.nextSendUS <= nowUS {
+		return 0
+	}
+	return b.nextSendUS
+}
+
+func (b *bbrCC) Name() string { return BBR }

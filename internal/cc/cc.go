@@ -1,0 +1,265 @@
+// Package cc implements pluggable TCP congestion control for the simulated
+// endpoints in internal/tcpsim: a Controller contract plus deterministic
+// Reno, CUBIC and BBR(v1-style) implementations and the fixed-window
+// compatibility controller the original substrate used.
+//
+// Controllers are pure event-driven state machines over integer microsecond
+// time — no wall clocks, no randomness — so any sequence of
+// OnSend/OnAck/OnLoss/OnRTTSample calls yields the same trajectory on every
+// run, preserving the substrate's determinism contract (parallel pipeline
+// results must be replayable bit-for-bit).
+package cc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Controller decides how much data a TCP sender may keep in flight and how
+// it is released onto the path. The owning endpoint reports transport
+// events; the controller answers with a congestion window and an optional
+// pacing schedule. All times are microseconds of simulation time.
+type Controller interface {
+	// OnSend informs the controller that bytes of new data left the
+	// endpoint at nowUS (used by pacing controllers to advance their
+	// release clock).
+	OnSend(bytes int64, nowUS int64)
+	// OnAck reports ackedBytes of new data cumulatively acknowledged.
+	OnAck(ackedBytes int64, nowUS int64)
+	// OnLoss signals a loss event; timeout distinguishes a retransmission
+	// timeout from a fast-retransmit (triple duplicate ACK) recovery.
+	OnLoss(nowUS int64, timeout bool)
+	// OnRTTSample feeds a fresh round-trip measurement in microseconds.
+	OnRTTSample(rttUS int64, nowUS int64)
+	// CwndSegments returns the congestion window in MSS-sized segments
+	// (always at least 1).
+	CwndSegments() int
+	// PacingGate returns the earliest microsecond at which the next
+	// segment may be transmitted, or 0 when the controller does not pace.
+	PacingGate(nowUS int64) int64
+	// Name identifies the algorithm ("fixed", "reno", "cubic", "bbr").
+	Name() string
+}
+
+// Algorithm names accepted by New.
+const (
+	Fixed = "fixed"
+	Reno  = "reno"
+	Cubic = "cubic"
+	BBR   = "bbr"
+)
+
+// maxCwndSegments bounds every controller's window so a pathological
+// trajectory cannot exhaust simulated buffering.
+const maxCwndSegments = 512
+
+// DefaultFixedWindow is the compatibility controller's window: the fixed
+// 8-segment flight the substrate ran before congestion control existed.
+const DefaultFixedWindow = 8
+
+// New builds a controller by algorithm name for a given MSS.
+func New(name string, mssBytes int) (Controller, error) {
+	switch name {
+	case Fixed:
+		return NewFixed(DefaultFixedWindow), nil
+	case Reno:
+		return NewReno(mssBytes), nil
+	case Cubic:
+		return NewCubic(mssBytes), nil
+	case BBR:
+		return NewBBR(mssBytes), nil
+	default:
+		return nil, fmt.Errorf("cc: unknown algorithm %q", name)
+	}
+}
+
+// MustNew is New for names already validated (panics on unknown names).
+func MustNew(name string, mssBytes int) Controller {
+	c, err := New(name, mssBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// fixedCC is the no-congestion-control compatibility mode: a constant
+// window, no pacing, every event ignored. Installing it reproduces the
+// pre-cc substrate behavior bit-for-bit.
+type fixedCC struct{ w int }
+
+// NewFixed returns a fixed-window controller.
+func NewFixed(windowSegments int) Controller {
+	if windowSegments < 1 {
+		windowSegments = 1
+	}
+	return &fixedCC{w: windowSegments}
+}
+
+func (f *fixedCC) OnSend(int64, int64)      {}
+func (f *fixedCC) OnAck(int64, int64)       {}
+func (f *fixedCC) OnLoss(int64, bool)       {}
+func (f *fixedCC) OnRTTSample(int64, int64) {}
+func (f *fixedCC) CwndSegments() int        { return f.w }
+func (f *fixedCC) PacingGate(int64) int64   { return 0 }
+func (f *fixedCC) Name() string             { return Fixed }
+
+// aimdShared is the state Reno and CUBIC have in common: a smoothed RTT
+// that sizes the loss blackout bounding multiplicative decreases to one
+// per window (a single congestion event surfaces as several
+// retransmissions).
+type aimdShared struct {
+	srttUS              int64
+	lossBlackoutUntilUS int64
+}
+
+// OnRTTSample folds in a measurement with a 7/8 EWMA.
+func (a *aimdShared) OnRTTSample(rttUS int64, nowUS int64) {
+	if rttUS <= 0 {
+		return
+	}
+	if a.srttUS == 0 {
+		a.srttUS = rttUS
+	} else {
+		a.srttUS = (7*a.srttUS + rttUS) / 8
+	}
+}
+
+// rttOrDefault is the blackout horizon: the smoothed RTT, or a generous
+// default before any sample exists.
+func (a *aimdShared) rttOrDefault() int64 {
+	if a.srttUS > 0 {
+		return a.srttUS
+	}
+	return 200_000
+}
+
+// startBlackout marks a window reduction at nowUS; inBlackout reports
+// whether a further fast-retransmit reduction should be suppressed.
+func (a *aimdShared) startBlackout(nowUS int64)   { a.lossBlackoutUntilUS = nowUS + a.rttOrDefault() }
+func (a *aimdShared) inBlackout(nowUS int64) bool { return nowUS < a.lossBlackoutUntilUS }
+
+// clampSegments converts a byte window to whole segments within bounds.
+func clampSegments(cwndBytes float64, mss int64) int {
+	segs := int(cwndBytes / float64(mss))
+	if segs < 1 {
+		return 1
+	}
+	if segs > maxCwndSegments {
+		return maxCwndSegments
+	}
+	return segs
+}
+
+// Mix is a weighted choice over algorithm names used to assign a controller
+// per flow. Sampling iterates names in sorted order so a map-built mix
+// draws deterministically.
+type Mix struct {
+	names []string
+	cum   []float64
+}
+
+// NewMix validates and normalizes a name→weight map. An empty or nil map
+// yields a nil Mix, meaning "fixed-window for every flow" — as does a mix
+// whose only positive weight is the fixed controller, so an effectively
+// pure-fixed spec always takes the draw-free compatibility path no matter
+// which caller built it.
+func NewMix(weights map[string]float64) (*Mix, error) {
+	if len(weights) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		if _, err := New(n, 1460); err != nil {
+			return nil, err
+		}
+		if weights[n] < 0 {
+			return nil, fmt.Errorf("cc: negative weight for %q", n)
+		}
+		if weights[n] > 0 {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cc: mix has no positive weights")
+	}
+	if len(names) == 1 && names[0] == Fixed {
+		return nil, nil
+	}
+	sort.Strings(names)
+	m := &Mix{names: names, cum: make([]float64, len(names))}
+	var total float64
+	for i, n := range names {
+		total += weights[n]
+		m.cum[i] = total
+	}
+	for i := range m.cum {
+		m.cum[i] /= total
+	}
+	return m, nil
+}
+
+// Pick maps a uniform draw in [0,1) to an algorithm name.
+func (m *Mix) Pick(u float64) string {
+	for i, c := range m.cum {
+		if u < c {
+			return m.names[i]
+		}
+	}
+	return m.names[len(m.names)-1]
+}
+
+// ParseMixSpec parses "reno=0.5,cubic=0.3,bbr=0.2" (weights optional —
+// "reno,cubic" weighs entries equally) into a weight map for NewMix.
+func ParseMixSpec(spec string) (map[string]float64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		w := 1.0
+		if hasW {
+			v, err := strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("cc: bad weight in %q: %v", part, err)
+			}
+			w = v
+		}
+		if _, err := New(name, 1460); err != nil {
+			return nil, err
+		}
+		out[name] += w
+	}
+	return out, nil
+}
+
+// FormatMix renders a weight map canonically (sorted, trimmed weights) for
+// self-describing experiment output.
+func FormatMix(weights map[string]float64) string {
+	if len(weights) == 0 {
+		return Fixed
+	}
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%s", n,
+			strconv.FormatFloat(weights[n], 'g', 4, 64)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// cbrt is math.Cbrt, aliased so the CUBIC file reads like its equation.
+func cbrt(x float64) float64 { return math.Cbrt(x) }

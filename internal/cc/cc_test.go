@@ -1,0 +1,354 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const mss = 1460
+
+func TestFactory(t *testing.T) {
+	for _, name := range []string{Fixed, Reno, Cubic, BBR} {
+		c, err := New(name, mss)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, c.Name())
+		}
+		if c.CwndSegments() < 1 {
+			t.Errorf("%s initial cwnd = %d", name, c.CwndSegments())
+		}
+	}
+	if _, err := New("vegas", mss); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFixedIsInert(t *testing.T) {
+	c := NewFixed(8)
+	for i := 0; i < 100; i++ {
+		c.OnAck(mss, int64(i)*1000)
+		c.OnLoss(int64(i)*1000, i%2 == 0)
+		c.OnRTTSample(5000, int64(i)*1000)
+		c.OnSend(mss, int64(i)*1000)
+		if c.CwndSegments() != 8 {
+			t.Fatalf("fixed window moved to %d", c.CwndSegments())
+		}
+		if c.PacingGate(int64(i)*1000) != 0 {
+			t.Fatal("fixed controller paces")
+		}
+	}
+}
+
+// ackRTT feeds one round-trip's worth of full-window ACKs at evenly spaced
+// times and returns the updated now.
+func ackRTT(c Controller, nowUS, rttUS int64) int64 {
+	segs := c.CwndSegments()
+	for i := 0; i < segs; i++ {
+		nowUS += rttUS / int64(segs)
+		c.OnAck(mss, nowUS)
+	}
+	return nowUS
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	c := NewReno(mss)
+	now := int64(0)
+	w0 := c.CwndSegments()
+	now = ackRTT(c, now, 100_000)
+	if got := c.CwndSegments(); got != 2*w0 {
+		t.Errorf("after one slow-start RTT cwnd = %d, want %d", got, 2*w0)
+	}
+	now = ackRTT(c, now, 100_000)
+	if got := c.CwndSegments(); got != 4*w0 {
+		t.Errorf("after two slow-start RTTs cwnd = %d, want %d", got, 4*w0)
+	}
+}
+
+func TestRenoSawtoothSlope(t *testing.T) {
+	c := NewReno(mss).(*renoCC)
+	// Enter congestion avoidance at a known window.
+	c.cwnd = 20 * mss
+	c.ssthresh = 10 * mss
+	now := int64(0)
+	for rtt := 0; rtt < 10; rtt++ {
+		// Additive increase: ~1 segment per RTT (the per-ACK increments sum
+		// to just under one MSS because cwnd grows mid-round).
+		got := c.CwndSegments()
+		if got < 19+rtt || got > 21+rtt {
+			t.Fatalf("RTT %d: cwnd = %d segments, want ≈%d (AIMD slope 1 seg/RTT)",
+				rtt, got, 20+rtt)
+		}
+		now = ackRTT(c, now, 100_000)
+	}
+	if got := c.CwndSegments(); got < 29 || got > 31 {
+		t.Errorf("after 10 RTTs cwnd = %d, want ≈30", got)
+	}
+}
+
+func TestRenoLossResponse(t *testing.T) {
+	c := NewReno(mss).(*renoCC)
+	c.cwnd = 40 * mss
+	c.ssthresh = 10 * mss
+	c.OnRTTSample(50_000, 0)
+
+	c.OnLoss(1_000_000, false)
+	if got := c.CwndSegments(); got != 20 {
+		t.Errorf("fast retransmit: cwnd = %d, want 20 (halved)", got)
+	}
+	// A second loss within the blackout window must not halve again.
+	c.OnLoss(1_020_000, false)
+	if got := c.CwndSegments(); got != 20 {
+		t.Errorf("loss inside blackout halved again: cwnd = %d", got)
+	}
+	// A timeout collapses to one segment regardless.
+	c.OnLoss(2_000_000, true)
+	if got := c.CwndSegments(); got != 1 {
+		t.Errorf("timeout: cwnd = %d, want 1", got)
+	}
+	if c.ssthresh != 10*mss {
+		t.Errorf("timeout ssthresh = %.0f, want %d (half of 20 segs)", c.ssthresh, 10*mss)
+	}
+}
+
+func TestCubicGrowthCurve(t *testing.T) {
+	c := NewCubic(mss).(*cubicCC)
+	const wMax = 100.0
+	c.cwnd = wMax * mss
+	c.ssthresh = 10 * mss // force congestion avoidance
+	c.OnRTTSample(50_000, 0)
+	c.OnLoss(0, false) // loss at wMax: epoch anchor
+
+	w0 := float64(c.CwndSegments())
+	if math.Abs(w0-wMax*(1-cubicBeta)) > 1.5 {
+		t.Fatalf("post-loss window = %.0f, want %.0f", w0, wMax*(1-cubicBeta))
+	}
+
+	// Drive an ACK clock and sample the trajectory.
+	kUS := int64(cbrt(wMax*cubicBeta/cubicC) * 1e6)
+	now := int64(200_000) // past the loss blackout
+	sample := func(untilUS int64) float64 {
+		for now < untilUS {
+			now = ackRTT(c, now, 50_000)
+		}
+		return float64(c.CwndSegments())
+	}
+
+	wMid := sample(200_000 + kUS/2)
+	wAtK := sample(200_000 + kUS)
+	wLate := sample(200_000 + kUS + kUS/2)
+
+	// Closed-form W(t) = C(t−K)³ + wMax: the curve recovers most of the
+	// drop quickly, plateaus at wMax around t=K, then grows past it.
+	if frac := (wMid - w0) / (wMax - w0); frac < 0.75 {
+		t.Errorf("midpoint recovery = %.2f of the drop, want ≥0.75 (concave rise)", frac)
+	}
+	if math.Abs(wAtK-wMax) > 0.08*wMax {
+		t.Errorf("W(K) = %.0f, want ≈%.0f", wAtK, wMax)
+	}
+	if wLate <= wAtK+1 {
+		t.Errorf("convex probing past wMax absent: W(K·1.5) = %.0f vs W(K) = %.0f", wLate, wAtK)
+	}
+	// And the exact curve at a checkpoint: t = K/2 → W = wMax − C·(K/2µs)³.
+	tSec := float64(kUS/2) / 1e6
+	want := cubicC*math.Pow(tSec-float64(kUS)/1e6, 3) + wMax
+	if math.Abs(wMid-want) > 0.08*wMax {
+		t.Errorf("W(K/2) = %.1f, closed form = %.1f", wMid, want)
+	}
+}
+
+// driveBBR simulates a sender over a fixed-rate bottleneck: segments sent
+// when window and pacing allow, acknowledged one path RTT later but never
+// faster than the bottleneck drains. Returns the pacing gains observed at
+// each ACK (deduplicated consecutively).
+func driveBBR(b *bbrCC, rateBytesPerUS float64, rttUS, durUS int64) []float64 {
+	type pkt struct{ sentUS, ackUS int64 }
+	var q []pkt
+	now, lastAck := int64(0), int64(0)
+	inflight := 0
+	var gains []float64
+	record := func() {
+		g := b.pacingGain()
+		if len(gains) == 0 || gains[len(gains)-1] != g {
+			gains = append(gains, g)
+		}
+	}
+	for now < durUS {
+		for inflight < b.CwndSegments() && b.PacingGate(now) <= now {
+			b.OnSend(mss, now)
+			inflight++
+			ack := now + rttUS
+			if min := lastAck + int64(mss/rateBytesPerUS); ack < min {
+				ack = min
+			}
+			lastAck = ack
+			q = append(q, pkt{sentUS: now, ackUS: ack})
+		}
+		next := int64(math.MaxInt64)
+		if len(q) > 0 {
+			next = q[0].ackUS
+		}
+		if g := b.PacingGate(now); g > now && g < next {
+			next = g
+		}
+		if next == math.MaxInt64 {
+			break
+		}
+		now = next
+		for len(q) > 0 && q[0].ackUS <= now {
+			b.OnRTTSample(now-q[0].sentUS, now)
+			b.OnAck(mss, now)
+			record()
+			inflight--
+			q = q[1:]
+		}
+	}
+	return gains
+}
+
+func TestBBRConvergesAndCyclesGains(t *testing.T) {
+	b := NewBBR(mss).(*bbrCC)
+	const rate = 1.25 // bytes/µs = 10 Mbps
+	const rtt = 20_000
+	gains := driveBBR(b, rate, rtt, 10_000_000)
+
+	if b.mode != bbrProbeBW {
+		t.Fatalf("mode = %d after 10 s on a steady path, want PROBE_BW", b.mode)
+	}
+	if bw := b.maxBW(); math.Abs(bw-rate)/rate > 0.3 {
+		t.Errorf("bandwidth estimate = %.3f bytes/µs, want ≈%.2f", bw, rate)
+	}
+	if b.minRTTUS < rtt || b.minRTTUS > rtt*3 {
+		t.Errorf("min RTT estimate = %d µs, path RTT %d", b.minRTTUS, rtt)
+	}
+	var sawProbe, sawDrain, sawCruise bool
+	for _, g := range gains {
+		switch g {
+		case 1.25:
+			sawProbe = true
+		case 0.75:
+			sawDrain = true
+		case 1:
+			sawCruise = true
+		}
+	}
+	if !sawProbe || !sawDrain || !sawCruise {
+		t.Errorf("PROBE_BW gain cycle incomplete: observed gains %v", gains)
+	}
+	// Steady-state window ≈ cwndGain·BDP.
+	bdpSegs := rate * rtt / mss
+	if w := float64(b.CwndSegments()); w < bdpSegs || w > 3.5*bdpSegs {
+		t.Errorf("cwnd = %.0f segments, want near %.0f (2·BDP)", w, 2*bdpSegs)
+	}
+}
+
+func TestBBRStartupExitsOnPlateau(t *testing.T) {
+	b := NewBBR(mss).(*bbrCC)
+	driveBBR(b, 2.5, 10_000, 1_000_000)
+	if b.mode == bbrStartup {
+		t.Error("still in STARTUP after 100 RTTs at a fixed-rate bottleneck")
+	}
+}
+
+func TestBBRTimeoutCollapsesUntilDelivery(t *testing.T) {
+	b := NewBBR(mss).(*bbrCC)
+	driveBBR(b, 1.25, 20_000, 2_000_000)
+	b.OnLoss(2_000_000, true)
+	if got := b.CwndSegments(); got != 1 {
+		t.Errorf("post-RTO cwnd = %d, want 1", got)
+	}
+	b.OnAck(mss, 2_100_000)
+	if got := b.CwndSegments(); got <= 1 {
+		t.Errorf("cwnd did not recover after delivery resumed: %d", got)
+	}
+	// Fast-retransmit losses do not change the model's operating point.
+	before := b.CwndSegments()
+	b.OnLoss(2_200_000, false)
+	if got := b.CwndSegments(); got != before {
+		t.Errorf("fast-retx loss moved BBR cwnd %d → %d", before, got)
+	}
+}
+
+func TestBBRPacingSpacesSends(t *testing.T) {
+	b := NewBBR(mss).(*bbrCC)
+	driveBBR(b, 1.25, 20_000, 5_000_000)
+	now := int64(5_000_001)
+	b.OnSend(mss, now)
+	gate := b.PacingGate(now)
+	if gate <= now {
+		t.Fatal("no pacing gate after bandwidth estimate exists")
+	}
+	// Gate spacing ≈ mss/(gain·bw).
+	wantGap := float64(mss) / (b.pacingGain() * b.maxBW())
+	if gap := float64(gate - now); gap < 0.5*wantGap || gap > 2*wantGap {
+		t.Errorf("pacing gap = %.0f µs, want ≈%.0f", gap, wantGap)
+	}
+}
+
+func TestControllersAreDeterministic(t *testing.T) {
+	for _, name := range []string{Reno, Cubic, BBR} {
+		run := func() []int {
+			c := MustNew(name, mss)
+			rng := rand.New(rand.NewSource(42))
+			var trace []int
+			now := int64(0)
+			for i := 0; i < 2000; i++ {
+				now += int64(rng.Intn(5000) + 100)
+				switch rng.Intn(10) {
+				case 0:
+					c.OnLoss(now, rng.Intn(4) == 0)
+				case 1:
+					c.OnRTTSample(int64(rng.Intn(40000)+5000), now)
+				case 2:
+					c.OnSend(mss, now)
+				default:
+					c.OnAck(mss, now)
+				}
+				trace = append(trace, c.CwndSegments())
+			}
+			return trace
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: trajectories diverge at step %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestMixPickAndParse(t *testing.T) {
+	weights, err := ParseMixSpec("reno=0.5, cubic=0.3,bbr=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMix(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		counts[m.Pick(rng.Float64())]++
+	}
+	if counts[Reno] < 4500 || counts[Cubic] < 2500 || counts[BBR] < 1500 {
+		t.Errorf("mix skewed: %v", counts)
+	}
+	if got := FormatMix(weights); got != "bbr=0.2,cubic=0.3,reno=0.5" {
+		t.Errorf("FormatMix = %q", got)
+	}
+	if _, err := ParseMixSpec("bogus=1"); err == nil {
+		t.Error("bad algorithm name accepted")
+	}
+	if m, err := NewMix(nil); err != nil || m != nil {
+		t.Error("empty mix should be nil, nil")
+	}
+	if _, err := NewMix(map[string]float64{"reno": -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if eq, _ := ParseMixSpec("reno,bbr"); eq[Reno] != 1 || eq[BBR] != 1 {
+		t.Errorf("equal-weight spec parsed to %v", eq)
+	}
+}

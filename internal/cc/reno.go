@@ -1,0 +1,80 @@
+package cc
+
+// renoCC implements TCP Reno (RFC 5681 shape): slow start doubling per
+// RTT, additive-increase congestion avoidance of one segment per RTT, and
+// multiplicative decrease — halving on fast retransmit, collapse to one
+// segment on timeout. The classic sawtooth.
+type renoCC struct {
+	aimdShared
+	mss      int64
+	cwnd     float64 // bytes
+	ssthresh float64 // bytes
+}
+
+// Reno initial window and minimum ssthresh, in segments.
+const (
+	renoInitialWindow = 4
+	renoMinSSThresh   = 2
+)
+
+// NewReno returns a Reno controller.
+func NewReno(mssBytes int) Controller {
+	mss := int64(mssBytes)
+	return &renoCC{
+		mss:      mss,
+		cwnd:     float64(renoInitialWindow) * float64(mss),
+		ssthresh: float64(maxCwndSegments) * float64(mss),
+	}
+}
+
+func (r *renoCC) OnSend(int64, int64) {}
+
+func (r *renoCC) OnAck(ackedBytes int64, nowUS int64) {
+	if ackedBytes <= 0 {
+		return
+	}
+	max := float64(maxCwndSegments) * float64(r.mss)
+	if r.cwnd < r.ssthresh {
+		// Slow start: cwnd grows by one segment per segment acked.
+		grow := float64(ackedBytes)
+		if grow > float64(r.mss) {
+			grow = float64(r.mss)
+		}
+		r.cwnd += grow
+	} else {
+		// Congestion avoidance: one segment per RTT, spread per ACK.
+		r.cwnd += float64(r.mss) * float64(r.mss) / r.cwnd
+	}
+	if r.cwnd > max {
+		r.cwnd = max
+	}
+}
+
+func (r *renoCC) OnLoss(nowUS int64, timeout bool) {
+	if timeout {
+		// RTO: the pipe drained; restart from one segment.
+		r.ssthresh = r.halved()
+		r.cwnd = float64(r.mss)
+		r.startBlackout(nowUS)
+		return
+	}
+	if r.inBlackout(nowUS) {
+		return
+	}
+	r.ssthresh = r.halved()
+	r.cwnd = r.ssthresh
+	r.startBlackout(nowUS)
+}
+
+// halved returns cwnd/2 floored at the minimum ssthresh.
+func (r *renoCC) halved() float64 {
+	h := r.cwnd / 2
+	if min := float64(renoMinSSThresh) * float64(r.mss); h < min {
+		h = min
+	}
+	return h
+}
+
+func (r *renoCC) CwndSegments() int      { return clampSegments(r.cwnd, r.mss) }
+func (r *renoCC) PacingGate(int64) int64 { return 0 }
+func (r *renoCC) Name() string           { return Reno }

@@ -106,39 +106,63 @@ func requireIdentical(t *testing.T, label string, a, b *Result) {
 }
 
 // TestParallelMatchesSerial is the determinism contract of the sharded
-// pipeline: across seeds and shard counts, Workers=N must produce results
-// identical to the Workers=1 serial reference path.
+// pipeline: across seeds, shard counts and congestion-control mixes,
+// Workers=N must produce results identical to the Workers=1 serial
+// reference path.
 func TestParallelMatchesSerial(t *testing.T) {
-	for _, seed := range []int64{1, 2, 3} {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func(seed int64) scenario.Config
+	}{
+		{"fixed", func(seed int64) scenario.Config {
 			cfg := scenario.Default()
 			cfg.Seed = seed
-			cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
-			cfg.Day = 30 * sim.Second
-			out, err := scenario.Run(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			traces := TracesFromBuffers(out.Traces)
-
-			run := func(workers int) *Result {
-				ccfg := DefaultConfig()
-				ccfg.Workers = workers
-				ccfg.KeepExchanges = true
-				ccfg.KeepJFrames = true
-				res, err := Run(traces, out.ClockGroups, ccfg, nil)
+			return cfg
+		}},
+		// Reno+CUBIC+BBR contending for a finite bottleneck queue: cwnd
+		// dynamics, pacing timers and queue drops must all replay
+		// identically under sharding.
+		{"mixedCC", func(seed int64) scenario.Config {
+			cfg := scenario.MixedCC()
+			cfg.Seed = seed
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		seeds := []int64{1, 2, 3}
+		if tc.name == "mixedCC" {
+			seeds = []int64{1, 2}
+		}
+		for _, seed := range seeds {
+			tc, seed := tc, seed
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				cfg := tc.cfg(seed)
+				cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
+				cfg.Day = 30 * sim.Second
+				out, err := scenario.Run(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				return res
-			}
+				traces := TracesFromBuffers(out.Traces)
 
-			serial := run(1)
-			for _, w := range []int{2, 4} {
-				requireIdentical(t, fmt.Sprintf("workers=%d", w), serial, run(w))
-			}
-		})
+				run := func(workers int) *Result {
+					ccfg := DefaultConfig()
+					ccfg.Workers = workers
+					ccfg.KeepExchanges = true
+					ccfg.KeepJFrames = true
+					res, err := Run(traces, out.ClockGroups, ccfg, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+
+				serial := run(1)
+				for _, w := range []int{2, 4} {
+					requireIdentical(t, fmt.Sprintf("workers=%d", w), serial, run(w))
+				}
+			})
+		}
 	}
 }
 

@@ -11,5 +11,15 @@ func (s *state) finish() (*Output, error) {
 		}
 		s.out.Indexes[int32(m.id)] = m.w.Index()
 	}
+	// Backfill ground truth for flows still open at the horizon so the
+	// fairness analysis sees their partial progress.
+	horizonUS := s.cfg.Day.US64()
+	for _, cl := range s.clients {
+		for _, fs := range cl.flows {
+			rec := &s.out.FlowCCs[fs.truthIdx]
+			rec.EndUS = horizonUS
+			rec.BytesAcked = fs.ep.Stats.BytesAcked + fs.server.Stats.BytesAcked
+		}
+	}
 	return s.out, nil
 }

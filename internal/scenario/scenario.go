@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/cc"
 	"repro/internal/clock"
 
 	"repro/internal/building"
@@ -72,6 +73,24 @@ type Config struct {
 	// (§6's controlled experiment) that visits this many locations spread
 	// through the building, generating the web/ssh/scp workload at each.
 	OracleLocations int
+	// CCMix maps congestion-control algorithm names (cc.Reno, cc.Cubic,
+	// cc.BBR, cc.Fixed) to per-flow selection weights. Empty means every
+	// flow runs the fixed-window compatibility controller, reproducing the
+	// pre-cc substrate bit-for-bit.
+	CCMix map[string]float64
+	// WiredQueuePkts, when positive, bounds the per-destination bottleneck
+	// FIFO on the wired path so congestion controllers see real
+	// queue-dependent loss and RTT; zero keeps the legacy unqueued wire.
+	WiredQueuePkts int
+	// WiredBottleneckMbps is the bottleneck drain rate when the queue is
+	// enabled (0 picks the wired default of 100 Mbps).
+	WiredBottleneckMbps float64
+	// FlowScale multiplies every sampled flow's transfer sizes (0 = 1).
+	// Congestion-control experiments set it above 1: the enterprise mix's
+	// short web flows end during slow start, where every controller looks
+	// alike — fairness and fingerprinting need flows that reach steady
+	// state.
+	FlowScale float64
 }
 
 // Default returns a laptop-scale configuration suitable for tests: a
@@ -93,6 +112,19 @@ func PaperScale() Config {
 	c := Default()
 	c.Pods, c.APs, c.Clients = 39, 39, 64
 	c.Day = 240 * sim.Second
+	return c
+}
+
+// MixedCC returns Default with an even Reno/CUBIC/BBR flow mix contending
+// for a finite bottleneck queue — the workload behind the fairness and
+// CC-fingerprinting experiments (cf. arXiv:2505.07741's BBR-vs-CUBIC
+// sharing study).
+func MixedCC() Config {
+	c := Default()
+	c.CCMix = map[string]float64{cc.Reno: 1, cc.Cubic: 1, cc.BBR: 1}
+	c.WiredQueuePkts = 32
+	c.WiredBottleneckMbps = 30
+	c.FlowScale = 8
 	return c
 }
 
@@ -135,6 +167,24 @@ type TxSummary struct {
 	WireLen int
 }
 
+// FlowCC is the simulator's ground-truth record of one TCP flow: which
+// congestion controller drove it and what it achieved. The transport
+// fingerprinter's confusion matrix is scored against this.
+type FlowCC struct {
+	Key  tcpsim.FlowKey
+	Algo string // cc algorithm name
+	// ClientIP/ClientPort identify the wireless side; ServerIP the peer.
+	ClientIP   uint32
+	ClientPort uint16
+	ServerIP   uint32
+	// UpBytes/DownBytes are the application bytes the workload asked for;
+	// BytesAcked is what both endpoints actually had acknowledged.
+	UpBytes, DownBytes int64
+	BytesAcked         int64
+	StartUS, EndUS     int64
+	Completed          bool
+}
+
 // ClientInfo describes one client in the roster.
 type ClientInfo struct {
 	MAC     dot80211.MAC
@@ -174,6 +224,10 @@ type Output struct {
 	// FlowsCompleted counts TCP connections that ran to completion.
 	FlowsCompleted int
 	FlowsStarted   int
+	// FlowCCs is per-flow congestion-control ground truth, in flow start
+	// order (flows still open at day end have Completed false and EndUS at
+	// the horizon).
+	FlowCCs []FlowCC
 	// MonitorRecords counts captured records across all radios.
 	MonitorRecords int64
 	// MonitorClocks exposes each radio's true clock model for validation
@@ -191,7 +245,12 @@ func Run(cfg Config) (*Output, error) {
 	if cfg.Pods <= 0 || cfg.APs <= 0 {
 		return nil, fmt.Errorf("scenario: need pods and APs")
 	}
+	mix, err := cc.NewMix(cfg.CCMix)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	s := newState(cfg)
+	s.ccMix = mix
 	s.buildWorld()
 	s.scheduleWorkload()
 	s.eng.Run(cfg.Day)

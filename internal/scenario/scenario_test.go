@@ -209,3 +209,79 @@ func TestOracleDisabledByDefault(t *testing.T) {
 		t.Error("oracle enabled without OracleLocations")
 	}
 }
+
+func TestMixedCCScenario(t *testing.T) {
+	cfg := MixedCC()
+	cfg.Pods, cfg.APs, cfg.Clients = 4, 4, 10
+	cfg.Day = 40 * sim.Second
+	cfg.FlowMeanGap = 4 * sim.Second
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.FlowCCs) == 0 {
+		t.Fatal("no flow ground truth recorded")
+	}
+	if len(out.FlowCCs) != out.FlowsStarted {
+		t.Errorf("FlowCCs = %d, FlowsStarted = %d", len(out.FlowCCs), out.FlowsStarted)
+	}
+	byAlgo := map[string]int{}
+	bytesBy := map[string]int64{}
+	for _, f := range out.FlowCCs {
+		byAlgo[f.Algo]++
+		bytesBy[f.Algo] += f.BytesAcked
+		if f.Algo == "fixed" {
+			t.Errorf("fixed-window flow in a reno/cubic/bbr mix: %+v", f)
+		}
+	}
+	if len(byAlgo) < 3 {
+		t.Errorf("CC mix degenerate: %v", byAlgo)
+	}
+	active := 0
+	for algo, b := range bytesBy {
+		if b > 0 {
+			active++
+		} else {
+			t.Logf("algo %s moved no bytes (%d flows)", algo, byAlgo[algo])
+		}
+	}
+	if active < 2 {
+		t.Errorf("fewer than two algorithms moved data: %v", bytesBy)
+	}
+	if out.FlowsCompleted == 0 {
+		t.Error("no mixed-CC flows completed")
+	}
+}
+
+func TestMixedCCDeterministic(t *testing.T) {
+	cfg := MixedCC()
+	cfg.Pods, cfg.APs, cfg.Clients = 3, 3, 6
+	cfg.Day = 20 * sim.Second
+	run := func() *Output {
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.MonitorRecords != b.MonitorRecords || a.FlowsCompleted != b.FlowsCompleted ||
+		len(a.FlowCCs) != len(b.FlowCCs) {
+		t.Fatalf("mixed-CC runs differ: %d/%d records, %d/%d completed, %d/%d flows",
+			a.MonitorRecords, b.MonitorRecords, a.FlowsCompleted, b.FlowsCompleted,
+			len(a.FlowCCs), len(b.FlowCCs))
+	}
+	for i := range a.FlowCCs {
+		if a.FlowCCs[i] != b.FlowCCs[i] {
+			t.Fatalf("flow %d truth differs:\n  a=%+v\n  b=%+v", i, a.FlowCCs[i], b.FlowCCs[i])
+		}
+	}
+}
+
+func TestCCMixRejectsUnknownAlgo(t *testing.T) {
+	cfg := quickCfg()
+	cfg.CCMix = map[string]float64{"vegas": 1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown CC algorithm accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/building"
+	"repro/internal/cc"
 	"repro/internal/clock"
 	"repro/internal/dot80211"
 	"repro/internal/mac"
@@ -30,6 +31,10 @@ type state struct {
 	servers  map[int]*serverHost
 	out      *Output
 
+	// ccMix assigns a congestion controller per flow (nil = fixed-window
+	// for everyone, the compatibility path).
+	ccMix *cc.Mix
+
 	nextPort uint16
 }
 
@@ -45,6 +50,8 @@ type client struct {
 type flowState struct {
 	ep     *tcpsim.Endpoint
 	server *tcpsim.Endpoint
+	// truthIdx locates this flow's FlowCC record in Output.FlowCCs.
+	truthIdx int
 }
 
 // monitorRadio captures everything its radio hears into a trace writer.
@@ -139,6 +146,11 @@ func newState(cfg Config) *state {
 	}
 	s.wired = tcpsim.NewWiredNet(eng)
 	s.wired.LossProb = cfg.WiredLossProb
+	s.wired.QueuePkts = cfg.WiredQueuePkts
+	if cfg.WiredBottleneckMbps > 0 {
+		// Mbps → bytes/µs: 1 Mbps = 0.125 bytes/µs.
+		s.wired.BottleneckBytesPerUS = cfg.WiredBottleneckMbps * 0.125
+	}
 	return s
 }
 

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"repro/internal/building"
+	"repro/internal/cc"
 	"repro/internal/dot80211"
 	"repro/internal/mac"
 	"repro/internal/radio"
@@ -75,6 +76,10 @@ func (s *state) flowLoop(cl *client, end sim.Time) {
 // startFlow creates a TCP connection between the client and a server.
 func (s *state) startFlow(cl *client) {
 	spec := workload.SampleFlow(s.rng)
+	if s.cfg.FlowScale > 0 && s.cfg.FlowScale != 1 {
+		spec.UpBytes = int64(float64(spec.UpBytes) * s.cfg.FlowScale)
+		spec.DownBytes = int64(float64(spec.DownBytes) * s.cfg.FlowScale)
+	}
 	srv := s.rng.Intn(numServers)
 	srvIP := uint32(serverIPBase + srv)
 	srvMAC := serverMAC(srv)
@@ -94,11 +99,30 @@ func (s *state) startFlow(cl *client) {
 	sep := tcpsim.NewEndpoint(s.eng, srvIP, 80, func(seg tcpsim.Segment) {
 		s.wired.Forward(srvMAC, cliMACv, seg, remote)
 	})
+	// Per-flow congestion control: both sides run the sampled algorithm
+	// (fixed compatibility mode draws nothing from the rng at all).
+	algo := cc.Fixed
+	if s.ccMix != nil {
+		algo = s.ccMix.Pick(s.rng.Float64())
+		if algo != cc.Fixed {
+			cep.SetCongestionControl(cc.MustNew(algo, tcpsim.MSS))
+			sep.SetCongestionControl(cc.MustNew(algo, tcpsim.MSS))
+		}
+	}
 	sep.Listen(spec.DownBytes)
 
-	fs := &flowState{ep: cep, server: sep}
+	fs := &flowState{ep: cep, server: sep, truthIdx: len(s.out.FlowCCs)}
 	cl.flows[port] = fs
 	s.out.FlowsStarted++
+	s.out.FlowCCs = append(s.out.FlowCCs, FlowCC{
+		Key: (&tcpsim.Segment{
+			SrcIP: cl.info.IP, SrcPort: port, DstIP: srvIP, DstPort: 80,
+		}).Key(),
+		Algo:     algo,
+		ClientIP: cl.info.IP, ClientPort: port, ServerIP: srvIP,
+		UpBytes: spec.UpBytes, DownBytes: spec.DownBytes,
+		StartUS: s.eng.Now().US64(),
+	})
 
 	done := func(ok bool) {
 		if _, live := cl.flows[port]; live {
@@ -106,6 +130,10 @@ func (s *state) startFlow(cl *client) {
 			if ok {
 				s.out.FlowsCompleted++
 			}
+			rec := &s.out.FlowCCs[fs.truthIdx]
+			rec.Completed = ok
+			rec.EndUS = s.eng.Now().US64()
+			rec.BytesAcked = cep.Stats.BytesAcked + sep.Stats.BytesAcked
 		}
 	}
 	cep.Done = done

@@ -1,6 +1,7 @@
 package tcpsim
 
 import (
+	"repro/internal/cc"
 	"repro/internal/sim"
 )
 
@@ -16,11 +17,15 @@ const (
 	stDone
 )
 
-// Timing and window parameters. The window is fixed (no congestion control)
-// — loss-rate analyses measure retransmissions, which a fixed window
-// produces identically; cwnd dynamics would only slow the workload.
+// Timing parameters. The amount of data in flight is governed by a
+// cc.Controller: the endpoint reports sends, new ACKs, RTT samples and loss
+// events (fast retransmit vs RTO) to the controller and obeys its
+// CwndSegments window and PacingGate release schedule. The default is
+// cc.NewFixed(window) — the substrate's original fixed 8-segment flight —
+// so scenarios that never install a controller behave bit-for-bit as
+// before; SetCongestionControl swaps in Reno, CUBIC or BBR dynamics.
 const (
-	window        = 8 // segments in flight
+	window        = cc.DefaultFixedWindow // fixed-mode segments in flight
 	initialRTOUS  = 1_000_000
 	minRTOUS      = 200_000
 	maxRTOUS      = 60_000_000
@@ -65,6 +70,20 @@ type Endpoint struct {
 	dupAcks  int
 	synTries int
 
+	// Congestion control. cc decides the window and pacing; paceTimer
+	// wakes pump when the pacing gate opens (fixed mode never arms it).
+	cc          cc.Controller
+	pacePending bool
+	// modernRecovery enables NewReno-style loss recovery: a partial ACK
+	// during recovery retransmits the next hole immediately, and forward
+	// progress clears the RTO backoff. Required once a controller can pull
+	// cwnd below the in-flight amount (a burst loss would otherwise drain
+	// one hole per backed-off RTO); left off in fixed compatibility mode
+	// to preserve the original substrate's event sequence exactly.
+	modernRecovery bool
+	recovering     bool
+	recoverPoint   uint32
+
 	wasEstablished bool
 	// Teardown state: full half-close semantics. The connection is done
 	// only when our FIN is acked AND the peer's FIN arrived; a passive
@@ -100,8 +119,22 @@ func NewEndpoint(eng *sim.Engine, localIP uint32, localPort uint16, send func(Se
 		localIP: localIP, localPort: localPort,
 		rtoUS:    initialRTOUS,
 		oooBytes: make(map[uint32]uint16),
+		cc:       cc.NewFixed(window),
 	}
 }
+
+// SetCongestionControl installs a congestion controller. Call before
+// Connect/Listen; the default is the fixed-window compatibility controller.
+// Installing a non-fixed controller also enables modern loss recovery.
+func (e *Endpoint) SetCongestionControl(c cc.Controller) {
+	e.cc = c
+	e.modernRecovery = c.Name() != cc.Fixed
+}
+
+// CCName reports the installed controller's algorithm name — the
+// simulator-side ground truth the transport fingerprinter is scored
+// against.
+func (e *Endpoint) CCName() string { return e.cc.Name() }
 
 // Connect starts the active open toward a peer and arranges to transmit
 // totalBytes of application data after establishment.
@@ -193,11 +226,35 @@ func (e *Endpoint) handleAck(s Segment) {
 		e.Stats.BytesAcked += acked
 		e.sndUna = s.Ack
 		e.dupAcks = 0
+		e.cc.OnAck(acked, e.eng.Now().US64())
 		// RTT sample (Karn: only if the timed segment is newly acked and
 		// was not retransmitted — timingValid is cleared on rtx).
 		if e.timingValid && seqLess(e.timedSeq, s.Ack) {
 			e.rttSample(e.eng.Now() - e.timedAt)
 			e.timingValid = false
+		}
+		if e.modernRecovery {
+			// Forward progress clears any RTO backoff (Karn keeps the
+			// backed-off value otherwise, since retransmissions are never
+			// timed and a reduced cwnd may stop producing fresh samples).
+			if e.srttUS > 0 {
+				rto := int64(e.srttUS + 4*e.rttvarUS)
+				if rto < minRTOUS {
+					rto = minRTOUS
+				}
+				e.rtoUS = rto
+			}
+			if e.recovering {
+				if !seqLess(s.Ack, e.recoverPoint) {
+					e.recovering = false
+				} else {
+					// Partial ACK: the next hole was lost in the same
+					// event; retransmit it now (NewReno) instead of
+					// waiting out an RTO per hole.
+					e.Stats.Retransmits++
+					e.retransmitOne()
+				}
+			}
 		}
 		if e.sndUna == e.sndNxt {
 			e.rtxTimer.Cancel()
@@ -210,6 +267,11 @@ func (e *Endpoint) handleAck(s Segment) {
 		if e.dupAcks == dupAckThresh {
 			e.Stats.FastRetransmit++
 			e.Stats.Retransmits++
+			e.cc.OnLoss(e.eng.Now().US64(), false)
+			if e.modernRecovery && !e.recovering {
+				e.recovering = true
+				e.recoverPoint = e.sndNxt
+			}
 			e.retransmitOne()
 		}
 	}
@@ -279,12 +341,19 @@ func (e *Endpoint) handleData(s Segment) {
 	}
 }
 
-// pump transmits new data while the window allows.
+// pump transmits new data while the congestion window allows, honoring the
+// controller's pacing gate (a paced controller spreads the window over the
+// RTT instead of releasing it as one burst).
 func (e *Endpoint) pump() {
 	if e.st != stEstablished {
 		return
 	}
-	for seqLess(e.sndNxt, e.txLimit) && e.sndNxt-e.sndUna < window*MSS {
+	for seqLess(e.sndNxt, e.txLimit) && e.sndNxt-e.sndUna < uint32(e.cc.CwndSegments())*MSS {
+		nowUS := e.eng.Now().US64()
+		if gate := e.cc.PacingGate(nowUS); gate > nowUS {
+			e.schedulePace(gate)
+			return // data remains unsent, so maybeClose cannot fire yet
+		}
 		remain := e.txLimit - e.sndNxt
 		p := uint16(MSS)
 		if remain < MSS {
@@ -294,10 +363,24 @@ func (e *Endpoint) pump() {
 			e.timedSeq, e.timedAt, e.timingValid = e.sndNxt, e.eng.Now(), true
 		}
 		e.sendSeg(e.sndNxt, e.rcvNxt, FlagACK, p)
+		e.cc.OnSend(int64(p), nowUS)
 		e.sndNxt += uint32(p)
 		e.armRtx()
 	}
 	e.maybeClose()
+}
+
+// schedulePace arms a one-shot wakeup at the pacing gate (at most one
+// outstanding; re-pumps on fire).
+func (e *Endpoint) schedulePace(gateUS int64) {
+	if e.pacePending {
+		return
+	}
+	e.pacePending = true
+	e.eng.At(sim.US(gateUS), func() {
+		e.pacePending = false
+		e.pump()
+	})
 }
 
 // sendFin transmits our FIN.
@@ -357,6 +440,11 @@ func (e *Endpoint) onRtxTimeout() {
 	}
 	e.Stats.Timeouts++
 	e.Stats.Retransmits++
+	e.cc.OnLoss(e.eng.Now().US64(), true)
+	if e.modernRecovery && e.st == stEstablished {
+		e.recovering = true
+		e.recoverPoint = e.sndNxt
+	}
 	e.rtoUS *= 2
 	if e.rtoUS > maxRTOUS {
 		e.rtoUS = maxRTOUS
@@ -367,6 +455,7 @@ func (e *Endpoint) onRtxTimeout() {
 // rttSample updates srtt/rttvar/rto per RFC 6298.
 func (e *Endpoint) rttSample(rtt sim.Time) {
 	r := float64(rtt.US64())
+	e.cc.OnRTTSample(rtt.US64(), e.eng.Now().US64())
 	if e.srttUS == 0 {
 		e.srttUS = r
 		e.rttvarUS = r / 2

@@ -23,7 +23,22 @@ type WiredNet struct {
 	// dominate.
 	LossProb float64
 
+	// QueuePkts, when positive, inserts a finite per-destination FIFO
+	// bottleneck in front of the latency stage: packets serialize at
+	// BottleneckBytesPerUS and arrivals beyond QueuePkts tail-drop. This is
+	// what gives congestion controllers real queue-dependent loss and RTT
+	// dynamics to react to. Zero preserves the original unqueued path
+	// exactly.
+	QueuePkts int
+	// BottleneckBytesPerUS is the queue drain rate (bytes per µs; e.g.
+	// 12.5 = 100 Mbps). Only consulted when QueuePkts > 0.
+	BottleneckBytesPerUS float64
+
 	hosts map[dot80211.MAC]func(Segment)
+	// qDepth / qFree model the bottleneck FIFO per destination: packets
+	// currently queued, and when the serializer frees up.
+	qDepth map[dot80211.MAC]int
+	qFree  map[dot80211.MAC]sim.Time
 	// lastDelivery enforces per-destination FIFO: wired paths do not
 	// reorder packets within a flow, and spurious reordering would fire
 	// TCP dup-ACK fast retransmits that never happen in reality.
@@ -41,6 +56,9 @@ type WiredNet struct {
 type WiredStats struct {
 	Forwarded int
 	Dropped   int
+	// QueueDrops counts tail drops at the bottleneck FIFO (a subset of
+	// Dropped; only nonzero when QueuePkts > 0).
+	QueueDrops int
 }
 
 // NewWiredNet builds the wired network.
@@ -51,8 +69,12 @@ func NewWiredNet(eng *sim.Engine) *WiredNet {
 		LatencyLocal:  500 * sim.Microsecond,
 		LatencyRemote: 20 * sim.Millisecond,
 		LossProb:      0.002,
-		hosts:         make(map[dot80211.MAC]func(Segment)),
-		lastDelivery:  make(map[dot80211.MAC]sim.Time),
+		// 100 Mbps default drain rate; inert until QueuePkts is set.
+		BottleneckBytesPerUS: 12.5,
+		hosts:                make(map[dot80211.MAC]func(Segment)),
+		lastDelivery:         make(map[dot80211.MAC]sim.Time),
+		qDepth:               make(map[dot80211.MAC]int),
+		qFree:                make(map[dot80211.MAC]sim.Time),
 	}
 }
 
@@ -65,16 +87,21 @@ func (w *WiredNet) Attach(addr dot80211.MAC, deliver func(Segment)) {
 // Detach removes a host.
 func (w *WiredNet) Detach(addr dot80211.MAC) { delete(w.hosts, addr) }
 
-// Forward routes a segment toward dst, applying latency and loss. remote
-// selects the Internet latency profile.
+// Forward routes a segment toward dst, applying the bottleneck queue (when
+// configured), latency and loss. remote selects the Internet latency
+// profile.
 func (w *WiredNet) Forward(src, dst dot80211.MAC, seg Segment, remote bool) {
 	deliver, ok := w.hosts[dst]
-	dropped := !ok || w.rng.Float64() < w.LossProb
+	overflow := ok && w.QueuePkts > 0 && w.qDepth[dst] >= w.QueuePkts
+	dropped := !ok || overflow || w.rng.Float64() < w.LossProb
 	if w.Tap != nil {
 		w.Tap(seg, src, dst, !dropped)
 	}
 	if dropped {
 		w.Stats.Dropped++
+		if overflow {
+			w.Stats.QueueDrops++
+		}
 		return
 	}
 	w.Stats.Forwarded++
@@ -85,6 +112,29 @@ func (w *WiredNet) Forward(src, dst dot80211.MAC, seg Segment, remote bool) {
 	// Jitter: ±10% so ACK compression and timer interleavings vary — but
 	// never reordering within a destination (FIFO queues on the path).
 	jitter := sim.Time(w.rng.Int63n(int64(lat)/5+1)) - lat/10
+
+	if w.QueuePkts > 0 {
+		// Bottleneck FIFO: the packet occupies a queue slot until its
+		// serialization completes, then crosses the propagation stage.
+		wire := int64(headerLen) + int64(seg.PayloadLen)
+		ser := sim.Time(float64(wire) / w.BottleneckBytesPerUS * float64(sim.Microsecond))
+		start := w.eng.Now()
+		if free := w.qFree[dst]; free > start {
+			start = free
+		}
+		depart := start + ser
+		w.qFree[dst] = depart
+		w.qDepth[dst]++
+		at := depart + lat + jitter
+		if last := w.lastDelivery[dst]; at < last {
+			at = last
+		}
+		w.lastDelivery[dst] = at
+		w.eng.At(depart, func() { w.qDepth[dst]-- })
+		w.eng.At(at, func() { deliver(seg) })
+		return
+	}
+
 	at := w.eng.Now() + lat + jitter
 	if last := w.lastDelivery[dst]; at < last {
 		at = last

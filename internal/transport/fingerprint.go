@@ -1,0 +1,439 @@
+// Congestion-control fingerprinting: classify each reconstructed flow's
+// sender algorithm from passively observed sequence dynamics alone — the
+// window-trajectory analysis of Jaiswal et al. pushed one level further.
+// The unified trace gives us every data segment's send time and every
+// cumulative ACK, so the in-flight envelope (outstanding bytes over time)
+// is reconstructible; its shape betrays the controller:
+//
+//   - fixed window  — flat envelope pinned at the configured flight cap,
+//     released in ACK-clocked bursts, indifferent to loss;
+//   - Reno          — linear inter-loss growth (the sawtooth) with ~50%
+//     multiplicative decrease at each loss event;
+//   - CUBIC         — concave-then-convex inter-loss growth (fast recovery
+//     toward W_max, plateau, convex probing) with ~30% decrease;
+//   - BBR           — paced (no same-instant bursts), envelope set by the
+//     bandwidth model, essentially no reduction at loss events.
+//
+// Vantage caveat: these signatures are crisp when segments are observed at
+// (or before) the sender's release point — e.g. the wired distribution tap
+// — and the analyzer's accuracy gate is asserted there. Frames observed on
+// the air have already been serialized through a MAC queue, which launders
+// burstiness and caps the visible envelope at the link's drain rate, so
+// over short wireless enterprise flows the classifier abstains heavily and
+// the confusion report (analysis.CCConfusionReport) is the honest record
+// of what a passive wireless vantage can and cannot recover.
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/tcpsim"
+)
+
+// CCUnknown is the verdict for flows without enough signal to classify.
+const CCUnknown = "unknown"
+
+// ccMinDataSegs is the minimum distinct data segments before the
+// fingerprinter ventures a verdict: below this there is no steady state to
+// read, only slow start, and every controller's slow start looks alike.
+const ccMinDataSegs = 50
+
+// CCFeatures are the envelope statistics a verdict is derived from,
+// retained for diagnostics and the confusion report.
+type CCFeatures struct {
+	// MaxFlightSegs is the peak of the in-flight envelope, in MSS.
+	MaxFlightSegs float64
+	// FlatShare is the fraction of envelope buckets (after warmup) within
+	// one segment of the peak — near 1 for a pinned fixed window.
+	FlatShare float64
+	// AvgLossDrop is the mean fractional envelope reduction across loss
+	// events (-1 when no measurable loss event exists). Reno ≈ 0.5,
+	// CUBIC ≈ 0.3, BBR/fixed ≈ 0.
+	AvgLossDrop float64
+	// EpochMidFrac is the mean normalized envelope height at the midpoint
+	// of inter-loss epochs (-1 when unmeasurable).
+	EpochMidFrac float64
+	// OscRatio is the post-warmup envelope's (p85−p15)/median: Reno's
+	// sawtooth swings by ~half its window every few RTTs, while CUBIC
+	// converged near W_max and BBR's model-pinned window stay nearly flat.
+	OscRatio float64
+	// LossPer100RTT is loss-event frequency normalized by the flow's RTT:
+	// Reno forces a congestion event every ~W/2 round trips; CUBIC's
+	// epochs last seconds regardless of RTT.
+	LossPer100RTT float64
+	// BurstShare is the fraction of near-simultaneous consecutive data
+	// sends — high for ACK-clocked window releases, near zero under
+	// pacing.
+	BurstShare float64
+	// RTTEstUS is the data→covering-ACK delay median used for bucketing.
+	RTTEstUS int64
+}
+
+// CCFingerprint is the classifier's verdict for one flow.
+type CCFingerprint struct {
+	Key        tcpsim.FlowKey
+	Algo       string // cc.* name or CCUnknown
+	DataSegs   int
+	LossEvents int
+	Features   CCFeatures
+}
+
+// FingerprintCC classifies every handshake-complete flow. Flows with too
+// little data are reported with Algo == CCUnknown so callers can measure
+// coverage as well as accuracy.
+func (a *Analyzer) FingerprintCC() []CCFingerprint {
+	var out []CCFingerprint
+	for _, f := range a.Flows() {
+		if !f.HandshakeComplete {
+			continue
+		}
+		out = append(out, fingerprintFlow(f))
+	}
+	return out
+}
+
+// sendSample is one first-transmission data observation of the heavy
+// direction.
+type sendSample struct {
+	us     int64
+	seqEnd uint32
+	flight float64 // segments in flight after this send
+}
+
+// fingerprintFlow derives features and a verdict for one flow.
+func fingerprintFlow(f *Flow) CCFingerprint {
+	fp := CCFingerprint{Key: f.Key, Algo: CCUnknown}
+	fp.Features.AvgLossDrop = -1
+	fp.Features.EpochMidFrac = -1
+
+	heavy := heavyDirection(f)
+	if heavy == 0 {
+		return fp
+	}
+	hd := f.dirs[heavy]
+
+	// Walk observations rebuilding the in-flight envelope of the heavy
+	// direction: outstanding bytes = last sent seqEnd − highest ACK the
+	// opposite direction has emitted.
+	var (
+		samples   []sendSample
+		lossTimes []int64
+		rttDelays []int64
+		pending   []sendSample // awaiting a covering ACK for RTT estimation
+		seenSeq   = map[uint32]bool{}
+		seenDup   = map[uint32]map[uint16]bool{}
+		ackRef    uint32
+		ackValid  bool
+		maxSeqEnd uint32
+		haveSeq   bool
+	)
+	if hd.sawSyn {
+		ackRef, ackValid = hd.iss+1, true
+	}
+	for _, o := range f.Observations {
+		seg := &o.Seg
+		if seg.SrcIP == heavy && seg.PayloadLen > 0 {
+			ms := seenDup[seg.Seq]
+			if ms == nil {
+				ms = make(map[uint16]bool)
+				seenDup[seg.Seq] = ms
+			}
+			if ms[o.Ex.Seq] {
+				continue // duplicate observation of the same frame
+			}
+			ms[o.Ex.Seq] = true
+			if seenSeq[seg.Seq] {
+				lossTimes = append(lossTimes, o.TimeUS)
+				continue
+			}
+			seenSeq[seg.Seq] = true
+			fp.DataSegs++
+			end := seg.SeqEnd()
+			if !haveSeq || seqLess(maxSeqEnd, end) {
+				maxSeqEnd, haveSeq = end, true
+			}
+			if ackValid {
+				s := sendSample{
+					us: o.TimeUS, seqEnd: end,
+					flight: float64(maxSeqEnd-ackRef) / tcpsim.MSS,
+				}
+				samples = append(samples, s)
+				if len(pending) < 512 {
+					pending = append(pending, s)
+				}
+			}
+		}
+		if seg.SrcIP != heavy && seg.IsACK() && !seg.IsSYN() {
+			if !ackValid || seqLess(ackRef, seg.Ack) {
+				ackRef, ackValid = seg.Ack, true
+			}
+			keep := pending[:0]
+			for _, p := range pending {
+				if seqLEQ(p.seqEnd, seg.Ack) {
+					if len(rttDelays) < 512 {
+						rttDelays = append(rttDelays, o.TimeUS-p.us)
+					}
+				} else {
+					keep = append(keep, p)
+				}
+			}
+			pending = keep
+		}
+	}
+	if fp.DataSegs < ccMinDataSegs || len(samples) < ccMinDataSegs {
+		return fp
+	}
+
+	computeFeatures(&fp, samples, lossTimes, rttDelays)
+	fp.Algo = classifyCC(&fp)
+	return fp
+}
+
+// heavyDirection returns the source IP carrying the most data bytes (0 if
+// the flow carried none).
+func heavyDirection(f *Flow) uint32 {
+	var best uint32
+	var bestSegs int
+	for ip, d := range f.dirs {
+		if d.dataSegs > bestSegs {
+			best, bestSegs = ip, d.dataSegs
+		}
+	}
+	return best
+}
+
+// computeFeatures reduces the raw send/loss series to CCFeatures.
+func computeFeatures(fp *CCFingerprint, samples []sendSample, lossTimes, rttDelays []int64) {
+	ft := &fp.Features
+
+	// Bucket duration: the flow's own RTT estimate, clamped.
+	ft.RTTEstUS = 50_000
+	if len(rttDelays) >= 3 {
+		sort.Slice(rttDelays, func(i, j int) bool { return rttDelays[i] < rttDelays[j] })
+		ft.RTTEstUS = rttDelays[len(rttDelays)/2]
+	}
+	bucketUS := ft.RTTEstUS
+	if bucketUS < 5_000 {
+		bucketUS = 5_000
+	}
+	if bucketUS > 200_000 {
+		bucketUS = 200_000
+	}
+
+	// Envelope: per-bucket max flight.
+	t0 := samples[0].us
+	span := samples[len(samples)-1].us - t0
+	nb := int(span/bucketUS) + 1
+	env := make([]float64, nb)
+	for _, s := range samples {
+		i := int((s.us - t0) / bucketUS)
+		if s.flight > env[i] {
+			env[i] = s.flight
+		}
+	}
+	// Drop empty buckets (idle gaps) but keep time association.
+	type envPt struct {
+		us int64
+		w  float64
+	}
+	var e []envPt
+	for i, w := range env {
+		if w > 0 {
+			e = append(e, envPt{us: t0 + int64(i)*bucketUS, w: w})
+		}
+	}
+	if len(e) < 4 {
+		return
+	}
+
+	for _, p := range e {
+		if p.w > ft.MaxFlightSegs {
+			ft.MaxFlightSegs = p.w
+		}
+	}
+	warm := e[len(e)/4:]
+	flat := 0
+	ws := make([]float64, 0, len(warm))
+	for _, p := range warm {
+		if p.w >= ft.MaxFlightSegs-1.2 {
+			flat++
+		}
+		ws = append(ws, p.w)
+	}
+	ft.FlatShare = float64(flat) / float64(len(warm))
+	sort.Float64s(ws)
+	if med := ws[len(ws)/2]; med > 0 {
+		p15 := ws[len(ws)*15/100]
+		p85 := ws[len(ws)*85/100]
+		ft.OscRatio = (p85 - p15) / med
+	}
+
+	// Burstiness: near-simultaneous consecutive sends (ACK-clocked window
+	// releases arrive back-to-back; paced senders space them out).
+	burstGapUS := ft.RTTEstUS / 40
+	if burstGapUS < 200 {
+		burstGapUS = 200
+	}
+	bursts := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i].us-samples[i-1].us <= burstGapUS {
+			bursts++
+		}
+	}
+	ft.BurstShare = float64(bursts) / float64(len(samples)-1)
+
+	// Loss clustering: retransmissions within a few RTTs are one
+	// congestion event.
+	clusterGap := 3 * bucketUS
+	var clusters []int64
+	for _, lt := range lossTimes {
+		if len(clusters) == 0 || lt-clusters[len(clusters)-1] > clusterGap {
+			clusters = append(clusters, lt)
+		} else {
+			clusters[len(clusters)-1] = lt
+		}
+	}
+	fp.LossEvents = len(clusters)
+	if dur := samples[len(samples)-1].us - samples[0].us; dur > 0 {
+		ft.LossPer100RTT = float64(fp.LossEvents) / (float64(dur) / float64(bucketUS)) * 100
+	}
+
+	// Loss response: pre-loss peak vs the stable post-recovery level (the
+	// envelope a little after the event, once the retransmission dip has
+	// refilled — the dip itself reflects recovery mechanics, not cwnd).
+	// Clusters near the end of the trace are skipped: the final drain as
+	// the flow closes looks like a huge "drop".
+	lastUS := e[len(e)-1].us
+	var drops []float64
+	for _, ct := range clusters {
+		if ct > lastUS-6*bucketUS {
+			continue
+		}
+		var pre, post float64
+		for _, p := range e {
+			if p.us <= ct && p.us > ct-4*bucketUS && p.w > pre {
+				pre = p.w
+			}
+			if p.us > ct+2*bucketUS && p.us <= ct+6*bucketUS && p.w > post {
+				post = p.w
+			}
+		}
+		if pre > 0 && post > 0 {
+			d := (pre - post) / pre
+			if d < 0 {
+				d = 0
+			}
+			drops = append(drops, d)
+		}
+	}
+	if len(drops) > 0 {
+		var sum float64
+		for _, d := range drops {
+			sum += d
+		}
+		ft.AvgLossDrop = sum / float64(len(drops))
+	}
+
+	// Inter-loss epoch shape over the growth phase (from the recovery
+	// dip's bottom to the next loss): normalized envelope height at the
+	// phase midpoint — ≈0.5 for Reno's linear sawtooth, high for CUBIC's
+	// fast-recovery-then-plateau curve.
+	var mids []float64
+	for ci := 0; ci+1 < len(clusters); ci++ {
+		lo, hi := clusters[ci], clusters[ci+1]
+		var ep []envPt
+		for _, p := range e {
+			if p.us > lo && p.us < hi {
+				ep = append(ep, p)
+			}
+		}
+		if len(ep) < 6 {
+			continue
+		}
+		// Growth phase starts at the envelope minimum.
+		argMin := 0
+		for i, p := range ep {
+			if p.w < ep[argMin].w {
+				argMin = i
+			}
+		}
+		growth := ep[argMin:]
+		if len(growth) < 4 {
+			continue
+		}
+		minW, maxW := growth[0].w, growth[0].w
+		for _, p := range growth {
+			if p.w > maxW {
+				maxW = p.w
+			}
+		}
+		if maxW-minW < 2 { // no growth signal (flat epoch)
+			continue
+		}
+		midT := (growth[0].us + growth[len(growth)-1].us) / 2
+		bestDT := int64(1) << 62
+		var midW float64
+		for _, p := range growth {
+			dt := p.us - midT
+			if dt < 0 {
+				dt = -dt
+			}
+			if dt < bestDT {
+				bestDT, midW = dt, p.w
+			}
+		}
+		mids = append(mids, (midW-minW)/(maxW-minW))
+	}
+	if len(mids) > 0 {
+		var sum float64
+		for _, m := range mids {
+			sum += m
+		}
+		ft.EpochMidFrac = sum / float64(len(mids))
+	}
+}
+
+// classifyCC turns features into a verdict.
+func classifyCC(fp *CCFingerprint) string {
+	ft := &fp.Features
+	// Fixed window: the envelope never escapes the compatibility cap, no
+	// matter how long the flow ran — every real controller's window grows
+	// past it (slow start alone would). A capped-but-jittery envelope is a
+	// flow whose sending was throttled elsewhere (e.g. the MAC queue drain
+	// at a slow wireless link), so flatness is required before claiming
+	// the cap is a window.
+	if ft.MaxFlightSegs <= float64(cc.DefaultFixedWindow)+1.5 {
+		if ft.OscRatio <= 0.25 {
+			return cc.Fixed
+		}
+		return CCUnknown
+	}
+	// Everything below needs the window's own dynamics to be visible: a
+	// flow whose flight never clearly outgrew the cap region is throttled
+	// by the path (or too short), and its envelope says nothing about the
+	// controller.
+	if ft.MaxFlightSegs < 12 {
+		return CCUnknown
+	}
+	// BBR: pacing eliminates ACK-clocked same-instant bursts entirely —
+	// every other controller releases window in bursts at least during
+	// slow start and recovery.
+	if ft.BurstShare <= 0.02 {
+		return cc.BBR
+	}
+	// AIMD family. Reno halves and reclimbs in ~W/2 round trips, so its
+	// envelope oscillates hard and losses recur every few tens of RTTs;
+	// CUBIC converges onto W_max and sits nearly flat between rare epochal
+	// losses.
+	if fp.LossEvents >= 2 {
+		if ft.AvgLossDrop >= 0 && ft.AvgLossDrop < 0.1 {
+			return cc.BBR // unpaced-looking but loss-indifferent
+		}
+		if ft.LossPer100RTT >= 2 || ft.OscRatio >= 0.35 {
+			return cc.Reno
+		}
+		return cc.Cubic
+	}
+	return CCUnknown
+}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/dot80211"
+	"repro/internal/llc"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/unify"
+)
+
+// tapEvent is one wired-tap observation to be replayed as an exchange.
+type tapEvent struct {
+	us        int64
+	seg       tcpsim.Segment
+	delivered bool
+}
+
+// runCCFlow simulates one server→client bulk transfer with the given
+// congestion controller over a finite-buffer bottleneck and returns the
+// tap's observation stream. Each flow runs in its own engine so flows are
+// independent trials.
+func runCCFlow(t *testing.T, algo string, seed int64, downBytes int64) []tapEvent {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	w := tcpsim.NewWiredNet(eng)
+	w.LossProb = 0.0001
+	w.QueuePkts = 8
+	w.BottleneckBytesPerUS = 1.25        // 10 Mbps bottleneck
+	w.LatencyLocal = 5 * sim.Millisecond // 10 ms base RTT
+
+	cliMAC := dot80211.MAC{0xc2, 0, 0, 0, 0, 1}
+	srvMAC := dot80211.MAC{0xee, 0, 0, 0, 0, 1}
+	const cliIP, srvIP = uint32(0x0a000001), uint32(0x0b000001)
+
+	var events []tapEvent
+	w.Tap = func(seg tcpsim.Segment, src, dst dot80211.MAC, delivered bool) {
+		events = append(events, tapEvent{us: eng.Now().US64(), seg: seg, delivered: delivered})
+	}
+
+	var cep, sep *tcpsim.Endpoint
+	cep = tcpsim.NewEndpoint(eng, cliIP, 5000, func(seg tcpsim.Segment) {
+		w.Forward(cliMAC, srvMAC, seg, false)
+	})
+	sep = tcpsim.NewEndpoint(eng, srvIP, 80, func(seg tcpsim.Segment) {
+		w.Forward(srvMAC, cliMAC, seg, false)
+	})
+	if algo != cc.Fixed {
+		cep.SetCongestionControl(cc.MustNew(algo, tcpsim.MSS))
+		sep.SetCongestionControl(cc.MustNew(algo, tcpsim.MSS))
+	}
+	w.Attach(cliMAC, cep.OnSegment)
+	w.Attach(srvMAC, sep.OnSegment)
+
+	sep.Listen(downBytes)
+	eng.After(0, func() { cep.Connect(srvIP, 80, 2000) })
+	eng.Run(300 * sim.Second)
+	if !cep.Established() {
+		t.Fatalf("%s/%d: connection never established", algo, seed)
+	}
+	return events
+}
+
+// feedTap replays tap events into the analyzer as frame exchanges (one
+// attempt each, delivery verdict from the tap).
+func feedTap(a *Analyzer, events []tapEvent) {
+	var macSeq uint16
+	for _, ev := range events {
+		macSeq++
+		var tx, rx dot80211.MAC
+		if ev.seg.SrcIP&0xff000000 == 0x0a000000 {
+			tx, rx = cli, ap
+		} else {
+			tx, rx = ap, cli
+		}
+		f := dot80211.NewData(rx, tx, ap, macSeq&0xfff, ev.seg.Encode())
+		j := &unify.JFrame{UnivUS: ev.us, Frame: f, Wire: f.Encode(), Rate: dot80211.Rate54Mbps, Valid: true}
+		del := llc.DeliveryObserved
+		if !ev.delivered {
+			del = llc.DeliveryFailed
+		}
+		at := &llc.Attempt{Data: j, Transmitter: tx, Receiver: rx, Seq: macSeq & 0xfff,
+			HasSeq: true, StartUS: ev.us, EndUS: ev.us + 300}
+		a.AddExchange(&llc.Exchange{
+			Attempts: []*llc.Attempt{at}, Transmitter: tx, Receiver: rx,
+			Seq: macSeq & 0xfff, Delivery: del, StartUS: ev.us, EndUS: ev.us + 300,
+		})
+	}
+}
+
+// TestFingerprintAccuracy is the tentpole's acceptance gate: across
+// Reno/CUBIC/BBR bulk flows through a shared-bottleneck configuration the
+// classifier must recover the sender's algorithm from passive observation
+// at ≥ 80% accuracy.
+func TestFingerprintAccuracy(t *testing.T) {
+	algos := []string{cc.Reno, cc.Cubic, cc.BBR}
+	type trial struct {
+		algo string
+		seed int64
+	}
+	var trials []trial
+	for _, algo := range algos {
+		for seed := int64(1); seed <= 4; seed++ {
+			trials = append(trials, trial{algo, seed})
+		}
+	}
+
+	correct, classified := 0, 0
+	confusion := map[string]string{}
+	for _, tr := range trials {
+		a := NewAnalyzer()
+		feedTap(a, runCCFlow(t, tr.algo, tr.seed, 12_000_000))
+		prints := a.FingerprintCC()
+		if len(prints) != 1 {
+			t.Fatalf("%s/%d: %d fingerprints, want 1", tr.algo, tr.seed, len(prints))
+		}
+		fp := prints[0]
+		key := fmt.Sprintf("%s/%d", tr.algo, tr.seed)
+		confusion[key] = fp.Algo
+		if fp.Algo != CCUnknown {
+			classified++
+			if fp.Algo == tr.algo {
+				correct++
+			}
+		}
+	}
+	if classified < len(trials)*3/4 {
+		t.Errorf("classifier abstained too often: %d/%d classified (%v)",
+			classified, len(trials), confusion)
+	}
+	acc := float64(correct) / float64(classified)
+	if acc < 0.8 {
+		keys := make([]string, 0, len(confusion))
+		for k := range confusion {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			t.Logf("  truth %-8s → predicted %s", k, confusion[k])
+		}
+		t.Fatalf("fingerprint accuracy = %.0f%% (%d/%d), want ≥ 80%%", 100*acc, correct, classified)
+	}
+}
+
+// TestFingerprintFixedWindow checks the compatibility mode's signature: a
+// flat 8-segment envelope released in bursts.
+func TestFingerprintFixedWindow(t *testing.T) {
+	a := NewAnalyzer()
+	feedTap(a, runCCFlow(t, cc.Fixed, 7, 1_000_000))
+	prints := a.FingerprintCC()
+	if len(prints) != 1 {
+		t.Fatalf("fingerprints = %d", len(prints))
+	}
+	if prints[0].Algo != cc.Fixed {
+		t.Errorf("fixed-window flow classified as %q (features %+v)",
+			prints[0].Algo, prints[0].Features)
+	}
+}
+
+// TestFingerprintShortFlowUnknown: a handful of segments is not enough
+// signal, and the classifier must say so rather than guess.
+func TestFingerprintShortFlowUnknown(t *testing.T) {
+	a := NewAnalyzer()
+	handshake(a, 0, 100, 900)
+	for i := 0; i < 5; i++ {
+		a.AddExchange(exFor(dataSeg(101+uint32(i)*1000, 1000), 10_000+int64(i)*5_000, llc.DeliveryObserved))
+	}
+	a.AddExchange(exFor(ackSeg(5101), 50_000, llc.DeliveryObserved))
+	prints := a.FingerprintCC()
+	if len(prints) != 1 || prints[0].Algo != CCUnknown {
+		t.Errorf("short flow verdict = %+v, want unknown", prints)
+	}
+}

@@ -20,14 +20,15 @@
 //	internal/radio      propagation, SINR medium, carrier sense
 //	internal/sim        discrete-event engine
 //	internal/mac        DCF stations, APs, clients, protection policy
-//	internal/tcpsim     TCP endpoints + wired network
+//	internal/cc         pluggable congestion control (Reno/CUBIC/BBR + fixed)
+//	internal/tcpsim     TCP endpoints + wired network with bottleneck queue
 //	internal/workload   diurnal activity and flow mix
 //	internal/tracefile  jigdump trace format (compressed blocks + index)
 //	internal/scenario   end-to-end simulation producing traces
 //	internal/timesync   §4.1 bootstrap synchronization
 //	internal/unify      §4.2 frame unification + continuous resync
 //	internal/llc        §5.1 attempts / frame exchanges / inference
-//	internal/transport  §5.2 TCP reconstruction + delivery oracle
+//	internal/transport  §5.2 TCP reconstruction + delivery oracle + CC fingerprinting
 //	internal/core       the full pipeline
 //	internal/analysis   §6–7 experiments (all tables and figures)
 //	internal/baseline   beacon-only sync and naive-merge comparators
@@ -53,14 +54,28 @@
 // carries a deterministic close stamp, and the merge releases exchanges in
 // canonical close order — so Workers=N output is identical to the
 // Workers=1 serial reference, a property the test suite asserts seed by
-// seed. Batch experiment sweeps fan whole scenarios across a pool with
-// scenario.RunBatch (see cmd/jigbench -sweep).
+// seed and across congestion-control mixes (internal/cc controllers are
+// pure event-driven state machines over integer microsecond time, so
+// Reno/CUBIC/BBR dynamics replay bit-for-bit too). Batch experiment sweeps
+// fan whole scenarios across a pool with scenario.RunBatch (see
+// cmd/jigbench -sweep).
 //
 // # Quick start
 //
 //	out, _ := jigsaw.Simulate(jigsaw.DefaultScenario())
 //	res, _ := jigsaw.Merge(out, jigsaw.DefaultPipeline())
 //	fmt.Println(jigsaw.Summarize(res))
+//
+// Congestion-control workloads: MixedCCScenario runs a Reno/CUBIC/BBR
+// flow mix over a finite bottleneck queue, the transport analyzer
+// fingerprints each reconstructed flow's controller from its passive
+// window trajectory, and analysis scores fairness and the fingerprint
+// confusion against simulator ground truth:
+//
+//	out, _ := jigsaw.Simulate(jigsaw.MixedCCScenario())
+//	res, _ := jigsaw.Merge(out, jigsaw.DefaultPipeline())
+//	fmt.Println(analysis.FairnessTable(analysis.CCFairness(out.FlowCCs, out.Cfg.Day.SecondsF())))
+//	fmt.Println(analysis.CCConfusionReport(out.FlowCCs, res.Transport.FingerprintCC()))
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
@@ -92,6 +107,11 @@ func DefaultScenario() ScenarioConfig { return scenario.Default() }
 
 // PaperScaleScenario returns the full 39-pod / 156-radio deployment.
 func PaperScaleScenario() ScenarioConfig { return scenario.PaperScale() }
+
+// MixedCCScenario returns a deployment whose flows run an even
+// Reno/CUBIC/BBR congestion-control mix over a finite bottleneck queue —
+// the workload behind the CC-fairness and fingerprinting experiments.
+func MixedCCScenario() ScenarioConfig { return scenario.MixedCC() }
 
 // DefaultPipeline returns the paper's pipeline operating point (10 ms
 // search window, 10 µs resync threshold, skew compensation on).
