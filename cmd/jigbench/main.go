@@ -65,6 +65,8 @@ func main() {
 		sweepCC      = flag.String("sweep-cc", "fixed", "pipe-separated CC mixes, e.g. 'fixed|reno=1,cubic=1,bbr=1'")
 		sweepQueue   = flag.Int("sweep-queue-pkts", 32, "bottleneck FIFO depth for non-fixed CC mixes")
 		sweepBtl     = flag.Float64("sweep-bottleneck-mbps", 30, "bottleneck drain rate for non-fixed CC mixes")
+		sweepMobile  = flag.String("sweep-mobility", "0", "comma-separated mobile-client counts (adds a mobility axis; rows gain handoff metrics)")
+		sweepHyst    = flag.Float64("sweep-roam-hysteresis-db", 0, "roam hysteresis for mobile scenarios (0 = default)")
 		mergeWorkers = flag.Int("merge-workers", 1, "pipeline workers inside each sweep scenario (1 keeps the pool unoversubscribed)")
 	)
 	flag.Parse()
@@ -74,6 +76,7 @@ func main() {
 			pods: *sweepPods, aps: *sweepAPs, clients: *sweepClients,
 			bfrac: *sweepBFrac, seeds: *sweepSeeds, day: *sweepDay,
 			ccMixes: *sweepCC, queuePkts: *sweepQueue, btlMbps: *sweepBtl,
+			mobility: *sweepMobile, roamHystDB: *sweepHyst,
 			poolWorkers: *workers, mergeWorkers: *mergeWorkers,
 		})
 		return
@@ -88,6 +91,8 @@ type sweepArgs struct {
 	ccMixes            string
 	queuePkts          int
 	btlMbps            float64
+	mobility           string
+	roamHystDB         float64
 	day                time.Duration
 	poolWorkers        int
 	mergeWorkers       int
@@ -104,6 +109,11 @@ type sweepRow struct {
 	Seed      int64   `json:"seed"`
 	DaySec    float64 `json:"day_sec"`
 	CCMix     string  `json:"cc_mix"`
+	// MobileClients is the scenario's mobility operating point; the
+	// handoff fields below are zero/absent semantics like the CC fields:
+	// on a mobility row (MobileClients > 0) a zero means "measured,
+	// nothing happened".
+	MobileClients int `json:"mobile_clients"`
 
 	MonitorRecords  int64   `json:"monitor_records"`
 	Transmissions   int     `json:"transmissions"`
@@ -129,9 +139,16 @@ type sweepRow struct {
 	// survive serialization (see analysis.WiredCCFingerprints).
 	CCAccuracyWired   float64 `json:"cc_fingerprint_accuracy_wired"`
 	CCClassifiedWired int     `json:"cc_fingerprint_classified_wired"`
-	MergeMS           int64   `json:"merge_ms"`
-	XRealtime         float64 `json:"x_realtime"`
-	Err               string  `json:"err,omitempty"`
+	// Handoff metrics (mobility rows): ground-truth counts, the
+	// air-reconstructed detector's counts and recall, and mean
+	// decision-to-reassociation latency.
+	HandoffsTruth        int     `json:"handoffs_truth"`
+	HandoffsDetected     int     `json:"handoffs_detected"`
+	HandoffRecall        float64 `json:"handoff_recall"`
+	HandoffMeanLatencyMS float64 `json:"handoff_mean_latency_ms"`
+	MergeMS              int64   `json:"merge_ms"`
+	XRealtime            float64 `json:"x_realtime"`
+	Err                  string  `json:"err,omitempty"`
 }
 
 // runSweep fans the config grid across scenario.RunBatch and prints one
@@ -149,29 +166,37 @@ func runSweep(a sweepArgs) {
 		log.Fatal("sweep: empty -sweep-bfrac or -sweep-seeds")
 	}
 	mixes := parseMixes(a.ccMixes)
+	mobiles := parseInts(a.mobility)
+	if len(mobiles) == 0 {
+		mobiles = []int{0}
+	}
 
 	var cfgs []scenario.Config
 	for i, p := range pods {
 		for _, bf := range bfracs {
 			for _, sd := range seeds {
 				for _, mix := range mixes {
-					cfg := scenario.Default()
-					cfg.Pods, cfg.APs, cfg.Clients = p, aps[i], clients[i]
-					cfg.BFraction = bf
-					cfg.Seed = sd
-					cfg.Day = sim.Time(a.day.Nanoseconds())
-					cfg.CCMix = mix
-					if len(mix) > 0 {
-						cfg.WiredQueuePkts = a.queuePkts
-						cfg.WiredBottleneckMbps = a.btlMbps
+					for _, mob := range mobiles {
+						cfg := scenario.Default()
+						cfg.Pods, cfg.APs, cfg.Clients = p, aps[i], clients[i]
+						cfg.BFraction = bf
+						cfg.Seed = sd
+						cfg.Day = sim.Time(a.day.Nanoseconds())
+						cfg.CCMix = mix
+						if len(mix) > 0 {
+							cfg.WiredQueuePkts = a.queuePkts
+							cfg.WiredBottleneckMbps = a.btlMbps
+						}
+						cfg.MobileClients = mob
+						cfg.RoamHysteresisDB = a.roamHystDB
+						cfgs = append(cfgs, cfg)
 					}
-					cfgs = append(cfgs, cfg)
 				}
 			}
 		}
 	}
-	log.Printf("sweep: %d scenarios (%d deployments x %d b-fractions x %d seeds x %d cc-mixes), pool=%d",
-		len(cfgs), len(pods), len(bfracs), len(seeds), len(mixes), a.poolWorkers)
+	log.Printf("sweep: %d scenarios (%d deployments x %d b-fractions x %d seeds x %d cc-mixes x %d mobility), pool=%d",
+		len(cfgs), len(pods), len(bfracs), len(seeds), len(mixes), len(mobiles), a.poolWorkers)
 
 	rows := make([]sweepRow, len(cfgs))
 	t0 := time.Now()
@@ -187,6 +212,7 @@ func runSweep(a sweepArgs) {
 		rows[i].Seed = cfgs[i].Seed
 		rows[i].DaySec = cfgs[i].Day.SecondsF()
 		rows[i].CCMix = cc.FormatMix(cfgs[i].CCMix)
+		rows[i].MobileClients = cfgs[i].MobileClients
 		if r.Err != nil {
 			rows[i].Err = r.Err.Error()
 		}
@@ -240,6 +266,18 @@ func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 		wired := analysis.CCConfusionReport(out.FlowCCs, analysis.WiredCCFingerprints(out))
 		row.CCAccuracyWired = wired.Accuracy
 		row.CCClassifiedWired = wired.Classified
+	}
+	if out.Cfg.MobileClients > 0 {
+		apSet := make(map[dot80211.MAC]bool, len(out.APs))
+		for _, ap := range out.APs {
+			apSet[ap.MAC] = true
+		}
+		rep := analysis.DetectHandoffs(res.Exchanges, func(m dot80211.MAC) bool { return apSet[m] })
+		sc := analysis.ScoreHandoffs(out.Handoffs, rep)
+		row.HandoffsTruth = sc.Truth
+		row.HandoffsDetected = sc.Events
+		row.HandoffRecall = sc.Recall
+		row.HandoffMeanLatencyMS = rep.MeanLatencyUS / 1e3
 	}
 	row.MergeMS = mergeDur.Milliseconds()
 	row.XRealtime = out.Cfg.Day.SecondsF() / mergeDur.Seconds()

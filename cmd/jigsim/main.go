@@ -11,6 +11,11 @@
 // the default (empty) keeps the fixed-window compatibility mode. With a mix,
 // -queue-pkts / -bottleneck-mbps bound the wired bottleneck FIFO so the
 // controllers have real queue dynamics to fight over.
+//
+// Mobility: -mobility N makes the first N clients walk waypoint paths with
+// the RSSI-threshold roaming state machine enabled (-mobile-speed-mps,
+// -roam-hysteresis-db tune it); the run log then reports handoff counts,
+// mean handoff latency and the per-CC disruption table.
 package main
 
 import (
@@ -44,6 +49,10 @@ func main() {
 		ccSpec  = flag.String("cc", "", "per-flow congestion control: name or weighted mix, e.g. reno=0.5,cubic=0.3,bbr=0.2 (empty = fixed window)")
 		qPkts   = flag.Int("queue-pkts", 0, "wired bottleneck FIFO depth in packets (0 = unqueued legacy wire)")
 		btlMbps = flag.Float64("bottleneck-mbps", 0, "wired bottleneck drain rate in Mbps (0 = 100)")
+
+		mobility  = flag.Int("mobility", 0, "number of mobile clients walking waypoint paths (0 = everyone stationary)")
+		moveSpeed = flag.Float64("mobile-speed-mps", 0, "mobile clients' walking speed in m/s (0 = 1.2)")
+		roamHyst  = flag.Float64("roam-hysteresis-db", 0, "dB a candidate AP must beat the serving AP by before a mobile client roams (0 = 6)")
 	)
 	flag.Parse()
 
@@ -68,6 +77,9 @@ func main() {
 	cfg.CCMix = mix
 	cfg.WiredQueuePkts = *qPkts
 	cfg.WiredBottleneckMbps = *btlMbps
+	cfg.MobileClients = *mobility
+	cfg.MoveSpeedMPS = *moveSpeed
+	cfg.RoamHysteresisDB = *roamHyst
 
 	start := time.Now()
 	res, err := scenario.Run(cfg)
@@ -111,6 +123,25 @@ func main() {
 		log.Printf("cc mix %s, per-algorithm shares:", cc.FormatMix(cfg.CCMix))
 		for _, line := range splitLines(analysis.FairnessTable(
 			analysis.CCFairness(res.FlowCCs, cfg.Day.SecondsF()))) {
+			log.Print(line)
+		}
+	}
+	if cfg.MobileClients > 0 {
+		completed := 0
+		var latSum int64
+		for _, h := range res.Handoffs {
+			if h.Completed {
+				completed++
+				latSum += h.LatencyUS()
+			}
+		}
+		mean := 0.0
+		if completed > 0 {
+			mean = float64(latSum) / float64(completed) / 1e3
+		}
+		log.Printf("mobility: %d mobile clients, %d handoffs (%d completed), mean handoff latency %.1f ms",
+			len(res.MobileMACs), len(res.Handoffs), completed, mean)
+		for _, line := range splitLines(analysis.RoamingTable(nil, analysis.RoamDisruptionByCC(res))) {
 			log.Print(line)
 		}
 	}

@@ -106,9 +106,9 @@ func requireIdentical(t *testing.T, label string, a, b *Result) {
 }
 
 // TestParallelMatchesSerial is the determinism contract of the sharded
-// pipeline: across seeds, shard counts and congestion-control mixes,
-// Workers=N must produce results identical to the Workers=1 serial
-// reference path.
+// pipeline: across seeds, shard counts, congestion-control mixes and
+// client mobility, Workers=N must produce results identical to the
+// Workers=1 serial reference path.
 func TestParallelMatchesSerial(t *testing.T) {
 	cases := []struct {
 		name string
@@ -117,6 +117,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		{"fixed", func(seed int64) scenario.Config {
 			cfg := scenario.Default()
 			cfg.Seed = seed
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
 			return cfg
 		}},
 		// Reno+CUBIC+BBR contending for a finite bottleneck queue: cwnd
@@ -125,23 +126,39 @@ func TestParallelMatchesSerial(t *testing.T) {
 		{"mixedCC", func(seed int64) scenario.Config {
 			cfg := scenario.MixedCC()
 			cfg.Seed = seed
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
+			return cfg
+		}},
+		// Mobile clients handing off between APs mid-flow: the trace is
+		// full of disassoc/reassoc sequences, scan probe bursts and
+		// retries against departed stations, all of which must shard
+		// identically. More APs so every floor offers a roam target, and
+		// a brisk walking speed so handoffs land inside the short day.
+		{"roaming", func(seed int64) scenario.Config {
+			cfg := scenario.Roaming()
+			cfg.Seed = seed
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 9, 8
+			cfg.MobileClients = 3
+			cfg.MoveSpeedMPS = 6
 			return cfg
 		}},
 	}
 	for _, tc := range cases {
 		seeds := []int64{1, 2, 3}
-		if tc.name == "mixedCC" {
+		if tc.name != "fixed" {
 			seeds = []int64{1, 2}
 		}
 		for _, seed := range seeds {
 			tc, seed := tc, seed
 			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
 				cfg := tc.cfg(seed)
-				cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
 				cfg.Day = 30 * sim.Second
 				out, err := scenario.Run(cfg)
 				if err != nil {
 					t.Fatal(err)
+				}
+				if tc.name == "roaming" && len(out.Handoffs) == 0 {
+					t.Fatal("roaming scenario produced no handoffs; the case is not exercising handoff-heavy traces")
 				}
 				traces := TracesFromBuffers(out.Traces)
 

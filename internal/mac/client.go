@@ -27,11 +27,18 @@ type Client struct {
 	OnAssociated func()
 	// FromWireless is invoked for each downlink data frame received.
 	FromWireless func(src dot80211.MAC, payload []byte)
+	// OnRoam fires when the roaming state machine commits to a handoff,
+	// before the disassociation/reassociation sequence goes on air. The
+	// scenario layer uses it to record per-handoff ground truth.
+	OnRoam func(from, to dot80211.MAC)
 
-	ap       dot80211.MAC
-	apProt   bool // AP currently advertises protection (from beacons)
-	stage    assocStage
-	retryCnt int
+	ap         dot80211.MAC
+	apProt     bool // AP currently advertises protection (from beacons)
+	stage      assocStage
+	retryCnt   int
+	assocStart sim.Time // when the current handshake began
+
+	roam *roamState // nil until EnableRoaming
 }
 
 // NewClient creates a client station.
@@ -57,17 +64,20 @@ func (c *Client) Associate(bssid dot80211.MAC) {
 	c.ap = bssid
 	c.stage = asProbing
 	c.retryCnt = 0
+	c.assocStart = c.eng.Now()
 	c.sendProbe()
 }
 
 // Reassociate tears down the current association (sending a disassociation
 // frame to the old AP) and joins a new one — the roaming behaviour of the
-// §6 oracle laptop moving between building locations.
+// §6 oracle laptop moving between building locations. ARF state is dropped:
+// rate history toward the old AP says nothing about the new link.
 func (c *Client) Reassociate(bssid dot80211.MAC) {
 	if c.stage == asAssociated && c.ap != bssid && !c.ap.IsZero() {
 		dis := dot80211.NewMgmt(dot80211.SubtypeDisassoc, c.ap, c.cfg.MAC, c.ap, 0, nil)
 		c.SendMgmt(dis, nil)
 	}
+	c.ResetRates()
 	c.apProt = false
 	c.Associate(bssid)
 }
@@ -110,6 +120,9 @@ func (c *Client) handleMgmt(f dot80211.Frame) {
 	case dot80211.SubtypeAssocResp:
 		if c.stage == asAssociating && f.Addr2 == c.ap {
 			c.stage = asAssociated
+			if c.roam != nil {
+				c.roam.noteAssociated()
+			}
 			if c.OnAssociated != nil {
 				c.OnAssociated()
 			}
@@ -125,6 +138,15 @@ func (c *Client) handleData(f dot80211.Frame) {
 
 // IsAssociated reports handshake completion.
 func (c *Client) IsAssociated() bool { return c.stage == asAssociated }
+
+// handshakeActive reports whether an association handshake is mid-flight
+// and still plausibly progressing. The time bound matters to the roaming
+// machinery: a handshake whose auth/assoc response was lost would otherwise
+// block scans forever.
+func (c *Client) handshakeActive() bool {
+	return c.stage > asIdle && c.stage < asAssociated &&
+		c.eng.Now()-c.assocStart < 3*sim.Second
+}
 
 // BSSID returns the AP the client is (being) associated with.
 func (c *Client) BSSID() dot80211.MAC { return c.ap }

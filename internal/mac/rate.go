@@ -73,6 +73,25 @@ func (s *Station) rateOK(dst dot80211.MAC) {
 	}
 }
 
+// ResetRates drops all per-destination ARF state. A station does this on
+// reassociation: rate history learned toward the old AP (or at the old
+// position) says nothing about the new link, and carrying a fallback streak
+// across a handoff would start the new association at the bottom of the
+// ladder for no reason.
+func (s *Station) ResetRates() {
+	s.rates = make(map[dot80211.MAC]*arfState)
+}
+
+// rateIndex exposes the current ARF ladder index toward dst (-1 when no
+// state exists yet), for tests and diagnostics.
+func (s *Station) rateIndex(dst dot80211.MAC) int {
+	st := s.rates[dst]
+	if st == nil {
+		return -1
+	}
+	return st.idx
+}
+
 // rateFail records a failed transmission attempt toward dst.
 func (s *Station) rateFail(dst dot80211.MAC) {
 	st := s.rates[dst]

@@ -1,0 +1,292 @@
+// Client roaming: the RSSI-threshold handoff state machine a mobile
+// station runs. The client tracks its AP's beacon RSSI with an EWMA; when
+// the link collapses below a scan threshold (or beacons stop arriving, or
+// the periodic background-scan timer fires), it sweeps the channels,
+// probing each and collecting per-AP RSSI from probe responses and
+// overheard beacons. If the strongest candidate beats the serving AP by a
+// hysteresis margin it commits: disassociate on the old channel, retune,
+// reset ARF state, and run the association handshake toward the new AP.
+//
+// Everything the handoff leaves on the air — the disassociation frame, the
+// burst of probe requests sweeping channels, the auth/assoc exchange with a
+// new BSSID, the rate-ladder restart — is exactly the artifact sequence the
+// analysis layer's handoff detector reconstructs from monitor traces.
+package mac
+
+import (
+	"repro/internal/dot80211"
+	"repro/internal/sim"
+)
+
+// RoamConfig parameterizes the roaming state machine. Zero fields take the
+// defaults below.
+type RoamConfig struct {
+	// HysteresisDB is how much stronger (in dB) a candidate AP's RSSI must
+	// be than the serving AP's before the client roams to it.
+	HysteresisDB float64
+	// ScanTriggerDBm: when the serving AP's smoothed beacon RSSI falls
+	// below this, the client scans immediately instead of waiting for the
+	// background-scan timer.
+	ScanTriggerDBm float64
+	// ScanInterval is the background scan period while roaming is enabled
+	// (real supplicants scan periodically even on a healthy link).
+	ScanInterval sim.Time
+	// ScanDwell is how long the client listens on each channel of a sweep.
+	ScanDwell sim.Time
+	// ScanCooldown bounds how often RSSI-collapse or beacon-loss triggers
+	// may start a sweep, so a dying link doesn't scan back-to-back.
+	ScanCooldown sim.Time
+}
+
+// Roaming defaults.
+const (
+	DefaultRoamHysteresisDB = 6.0
+	defaultScanTriggerDBm   = -72.0
+	defaultScanInterval     = 4 * sim.Second
+	defaultScanDwell        = 50 * sim.Millisecond
+	defaultScanCooldown     = 1500 * sim.Millisecond
+	beaconLossIntervals     = 3    // missed beacons before a loss-triggered scan
+	roamEWMAAlpha           = 0.25 // beacon RSSI smoothing
+	minJoinRSSIdBm          = -85.0
+	scanChannelCount        = 3
+)
+
+// scanChannels is the sweep order (the deployment stripes 1/6/11).
+var scanChannels = [scanChannelCount]dot80211.Channel{1, 6, 11}
+
+// apSighting is one candidate AP observed during a sweep.
+type apSighting struct {
+	rssiDBm float64
+	channel dot80211.Channel
+}
+
+// roamState is the per-client roaming machinery.
+type roamState struct {
+	c   *Client
+	cfg RoamConfig
+
+	curRSSI    float64 // EWMA of serving-AP beacon RSSI
+	haveRSSI   bool
+	lastBeacon sim.Time
+
+	scanning  bool
+	homeCh    dot80211.Channel
+	sightings map[dot80211.MAC]apSighting
+	lastScan  sim.Time
+	scanEpoch int // invalidates in-flight sweep steps after a handoff
+
+	// Stats for tests and reports.
+	Scans    int
+	Handoffs int
+}
+
+// EnableRoaming arms the roaming state machine. Safe to call before or
+// after Associate; zero config fields take defaults.
+func (c *Client) EnableRoaming(cfg RoamConfig) {
+	if cfg.HysteresisDB == 0 {
+		cfg.HysteresisDB = DefaultRoamHysteresisDB
+	}
+	if cfg.ScanTriggerDBm == 0 {
+		cfg.ScanTriggerDBm = defaultScanTriggerDBm
+	}
+	if cfg.ScanInterval == 0 {
+		cfg.ScanInterval = defaultScanInterval
+	}
+	if cfg.ScanDwell == 0 {
+		cfg.ScanDwell = defaultScanDwell
+	}
+	if cfg.ScanCooldown == 0 {
+		cfg.ScanCooldown = defaultScanCooldown
+	}
+	r := &roamState{c: c, cfg: cfg, lastScan: -cfg.ScanCooldown}
+	c.roam = r
+	c.Station.SnoopMgmt = r.snoopMgmt
+	// Desynchronize the periodic scans across clients like real
+	// supplicants' jittered scan timers.
+	first := sim.Time(c.eng.Rand().Int63n(int64(cfg.ScanInterval)))
+	c.eng.After(first, r.periodicScan)
+	c.eng.After(BeaconInterval, r.watchdog)
+}
+
+// RoamStats reports (scans, handoffs) the state machine has performed;
+// zeros when roaming is disabled.
+func (c *Client) RoamStats() (scans, handoffs int) {
+	if c.roam == nil {
+		return 0, 0
+	}
+	return c.roam.Scans, c.roam.Handoffs
+}
+
+// snoopMgmt feeds beacon and probe-response RSSI into the tracker.
+func (r *roamState) snoopMgmt(f dot80211.Frame, rssiDBm float64) {
+	switch f.Subtype {
+	case dot80211.SubtypeBeacon, dot80211.SubtypeProbeResp:
+	default:
+		return
+	}
+	if r.scanning {
+		// Any AP heard during a sweep is a candidate at the currently
+		// tuned channel; keep the strongest sighting per BSSID.
+		if cur, ok := r.sightings[f.Addr2]; !ok || rssiDBm > cur.rssiDBm {
+			r.sightings[f.Addr2] = apSighting{rssiDBm: rssiDBm, channel: r.c.Channel()}
+		}
+		return
+	}
+	if f.Subtype == dot80211.SubtypeBeacon && f.Addr2 == r.c.ap {
+		if r.haveRSSI {
+			r.curRSSI = roamEWMAAlpha*rssiDBm + (1-roamEWMAAlpha)*r.curRSSI
+		} else {
+			r.curRSSI, r.haveRSSI = rssiDBm, true
+		}
+		r.lastBeacon = r.c.eng.Now()
+		if r.c.IsAssociated() && r.curRSSI < r.cfg.ScanTriggerDBm {
+			r.startScan()
+		}
+	}
+}
+
+// watchdog detects total beacon loss (mid-flow RSSI collapse past the
+// decode floor leaves no beacons to measure) and stalled associations.
+func (r *roamState) watchdog() {
+	now := r.c.eng.Now()
+	stale := now-r.lastBeacon > beaconLossIntervals*BeaconInterval
+	if !r.scanning && (r.c.IsAssociated() && stale || !r.c.IsAssociated()) {
+		r.startScan()
+	}
+	r.c.eng.After(BeaconInterval, r.watchdog)
+}
+
+// periodicScan is the background sweep real supplicants run on a timer.
+func (r *roamState) periodicScan() {
+	r.startScan()
+	r.c.eng.After(r.cfg.ScanInterval, r.periodicScan)
+}
+
+// startScan begins a channel sweep unless one is running, the cooldown has
+// not elapsed, or an association handshake is actively retrying (retuning
+// mid-handshake would strand it on the wrong channel).
+func (r *roamState) startScan() {
+	now := r.c.eng.Now()
+	if r.scanning || now-r.lastScan < r.cfg.ScanCooldown || r.c.handshakeActive() {
+		return
+	}
+	r.scanning = true
+	r.lastScan = now
+	r.Scans++
+	r.homeCh = r.c.Channel()
+	r.sightings = make(map[dot80211.MAC]apSighting)
+	r.scanEpoch++
+	r.scanStep(0, r.scanEpoch)
+}
+
+// scanStep tunes to sweep channel i, probes it, and schedules the next
+// step; after the last dwell it decides.
+func (r *roamState) scanStep(i, epoch int) {
+	if epoch != r.scanEpoch {
+		return
+	}
+	if i >= len(scanChannels) {
+		r.decide()
+		return
+	}
+	r.c.Retune(scanChannels[i])
+	r.c.Scan()
+	r.c.eng.After(r.cfg.ScanDwell, func() { r.scanStep(i+1, epoch) })
+}
+
+// decide picks the sweep's winner and either roams or retunes home.
+func (r *roamState) decide() {
+	r.scanning = false
+	var best dot80211.MAC
+	bestS := apSighting{rssiDBm: -1e9}
+	for mac, s := range r.sightings {
+		if s.rssiDBm > bestS.rssiDBm ||
+			// Deterministic tiebreak: sightings is a map.
+			s.rssiDBm == bestS.rssiDBm && lessMAC(mac, best) {
+			best, bestS = mac, s
+		}
+	}
+	// A fresh sighting of the serving AP is better truth than the EWMA.
+	cur := r.curRSSI
+	seenCur := false
+	if s, ok := r.sightings[r.c.ap]; ok {
+		seenCur = true
+		cur = s.rssiDBm
+		r.curRSSI, r.haveRSSI = s.rssiDBm, true
+	}
+	// The serving link is dead when its beacons stopped arriving AND the
+	// sweep itself could not hear it; a stale EWMA from the good times
+	// must not veto the escape via hysteresis.
+	dead := r.scanningStale() && !seenCur
+	switch {
+	case best.IsZero():
+		// Heard nobody: go home and hope the watchdog finds better luck.
+		r.c.Retune(r.homeCh)
+	case best == r.c.ap:
+		r.c.Retune(r.homeCh)
+		if !r.c.IsAssociated() {
+			// The serving AP is still the best and we lost the
+			// association (handshake gave up, or we were never joined):
+			// restart it.
+			r.c.Associate(best)
+		}
+	case r.c.IsAssociated() && !dead && r.haveRSSI && bestS.rssiDBm < cur+r.cfg.HysteresisDB:
+		// Candidate not enough better than the link we have: stay.
+		r.c.Retune(r.homeCh)
+	case (!r.c.IsAssociated() || dead) && bestS.rssiDBm < minJoinRSSIdBm:
+		r.c.Retune(r.homeCh)
+	default:
+		r.roamTo(best, bestS)
+	}
+}
+
+// scanningStale reports whether the serving AP has been silent long enough
+// that its EWMA should not be refreshed from a single sweep sighting.
+func (r *roamState) scanningStale() bool {
+	return r.c.eng.Now()-r.lastBeacon > beaconLossIntervals*BeaconInterval
+}
+
+// roamTo commits the handoff: ground-truth hook, disassociation on the old
+// channel, then retune + ARF reset + association handshake on the new one.
+func (r *roamState) roamTo(bssid dot80211.MAC, s apSighting) {
+	c := r.c
+	old := c.ap
+	r.Handoffs++
+	r.scanEpoch++ // cancel any in-flight sweep steps
+	if c.OnRoam != nil {
+		c.OnRoam(old, bssid)
+	}
+	join := func() {
+		c.Retune(s.channel)
+		c.ResetRates()
+		c.apProt = false
+		r.curRSSI, r.haveRSSI = s.rssiDBm, true
+		r.lastBeacon = c.eng.Now()
+		c.Associate(bssid)
+	}
+	if c.stage == asAssociated && !old.IsZero() && old != bssid {
+		// Say goodbye where the old AP can hear it. onDone fires on
+		// delivery, retry exhaustion, or queue overflow — join regardless.
+		c.Retune(r.homeCh)
+		dis := dot80211.NewMgmt(dot80211.SubtypeDisassoc, old, c.cfg.MAC, old, 0, nil)
+		c.SendMgmt(dis, func(bool) { join() })
+	} else {
+		join()
+	}
+}
+
+// noteAssociated resets link tracking when an association completes, so a
+// just-finished handoff doesn't immediately re-trigger on stale state.
+func (r *roamState) noteAssociated() {
+	r.lastBeacon = r.c.eng.Now()
+}
+
+// lessMAC is a total order on MAC addresses for deterministic tiebreaks.
+func lessMAC(a, b dot80211.MAC) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/sim"
+)
+
+// TestRoamingHandoff: a client whose link collapses (teleported across the
+// building mid-run) must scan, find the AP on another channel, send a
+// disassociation the old AP hears, and complete a reassociation — with the
+// ground-truth hook reporting the right endpoints.
+func TestRoamingHandoff(t *testing.T) {
+	w := newWorld(7)
+	ap1 := NewAP(w.eng, w.med, building.Point{X: 5, Y: 15, Z: 2.5},
+		Config{ID: 1, MAC: apMAC(1), Channel: 1}, "test-net")
+	ap2 := NewAP(w.eng, w.med, building.Point{X: 60, Y: 15, Z: 2.5},
+		Config{ID: 2, MAC: apMAC(2), Channel: 6}, "test-net")
+	cl := w.client(3, 7, PHY80211g)
+
+	var from, to dot80211.MAC
+	roams := 0
+	cl.OnRoam = func(f, tt dot80211.MAC) { from, to = f, tt; roams++ }
+	cl.EnableRoaming(RoamConfig{HysteresisDB: 4, ScanInterval: 2 * sim.Second})
+	w.eng.After(0, func() { cl.Associate(ap1.MAC()) })
+	// Mid-flow RSSI collapse: the client "walks" out of ap1's cell.
+	w.eng.At(3*sim.Second, func() {
+		w.med.SetPosition(cl.ID(), building.Point{X: 62, Y: 14, Z: 1})
+	})
+	w.eng.Run(12 * sim.Second)
+
+	if roams == 0 {
+		t.Fatal("client never roamed despite a dead serving link")
+	}
+	if from != ap1.MAC() || to != ap2.MAC() {
+		t.Fatalf("roam endpoints wrong: %v -> %v", from, to)
+	}
+	if !cl.IsAssociated() || cl.BSSID() != ap2.MAC() {
+		t.Fatalf("client not associated to ap2 after roam: assoc=%v bssid=%v",
+			cl.IsAssociated(), cl.BSSID())
+	}
+	if _, ok := ap2.Associated(cl.MAC()); !ok {
+		t.Error("ap2 has no association record for the client")
+	}
+	if cl.Channel() != ap2.Channel() {
+		t.Errorf("client on channel %d, ap2 on %d", cl.Channel(), ap2.Channel())
+	}
+	scans, handoffs := cl.RoamStats()
+	if scans == 0 || handoffs != roams {
+		t.Errorf("roam stats inconsistent: scans=%d handoffs=%d roams=%d", scans, handoffs, roams)
+	}
+}
+
+// TestRoamingStaysPut: a healthy link with a clearly weaker alternative
+// must survive periodic background scans without a single handoff — the
+// hysteresis/ping-pong guard.
+func TestRoamingStaysPut(t *testing.T) {
+	w := newWorld(9)
+	ap1 := NewAP(w.eng, w.med, building.Point{X: 10, Y: 15, Z: 2.5},
+		Config{ID: 1, MAC: apMAC(1), Channel: 1}, "test-net")
+	NewAP(w.eng, w.med, building.Point{X: 45, Y: 15, Z: 2.5},
+		Config{ID: 2, MAC: apMAC(2), Channel: 6}, "test-net")
+	cl := w.client(3, 10.5, PHY80211g)
+	roams := 0
+	cl.OnRoam = func(_, _ dot80211.MAC) { roams++ }
+	cl.EnableRoaming(RoamConfig{ScanInterval: 2 * sim.Second})
+	w.eng.After(0, func() { cl.Associate(ap1.MAC()) })
+	w.eng.Run(12 * sim.Second)
+
+	scans, _ := cl.RoamStats()
+	if scans < 2 {
+		t.Errorf("background scans = %d, want several over 12s", scans)
+	}
+	if roams != 0 {
+		t.Errorf("client ping-ponged: %d roams off a healthy link", roams)
+	}
+	if !cl.IsAssociated() || cl.BSSID() != ap1.MAC() {
+		t.Errorf("client left ap1: assoc=%v bssid=%v", cl.IsAssociated(), cl.BSSID())
+	}
+}
+
+// TestARFHandoffEdgeCases: table-driven checks of the rate-adaptation
+// state around reassociation. ARF state is per-destination and must be
+// dropped on a handoff: neither fallback streaks nor success streaks span
+// an AP change.
+func TestARFHandoffEdgeCases(t *testing.T) {
+	dst1, dst2 := apMAC(1), apMAC(2)
+	type op struct {
+		ev  string // "ok", "fail", "reset"
+		dst dot80211.MAC
+	}
+	rep := func(n int, ev string, dst dot80211.MAC) []op {
+		ops := make([]op, n)
+		for i := range ops {
+			ops[i] = op{ev, dst}
+		}
+		return ops
+	}
+	cases := []struct {
+		name string
+		phy  PHYMode
+		ops  []op
+		// wantIdx is the expected ladder index toward wantDst after the
+		// ops; -2 means "the fresh starting index" (ladder length - 2).
+		wantDst   dot80211.MAC
+		wantFresh bool // state must not exist (never used since reset)
+		wantDelta int  // expected offset from the fresh starting index
+	}{
+		{
+			name:    "two failures step down",
+			phy:     PHY80211g,
+			ops:     rep(2, "fail", dst1),
+			wantDst: dst1, wantDelta: -1,
+		},
+		{
+			name:      "reset clears learned fallback",
+			phy:       PHY80211g,
+			ops:       append(rep(4, "fail", dst1), op{"reset", dst1}),
+			wantDst:   dst1,
+			wantFresh: true,
+		},
+		{
+			name: "fallback streak does not span an AP change",
+			phy:  PHY80211g,
+			// One failure toward the old AP, reset (the handoff), one
+			// failure toward the new AP: a streak that would step down if
+			// it carried across, but must not.
+			ops:     append(append(rep(1, "fail", dst1), op{"reset", dst1}), rep(1, "fail", dst2)...),
+			wantDst: dst2, wantDelta: 0,
+		},
+		{
+			name: "success streak does not span an AP change",
+			phy:  PHY80211g,
+			// Nine successes (one shy of a step up), reset, nine more:
+			// still no step up.
+			ops:     append(append(rep(9, "ok", dst1), op{"reset", dst1}), rep(9, "ok", dst2)...),
+			wantDst: dst2, wantDelta: 0,
+		},
+		{
+			name:    "11b ladder resets to its own start",
+			phy:     PHY80211b,
+			ops:     append(rep(2, "fail", dst1), op{"reset", dst1}),
+			wantDst: dst1, wantFresh: true,
+		},
+		{
+			name: "post-reset adaptation works from scratch",
+			phy:  PHY80211g,
+			// After the reset the new link still adapts: two failures
+			// step down one rung exactly as on a fresh station.
+			ops:     append(append(rep(6, "fail", dst1), op{"reset", dst1}), rep(2, "fail", dst2)...),
+			wantDst: dst2, wantDelta: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newWorld(1)
+			st := NewStation(w.eng, w.med, building.Point{X: 1, Y: 1, Z: 1},
+				Config{ID: 99, MAC: cliMAC(99), Channel: 1, PHY: tc.phy})
+			for _, o := range tc.ops {
+				switch o.ev {
+				case "ok":
+					st.rateFor(o.dst) // materialize like a transmission would
+					st.rateOK(o.dst)
+				case "fail":
+					st.rateFor(o.dst)
+					st.rateFail(o.dst)
+				case "reset":
+					st.ResetRates()
+				}
+			}
+			if tc.wantFresh {
+				if got := st.rateIndex(tc.wantDst); got != -1 {
+					t.Fatalf("state toward %v survived reset: idx=%d", tc.wantDst, got)
+				}
+				// And the next use starts at the ladder's fresh index.
+				fresh := len(st.ladder()) - 2
+				if got := st.rateFor(tc.wantDst); got != st.ladder()[fresh] {
+					t.Fatalf("fresh rate = %v, want ladder[%d]=%v", got, fresh, st.ladder()[fresh])
+				}
+				return
+			}
+			fresh := len(st.ladder()) - 2
+			want := fresh + tc.wantDelta
+			if got := st.rateIndex(tc.wantDst); got != want {
+				t.Fatalf("ladder index toward %v = %d, want %d (fresh %d%+d)",
+					tc.wantDst, got, want, fresh, tc.wantDelta)
+			}
+		})
+	}
+}
+
+// TestClientReassociateResetsRates: the integrated path — Client.Reassociate
+// itself must drop ARF state, not just the roaming machinery.
+func TestClientReassociateResetsRates(t *testing.T) {
+	w := newWorld(4)
+	ap1 := w.ap(1, 10)
+	cl := w.client(3, 12, PHY80211g)
+	w.eng.After(0, func() { cl.Associate(ap1.MAC()) })
+	w.eng.Run(2 * sim.Second)
+	if !cl.IsAssociated() {
+		t.Fatal("setup: association failed")
+	}
+	// Learn some (bad) rate state toward the AP.
+	cl.rateFor(ap1.MAC())
+	for i := 0; i < 4; i++ {
+		cl.rateFail(ap1.MAC())
+	}
+	if cl.rateIndex(ap1.MAC()) == -1 {
+		t.Fatal("setup: no rate state learned")
+	}
+	cl.Reassociate(apMAC(2))
+	if got := cl.rateIndex(ap1.MAC()); got != -1 {
+		t.Fatalf("ARF state toward the old AP survived Reassociate: idx=%d", got)
+	}
+}

@@ -107,6 +107,10 @@ type Station struct {
 	// OnMgmt is invoked for received management frames addressed to us or
 	// broadcast.
 	OnMgmt func(f dot80211.Frame)
+	// SnoopMgmt, when set, observes the same management frames as OnMgmt
+	// along with their received signal strength — the input the roaming
+	// state machine's beacon-RSSI tracker needs.
+	SnoopMgmt func(f dot80211.Frame, rssiDBm float64)
 
 	seq     uint16
 	queue   []outFrame
@@ -186,6 +190,14 @@ func (s *Station) ID() radio.NodeID { return s.cfg.ID }
 
 // Channel returns the tuned channel.
 func (s *Station) Channel() dot80211.Channel { return s.cfg.Channel }
+
+// Retune switches the station's radio to another channel (scanning,
+// roaming). Frames already queued transmit on the new channel, like a real
+// driver whose hardware is retuned under it.
+func (s *Station) Retune(ch dot80211.Channel) {
+	s.cfg.Channel = ch
+	s.med.SetChannel(s.cfg.ID, ch)
+}
 
 // PHY returns the station's PHY mode.
 func (s *Station) PHY() PHYMode { return s.cfg.PHY }
@@ -493,6 +505,9 @@ func (s *Station) OnReceive(info radio.RxInfo) {
 		}
 	case f.Type == dot80211.TypeManagement:
 		if f.Addr1 == s.cfg.MAC || f.Addr1.IsMulticast() {
+			if s.SnoopMgmt != nil {
+				s.SnoopMgmt(f, info.RSSIdBm)
+			}
 			if f.Addr1 == s.cfg.MAC {
 				s.sendAck(f.Addr2, info.Rate)
 				if last, ok := s.lastRxSeq[f.Addr2]; ok && last == f.Seq && f.Retry() {

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// goldenDefaultTraceSHA256 pins the digest of scenario.Default()'s entire
+// serialized monitor-trace set. Every substrate change that is supposed to
+// be backward compatible (new scenario features behind config gates, rng
+// re-plumbing, MAC refactors) must keep the default scenario bit-for-bit:
+// a digest change here means every archived trace and every downstream
+// golden number silently shifted.
+//
+// Repin (only for an INTENTIONAL compatibility break):
+//
+//	go test ./internal/scenario -run TestDefaultTraceGolden -v
+//
+// and copy the "got" digest printed in the failure into this constant,
+// noting the break in CHANGES.md.
+const goldenDefaultTraceSHA256 = "b3d0f81f5aee7618ac3078dfd03cd34b42d6da899cf82df6a4b1ebdb2c51c47a"
+
+// TraceDigest hashes a run's per-radio traces in radio-id order: id,
+// length, bytes. The digest covers exactly what jigsim would write to
+// disk.
+func TraceDigest(out *Output) string {
+	ids := make([]int32, 0, len(out.Traces))
+	for id := range out.Traces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := sha256.New()
+	var hdr [12]byte
+	for _, id := range ids {
+		b := out.Traces[id].Bytes()
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(id))
+		binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(b)))
+		h.Write(hdr[:])
+		h.Write(b)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestDefaultTraceGolden is the compatibility gate PR 2 only checked by
+// hand: the default scenario's trace set must stay byte-identical.
+func TestDefaultTraceGolden(t *testing.T) {
+	out, err := Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TraceDigest(out)
+	if got != goldenDefaultTraceSHA256 {
+		t.Fatalf("scenario.Default() trace digest changed:\n  got  %s\n  want %s\n"+
+			"If this break is intentional, repin goldenDefaultTraceSHA256 with the got value and document it in CHANGES.md.",
+			got, goldenDefaultTraceSHA256)
+	}
+}

@@ -1,0 +1,153 @@
+// Client mobility: deterministic waypoint paths stepped on the simulation
+// clock. A mobile client walks back and forth across its floor through the
+// full X extent of the building, so its serving link inevitably collapses
+// and the mac-layer roaming state machine hands it off between APs — the
+// workload class behind the handoff-analysis experiments.
+package scenario
+
+import (
+	"repro/internal/building"
+	"repro/internal/dot80211"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// Mobility constants.
+const (
+	// mobilityStep is the position-update period. 200 ms at walking speed
+	// moves ~30 cm per step: smooth relative to the propagation model's
+	// meter-scale sensitivity, cheap relative to the MAC event rate.
+	mobilityStep = 200 * sim.Millisecond
+	// defaultMoveSpeedMPS is indoor walking pace.
+	defaultMoveSpeedMPS = 1.2
+	// waypointMarginM keeps waypoints off the exterior walls.
+	waypointMarginM = 6.0
+)
+
+// setupMobility makes the first Config.MobileClients clients mobile:
+// ground-truth roaming hooks, the mac roaming state machine, a waypoint
+// walk, and a day-long flow loop so handoffs always have in-flight TCP to
+// disrupt. Called only when MobileClients > 0, after buildWorld.
+func (s *state) setupMobility() {
+	// Cap at the regular-client roster: s.clients may already hold the §6
+	// oracle (scheduleOracle runs first), which drives its own teleports
+	// and must not get a second, fighting mobility controller.
+	n := s.cfg.MobileClients
+	if n > s.cfg.Clients {
+		n = s.cfg.Clients
+	}
+	for i := 0; i < n; i++ {
+		s.makeMobile(s.clients[i])
+	}
+}
+
+// makeMobile wires one client for mobility and roaming.
+func (s *state) makeMobile(cl *client) {
+	mc := cl.mc
+	s.out.MobileMACs = append(s.out.MobileMACs, cl.info.MAC)
+
+	// Ground truth: OnRoam opens a handoff record; the association
+	// completing closes it and repoints downlink routing at the new AP.
+	pending := -1
+	mc.OnRoam = func(from, to dot80211.MAC) {
+		pending = len(s.out.Handoffs)
+		s.out.Handoffs = append(s.out.Handoffs, Handoff{
+			Client: cl.info.MAC, FromAP: from, ToAP: to,
+			DecideUS: s.eng.Now().US64(),
+		})
+		cl.ready = false
+	}
+	prevAssoc := mc.OnAssociated
+	mc.OnAssociated = func() {
+		if pending >= 0 {
+			h := &s.out.Handoffs[pending]
+			h.CompleteUS = s.eng.Now().US64()
+			h.Completed = true
+			pending = -1
+		}
+		if idx, ok := s.apIndexOf(mc.BSSID()); ok {
+			cl.info.APIndex = idx
+		}
+		prevAssoc()
+	}
+	mc.EnableRoaming(mac.RoamConfig{HysteresisDB: s.cfg.RoamHysteresisDB})
+
+	s.walkWaypoints(cl)
+
+	// Mobile clients associate at dawn and keep a flow loop running all
+	// day (on top of any sampled sessions), so every handoff disrupts
+	// real transport state.
+	s.eng.At(0, func() {
+		if !mc.IsAssociated() && mc.BSSID().IsZero() {
+			mc.Associate(apMAC(cl.info.APIndex))
+		}
+		s.flowLoop(cl, s.cfg.Day)
+	})
+}
+
+// walkWaypoints schedules the client's piecewise-linear path: waypoints
+// alternate between the two ends of the building on the client's starting
+// floor, with jittered Y, and the position steps along each segment at the
+// configured speed every mobilityStep.
+func (s *state) walkWaypoints(cl *client) {
+	speed := s.cfg.MoveSpeedMPS
+	if speed <= 0 {
+		speed = defaultMoveSpeedMPS
+	}
+	z := cl.info.Pos.Z
+
+	// Enough waypoints to keep walking past the horizon.
+	span := building.BuildingXM - 2*waypointMarginM
+	crossings := int(speed*s.cfg.Day.SecondsF()/span) + 2
+	waypoints := make([]building.Point, crossings)
+	// Head for the far end first so the first leg is a long one.
+	startLeft := cl.info.Pos.X < building.BuildingXM/2
+	for i := range waypoints {
+		x := waypointMarginM
+		if startLeft == (i%2 == 0) {
+			x = building.BuildingXM - waypointMarginM
+		}
+		waypoints[i] = building.Point{
+			X: x,
+			Y: waypointMarginM + s.rng.Float64()*(building.BuildingYM-2*waypointMarginM),
+			Z: z,
+		}
+	}
+
+	pos := cl.info.Pos
+	target := 0
+	stepM := speed * mobilityStep.SecondsF()
+	var step func()
+	step = func() {
+		for target < len(waypoints) {
+			wp := waypoints[target]
+			d := pos.Distance(wp)
+			if d > stepM {
+				f := stepM / d
+				pos = building.Point{
+					X: pos.X + (wp.X-pos.X)*f,
+					Y: pos.Y + (wp.Y-pos.Y)*f,
+					Z: pos.Z + (wp.Z-pos.Z)*f,
+				}
+				break
+			}
+			pos = wp
+			target++
+		}
+		s.med.SetPosition(cl.info.Node, pos)
+		if target < len(waypoints) {
+			s.eng.After(mobilityStep, step)
+		}
+	}
+	s.eng.At(mobilityStep, step)
+}
+
+// apIndexOf maps an AP MAC back to its roster index.
+func (s *state) apIndexOf(m dot80211.MAC) (int, bool) {
+	for i := range s.apInfo {
+		if s.apInfo[i].MAC == m {
+			return i, true
+		}
+	}
+	return 0, false
+}

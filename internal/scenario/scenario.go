@@ -91,6 +91,17 @@ type Config struct {
 	// alike — fairness and fingerprinting need flows that reach steady
 	// state.
 	FlowScale float64
+	// MobileClients makes the first N clients mobile: each walks a
+	// deterministic waypoint path through the building on the sim clock
+	// with the RSSI-threshold roaming state machine enabled, so it hands
+	// off between APs as its serving link collapses. Zero (the default)
+	// keeps every client stationary and changes nothing else.
+	MobileClients int
+	// MoveSpeedMPS is the mobile clients' walking speed (0 = 1.2 m/s).
+	MoveSpeedMPS float64
+	// RoamHysteresisDB is how much stronger a candidate AP must be before
+	// a mobile client roams to it (0 = mac.DefaultRoamHysteresisDB).
+	RoamHysteresisDB float64
 }
 
 // Default returns a laptop-scale configuration suitable for tests: a
@@ -126,6 +137,47 @@ func MixedCC() Config {
 	c.WiredBottleneckMbps = 30
 	c.FlowScale = 8
 	return c
+}
+
+// Roaming returns Default with mobile clients walking the building under a
+// mixed-CC load: the workload behind the handoff-analysis experiments.
+// Mobile stations hand off between APs mid-flow, so the pipeline sees
+// disassociation/reassociation sequences, scan probe bursts, rate-ladder
+// restarts, and TCP flows disrupted by the off-channel gaps.
+func Roaming() Config {
+	c := Default()
+	c.MobileClients = 4
+	c.MoveSpeedMPS = 1.5
+	c.RoamHysteresisDB = 4
+	c.CCMix = map[string]float64{cc.Reno: 1, cc.Cubic: 1, cc.BBR: 1}
+	c.WiredQueuePkts = 32
+	c.WiredBottleneckMbps = 30
+	c.FlowScale = 4
+	return c
+}
+
+// Handoff is the simulator's ground-truth record of one client handoff:
+// the roaming state machine's decision and, if the handshake with the new
+// AP completed, when. The analysis layer's handoff detector is scored
+// against these.
+type Handoff struct {
+	Client dot80211.MAC
+	FromAP dot80211.MAC
+	ToAP   dot80211.MAC
+	// DecideUS is when the roamer committed (before the disassociation
+	// went on air); CompleteUS is when the new association finished.
+	DecideUS   int64
+	CompleteUS int64
+	Completed  bool
+}
+
+// LatencyUS returns the handoff's decision-to-association latency (0 for
+// handoffs that never completed).
+func (h Handoff) LatencyUS() int64 {
+	if !h.Completed {
+		return 0
+	}
+	return h.CompleteUS - h.DecideUS
 }
 
 // WiredPacket is one packet observed at the wired distribution tap.
@@ -235,6 +287,12 @@ type Output struct {
 	MonitorClocks map[int32]*clock.Clock
 	// OracleMAC is the roaming oracle client's address (zero if disabled).
 	OracleMAC dot80211.MAC
+	// MobileMACs lists the mobile clients' addresses, in client order
+	// (empty when Config.MobileClients is zero).
+	MobileMACs []dot80211.MAC
+	// Handoffs is per-handoff ground truth from the mobile clients'
+	// roaming state machines, in decision order.
+	Handoffs []Handoff
 }
 
 // HourDur returns the simulated duration of one compressed hour.

@@ -259,12 +259,23 @@ func (s *state) buildWorld() {
 		s.out.Clients = append(s.out.Clients, cl.info)
 
 		// Attach the client's wired-side address: downlink segments are
-		// forwarded to its AP for wireless delivery.
-		capturedAP := s.aps[bestAP]
+		// forwarded to its AP for wireless delivery. Mobile clients route
+		// through whichever AP they are currently associated with (the
+		// distribution network learns the move, like a real switch fabric
+		// after a reassociation); stationary clients keep the cheaper
+		// fixed binding.
 		capturedMAC := cliMAC(i)
-		s.wired.Attach(capturedMAC, func(seg tcpsim.Segment) {
-			capturedAP.SendToClient(capturedMAC, serverMAC(int(seg.SrcIP-serverIPBase)), seg.Encode(), nil)
-		})
+		if i < cfg.MobileClients {
+			s.wired.Attach(capturedMAC, func(seg tcpsim.Segment) {
+				ap := s.aps[cl.info.APIndex]
+				ap.SendToClient(capturedMAC, serverMAC(int(seg.SrcIP-serverIPBase)), seg.Encode(), nil)
+			})
+		} else {
+			capturedAP := s.aps[bestAP]
+			s.wired.Attach(capturedMAC, func(seg tcpsim.Segment) {
+				capturedAP.SendToClient(capturedMAC, serverMAC(int(seg.SrcIP-serverIPBase)), seg.Encode(), nil)
+			})
+		}
 	}
 
 	// Wired tap.

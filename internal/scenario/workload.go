@@ -19,6 +19,9 @@ func (s *state) scheduleWorkload() {
 	if s.cfg.OracleLocations > 0 {
 		s.scheduleOracle()
 	}
+	if s.cfg.MobileClients > 0 {
+		s.setupMobility()
+	}
 
 	for ci, cl := range s.clients {
 		cl := cl

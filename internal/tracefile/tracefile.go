@@ -215,7 +215,13 @@ func ReadIndex(in io.Reader) ([]IndexEntry, error) {
 		return nil, err
 	}
 	count := binary.LittleEndian.Uint32(n[:])
-	idx := make([]IndexEntry, 0, count)
+	// Entries arrive 36 bytes each; cap the preallocation so a corrupt
+	// count field cannot demand gigabytes before the first read fails.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	idx := make([]IndexEntry, 0, prealloc)
 	for i := uint32(0); i < count; i++ {
 		var b [36]byte
 		if _, err := io.ReadFull(in, b[:]); err != nil {
@@ -283,6 +289,13 @@ func (t *Reader) Next() (Record, error) {
 	return rec, nil
 }
 
+// maxBlockLen bounds the compressed and uncompressed size a block header
+// may claim. Legitimate blocks flush around blockTarget (64 KB) plus one
+// record; anything near this cap is a corrupt or hostile header, and
+// honoring it would turn a 24-byte header into a multi-gigabyte
+// allocation.
+const maxBlockLen = 1 << 26
+
 // loadBlock reads and decompresses the next block.
 func (t *Reader) loadBlock() error {
 	var bh [24]byte
@@ -297,6 +310,9 @@ func (t *Reader) loadBlock() error {
 	}
 	compLen := binary.LittleEndian.Uint32(bh[4:8])
 	rawLen := binary.LittleEndian.Uint32(bh[8:12])
+	if compLen > maxBlockLen || rawLen > maxBlockLen {
+		return fmt.Errorf("tracefile: block header claims %d/%d bytes", compLen, rawLen)
+	}
 	comp := make([]byte, compLen)
 	if _, err := io.ReadFull(t.r, comp); err != nil {
 		return fmt.Errorf("tracefile: truncated block: %w", err)
@@ -304,8 +320,14 @@ func (t *Reader) loadBlock() error {
 	fr := flate.NewReader(bytes.NewReader(comp))
 	raw := make([]byte, 0, rawLen)
 	buf := bytes.NewBuffer(raw)
-	if _, err := io.Copy(buf, fr); err != nil {
+	// The compressed payload must decompress to exactly the header's
+	// rawLen; bound the copy so a corrupt stream cannot balloon past it.
+	n, err := io.Copy(buf, io.LimitReader(fr, int64(rawLen)+1))
+	if err != nil {
 		return fmt.Errorf("tracefile: decompress: %w", err)
+	}
+	if n != int64(rawLen) {
+		return fmt.Errorf("tracefile: block decompressed to %d bytes, header says %d", n, rawLen)
 	}
 	t.block = bytes.NewReader(buf.Bytes())
 	return nil
