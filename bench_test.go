@@ -8,6 +8,7 @@ package jigsaw
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -116,6 +117,43 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	var events int64
 	for i := 0; i < b.N; i++ {
 		res, err := core.Run(traces, s.out.ClockGroups, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.UnifyStats.Events
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(events)/perOp, "events/s")
+	b.ReportMetric(s.out.Cfg.Day.SecondsF()/perOp, "x-realtime")
+}
+
+// BenchmarkPipelineOutOfCore runs the identical workload through the
+// directory-backed streaming path (tracefile.OpenDir + core.RunFrom): the
+// building-scale configuration, where the compressed trace set exceeds
+// RAM and only file-backed sources can feed the merge. Compare events/s
+// against BenchmarkPipelineParallel (same results, asserted by the
+// determinism tests) and B/op against BenchmarkMergeThroughput for the
+// streaming path's allocation profile; cmd/jigbench -bench-json tracks the
+// peak-heap trajectory itself.
+func BenchmarkPipelineOutOfCore(b *testing.B) {
+	s := setupBench(b)
+	dir := b.TempDir()
+	for r, blob := range s.traces {
+		if err := os.WriteFile(tracefile.TracePath(dir, r), blob, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts, err := tracefile.OpenDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunFrom(ts, s.out.ClockGroups, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,11 +1,18 @@
-// Command jiganalyze runs an end-to-end scenario plus pipeline and prints
-// the paper's §6/§7 analyses: trace summary (Table 1), coverage (Fig. 6),
-// activity time series (Fig. 8), interference (Fig. 9), protection mode
-// (Fig. 10) and TCP loss (Fig. 11).
+// Command jiganalyze prints the paper's §6/§7 analyses: trace summary
+// (Table 1), coverage (Fig. 6), activity time series (Fig. 8), interference
+// (Fig. 9), protection mode (Fig. 10) and TCP loss (Fig. 11).
 //
-// Usage:
+// Two modes:
 //
-//	jiganalyze [-pods 8 -aps 9 -clients 16 -day 120s] [-exp all|table1|coverage|timeseries|interference|protection|diagnose|tcploss]
+//	jiganalyze [-pods 8 -aps 9 -clients 16 -day 120s]   # simulate + analyze
+//	jiganalyze traces/                                  # analyze a trace directory
+//
+// Directory mode streams the traces through the pipeline (file-backed
+// sources, bounded memory) and reads the deployment roster from meta.json;
+// analyses that need simulator ground truth (coverage vs the wired tap) are
+// skipped there, since a trace directory carries no oracle. In simulate
+// mode, -spill-dir streams generated traces through a directory instead of
+// holding them in memory — required for building-scale runs.
 package main
 
 import (
@@ -19,36 +26,85 @@ import (
 	"repro/internal/dot80211"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/tracefile"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jiganalyze: ")
 	var (
-		pods    = flag.Int("pods", 8, "sensor pods")
-		aps     = flag.Int("aps", 9, "APs")
-		clients = flag.Int("clients", 16, "clients")
-		day     = flag.Duration("day", 120*time.Second, "compressed day")
-		seed    = flag.Int64("seed", 1, "seed")
-		exp     = flag.String("exp", "all", "which analysis to print")
-		workers = flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = serial)")
+		in       = flag.String("in", "", "analyze this trace directory instead of simulating")
+		pods     = flag.Int("pods", 8, "sensor pods (simulate mode)")
+		aps      = flag.Int("aps", 9, "APs (simulate mode)")
+		clients  = flag.Int("clients", 16, "clients (simulate mode)")
+		day      = flag.Duration("day", 120*time.Second, "compressed day (simulate mode)")
+		seed     = flag.Int64("seed", 1, "seed (simulate mode)")
+		spillDir = flag.String("spill-dir", "", "simulate mode: stream generated traces through this directory instead of memory")
+		exp      = flag.String("exp", "all", "which analysis to print")
+		workers  = flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-
-	cfg := scenario.Default()
-	cfg.Pods, cfg.APs, cfg.Clients = *pods, *aps, *clients
-	cfg.Day = sim.Time(day.Nanoseconds())
-	cfg.Seed = *seed
-
-	out, err := scenario.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
+	dir := *in
+	if flag.NArg() == 1 {
+		dir = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		log.Fatalf("expected at most one trace directory argument, got %q", flag.Args())
 	}
+
+	var (
+		traces      *tracefile.TraceSet
+		clockGroups [][]int32
+		apInfos     []scenario.APInfo
+		hourUS      int64
+		out         *scenario.Output // nil in directory mode: no ground truth
+	)
+	if dir != "" {
+		var err error
+		traces, err = tracefile.OpenDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta, err := scenario.ReadMeta(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clockGroups = meta.ClockGroups
+		apInfos = meta.APs
+		daySec := meta.DaySec
+		if daySec == 0 {
+			daySec = day.Seconds()
+			log.Printf("warning: %s has no DaySec; slicing time by -day %v", scenario.MetaFileName, *day)
+		}
+		hourUS = int64(daySec * 1e6 / 24)
+	} else {
+		if *pods <= 0 || *aps <= 0 || *clients < 0 {
+			log.Fatalf("invalid deployment (pods=%d aps=%d clients=%d)", *pods, *aps, *clients)
+		}
+		if *day <= 0 {
+			log.Fatalf("invalid -day %v", *day)
+		}
+		cfg := scenario.Default()
+		cfg.Pods, cfg.APs, cfg.Clients = *pods, *aps, *clients
+		cfg.Day = sim.Time(day.Nanoseconds())
+		cfg.Seed = *seed
+		cfg.SpillDir = *spillDir
+
+		var err error
+		out, err = scenario.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = out.TraceSet()
+		clockGroups = out.ClockGroups
+		apInfos = out.APs
+		hourUS = out.Cfg.HourDur().US64()
+	}
+
 	ccfg := core.DefaultConfig()
 	ccfg.Workers = *workers
 	ccfg.KeepExchanges = true
 	ccfg.KeepJFrames = true
-	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	res, err := core.RunFrom(traces, clockGroups, ccfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,19 +126,24 @@ func main() {
 		fmt.Println()
 	}
 	if want("coverage") {
-		fmt.Println("== Fig. 6 / §6: wired-trace coverage ==")
-		cov := analysis.Coverage(out, res.Exchanges)
-		fmt.Printf("overall %.1f%% of %d wired packets seen wirelessly\n", 100*cov.Overall, cov.TotalWired)
-		fmt.Printf("clients: %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
-			100*cov.ClientCoverage, 100*cov.ClientsAt100, 100*cov.ClientsOver95)
-		fmt.Printf("APs:     %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
-			100*cov.APCoverage, 100*cov.APsAt100, 100*cov.APsOver95)
-		oracle, _ := analysis.OracleCoverage(out)
-		fmt.Printf("oracle (ground truth) coverage of client events: %.1f%%\n\n", 100*oracle)
+		if out == nil {
+			fmt.Println("== Fig. 6 / §6: wired-trace coverage: skipped (trace directory carries no wired tap / ground truth) ==")
+			fmt.Println()
+		} else {
+			fmt.Println("== Fig. 6 / §6: wired-trace coverage ==")
+			cov := analysis.Coverage(out, res.Exchanges)
+			fmt.Printf("overall %.1f%% of %d wired packets seen wirelessly\n", 100*cov.Overall, cov.TotalWired)
+			fmt.Printf("clients: %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
+				100*cov.ClientCoverage, 100*cov.ClientsAt100, 100*cov.ClientsOver95)
+			fmt.Printf("APs:     %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
+				100*cov.APCoverage, 100*cov.APsAt100, 100*cov.APsOver95)
+			oracle, _ := analysis.OracleCoverage(out)
+			fmt.Printf("oracle (ground truth) coverage of client events: %.1f%%\n\n", 100*oracle)
+		}
 	}
 	if want("timeseries") {
 		fmt.Println("== Fig. 8: activity time series (per compressed hour) ==")
-		slots := analysis.TimeSeries(res.JFrames, out.Cfg.HourDur().US64())
+		slots := analysis.TimeSeries(res.JFrames, hourUS)
 		fmt.Printf("%4s %7s %5s %10s %10s %9s %9s\n", "hr", "clients", "APs", "data B", "mgmt B", "beacon B", "ARP B")
 		for i, s := range slots {
 			fmt.Printf("%4d %7d %5d %10d %10d %9d %9d\n",
@@ -93,7 +154,7 @@ func main() {
 	if want("interference") {
 		fmt.Println("== Fig. 9: interference loss rate ==")
 		apSet := map[dot80211.MAC]bool{}
-		for _, ap := range out.APs {
+		for _, ap := range apInfos {
 			apSet[ap.MAC] = true
 		}
 		rep := analysis.Interference(res.JFrames, res.Exchanges, 50, func(m dot80211.MAC) bool { return apSet[m] })
@@ -109,8 +170,7 @@ func main() {
 	}
 	if want("protection") {
 		fmt.Println("== Fig. 10: overprotective APs ==")
-		slotUS := out.Cfg.HourDur().US64()
-		rep := analysis.Protection(res.JFrames, slotUS, slotUS)
+		rep := analysis.Protection(res.JFrames, hourUS, hourUS)
 		fmt.Printf("%4s %10s %15s %10s %12s\n", "hr", "protected", "overprotective", "g active", "g affected")
 		for i, s := range rep.Slots {
 			if s.ProtectedAPs == 0 && s.ActiveGClients == 0 {

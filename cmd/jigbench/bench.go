@@ -1,0 +1,250 @@
+// The -bench-json mode: the pipeline's memory/throughput trajectory.
+//
+// For each requested preset the harness generates one trace directory
+// (spilled to disk as the radios produce it, like jigsim), then merges it
+// twice — once streaming from the file-backed sources (the out-of-core
+// path) and once from an in-memory buffer set (the compatibility path) —
+// sampling the Go heap across each merge. The two JSON rows per preset
+// make unbounded-buffering regressions visible: the streaming row's
+// heap_peak_bytes must stay a small fraction of the in-memory row's, which
+// -bench-assert-streaming enforces in CI under GOMEMLIMIT.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+)
+
+// benchRow is one merge measurement in BENCH_pipeline.json.
+type benchRow struct {
+	Preset  string  `json:"preset"`
+	Mode    string  `json:"mode"` // "streaming" or "inmemory"
+	Pods    int     `json:"pods"`
+	Radios  int     `json:"radios"`
+	APs     int     `json:"aps"`
+	Clients int     `json:"clients"`
+	DaySec  float64 `json:"day_sec"`
+
+	MonitorRecords int64   `json:"monitor_records"`
+	JFrames        int64   `json:"jframes"`
+	Events         int64   `json:"events"`
+	MergeMS        int64   `json:"merge_ms"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	XRealtime      float64 `json:"x_realtime"`
+	// HeapPeakBytes is the sampled peak Go heap during the merge;
+	// BytesPerFrame normalizes it by unified jframes. An in-memory merge's
+	// bytes-per-frame grows with trace length (the whole compressed set is
+	// resident); a streaming merge's stays flat — the out-of-core
+	// invariant this file's trajectory pins.
+	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+}
+
+// heapSampler polls runtime.ReadMemStats in the background recording peak
+// HeapAlloc. ReadMemStats briefly stops the world, so the period is kept
+// coarse relative to the merges it profiles.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startHeapSampler() *heapSampler {
+	h := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := h.peak.Load()
+			if ms.HeapAlloc <= old || h.peak.CompareAndSwap(old, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	sample()
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				sample()
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	return h
+}
+
+// Stop ends sampling and returns the peak heap seen.
+func (h *heapSampler) Stop() uint64 {
+	close(h.stop)
+	<-h.done
+	return h.peak.Load()
+}
+
+// runBenchJSON measures every preset and writes the JSON rows to path.
+func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, workDir string, assertRatio float64) {
+	// Aggressive GC during profiling: with the default GOGC the heap
+	// balloons to ~2x the live set before a collection, and that slack —
+	// not the pipeline's working set — would dominate small runs' peaks.
+	debug.SetGCPercent(10)
+	keep := workDir != ""
+	if workDir == "" {
+		d, err := os.MkdirTemp("", "jigbench-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		workDir = d
+		defer os.RemoveAll(d)
+	}
+
+	var rows []benchRow
+	failed := false
+	for _, name := range strings.Split(presets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg, err := benchPreset(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dayOverride > 0 {
+			cfg.Day = sim.Time(dayOverride.Nanoseconds())
+		}
+		dir := filepath.Join(workDir, name)
+		stream, inmem := benchOnePreset(name, cfg, dir, workers)
+		rows = append(rows, stream, inmem)
+		if !keep {
+			if err := os.RemoveAll(dir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("%s: streaming heap %.1f MB vs in-memory %.1f MB (%.1f%%), %.0f frames/s",
+			name, float64(stream.HeapPeakBytes)/1e6, float64(inmem.HeapPeakBytes)/1e6,
+			100*float64(stream.HeapPeakBytes)/float64(inmem.HeapPeakBytes), stream.FramesPerSec)
+		if assertRatio > 0 && float64(stream.HeapPeakBytes) >= assertRatio*float64(inmem.HeapPeakBytes) {
+			log.Printf("FAIL %s: streaming peak heap %d >= %.0f%% of in-memory %d",
+				name, stream.HeapPeakBytes, 100*assertRatio, inmem.HeapPeakBytes)
+			failed = true
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d rows to %s", len(rows), path)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchOnePreset generates one trace directory and merges it both ways.
+func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (stream, inmem benchRow) {
+	cfg.SpillDir = dir
+	t0 := time.Now()
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		log.Fatalf("%s: simulate: %v", name, err)
+	}
+	log.Printf("%s: simulated %d radios, %d records in %v",
+		name, len(out.Indexes), out.MonitorRecords, time.Since(t0).Round(time.Millisecond))
+	// A kept work dir should be a complete trace directory (usable by
+	// jigsaw/jiganalyze), so persist the sidecar too.
+	if err := scenario.WriteMeta(dir, scenario.MetaFromOutput(out)); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	base := benchRow{
+		Preset: name, Pods: cfg.Pods, Radios: len(out.Indexes),
+		APs: cfg.APs, Clients: cfg.Clients, DaySec: cfg.Day.SecondsF(),
+		MonitorRecords: out.MonitorRecords,
+	}
+	groups := out.ClockGroups
+	// Drop the simulation output (ground truth, wired tap) before
+	// profiling: the rows measure the merge pipeline, not the simulator.
+	out = nil
+
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = workers
+
+	measure := func(mode string, ts *tracefile.TraceSet) benchRow {
+		row := base
+		row.Mode = mode
+		runtime.GC()
+		h := startHeapSampler()
+		t1 := time.Now()
+		res, err := core.RunFrom(ts, groups, ccfg, nil)
+		dur := time.Since(t1)
+		row.HeapPeakBytes = h.Stop()
+		if err != nil {
+			log.Fatalf("%s/%s: merge: %v", name, mode, err)
+		}
+		row.JFrames = res.UnifyStats.JFrames
+		row.Events = res.UnifyStats.Events
+		row.MergeMS = dur.Milliseconds()
+		row.FramesPerSec = float64(res.UnifyStats.JFrames) / dur.Seconds()
+		row.EventsPerSec = float64(res.UnifyStats.Events) / dur.Seconds()
+		row.XRealtime = row.DaySec / dur.Seconds()
+		if res.UnifyStats.JFrames > 0 {
+			row.BytesPerFrame = float64(row.HeapPeakBytes) / float64(res.UnifyStats.JFrames)
+		}
+		return row
+	}
+
+	ts, err := tracefile.OpenDir(dir)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	stream = measure("streaming", ts)
+
+	// The in-memory path: the whole compressed trace set resident, as
+	// core.Run's buffer map requires.
+	bufs := make(map[int32][]byte, ts.Len())
+	for _, r := range ts.Radios() {
+		b, err := os.ReadFile(tracefile.TracePath(dir, r))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		bufs[r] = b
+	}
+	inmem = measure("inmemory", tracefile.NewBufferSet(bufs))
+	return stream, inmem
+}
+
+// benchPreset resolves a preset name for -bench-presets and -sweep-scale
+// (the shared scenario.Preset registry, minus the empty-name default).
+func benchPreset(name string) (scenario.Config, error) {
+	if name == "" {
+		return scenario.Config{}, fmt.Errorf("empty preset name")
+	}
+	return scenario.Preset(name)
+}

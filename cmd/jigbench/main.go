@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -67,16 +68,29 @@ func main() {
 		sweepBtl     = flag.Float64("sweep-bottleneck-mbps", 30, "bottleneck drain rate for non-fixed CC mixes")
 		sweepMobile  = flag.String("sweep-mobility", "0", "comma-separated mobile-client counts (adds a mobility axis; rows gain handoff metrics)")
 		sweepHyst    = flag.Float64("sweep-roam-hysteresis-db", 0, "roam hysteresis for mobile scenarios (0 = default)")
+		sweepScale   = flag.String("sweep-scale", "", "comma-separated scale presets (default,paper,building) replacing the -sweep-pods deployment axis; rows gain a scale field")
+		sweepSpill   = flag.String("sweep-spill-root", "", "stream each sweep scenario's traces through a subdirectory of this root (out-of-core sweeps; removed after measuring)")
 		mergeWorkers = flag.Int("merge-workers", 1, "pipeline workers inside each sweep scenario (1 keeps the pool unoversubscribed)")
+
+		benchJSON    = flag.String("bench-json", "", "write pipeline bench rows (frames/sec, heap_peak_bytes) to this file, e.g. BENCH_pipeline.json")
+		benchPresets = flag.String("bench-presets", "default,building", "comma-separated presets for -bench-json (default, paper, building)")
+		benchDay     = flag.Duration("bench-day", 0, "override each bench preset's compressed day (0 = preset value)")
+		benchWork    = flag.String("bench-work-dir", "", "trace work directory for -bench-json (default: a temp dir, removed afterwards)")
+		benchAssert  = flag.Float64("bench-assert-streaming", 0, "fail unless streaming peak heap < this fraction of the in-memory merge's (e.g. 0.25); 0 disables")
 	)
 	flag.Parse()
 
+	if *benchJSON != "" {
+		runBenchJSON(*benchJSON, *benchPresets, *benchDay, *workers, *benchWork, *benchAssert)
+		return
+	}
 	if *sweep {
 		runSweep(sweepArgs{
 			pods: *sweepPods, aps: *sweepAPs, clients: *sweepClients,
 			bfrac: *sweepBFrac, seeds: *sweepSeeds, day: *sweepDay,
 			ccMixes: *sweepCC, queuePkts: *sweepQueue, btlMbps: *sweepBtl,
 			mobility: *sweepMobile, roamHystDB: *sweepHyst,
+			scales: *sweepScale, spillRoot: *sweepSpill,
 			poolWorkers: *workers, mergeWorkers: *mergeWorkers,
 		})
 		return
@@ -93,6 +107,8 @@ type sweepArgs struct {
 	btlMbps            float64
 	mobility           string
 	roamHystDB         float64
+	scales             string
+	spillRoot          string
 	day                time.Duration
 	poolWorkers        int
 	mergeWorkers       int
@@ -109,6 +125,9 @@ type sweepRow struct {
 	Seed      int64   `json:"seed"`
 	DaySec    float64 `json:"day_sec"`
 	CCMix     string  `json:"cc_mix"`
+	// Scale names the -sweep-scale preset the row ran at ("" on
+	// pods-axis rows).
+	Scale string `json:"scale,omitempty"`
 	// MobileClients is the scenario's mobility operating point; the
 	// handoff fields below are zero/absent semantics like the CC fields:
 	// on a mobility row (MobileClients > 0) a zero means "measured,
@@ -148,18 +167,56 @@ type sweepRow struct {
 	HandoffMeanLatencyMS float64 `json:"handoff_mean_latency_ms"`
 	MergeMS              int64   `json:"merge_ms"`
 	XRealtime            float64 `json:"x_realtime"`
-	Err                  string  `json:"err,omitempty"`
+	// HeapPeakBytes/BytesPerFrame profile the row's merge the same way
+	// the -bench-json rows do. The sampler reads process-wide heap, so
+	// with a pool (-workers > 1) concurrent scenarios inflate each
+	// other's peaks — treat the values as upper bounds there.
+	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	Err           string  `json:"err,omitempty"`
 }
 
 // runSweep fans the config grid across scenario.RunBatch and prints one
 // JSON row per scenario, in grid order, to stdout.
 func runSweep(a sweepArgs) {
-	pods := parseInts(a.pods)
-	if len(pods) == 0 {
-		log.Fatal("sweep: empty -sweep-pods")
+	// The deployment axis: either pod counts or named scale presets.
+	type deployment struct {
+		scale                  string
+		cfg                    scenario.Config
+		pods, apCount, clients int
 	}
-	aps := parseIntsDefault(a.aps, pods, func(p int) int { return p })
-	clients := parseIntsDefault(a.clients, pods, func(p int) int { return 2 * p })
+	var deployments []deployment
+	if strings.TrimSpace(a.scales) != "" {
+		for _, name := range strings.Split(a.scales, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			cfg, err := benchPreset(name)
+			if err != nil {
+				log.Fatalf("sweep: %v", err)
+			}
+			deployments = append(deployments, deployment{
+				scale: name, cfg: cfg,
+				pods: cfg.Pods, apCount: cfg.APs, clients: cfg.Clients,
+			})
+		}
+		if len(deployments) == 0 {
+			log.Fatal("sweep: empty -sweep-scale")
+		}
+	} else {
+		pods := parseInts(a.pods)
+		if len(pods) == 0 {
+			log.Fatal("sweep: empty -sweep-pods")
+		}
+		aps := parseIntsDefault(a.aps, pods, func(p int) int { return p })
+		clients := parseIntsDefault(a.clients, pods, func(p int) int { return 2 * p })
+		for i, p := range pods {
+			deployments = append(deployments, deployment{
+				cfg: scenario.Default(), pods: p, apCount: aps[i], clients: clients[i],
+			})
+		}
+	}
 	bfracs := parseFloats(a.bfrac)
 	seeds := parseInts64(a.seeds)
 	if len(bfracs) == 0 || len(seeds) == 0 {
@@ -170,38 +227,56 @@ func runSweep(a sweepArgs) {
 	if len(mobiles) == 0 {
 		mobiles = []int{0}
 	}
+	if a.spillRoot != "" {
+		if err := os.MkdirAll(a.spillRoot, 0o755); err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+	}
 
 	var cfgs []scenario.Config
-	for i, p := range pods {
+	var scales []string
+	for _, d := range deployments {
 		for _, bf := range bfracs {
 			for _, sd := range seeds {
 				for _, mix := range mixes {
 					for _, mob := range mobiles {
-						cfg := scenario.Default()
-						cfg.Pods, cfg.APs, cfg.Clients = p, aps[i], clients[i]
+						cfg := d.cfg
+						cfg.Pods, cfg.APs, cfg.Clients = d.pods, d.apCount, d.clients
 						cfg.BFraction = bf
 						cfg.Seed = sd
 						cfg.Day = sim.Time(a.day.Nanoseconds())
-						cfg.CCMix = mix
+						// The CC axis overrides a preset's mix only when it
+						// asks for a real mix; "fixed" keeps the preset's.
 						if len(mix) > 0 {
+							cfg.CCMix = mix
 							cfg.WiredQueuePkts = a.queuePkts
 							cfg.WiredBottleneckMbps = a.btlMbps
+						} else if d.scale == "" {
+							cfg.CCMix = nil
 						}
 						cfg.MobileClients = mob
 						cfg.RoamHysteresisDB = a.roamHystDB
+						if a.spillRoot != "" {
+							cfg.SpillDir = filepath.Join(a.spillRoot, fmt.Sprintf("s%04d", len(cfgs)))
+						}
 						cfgs = append(cfgs, cfg)
+						scales = append(scales, d.scale)
 					}
 				}
 			}
 		}
 	}
 	log.Printf("sweep: %d scenarios (%d deployments x %d b-fractions x %d seeds x %d cc-mixes x %d mobility), pool=%d",
-		len(cfgs), len(pods), len(bfracs), len(seeds), len(mixes), len(mobiles), a.poolWorkers)
+		len(cfgs), len(deployments), len(bfracs), len(seeds), len(mixes), len(mobiles), a.poolWorkers)
 
 	rows := make([]sweepRow, len(cfgs))
 	t0 := time.Now()
 	results := scenario.RunBatch(cfgs, a.poolWorkers, func(idx int, out *scenario.Output) error {
 		rows[idx] = measureScenario(out, a.mergeWorkers)
+		if out.TraceDir != "" {
+			// Spilled sweep traces are scratch space; reclaim as we go.
+			return os.RemoveAll(out.TraceDir)
+		}
 		return nil
 	})
 	for i, r := range results {
@@ -213,6 +288,7 @@ func runSweep(a sweepArgs) {
 		rows[i].DaySec = cfgs[i].Day.SecondsF()
 		rows[i].CCMix = cc.FormatMix(cfgs[i].CCMix)
 		rows[i].MobileClients = cfgs[i].MobileClients
+		rows[i].Scale = scales[i]
 		if r.Err != nil {
 			rows[i].Err = r.Err.Error()
 		}
@@ -228,23 +304,27 @@ func runSweep(a sweepArgs) {
 }
 
 // measureScenario runs the pipeline over one scenario's traces and distills
-// the row metrics. Runs inside the batch pool.
+// the row metrics. Runs inside the batch pool. Traces are consumed through
+// the scenario's TraceSet, so spilled (out-of-core) scenarios stream from
+// disk and in-memory ones from their buffers, identically.
 func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 	var row sweepRow
-	row.Radios = len(out.Traces) // the true monitor count (0 on scenario error)
+	row.Radios = len(out.Indexes) // the true monitor count (0 on scenario error)
 	row.MonitorRecords = out.MonitorRecords
 	row.Transmissions = len(out.Truth)
 
 	ccfg := core.DefaultConfig()
 	ccfg.Workers = mergeWorkers
 	ccfg.KeepExchanges = true
+	h := startHeapSampler()
 	t1 := time.Now()
-	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	res, err := core.RunFrom(out.TraceSet(), out.ClockGroups, ccfg, nil)
+	mergeDur := time.Since(t1)
+	row.HeapPeakBytes = h.Stop()
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
-	mergeDur := time.Since(t1)
 
 	row.JFrames = res.UnifyStats.JFrames
 	row.Exchanges = res.LLCStats.Exchanges
@@ -281,6 +361,9 @@ func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 	}
 	row.MergeMS = mergeDur.Milliseconds()
 	row.XRealtime = out.Cfg.Day.SecondsF() / mergeDur.Seconds()
+	if row.JFrames > 0 {
+		row.BytesPerFrame = float64(row.HeapPeakBytes) / float64(row.JFrames)
+	}
 	return row
 }
 
@@ -407,7 +490,7 @@ func runFigures(paperscale bool, fig string, seed int64, workers int) {
 	ccfg.KeepExchanges = true
 	ccfg.KeepJFrames = true
 	t1 := time.Now()
-	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	res, err := core.RunFrom(out.TraceSet(), out.ClockGroups, ccfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,24 +3,29 @@
 // reconstruction (the paper's full pipeline), printing the merge statistics
 // and optionally a Figure-2-style visualization of a time window.
 //
+// Traces are streamed from the directory (file-backed sources, one
+// decompressed block per radio in memory), so a trace set far larger than
+// RAM merges in bounded memory.
+//
 // Usage:
 //
-//	jigsaw -in traces/ [-viz 1.5s -vizdur 5ms]
+//	jigsaw traces/ [-viz 1.5s -vizdur 5ms]
+//	jigsaw -in traces/        # equivalent flag spelling
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/tracefile"
 	"repro/internal/unify"
 )
 
@@ -28,41 +33,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jigsaw: ")
 	var (
-		in     = flag.String("in", "traces", "directory of radio*.jig traces + meta.json")
-		viz    = flag.Duration("viz", -1, "visualize the merged trace at this offset (e.g. 1.5s)")
-		vizdur = flag.Duration("vizdur", 5*time.Millisecond, "visualization window length")
-		width  = flag.Int("width", 100, "visualization width in columns")
+		in      = flag.String("in", "traces", "directory of radio traces + meta.json")
+		viz     = flag.Duration("viz", -1, "visualize the merged trace at this offset (e.g. 1.5s)")
+		vizdur  = flag.Duration("vizdur", 5*time.Millisecond, "visualization window length")
+		width   = flag.Int("width", 100, "visualization width in columns")
+		workers = flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-
-	traces := map[int32][]byte{}
-	paths, err := filepath.Glob(filepath.Join(*in, "radio*.jig"))
-	if err != nil || len(paths) == 0 {
-		log.Fatalf("no traces found in %s", *in)
-	}
-	for _, p := range paths {
-		var radio int32
-		base := filepath.Base(p)
-		if _, err := fmt.Sscanf(base, "radio%d.jig", &radio); err != nil {
-			continue
-		}
-		b, err := os.ReadFile(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		traces[radio] = b
+	dir := *in
+	if flag.NArg() == 1 {
+		dir = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		log.Fatalf("expected at most one trace directory argument, got %q", flag.Args())
 	}
 
-	var meta struct {
-		ClockGroups [][]int32
-		Clients     []scenario.ClientInfo
-		APs         []scenario.APInfo
+	traces, err := tracefile.OpenDir(dir)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if mb, err := os.ReadFile(filepath.Join(*in, "meta.json")); err == nil {
-		_ = json.Unmarshal(mb, &meta)
+
+	meta, err := scenario.ReadMeta(dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Tolerable: merging still works, but radios on disjoint channels
+		// cannot be bridged without the monitor clock groups.
+		log.Printf("warning: no %s in %s; merging without clock-group bridging", scenario.MetaFileName, dir)
+	case err != nil:
+		log.Fatal(err)
 	}
 
 	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 	cfg.KeepJFrames = *viz >= 0
 	var firstUS, lastUS int64
 	var nJF int64
@@ -74,7 +75,7 @@ func main() {
 		nJF++
 	}}
 	start := time.Now()
-	res, err := core.Run(traces, meta.ClockGroups, cfg, sink)
+	res, err := core.RunFrom(traces, meta.ClockGroups, cfg, sink)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,14 @@
 // Command jigsim runs the building-scale 802.11b/g substrate simulation and
 // writes per-radio jigdump traces (plus their metadata indexes), the wired
 // distribution-network trace, and a ground-truth summary to a directory.
+// Traces stream to disk as the monitor radios produce them (the scenario's
+// SpillDir machinery), so peak memory is independent of capture length —
+// the building-scale preset generates trace sets far larger than RAM.
 //
 // Usage:
 //
-//	jigsim -out traces/ -pods 39 -aps 39 -clients 64 -day 240s [-seed 1]
+//	jigsim -o traces/ -pods 39 -aps 39 -clients 64 -day 240s [-seed 1]
+//	jigsim -o traces/ -preset building    # out-of-core §5-scale deployment
 //
 // Congestion control: -cc assigns per-flow controllers, either one
 // algorithm ("-cc bbr") or a weighted mix ("-cc reno=0.5,cubic=0.3,bbr=0.2");
@@ -19,7 +23,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -40,84 +43,128 @@ func main() {
 	log.SetPrefix("jigsim: ")
 	var (
 		out     = flag.String("out", "traces", "output directory")
-		pods    = flag.Int("pods", 8, "sensor pods (4 radios each); paper scale: 39")
-		aps     = flag.Int("aps", 9, "production APs; paper scale: 39")
-		clients = flag.Int("clients", 16, "wireless clients")
-		day     = flag.Duration("day", 120*time.Second, "compressed day duration")
+		outS    = flag.String("o", "", "output directory (shorthand for -out)")
+		preset  = flag.String("preset", "", "scenario preset: default, paper, mixedcc, roaming, building (flags below override its fields)")
+		pods    = flag.Int("pods", 0, "sensor pods (4 radios each); paper scale: 39 (0 = preset value)")
+		aps     = flag.Int("aps", 0, "production APs; paper scale: 39 (0 = preset value)")
+		clients = flag.Int("clients", 0, "wireless clients (0 = preset value)")
+		day     = flag.Duration("day", 0, "compressed day duration (0 = preset value)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		bfrac   = flag.Float64("bfrac", 0.2, "fraction of 802.11b clients")
-		ccSpec  = flag.String("cc", "", "per-flow congestion control: name or weighted mix, e.g. reno=0.5,cubic=0.3,bbr=0.2 (empty = fixed window)")
-		qPkts   = flag.Int("queue-pkts", 0, "wired bottleneck FIFO depth in packets (0 = unqueued legacy wire)")
-		btlMbps = flag.Float64("bottleneck-mbps", 0, "wired bottleneck drain rate in Mbps (0 = 100)")
+		ccSpec  = flag.String("cc", "", "per-flow congestion control: name or weighted mix, e.g. reno=0.5,cubic=0.3,bbr=0.2 (empty = preset value)")
+		qPkts   = flag.Int("queue-pkts", 0, "wired bottleneck FIFO depth in packets (0 = preset value)")
+		btlMbps = flag.Float64("bottleneck-mbps", 0, "wired bottleneck drain rate in Mbps (0 = preset value)")
 
-		mobility  = flag.Int("mobility", 0, "number of mobile clients walking waypoint paths (0 = everyone stationary)")
+		mobility  = flag.Int("mobility", 0, "number of mobile clients walking waypoint paths (0 = preset value)")
 		moveSpeed = flag.Float64("mobile-speed-mps", 0, "mobile clients' walking speed in m/s (0 = 1.2)")
 		roamHyst  = flag.Float64("roam-hysteresis-db", 0, "dB a candidate AP must beat the serving AP by before a mobile client roams (0 = 6)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q (did you mean -o %s?)", flag.Args(), flag.Arg(0))
+	}
+	dir := *out
+	if *outS != "" {
+		dir = *outS
+	}
+	if dir == "" {
+		log.Fatal("empty output directory")
+	}
 
-	cfg := scenario.Default()
-	cfg.Pods, cfg.APs, cfg.Clients = *pods, *aps, *clients
-	cfg.Day = sim.Time(day.Nanoseconds())
+	cfg, err := scenario.Preset(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *pods != 0 {
+		cfg.Pods = *pods
+	}
+	if *aps != 0 {
+		cfg.APs = *aps
+	}
+	if *clients != 0 {
+		cfg.Clients = *clients
+	}
+	if *pods < 0 || *aps < 0 || *clients < 0 {
+		log.Fatalf("negative deployment size (pods=%d aps=%d clients=%d)", *pods, *aps, *clients)
+	}
+	if *day < 0 {
+		log.Fatalf("negative -day %v", *day)
+	}
+	if *day != 0 {
+		cfg.Day = sim.Time(day.Nanoseconds())
+	}
 	cfg.Seed = *seed
 	cfg.BFraction = *bfrac
-	mix, err := cc.ParseMixSpec(*ccSpec)
-	if err != nil {
+	if *bfrac < 0 || *bfrac > 1 {
+		log.Fatalf("-bfrac %v outside [0,1]", *bfrac)
+	}
+	if *ccSpec != "" {
+		mix, err := cc.ParseMixSpec(*ccSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := cc.NewMix(mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m == nil {
+			// "-cc fixed" means the compatibility path itself: a nil mix
+			// draws nothing from the workload rng, keeping traces
+			// bit-identical.
+			mix = nil
+		}
+		cfg.CCMix = mix
+	}
+	if *qPkts != 0 {
+		cfg.WiredQueuePkts = *qPkts
+	}
+	if *btlMbps != 0 {
+		cfg.WiredBottleneckMbps = *btlMbps
+	}
+	if *mobility != 0 {
+		cfg.MobileClients = *mobility
+	}
+	if *moveSpeed != 0 {
+		cfg.MoveSpeedMPS = *moveSpeed
+	}
+	if *roamHyst != 0 {
+		cfg.RoamHysteresisDB = *roamHyst
+	}
+	// Stream traces straight into the output directory: generation never
+	// holds a whole trace in memory. Clear any earlier run's radio files
+	// first — a rerun at a smaller scale (or with the pre-directory
+	// radioNNN.jig naming) must not leave stale traces for jigsaw to
+	// merge alongside the fresh ones.
+	if err := clearStaleTraces(dir); err != nil {
 		log.Fatal(err)
 	}
-	m, err := cc.NewMix(mix)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if m == nil {
-		// "-cc fixed" means the compatibility path itself: a nil mix draws
-		// nothing from the workload rng, keeping traces bit-identical.
-		mix = nil
-	}
-	cfg.CCMix = mix
-	cfg.WiredQueuePkts = *qPkts
-	cfg.WiredBottleneckMbps = *btlMbps
-	cfg.MobileClients = *mobility
-	cfg.MoveSpeedMPS = *moveSpeed
-	cfg.RoamHysteresisDB = *roamHyst
+	cfg.SpillDir = dir
 
 	start := time.Now()
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
-	}
-	for radio, buf := range res.Traces {
-		path := filepath.Join(*out, fmt.Sprintf("radio%03d.jig", radio))
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		idxPath := filepath.Join(*out, fmt.Sprintf("radio%03d.idx", radio))
-		f, err := os.Create(idxPath)
+	for radio, idx := range res.Indexes {
+		f, err := os.Create(tracefile.IndexPath(dir, radio))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := tracefile.WriteIndex(f, res.Indexes[radio]); err != nil {
-			log.Fatal(err)
+		if err := tracefile.WriteIndex(f, idx); err != nil {
+			f.Close()
+			log.Fatalf("writing index for radio %d: %v", radio, err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing index for radio %d: %v", radio, err)
+		}
 	}
-
-	meta := struct {
-		ClockGroups [][]int32
-		Clients     []scenario.ClientInfo
-		APs         []scenario.APInfo
-	}{res.ClockGroups, res.Clients, res.APs}
-	mb, _ := json.MarshalIndent(meta, "", "  ")
-	if err := os.WriteFile(filepath.Join(*out, "meta.json"), mb, 0o644); err != nil {
+	if err := scenario.WriteMeta(dir, scenario.MetaFromOutput(res)); err != nil {
 		log.Fatal(err)
 	}
 
-	log.Printf("simulated %v of network time in %v", *day, time.Since(start).Round(time.Millisecond))
+	log.Printf("simulated %v of network time in %v", time.Duration(cfg.Day), time.Since(start).Round(time.Millisecond))
 	log.Printf("%d radios, %d monitor records, %d transmissions, %d wired packets",
-		len(res.Traces), res.MonitorRecords, len(res.Truth), len(res.Wired))
+		len(res.Indexes), res.MonitorRecords, len(res.Truth), len(res.Wired))
 	log.Printf("flows: %d started, %d completed", res.FlowsStarted, res.FlowsCompleted)
 	if len(cfg.CCMix) > 0 {
 		log.Printf("cc mix %s, per-algorithm shares:", cc.FormatMix(cfg.CCMix))
@@ -145,7 +192,38 @@ func main() {
 			log.Print(line)
 		}
 	}
-	log.Printf("traces written to %s", *out)
+	log.Printf("traces written to %s", dir)
+}
+
+// clearStaleTraces removes radio trace and index files left in dir by a
+// previous run. Only files matching the trace naming convention are
+// touched; a missing directory is fine (the scenario creates it).
+func clearStaleTraces(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		isIdx := strings.HasSuffix(name, ".idx")
+		probe := name
+		if isIdx {
+			probe = strings.TrimSuffix(name, ".idx") + ".jig"
+		}
+		if _, ok := tracefile.ParseTraceName(probe); !ok {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("removing stale %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // splitLines breaks a table into log lines, dropping the trailing blank.

@@ -38,6 +38,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/dot80211"
@@ -141,8 +142,26 @@ type Result struct {
 // Run executes the full pipeline over per-radio compressed traces (the
 // bytes produced by tracefile.Writer). clockGroups lists radios sharing a
 // physical clock for cross-channel bridging.
+//
+// Run is the in-memory compatibility wrapper around RunFrom: the whole
+// compressed trace set stays resident for the run. Callers operating at
+// building scale should hand RunFrom a directory-backed TraceSet instead.
 func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink) (*Result, error) {
 	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: no traces")
+	}
+	return RunFrom(tracefile.NewBufferSet(traces), clockGroups, cfg, sink)
+}
+
+// RunFrom executes the full pipeline over a TraceSet, streaming each
+// radio's trace through the pass (two sequential opens per radio: the
+// bootstrap pre-scan, then the merge). Memory stays O(search window) per
+// radio regardless of trace length when the set is directory-backed; the
+// buffer-backed case additionally holds the compressed bytes the caller
+// already owns. clockGroups lists radios sharing a physical clock for
+// cross-channel bridging.
+func RunFrom(ts *tracefile.TraceSet, clockGroups [][]int32, cfg Config, sink *Sink) (*Result, error) {
+	if ts == nil || ts.Len() == 0 {
 		return nil, fmt.Errorf("core: no traces")
 	}
 	if cfg.BootstrapWindowUS == 0 {
@@ -160,12 +179,33 @@ func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink)
 	}
 
 	// Phase 1: bootstrap over each trace's first window, pre-scanning the
-	// independent per-radio windows concurrently.
-	readers := make(map[int32]*tracefile.Reader, len(traces))
-	for r, b := range traces {
-		readers[r] = tracefile.NewReader(bytes.NewReader(b))
+	// independent per-radio windows concurrently. Each radio's stream is
+	// opened for the scan and closed again before the main pass.
+	readers := make(map[int32]*tracefile.Reader, ts.Len())
+	closers := make([]io.Closer, 0, ts.Len())
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		closers = closers[:0]
+		return first
+	}
+	for _, r := range ts.Radios() {
+		rc, err := ts.Open(r)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("core: open trace for radio %d: %w", r, err)
+		}
+		closers = append(closers, rc)
+		readers[r] = tracefile.NewReader(rc)
 	}
 	window, err := timesync.CollectWindowParallel(readers, cfg.BootstrapWindowUS, workers)
+	if cerr := closeAll(); err == nil && cerr != nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: bootstrap window: %w", err)
 	}
@@ -183,9 +223,9 @@ func Run(traces map[int32][]byte, clockGroups [][]int32, cfg Config, sink *Sink)
 
 	// Phase 2: single pass — unify, reconstruct, analyze.
 	if workers <= 1 {
-		err = runSerial(traces, boot, cfg, sink, res)
+		err = runSerial(ts, boot, cfg, sink, res)
 	} else {
-		err = runParallel(traces, boot, cfg, sink, res, workers)
+		err = runParallel(ts, boot, cfg, sink, res, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -250,10 +290,10 @@ func exchangeLess(a, b *llc.Exchange) bool {
 // in canonical close order as the reconstructor's watermark advances — the
 // same streaming release rule the parallel merger uses, so the pass stays
 // online with bounded buffering.
-func runSerial(traces map[int32][]byte, boot *timesync.Result, cfg Config, sink *Sink, res *Result) error {
-	sources := make(map[int32]unify.Source, len(traces))
-	for r, b := range traces {
-		sources[r] = &readerSource{r: tracefile.NewReader(bytes.NewReader(b))}
+func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, res *Result) error {
+	sources := make(map[int32]unify.Source, ts.Len())
+	for _, r := range ts.Radios() {
+		sources[r] = &readerSource{ts: ts, radio: r}
 	}
 	u := unify.New(cfg.Unify, sources, boot)
 	rec := llc.NewReconstructor()
@@ -285,6 +325,9 @@ func runSerial(traces map[int32][]byte, boot *timesync.Result, cfg Config, sink 
 		heap.Push(h, routedExchange{ex: ex})
 	}
 	release(math.MaxInt64)
+	if err := sourceFaults(sources); err != nil {
+		return err
+	}
 	res.Transport = ta
 	res.UnifyStats = u.Stats
 	res.LLCStats = rec.Stats
@@ -293,13 +336,19 @@ func runSerial(traces map[int32][]byte, boot *timesync.Result, cfg Config, sink 
 
 // Parallel-path tuning. tickEvery bounds how stale an idle shard's clock
 // (and hence the release watermark) can get; the batch sizes amortize
-// channel synchronization without adding meaningful latency.
+// channel synchronization without adding meaningful latency. The prefetch
+// constants also bound the parallel path's memory: every radio can hold
+// prefetchChanBuf+2 batches of prefetchBatch records in flight, so at
+// building scale (~120 radios, ~300 B/record) the decompression pipeline
+// owns ~10 MB — keep the product small, it is the dominant term in the
+// streaming pipeline's working set.
 const (
-	tickEvery     = 64
-	stageChanBuf  = 128
-	exchangeBatch = 128
-	flushEvery    = 32
-	prefetchBatch = 256
+	tickEvery       = 64
+	stageChanBuf    = 128
+	exchangeBatch   = 128
+	flushEvery      = 32
+	prefetchBatch   = 128
+	prefetchChanBuf = 2
 )
 
 // llcMsg carries either a jframe or a clock tick to a reconstruction shard.
@@ -329,14 +378,14 @@ type mergeMsg struct {
 // conversation-keyed reconstruction shards, a watermark-driven heap merges
 // their exchanges back into canonical close order, and flow-keyed transport
 // shards consume the merged stream — all stages overlapping.
-func runParallel(traces map[int32][]byte, boot *timesync.Result, cfg Config, sink *Sink, res *Result, workers int) error {
+func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, res *Result, workers int) error {
 	// Per-radio prefetchers decompress each trace in the background; only
 	// synchronized radios get one (the unifier skips the rest, and an
 	// unconsumed prefetcher would leak its goroutine).
-	sources := make(map[int32]unify.Source, len(traces))
-	for r, b := range traces {
+	sources := make(map[int32]unify.Source, ts.Len())
+	for _, r := range ts.Radios() {
 		if _, ok := boot.OffsetUS[r]; ok {
-			sources[r] = newPrefetchSource(b)
+			sources[r] = newPrefetchSource(ts, r)
 		}
 	}
 	u := unify.New(cfg.Unify, sources, boot)
@@ -417,6 +466,9 @@ func runParallel(traces map[int32][]byte, boot *timesync.Result, cfg Config, sin
 	tWG.Wait()
 	if uerr != nil {
 		return uerr
+	}
+	if err := sourceFaults(sources); err != nil {
+		return err
 	}
 
 	ta := analyzers[0]
@@ -528,12 +580,79 @@ func macHash(m dot80211.MAC) uint64 {
 	return h
 }
 
-// readerSource adapts tracefile.Reader to unify.Source.
-type readerSource struct {
-	r *tracefile.Reader
+// faultSource is a trace source that can report a mid-stream failure after
+// the pass. The unifier's contract is drop-radio-on-error (a dead monitor
+// must not kill a building-wide merge mid-stream), but for file-backed
+// sources an I/O error is not a dead radio: silently analyzing the
+// truncated remainder would be wrong output with exit 0. So sources latch
+// non-EOF failures and RunFrom turns them into a pipeline error once the
+// pass completes.
+type faultSource interface {
+	unify.Source
+	// fault returns the source's latched open/read error (nil after a
+	// clean end of trace).
+	fault() error
 }
 
-func (s *readerSource) Next() (tracefile.Record, error) { return s.r.Next() }
+// sourceFaults collects the first latched fault across per-radio sources.
+func sourceFaults(sources map[int32]unify.Source) error {
+	radios := make([]int32, 0, len(sources))
+	for r := range sources {
+		radios = append(radios, r)
+	}
+	sort.Slice(radios, func(i, j int) bool { return radios[i] < radios[j] })
+	for _, r := range radios {
+		if fs, ok := sources[r].(faultSource); ok {
+			if err := fs.fault(); err != nil {
+				return fmt.Errorf("core: trace for radio %d: %w", r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// readerSource adapts one TraceSet radio to unify.Source, streaming the
+// trace block by block. The stream opens lazily on first Next (the unifier
+// skips unsynchronized radios, which must not pin file descriptors) and
+// closes itself at end of trace or on the first read error.
+type readerSource struct {
+	ts    *tracefile.TraceSet
+	radio int32
+	r     *tracefile.Reader
+	rc    io.Closer
+	done  bool
+	err   error // non-EOF open/read/close failure
+}
+
+func (s *readerSource) fault() error { return s.err }
+
+func (s *readerSource) Next() (tracefile.Record, error) {
+	if s.done {
+		return tracefile.Record{}, io.EOF
+	}
+	if s.r == nil {
+		rc, err := s.ts.Open(s.radio)
+		if err != nil {
+			s.done, s.err = true, err
+			return tracefile.Record{}, err
+		}
+		s.rc = rc
+		s.r = tracefile.NewReader(rc)
+	}
+	rec, err := s.r.Next()
+	if err != nil {
+		s.done = true
+		cerr := s.rc.Close()
+		if err == io.EOF && cerr != nil {
+			err = cerr
+		}
+		if err != io.EOF {
+			s.err = err
+		}
+		return tracefile.Record{}, err
+	}
+	return rec, nil
+}
 
 // prefetchSource decodes a radio's compressed trace in a background
 // goroutine, handing record batches to the unifier through a channel so
@@ -544,17 +663,32 @@ type prefetchSource struct {
 	ch  <-chan []tracefile.Record
 	cur []tracefile.Record
 	i   int
+	// errp is written by the prefetch goroutine before it closes ch, so
+	// reading it after the channel drains is race-free.
+	errp *error
 }
 
-func newPrefetchSource(b []byte) *prefetchSource {
-	ch := make(chan []tracefile.Record, 4)
+func (s *prefetchSource) fault() error { return *s.errp }
+
+func newPrefetchSource(ts *tracefile.TraceSet, radio int32) *prefetchSource {
+	ch := make(chan []tracefile.Record, prefetchChanBuf)
+	errp := new(error)
 	go func() {
 		defer close(ch)
-		r := tracefile.NewReader(bytes.NewReader(b))
+		rc, err := ts.Open(radio)
+		if err != nil {
+			*errp = err
+			return
+		}
+		defer rc.Close()
+		r := tracefile.NewReader(rc)
 		batch := make([]tracefile.Record, 0, prefetchBatch)
 		for {
 			rec, err := r.Next()
 			if err != nil {
+				if err != io.EOF {
+					*errp = err
+				}
 				if len(batch) > 0 {
 					ch <- batch
 				}
@@ -567,7 +701,7 @@ func newPrefetchSource(b []byte) *prefetchSource {
 			}
 		}
 	}()
-	return &prefetchSource{ch: ch}
+	return &prefetchSource{ch: ch, errp: errp}
 }
 
 func (s *prefetchSource) Next() (tracefile.Record, error) {

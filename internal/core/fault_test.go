@@ -1,0 +1,53 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/tracefile"
+)
+
+// TestRunFromTruncatedTraceFails: a file-backed trace that fails mid-merge
+// (truncated past its bootstrap window — a partial copy, disk-full spill)
+// must surface as a pipeline error, not a silently shortened analysis.
+// The unifier still drops the radio and finishes the pass (a dead monitor
+// must not abort a building-wide merge mid-stream); the error lands when
+// the pass completes.
+func TestRunFromTruncatedTraceFails(t *testing.T) {
+	out := scenarioOut(t)
+	dir := t.TempDir()
+	// Truncate the largest trace: its bootstrap window (first second) ends
+	// long before the damaged tail, so the failure must surface from the
+	// merge pass, not the pre-scan.
+	var victim int32 = -1
+	for r, buf := range out.Traces {
+		if victim < 0 || buf.Len() > out.Traces[victim].Len() {
+			victim = r
+		}
+	}
+	for r, buf := range out.Traces {
+		b := buf.Bytes()
+		if r == victim {
+			b = b[:len(b)-10] // cut mid-block: a decode error, not clean EOF
+		}
+		if err := os.WriteFile(tracefile.TracePath(dir, r), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := tracefile.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		_, err := RunFrom(ts, out.ClockGroups, cfg, nil)
+		if err == nil {
+			t.Fatalf("workers=%d: truncated trace merged without error", workers)
+		}
+		if !strings.Contains(err.Error(), "radio") {
+			t.Errorf("workers=%d: error %q does not name the radio", workers, err)
+		}
+	}
+}

@@ -1,14 +1,79 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
+	"repro/internal/tracefile"
 	"repro/internal/transport"
+	"repro/internal/unify"
 )
+
+// jfDigest hashes the jframe stream a pipeline run emits — universal
+// timestamp, wire bytes, rate, channel, validity and every instance — so
+// two runs can be compared byte for byte without retaining the frames.
+type jfDigest struct {
+	h interface {
+		Write(p []byte) (int, error)
+		Sum(b []byte) []byte
+	}
+}
+
+func newJFDigest() *jfDigest { return &jfDigest{h: sha256.New()} }
+
+func (d *jfDigest) observe(j *unify.JFrame) {
+	var b [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		d.h.Write(b[:])
+	}
+	put(j.UnivUS)
+	put(int64(j.Rate))
+	put(int64(j.Channel))
+	put(int64(j.WireLen))
+	put(j.DispersionUS)
+	flags := int64(0)
+	if j.Valid {
+		flags |= 1
+	}
+	if j.PhyOnly {
+		flags |= 2
+	}
+	put(flags)
+	put(int64(len(j.Wire)))
+	d.h.Write(j.Wire)
+	for _, in := range j.Instances {
+		put(int64(in.Radio))
+		put(in.LocalUS)
+		put(in.UnivUS)
+		put(int64(in.RSSIdBm))
+	}
+}
+
+func (d *jfDigest) sum() string { return fmt.Sprintf("%x", d.h.Sum(nil)) }
+
+// writeTraceDir spills a scenario's in-memory traces to a temp directory in
+// the trace-directory layout, returning a directory-backed TraceSet.
+func writeTraceDir(t *testing.T, out *scenario.Output) *tracefile.TraceSet {
+	t.Helper()
+	dir := t.TempDir()
+	for r, buf := range out.Traces {
+		if err := os.WriteFile(tracefile.TracePath(dir, r), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := tracefile.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
 
 // flowSummary condenses one reconstructed flow for cross-run comparison.
 type flowSummary struct {
@@ -160,23 +225,39 @@ func TestParallelMatchesSerial(t *testing.T) {
 				if tc.name == "roaming" && len(out.Handoffs) == 0 {
 					t.Fatal("roaming scenario produced no handoffs; the case is not exercising handoff-heavy traces")
 				}
-				traces := TracesFromBuffers(out.Traces)
+				bufTS := tracefile.NewBufferSet(TracesFromBuffers(out.Traces))
+				dirTS := writeTraceDir(t, out)
 
-				run := func(workers int) *Result {
+				run := func(ts *tracefile.TraceSet, workers int) (*Result, string) {
 					ccfg := DefaultConfig()
 					ccfg.Workers = workers
 					ccfg.KeepExchanges = true
 					ccfg.KeepJFrames = true
-					res, err := Run(traces, out.ClockGroups, ccfg, nil)
+					d := newJFDigest()
+					res, err := RunFrom(ts, out.ClockGroups, ccfg, &Sink{OnJFrame: d.observe})
 					if err != nil {
 						t.Fatal(err)
 					}
-					return res
+					return res, d.sum()
 				}
 
-				serial := run(1)
+				serial, serialDigest := run(bufTS, 1)
 				for _, w := range []int{2, 4} {
-					requireIdentical(t, fmt.Sprintf("workers=%d", w), serial, run(w))
+					res, digest := run(bufTS, w)
+					requireIdentical(t, fmt.Sprintf("workers=%d", w), serial, res)
+					if digest != serialDigest {
+						t.Errorf("workers=%d: jframe stream digest differs from serial", w)
+					}
+				}
+				// Directory-backed sources: same seeds, file-backed vs
+				// buffer-backed must be byte-identical — same jframe
+				// stream, same analysis output — at every shard count.
+				for _, w := range []int{1, 4} {
+					res, digest := run(dirTS, w)
+					requireIdentical(t, fmt.Sprintf("dir/workers=%d", w), serial, res)
+					if digest != serialDigest {
+						t.Errorf("dir/workers=%d: jframe stream digest differs from buffer-backed serial", w)
+					}
 				}
 			})
 		}

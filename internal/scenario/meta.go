@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Meta is the sidecar metadata written next to a trace directory
+// (meta.json): everything the analysis side needs that the jigdump format
+// itself does not carry. Field names are the JSON wire format — keep them
+// stable, archived trace directories reference them.
+type Meta struct {
+	ClockGroups [][]int32
+	Clients     []ClientInfo
+	APs         []APInfo
+	// DaySec is the compressed-day duration in seconds (0 in directories
+	// written before it existed; time-sliced analyses then need it from
+	// the caller).
+	DaySec float64 `json:",omitempty"`
+	Seed   int64   `json:",omitempty"`
+}
+
+// MetaFileName is the sidecar's name inside a trace directory.
+const MetaFileName = "meta.json"
+
+// MetaFromOutput distills a run's sidecar metadata.
+func MetaFromOutput(out *Output) Meta {
+	return Meta{
+		ClockGroups: out.ClockGroups,
+		Clients:     out.Clients,
+		APs:         out.APs,
+		DaySec:      out.Cfg.Day.SecondsF(),
+		Seed:        out.Cfg.Seed,
+	}
+}
+
+// WriteMeta persists the sidecar into dir.
+func WriteMeta(dir string, m Meta) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: marshal meta: %w", err)
+	}
+	path := filepath.Join(dir, MetaFileName)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("scenario: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadMeta loads the sidecar from dir. A missing file is returned as
+// os.ErrNotExist (callers may proceed without bridging metadata); a present
+// but unparsable file is an error — silently analyzing without clock groups
+// produces wrong, not degraded, output.
+func ReadMeta(dir string) (Meta, error) {
+	var m Meta
+	path := filepath.Join(dir, MetaFileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("scenario: parse %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -102,6 +102,14 @@ type Config struct {
 	// RoamHysteresisDB is how much stronger a candidate AP must be before
 	// a mobile client roams to it (0 = mac.DefaultRoamHysteresisDB).
 	RoamHysteresisDB float64
+	// SpillDir, when non-empty, streams every monitor's trace to
+	// radio-<id>.jig in this directory as the radios produce records,
+	// instead of accumulating compressed buffers in memory. The directory
+	// is created if missing. Output.Traces stays empty; consume the run
+	// through Output.TraceSet() (directory-backed) and core.RunFrom. This
+	// is what makes building-scale captures — far larger than RAM —
+	// generatable at all.
+	SpillDir string
 }
 
 // Default returns a laptop-scale configuration suitable for tests: a
@@ -154,6 +162,42 @@ func Roaming() Config {
 	c.WiredBottleneckMbps = 30
 	c.FlowScale = 4
 	return c
+}
+
+// BuildingScale returns the paper-§5-shaped deployment the pipeline must
+// handle out-of-core: 30 pods (120 monitor radios), 12 production APs and
+// 48 clients running a mixed Reno/CUBIC/BBR flow load over a bounded
+// bottleneck for several minutes of compressed sim time. The trace set is
+// deliberately far larger than Default()'s; run it with Config.SpillDir
+// set (jigsim -preset building -o <dir>) so generation streams to disk,
+// and feed the pipeline through core.RunFrom so merging streams too.
+func BuildingScale() Config {
+	c := Default()
+	c.Pods, c.APs, c.Clients = 30, 12, 48
+	c.Day = 300 * sim.Second
+	c.CCMix = map[string]float64{cc.Reno: 1, cc.Cubic: 1, cc.BBR: 1}
+	c.WiredQueuePkts = 32
+	c.WiredBottleneckMbps = 30
+	c.FlowScale = 4
+	return c
+}
+
+// Preset resolves a named configuration preset — the single registry the
+// CLIs share, so a new preset lands everywhere at once.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "", "default":
+		return Default(), nil
+	case "paper":
+		return PaperScale(), nil
+	case "mixedcc":
+		return MixedCC(), nil
+	case "roaming":
+		return Roaming(), nil
+	case "building":
+		return BuildingScale(), nil
+	}
+	return Config{}, fmt.Errorf("scenario: unknown preset %q (default, paper, mixedcc, roaming, building)", name)
 }
 
 // Handoff is the simulator's ground-truth record of one client handoff:
@@ -257,9 +301,15 @@ type APInfo struct {
 
 // Output bundles everything a run produces.
 type Output struct {
-	Cfg         Config
-	Building    *building.Building
-	Traces      map[int32]*bytes.Buffer // radio id → compressed jigdump trace
+	Cfg      Config
+	Building *building.Building
+	// Traces holds the per-radio compressed jigdump traces when the run
+	// accumulated them in memory; empty when Config.SpillDir streamed them
+	// to disk (see TraceDir). TraceSet() abstracts over both.
+	Traces map[int32]*bytes.Buffer // radio id → compressed jigdump trace
+	// TraceDir is the directory the traces were spilled to (mirrors
+	// Config.SpillDir; empty for in-memory runs).
+	TraceDir    string
 	Indexes     map[int32][]tracefile.IndexEntry
 	ClockGroups [][]int32 // radios sharing a physical clock (per monitor)
 	Wired       []WiredPacket
@@ -298,6 +348,24 @@ type Output struct {
 // HourDur returns the simulated duration of one compressed hour.
 func (c Config) HourDur() sim.Time { return c.Day / 24 }
 
+// TraceSet returns the run's monitor traces as a tracefile.TraceSet:
+// directory-backed when the run spilled to disk, buffer-backed otherwise.
+// This is the form core.RunFrom consumes.
+func (o *Output) TraceSet() *tracefile.TraceSet {
+	if o.TraceDir == "" {
+		sources := make(map[int32]tracefile.Source, len(o.Traces))
+		for r, buf := range o.Traces {
+			sources[r] = tracefile.BufferSource(buf.Bytes())
+		}
+		return tracefile.NewTraceSet(sources)
+	}
+	sources := make(map[int32]tracefile.Source, len(o.Indexes))
+	for r := range o.Indexes {
+		sources[r] = tracefile.FileSource(tracefile.TracePath(o.TraceDir, r))
+	}
+	return tracefile.NewTraceSet(sources)
+}
+
 // Run executes the scenario and returns its output.
 func Run(cfg Config) (*Output, error) {
 	if cfg.Pods <= 0 || cfg.APs <= 0 {
@@ -309,7 +377,9 @@ func Run(cfg Config) (*Output, error) {
 	}
 	s := newState(cfg)
 	s.ccMix = mix
-	s.buildWorld()
+	if err := s.buildWorld(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	s.scheduleWorkload()
 	s.eng.Run(cfg.Day)
 	return s.finish()

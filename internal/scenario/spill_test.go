@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+)
+
+// spillCfg is a small scenario for spill tests; everything but the trace
+// sink must be independent of SpillDir.
+func spillCfg(seed int64) Config {
+	cfg := Default()
+	cfg.Seed = seed
+	cfg.Pods, cfg.APs, cfg.Clients = 4, 4, 6
+	cfg.Day = 20 * sim.Second
+	return cfg
+}
+
+// TestSpillDirMatchesBuffers: generation with SpillDir must write exactly
+// the bytes the in-memory run buffers, radio for radio — the out-of-core
+// path is a different sink, not a different trace.
+func TestSpillDirMatchesBuffers(t *testing.T) {
+	mem, err := Run(spillCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := spillCfg(5)
+	cfg.SpillDir = dir
+	sp, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Traces) != 0 {
+		t.Errorf("spill run buffered %d traces in memory", len(sp.Traces))
+	}
+	if sp.TraceDir != dir {
+		t.Errorf("TraceDir = %q, want %q", sp.TraceDir, dir)
+	}
+	if len(mem.Traces) == 0 {
+		t.Fatal("in-memory run produced no traces")
+	}
+	for r, buf := range mem.Traces {
+		got, err := os.ReadFile(tracefile.TracePath(dir, r))
+		if err != nil {
+			t.Fatalf("radio %d: %v", r, err)
+		}
+		want := buf.Bytes()
+		if len(got) != len(want) {
+			t.Fatalf("radio %d: spilled %d bytes, buffered %d", r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("radio %d: spilled trace diverges at byte %d", r, i)
+			}
+		}
+	}
+	// The directory-backed TraceSet must cover the same radios.
+	ts := sp.TraceSet()
+	if ts.Len() != len(mem.Traces) {
+		t.Errorf("TraceSet covers %d radios, want %d", ts.Len(), len(mem.Traces))
+	}
+	// And tracefile.OpenDir must find the same files.
+	od, err := tracefile.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.Len() != len(mem.Traces) {
+		t.Errorf("OpenDir found %d radios, want %d", od.Len(), len(mem.Traces))
+	}
+}
+
+// TestSpillDirUnwritable: a failing spill target must surface as an error,
+// not a silent partial trace set.
+func TestSpillDirUnwritable(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "blocked")
+	// A regular file where the directory should go makes MkdirAll fail.
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := spillCfg(1)
+	cfg.SpillDir = filepath.Join(blocked, "traces")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unwritable SpillDir accepted")
+	}
+}

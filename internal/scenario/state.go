@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"bufio"
 	"bytes"
+	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/building"
 	"repro/internal/cc"
@@ -68,11 +71,30 @@ type monitorRadio struct {
 	clk     *clock.Clock
 	w       *tracefile.Writer
 	pending []tracefile.Record
+	// Spill backing (nil for in-memory runs): records stream through bw
+	// into f as they are captured instead of accumulating in a buffer.
+	f  *os.File
+	bw *bufio.Writer
+	// werr latches the first trace-write failure; the capture callback
+	// cannot return it, so finish() surfaces it.
+	werr error
+}
+
+// write appends one record to the trace, latching the first failure.
+func (m *monitorRadio) write(rec tracefile.Record) {
+	if err := m.w.WriteRecord(rec); err != nil && m.werr == nil {
+		m.werr = err
+	}
 }
 
 // reorderWindowUS bounds how far records can arrive out of order: the
 // longest frame airtime (~12 ms at 1 Mbps) plus slack.
 const reorderWindowUS = 20_000
+
+// spillWriteBufSize sizes the write buffer in front of each spilled trace
+// file; compressed blocks flush ~64 KB at a time, so this batches a couple
+// of blocks per syscall without holding meaningful memory per radio.
+const spillWriteBufSize = 128 * 1024
 
 // OnReceive implements radio.Listener for a passive monitor.
 func (m *monitorRadio) OnReceive(info radio.RxInfo) {
@@ -112,7 +134,7 @@ func (m *monitorRadio) OnReceive(info radio.RxInfo) {
 	cut := 0
 	newest := m.pending[len(m.pending)-1].LocalUS
 	for cut < len(m.pending) && m.pending[cut].LocalUS < newest-reorderWindowUS {
-		_ = m.w.WriteRecord(m.pending[cut])
+		m.write(m.pending[cut])
 		cut++
 	}
 	m.pending = m.pending[cut:]
@@ -121,7 +143,7 @@ func (m *monitorRadio) OnReceive(info radio.RxInfo) {
 // flush drains the reorder buffer at end of run.
 func (m *monitorRadio) flush() {
 	for _, rec := range m.pending {
-		_ = m.w.WriteRecord(rec)
+		m.write(rec)
 	}
 	m.pending = nil
 }
@@ -166,11 +188,19 @@ const (
 	numServers   = 16
 )
 
-// buildWorld creates geometry, monitors, APs, clients and wiring.
-func (s *state) buildWorld() {
+// buildWorld creates geometry, monitors, APs, clients and wiring. The only
+// error source is trace spilling (directory creation, file opens).
+func (s *state) buildWorld() error {
 	cfg := s.cfg
 	s.bld = building.New(building.Config{NumPods: cfg.Pods, NumAPs: cfg.APs, Seed: cfg.Seed})
 	s.out.Building = s.bld
+
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return fmt.Errorf("spill dir: %w", err)
+		}
+		s.out.TraceDir = cfg.SpillDir
+	}
 
 	// Ground-truth hook.
 	s.med.OnTransmit = s.recordTruth
@@ -189,13 +219,23 @@ func (s *state) buildWorld() {
 			for r := 0; r < 2; r++ {
 				ri := int(pod.Radios[m*2+r])
 				ch := chans[(int(pod.ID)+m*2+r)%len(chans)]
-				buf := &bytes.Buffer{}
-				w := tracefile.NewWriter(buf)
-				w.SetSnapLen(cfg.SnapLen)
-				mr := &monitorRadio{s: s, id: radio.NodeID(ri), ch: ch, clk: clk, w: w}
+				mr := &monitorRadio{s: s, id: radio.NodeID(ri), ch: ch, clk: clk}
+				if cfg.SpillDir != "" {
+					f, err := os.Create(tracefile.TracePath(cfg.SpillDir, int32(ri)))
+					if err != nil {
+						return fmt.Errorf("spill trace for radio %d: %w", ri, err)
+					}
+					mr.f = f
+					mr.bw = bufio.NewWriterSize(f, spillWriteBufSize)
+					mr.w = tracefile.NewWriter(mr.bw)
+				} else {
+					buf := &bytes.Buffer{}
+					s.out.Traces[int32(ri)] = buf
+					mr.w = tracefile.NewWriter(buf)
+				}
+				mr.w.SetSnapLen(cfg.SnapLen)
 				s.out.MonitorClocks[int32(ri)] = clk
 				s.monitors = append(s.monitors, mr)
-				s.out.Traces[int32(ri)] = buf
 				s.med.Register(mr.id, pod.Pos, ch, mr, false)
 				group = append(group, int32(ri))
 			}
@@ -293,6 +333,7 @@ func (s *state) buildWorld() {
 		s.med.Register(id, pos, dot80211.Channel(6), radio.NopListener{}, false)
 		s.scheduleNoise(id)
 	}
+	return nil
 }
 
 // recordTruth logs every physical transmission.

@@ -1,0 +1,175 @@
+// Trace sources and trace sets: the out-of-core abstraction over "where a
+// radio's compressed trace lives". The capture format itself is streamed
+// (Reader decompresses one 64 KB block at a time); these types let the
+// pipeline's callers stream too, instead of requiring every compressed
+// trace resident in memory. A TraceSet is either buffer-backed (the
+// in-memory compatibility path) or directory-backed (one radio-<id>.jig
+// file per radio, the building-scale path where 24-hour captures far
+// exceed RAM).
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Source opens one radio's compressed trace stream. Every Open returns an
+// independent reader positioned at the start of the trace: the pipeline
+// opens each trace twice (bootstrap pre-scan, then the main pass), and the
+// parallel path opens traces from prefetcher goroutines, so implementations
+// must be safe for concurrent Opens.
+type Source interface {
+	Open() (io.ReadCloser, error)
+}
+
+// BufferSource is an in-memory compressed trace.
+type BufferSource []byte
+
+// Open returns a reader over the buffered bytes.
+func (b BufferSource) Open() (io.ReadCloser, error) {
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// fileReadBufSize sizes the read buffer in front of each trace file: big
+// enough to amortize syscalls over a compressed block (blocks compress
+// well under their 64 KB raw target), small enough that a building's worth
+// of concurrently open radios stays cheap.
+const fileReadBufSize = 32 * 1024
+
+// FileSource is a file-backed compressed trace, opened by path at use time
+// so an idle TraceSet holds no file descriptors.
+type FileSource string
+
+// bufReadCloser pairs the buffered reader with the file it fronts.
+type bufReadCloser struct {
+	*bufio.Reader
+	c io.Closer
+}
+
+func (b *bufReadCloser) Close() error { return b.c.Close() }
+
+// Open opens the trace file with a read buffer.
+func (f FileSource) Open() (io.ReadCloser, error) {
+	fh, err := os.Open(string(f))
+	if err != nil {
+		return nil, err
+	}
+	return &bufReadCloser{Reader: bufio.NewReaderSize(fh, fileReadBufSize), c: fh}, nil
+}
+
+// TraceSet maps radio ids to trace sources — the pipeline's input. Memory
+// behaviour is the backing's: buffer-backed sets hold every compressed
+// trace resident; directory-backed sets hold only paths, so the pipeline's
+// working set is O(search window) per radio.
+type TraceSet struct {
+	sources map[int32]Source
+	dir     string // non-empty when directory-backed
+}
+
+// NewTraceSet builds a set from explicit per-radio sources.
+func NewTraceSet(sources map[int32]Source) *TraceSet {
+	return &TraceSet{sources: sources}
+}
+
+// NewBufferSet wraps in-memory compressed traces (the bytes produced by
+// Writer) as a TraceSet.
+func NewBufferSet(traces map[int32][]byte) *TraceSet {
+	m := make(map[int32]Source, len(traces))
+	for r, b := range traces {
+		m[r] = BufferSource(b)
+	}
+	return &TraceSet{sources: m}
+}
+
+// TracePath names a radio's trace file inside a trace directory.
+func TracePath(dir string, radio int32) string {
+	return filepath.Join(dir, fmt.Sprintf("radio-%d.jig", radio))
+}
+
+// IndexPath names a radio's metadata-index file inside a trace directory.
+func IndexPath(dir string, radio int32) string {
+	return filepath.Join(dir, fmt.Sprintf("radio-%d.idx", radio))
+}
+
+// ParseTraceName extracts the radio id from a trace filename. Both the
+// directory layout's radio-<id>.jig and the legacy zero-padded
+// radioNNN.jig spelling are accepted.
+func ParseTraceName(name string) (int32, bool) {
+	base := filepath.Base(name)
+	if !strings.HasPrefix(base, "radio") || !strings.HasSuffix(base, ".jig") {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(base, "radio"), ".jig")
+	num = strings.TrimPrefix(num, "-")
+	id, err := strconv.ParseUint(num, 10, 31)
+	if err != nil {
+		return 0, false
+	}
+	return int32(id), true
+}
+
+// OpenDir builds a directory-backed TraceSet from every radio trace file
+// (radio-<id>.jig, or the legacy radioNNN.jig) in dir. Unrecognized files
+// are ignored; an empty directory is an error, and so are two files
+// naming the same radio (e.g. a stale legacy radio003.jig next to a fresh
+// radio-3.jig) — silently picking one would merge mixed-generation
+// traces.
+func OpenDir(dir string) (*TraceSet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: open trace dir: %w", err)
+	}
+	m := make(map[int32]Source)
+	names := make(map[int32]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		id, ok := ParseTraceName(e.Name())
+		if !ok {
+			continue
+		}
+		if prev, dup := names[id]; dup {
+			return nil, fmt.Errorf("tracefile: radio %d has two traces in %s (%s and %s); remove the stale one",
+				id, dir, prev, e.Name())
+		}
+		names[id] = e.Name()
+		m[id] = FileSource(filepath.Join(dir, e.Name()))
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("tracefile: no radio traces in %s", dir)
+	}
+	return &TraceSet{sources: m, dir: dir}, nil
+}
+
+// Dir returns the backing directory ("" for buffer-backed sets).
+func (ts *TraceSet) Dir() string { return ts.dir }
+
+// Len returns the number of radios in the set.
+func (ts *TraceSet) Len() int { return len(ts.sources) }
+
+// Radios lists the set's radio ids in ascending order.
+func (ts *TraceSet) Radios() []int32 {
+	out := make([]int32, 0, len(ts.sources))
+	for r := range ts.sources {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Open starts a fresh read of one radio's trace.
+func (ts *TraceSet) Open(radio int32) (io.ReadCloser, error) {
+	src, ok := ts.sources[radio]
+	if !ok {
+		return nil, fmt.Errorf("tracefile: no trace for radio %d", radio)
+	}
+	return src.Open()
+}

@@ -139,10 +139,10 @@ func fingerprintFlow(f *Flow) CCFingerprint {
 				ms = make(map[uint16]bool)
 				seenDup[seg.Seq] = ms
 			}
-			if ms[o.Ex.Seq] {
+			if ms[o.MacSeq] {
 				continue // duplicate observation of the same frame
 			}
-			ms[o.Ex.Seq] = true
+			ms[o.MacSeq] = true
 			if seenSeq[seg.Seq] {
 				lossTimes = append(lossTimes, o.TimeUS)
 				continue

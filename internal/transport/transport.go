@@ -45,10 +45,20 @@ func (k LossKind) String() string {
 }
 
 // SegObs is one observed TCP segment (one frame exchange carrying it).
+// It copies the two exchange fields the analyses read (MacSeq, Delivery)
+// instead of holding the *llc.Exchange: a retained exchange pins its
+// attempts and their jframes — instances, wire bytes, decoded frames — so
+// one pointer here would make the analyzer's memory O(trace) instead of
+// O(segment observations), which is exactly the unbounded buffering the
+// out-of-core pipeline exists to avoid.
 type SegObs struct {
 	Seg    tcpsim.Segment
-	Ex     *llc.Exchange
 	TimeUS int64
+	// MacSeq is the carrying exchange's 802.11 sequence number (duplicate
+	// detection across monitor artifacts).
+	MacSeq uint16
+	// Delivery is the exchange's link-layer delivery verdict.
+	Delivery llc.Delivery
 	// ResolvedDelivered is set when a covering ACK proved delivery of an
 	// exchange whose link-layer verdict was unknown.
 	ResolvedDelivered bool
@@ -61,6 +71,25 @@ type SegObs struct {
 // interval is a half-open byte range [lo, hi) of TCP sequence space.
 type interval struct{ lo, hi uint32 }
 
+// seqState is everything a direction tracks per TCP sequence number. One
+// compact map entry replaces what used to be three parallel maps (count,
+// MAC-seq set, first observation): at building scale the analyzer holds
+// one of these per data segment for the whole run, so per-entry overhead
+// is a first-order term in the streaming pipeline's working set.
+type seqState struct {
+	// macSeqs records the 802.11 sequence numbers already seen carrying
+	// this TCP seq: a reappearance with the same MAC seq is a duplicate
+	// observation of the same frame exchange (monitor artifacts), while a
+	// new MAC seq is a genuine TCP retransmission. This cross-layer check
+	// is exactly the kind the unified trace makes possible (§5.2).
+	// Almost always 1-2 entries, so a tiny slice beats a map.
+	macSeqs []uint16
+	// firstIdx locates the seq's first observation in Flow.Observations
+	// (valid whenever count > 0).
+	firstIdx int32
+	count    int32 // distinct transmissions (rtx detection)
+}
+
 // dirState tracks one direction (identified by source IP) of a flow.
 type dirState struct {
 	srcIP      uint32
@@ -69,20 +98,13 @@ type dirState struct {
 	observed   []interval // merged data coverage observed on the air
 	maxAckSeen uint32     // highest cumulative ACK sent BY this direction
 	ackValid   bool
-	// pendingUnknown holds data observations with unresolved delivery,
-	// keyed by segment end for covering-ACK resolution.
-	pendingUnknown []*SegObs
-	segs           map[uint32]int // seq → distinct-transmission count (rtx detection)
-	// macSeqs records the 802.11 sequence numbers already seen carrying a
-	// given TCP seq: a reappearance with the same MAC seq is a duplicate
-	// observation of the same frame exchange (monitor artifacts), while a
-	// new MAC seq is a genuine TCP retransmission. This cross-layer check
-	// is exactly the kind the unified trace makes possible (§5.2).
-	macSeqs      map[uint32]map[uint16]bool
-	firstObs     map[uint32]*SegObs
-	dataSegs     int
-	rtxSegs      int
-	omittedBytes int64 // sequence holes covered by ACKs: monitor misses
+	// pendingUnknown indexes (into Flow.Observations) data observations
+	// with unresolved delivery, awaiting covering-ACK resolution.
+	pendingUnknown []int32
+	seqs           map[uint32]seqState
+	dataSegs       int
+	rtxSegs        int
+	omittedBytes   int64 // sequence holes covered by ACKs: monitor misses
 }
 
 // Flow is a reconstructed TCP connection.
@@ -92,7 +114,10 @@ type Flow struct {
 	// such flows, eliminating scans and connection failures).
 	HandshakeComplete bool
 	FirstUS, LastUS   int64
-	Observations      []*SegObs
+	// Observations are stored by value (not pointer): the analyzer keeps
+	// one per TCP segment for the whole run, and at building scale the
+	// per-observation allocation would dominate its footprint.
+	Observations []SegObs
 
 	// RTT samples (µs) from data→covering-ACK delays, per direction of the
 	// data (keyed by source IP of the data sender).
@@ -106,11 +131,7 @@ type Flow struct {
 func (f *Flow) dir(ip uint32) *dirState {
 	d := f.dirs[ip]
 	if d == nil {
-		d = &dirState{
-			srcIP: ip, segs: make(map[uint32]int),
-			macSeqs:  make(map[uint32]map[uint16]bool),
-			firstObs: make(map[uint32]*SegObs),
-		}
+		d = &dirState{srcIP: ip, seqs: make(map[uint32]seqState)}
 		f.dirs[ip] = d
 	}
 	return d
@@ -237,8 +258,10 @@ func (a *Analyzer) AddExchange(ex *llc.Exchange) {
 	}
 	f.LastUS = ex.EndUS
 
-	obs := &SegObs{Seg: seg, Ex: ex, TimeUS: ex.StartUS}
-	f.Observations = append(f.Observations, obs)
+	idx := int32(len(f.Observations))
+	f.Observations = append(f.Observations, SegObs{
+		Seg: seg, MacSeq: ex.Seq, Delivery: ex.Delivery, TimeUS: ex.StartUS,
+	})
 
 	d := f.dir(seg.SrcIP)
 	if seg.IsSYN() {
@@ -256,35 +279,34 @@ func (a *Analyzer) AddExchange(ex *llc.Exchange) {
 	}
 
 	if seg.PayloadLen > 0 {
-		a.observeData(f, d, obs)
+		a.observeData(f, d, idx)
 	}
 	if seg.IsACK() && !seg.IsSYN() {
-		a.observeAck(f, d, obs)
+		a.observeAck(f, d, idx)
 	}
 }
 
 // observeData records data coverage, detects retransmissions and tracks
-// unresolved deliveries.
-func (a *Analyzer) observeData(f *Flow, d *dirState, obs *SegObs) {
+// unresolved deliveries. idx locates the observation in f.Observations.
+func (a *Analyzer) observeData(f *Flow, d *dirState, idx int32) {
+	obs := &f.Observations[idx]
 	seg := &obs.Seg
-	ms := d.macSeqs[seg.Seq]
-	if ms == nil {
-		ms = make(map[uint16]bool)
-		d.macSeqs[seg.Seq] = ms
+	st := d.seqs[seg.Seq]
+	for _, ms := range st.macSeqs {
+		if ms == obs.MacSeq {
+			// Duplicate observation of a transmission already accounted
+			// for (the same MAC frame surfacing twice in the merged
+			// trace); it is not a TCP event.
+			return
+		}
 	}
-	if ms[obs.Ex.Seq] {
-		// Duplicate observation of a transmission already accounted for
-		// (the same MAC frame surfacing twice in the merged trace); it is
-		// not a TCP event.
-		return
-	}
-	ms[obs.Ex.Seq] = true
+	st.macSeqs = append(st.macSeqs, obs.MacSeq)
 	d.dataSegs++
-	if n := d.segs[seg.Seq]; n > 0 {
+	if st.count > 0 {
 		obs.Retransmission = true
 		d.rtxSegs++
 		a.Stats.Retransmissions++
-		obs.LossOf = a.classifyLoss(d, seg.Seq)
+		obs.LossOf = a.classifyLoss(f, st.firstIdx)
 		switch obs.LossOf {
 		case LossWireless:
 			a.Stats.WirelessLosses++
@@ -294,25 +316,24 @@ func (a *Analyzer) observeData(f *Flow, d *dirState, obs *SegObs) {
 			a.Stats.UnknownLosses++
 		}
 	} else {
-		d.firstObs[seg.Seq] = obs
+		st.firstIdx = idx
 	}
-	d.segs[seg.Seq]++
+	st.count++
+	d.seqs[seg.Seq] = st
 	d.observed = addInterval(d.observed, seg.Seq, seg.Seq+uint32(seg.PayloadLen))
 
 	// Track exchanges whose delivery is unknown for oracle resolution.
-	switch obs.Ex.Delivery {
+	switch obs.Delivery {
 	case llc.DeliveryUnknown, llc.DeliveryFailed:
-		d.pendingUnknown = append(d.pendingUnknown, obs)
+		d.pendingUnknown = append(d.pendingUnknown, idx)
 	}
 }
 
-// classifyLoss decides what lost the previous transmission of seq.
-func (a *Analyzer) classifyLoss(d *dirState, seq uint32) LossKind {
-	prev := d.firstObs[seq]
-	if prev == nil {
-		return LossUnknown
-	}
-	switch prev.Ex.Delivery {
+// classifyLoss decides what lost the previous transmission, given the
+// index of the sequence's first observation.
+func (a *Analyzer) classifyLoss(f *Flow, firstIdx int32) LossKind {
+	prev := &f.Observations[firstIdx]
+	switch prev.Delivery {
 	case llc.DeliveryObserved, llc.DeliveryInferred:
 		return LossWired
 	case llc.DeliveryFailed:
@@ -327,9 +348,12 @@ func (a *Analyzer) classifyLoss(d *dirState, seq uint32) LossKind {
 }
 
 // observeAck applies the TCP oracle: a cumulative ACK from direction d
-// covers sequence space of the opposite direction.
-func (a *Analyzer) observeAck(f *Flow, d *dirState, obs *SegObs) {
-	ackVal := obs.Seg.Ack
+// covers sequence space of the opposite direction. idx locates the ACK's
+// observation in f.Observations.
+func (a *Analyzer) observeAck(f *Flow, d *dirState, idx int32) {
+	seg := f.Observations[idx].Seg
+	ackTimeUS := f.Observations[idx].TimeUS
+	ackVal := seg.Ack
 	if d.ackValid && !seqLess(d.maxAckSeen, ackVal) {
 		return // not a new high-water mark
 	}
@@ -337,22 +361,23 @@ func (a *Analyzer) observeAck(f *Flow, d *dirState, obs *SegObs) {
 	d.ackValid = true
 
 	// Opposite direction: the data being covered.
-	od := f.dir(obs.Seg.DstIP)
+	od := f.dir(seg.DstIP)
 
 	// 1. Resolve unknown deliveries (§5.2: "observing a covering TCP ACK
 	// proves that the link-layer frame containing the associated data was
 	// actually delivered").
 	keep := od.pendingUnknown[:0]
-	for _, p := range od.pendingUnknown {
+	for _, pi := range od.pendingUnknown {
+		p := &f.Observations[pi]
 		if seqLEQ(p.Seg.SeqEnd(), ackVal) {
 			p.ResolvedDelivered = true
 			a.Stats.ResolvedByOracle++
 			// RTT sample from first transmission to covering ACK.
 			if !p.Retransmission {
-				f.RTTSamplesUS[p.Seg.SrcIP] = append(f.RTTSamplesUS[p.Seg.SrcIP], obs.TimeUS-p.TimeUS)
+				f.RTTSamplesUS[p.Seg.SrcIP] = append(f.RTTSamplesUS[p.Seg.SrcIP], ackTimeUS-p.TimeUS)
 			}
 		} else {
-			keep = append(keep, p)
+			keep = append(keep, pi)
 		}
 	}
 	od.pendingUnknown = keep

@@ -456,11 +456,19 @@ func (u *Unifier) emit(members []*queueEntry, rep *queueEntry) *JFrame {
 		nOK++
 	}
 	if nOK > 0 {
-		k := 0
+		// Median per §4.2: for an even-sized group the midpoint of the two
+		// middle timestamps — picking either middle instance alone would
+		// bias the universal timestamp early or late by up to half the
+		// group dispersion. Instances are sorted, so the middles are the
+		// (nOK-1)/2-th and nOK/2-th valid ones (equal when nOK is odd).
+		k, midLo := 0, int64(0)
 		for _, in := range j.Instances {
 			if in.FCSOK {
+				if k == (nOK-1)/2 {
+					midLo = in.UnivUS
+				}
 				if k == nOK/2 {
-					mid = in.UnivUS
+					mid = midLo + (in.UnivUS-midLo)/2
 				}
 				k++
 			}

@@ -143,6 +143,52 @@ func TestUnifyTimeOrderAndMedian(t *testing.T) {
 	}
 }
 
+// TestUnifyEvenGroupMedianMidpoint is the regression test for the
+// even-sized-group median bias: with an even number of FCS-valid
+// instances the universal timestamp must be the midpoint of the two
+// middle instances (§4.2), not the upper-middle instance — that choice
+// biased jframe timestamps late by up to the group dispersion.
+func TestUnifyEvenGroupMedianMidpoint(t *testing.T) {
+	tb := newTestbed(7)
+	// Distinct skews make the four clock mappings diverge between resyncs,
+	// so groups carry nonzero dispersion and genuinely asymmetric middle
+	// instances — the configuration where the old upper-middle pick and
+	// the correct midpoint disagree.
+	for r, skew := range []float64{-80, -30, 30, 80} {
+		tb.addRadio(int32(r), int64(r)*1000, skew)
+	}
+	for i := int64(0); i < 200; i++ {
+		tb.tx(i*5e6, 0, 1, 2, 3) // four instances: even-sized groups
+	}
+	u := tb.build(t, DefaultConfig())
+	frames, err := u.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 200 {
+		t.Fatalf("got %d jframes, want 200", len(frames))
+	}
+	asymmetric := 0
+	for _, j := range frames {
+		if len(j.Instances) != 4 {
+			t.Fatalf("jframe has %d instances, want 4", len(j.Instances))
+		}
+		a, b := j.Instances[1].UnivUS, j.Instances[2].UnivUS
+		want := a + (b-a)/2
+		if j.UnivUS != want {
+			t.Fatalf("even-group timestamp %d, want midpoint %d of middles (%d, %d)",
+				j.UnivUS, want, a, b)
+		}
+		if b != a {
+			asymmetric++
+		}
+	}
+	// If every group's middles coincide the test proved nothing.
+	if asymmetric == 0 {
+		t.Fatal("no even-sized group with distinct middle timestamps; test exercises nothing")
+	}
+}
+
 func TestUnifyDistinctSimultaneousNotMerged(t *testing.T) {
 	tb := newTestbed(3)
 	tb.addRadio(0, 0, 0)

@@ -121,9 +121,16 @@ func DefaultPipeline() PipelineConfig { return core.DefaultConfig() }
 // truth.
 func Simulate(cfg ScenarioConfig) (*ScenarioOutput, error) { return scenario.Run(cfg) }
 
-// Merge runs the Jigsaw pipeline over a simulation's traces.
+// BuildingScaleScenario returns the out-of-core deployment: 30 pods (120
+// monitor radios), 12 APs, mixed-CC clients, several minutes of sim time.
+// Set ScenarioConfig.SpillDir before Simulate so traces stream to disk.
+func BuildingScaleScenario() ScenarioConfig { return scenario.BuildingScale() }
+
+// Merge runs the Jigsaw pipeline over a simulation's traces, streaming from
+// disk when the scenario spilled them (ScenarioConfig.SpillDir) and from
+// the in-memory buffers otherwise.
 func Merge(out *ScenarioOutput, cfg PipelineConfig) (*Result, error) {
-	return core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, cfg, nil)
+	return core.RunFrom(out.TraceSet(), out.ClockGroups, cfg, nil)
 }
 
 // Summarize builds the Table-1 style trace summary (requires
