@@ -1,24 +1,32 @@
 // Command jiganalyze prints the paper's §6/§7 analyses: trace summary
 // (Table 1), coverage (Fig. 6), activity time series (Fig. 8), interference
-// (Fig. 9), protection mode (Fig. 10) and TCP loss (Fig. 11).
+// (Fig. 9), protection mode (Fig. 10), per-station diagnosis (§8), TCP loss
+// (Fig. 11) and air-reconstructed roaming handoffs.
 //
 // Two modes:
 //
 //	jiganalyze [-pods 8 -aps 9 -clients 16 -day 120s]   # simulate + analyze
 //	jiganalyze traces/                                  # analyze a trace directory
 //
-// Directory mode streams the traces through the pipeline (file-backed
-// sources, bounded memory) and reads the deployment roster from meta.json;
-// analyses that need simulator ground truth (coverage vs the wired tap) are
-// skipped there, since a trace directory carries no oracle. In simulate
-// mode, -spill-dir streams generated traces through a directory instead of
-// holding them in memory — required for building-scale runs.
+// Every analysis runs as a streaming pass (internal/analysis) fed inline
+// by the pipeline, so nothing retains the jframe or exchange streams:
+// directory mode analyzes trace sets far larger than RAM at streaming
+// heap, emitting the full report set. Deployment metadata (clock groups,
+// AP roster, day duration, seed) comes from the meta.json sidecar there;
+// the only reports skipped are those that genuinely need the simulator's
+// wired tap / ground truth, each announced with an explicit line. In
+// simulate mode, -spill-dir streams generated traces through a directory
+// instead of holding them in memory — required for building-scale runs.
+//
+// -passes selects which reports to run (comma-separated section names, or
+// "all").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -28,6 +36,26 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tracefile"
 )
+
+// section maps one report section to the streaming pass (if any) behind it.
+type section struct {
+	name       string // -passes token
+	pass       string // analysis registry name ("" = derived from Result only)
+	needsTruth bool   // requires simulator ground truth (wired tap / oracle)
+}
+
+// sections lists the report set in print order.
+var sections = []section{
+	{name: "table1", pass: "summary"},
+	{name: "fig4"}, // dispersion CDF, accumulated by the pipeline itself
+	{name: "coverage", pass: "coverage", needsTruth: true},
+	{name: "timeseries", pass: "timeseries"},
+	{name: "interference", pass: "interference"},
+	{name: "protection", pass: "protection"},
+	{name: "diagnose", pass: "diagnose"},
+	{name: "tcploss", pass: "tcploss"},
+	{name: "roam", pass: "roam"},
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,7 +68,8 @@ func main() {
 		day      = flag.Duration("day", 120*time.Second, "compressed day (simulate mode)")
 		seed     = flag.Int64("seed", 1, "seed (simulate mode)")
 		spillDir = flag.String("spill-dir", "", "simulate mode: stream generated traces through this directory instead of memory")
-		exp      = flag.String("exp", "all", "which analysis to print")
+		passesF  = flag.String("passes", "", "which reports to run: comma-separated section names, or 'all' (default)")
+		exp      = flag.String("exp", "all", "deprecated alias for -passes")
 		workers  = flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
@@ -49,6 +78,14 @@ func main() {
 		dir = flag.Arg(0)
 	} else if flag.NArg() > 1 {
 		log.Fatalf("expected at most one trace directory argument, got %q", flag.Args())
+	}
+	selector := *exp
+	if *passesF != "" {
+		selector = *passesF
+	}
+	want, err := parseSelector(selector)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var (
@@ -75,6 +112,8 @@ func main() {
 			daySec = day.Seconds()
 			log.Printf("warning: %s has no DaySec; slicing time by -day %v", scenario.MetaFileName, *day)
 		}
+		log.Printf("trace directory %s: %d radios, %d APs, day %.0fs, seed %d",
+			dir, traces.Len(), len(apInfos), daySec, meta.Seed)
 		hourUS = int64(daySec * 1e6 / 24)
 	} else {
 		if *pods <= 0 || *aps <= 0 || *clients < 0 {
@@ -100,25 +139,49 @@ func main() {
 		hourUS = out.Cfg.HourDur().US64()
 	}
 
+	apSet := scenario.APSet(apInfos)
+	params := analysis.PassParams{
+		SlotUS:     hourUS,
+		MinPackets: 50,
+		IsAP:       func(m dot80211.MAC) bool { return apSet[m] },
+		Out:        out,
+	}
+	var names []string
+	for _, sec := range sections {
+		if !want(sec.name) || sec.pass == "" || (sec.needsTruth && out == nil) {
+			continue
+		}
+		names = append(names, sec.pass)
+	}
+	var passes []analysis.Pass
+	if len(names) > 0 { // an empty selector list must not expand to "all"
+		var err error
+		passes, err = analysis.NewPasses(strings.Join(names, ","), params)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	byName := make(map[string]analysis.Pass, len(passes))
+	for _, p := range passes {
+		byName[p.Name()] = p
+	}
+
 	ccfg := core.DefaultConfig()
 	ccfg.Workers = *workers
-	ccfg.KeepExchanges = true
-	ccfg.KeepJFrames = true
+	ccfg.Passes = analysis.CorePasses(passes)
 	res, err := core.RunFrom(traces, clockGroups, ccfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-
 	if want("table1") {
 		fmt.Println("== Table 1: trace summary ==")
-		fmt.Print(analysis.Summarize(res, res.JFrames).String())
+		fmt.Print(byName["summary"].Finalize().(*analysis.TraceSummary).String())
 		inf := analysis.Inference(res.LLCStats)
 		fmt.Printf("%-28s %.3f%% attempts, %.3f%% exchanges\n\n",
 			"inference required", 100*inf.AttemptRate(), 100*inf.ExchangeRate())
 	}
-	if want("fig4") || want("all") {
+	if want("fig4") {
 		fmt.Println("== Fig. 4: group dispersion CDF ==")
 		for _, p := range []float64{0.5, 0.75, 0.9, 0.95, 0.99} {
 			fmt.Printf("p%-3.0f %4d us\n", p*100, res.Dispersion.Percentile(p))
@@ -127,11 +190,11 @@ func main() {
 	}
 	if want("coverage") {
 		if out == nil {
-			fmt.Println("== Fig. 6 / §6: wired-trace coverage: skipped (trace directory carries no wired tap / ground truth) ==")
+			fmt.Println("== Fig. 6 / §6: wired-trace coverage: skipped — needs the wired distribution tap and simulator ground truth (a trace directory carries neither) ==")
 			fmt.Println()
 		} else {
 			fmt.Println("== Fig. 6 / §6: wired-trace coverage ==")
-			cov := analysis.Coverage(out, res.Exchanges)
+			cov := byName["coverage"].Finalize().(*analysis.CoverageReport)
 			fmt.Printf("overall %.1f%% of %d wired packets seen wirelessly\n", 100*cov.Overall, cov.TotalWired)
 			fmt.Printf("clients: %.1f%% aggregate, %.0f%% of stations at 100%%, %.0f%% at >=95%%\n",
 				100*cov.ClientCoverage, 100*cov.ClientsAt100, 100*cov.ClientsOver95)
@@ -143,7 +206,7 @@ func main() {
 	}
 	if want("timeseries") {
 		fmt.Println("== Fig. 8: activity time series (per compressed hour) ==")
-		slots := analysis.TimeSeries(res.JFrames, hourUS)
+		slots := byName["timeseries"].Finalize().([]analysis.ActivitySlot)
 		fmt.Printf("%4s %7s %5s %10s %10s %9s %9s\n", "hr", "clients", "APs", "data B", "mgmt B", "beacon B", "ARP B")
 		for i, s := range slots {
 			fmt.Printf("%4d %7d %5d %10d %10d %9d %9d\n",
@@ -153,11 +216,7 @@ func main() {
 	}
 	if want("interference") {
 		fmt.Println("== Fig. 9: interference loss rate ==")
-		apSet := map[dot80211.MAC]bool{}
-		for _, ap := range apInfos {
-			apSet[ap.MAC] = true
-		}
-		rep := analysis.Interference(res.JFrames, res.Exchanges, 50, func(m dot80211.MAC) bool { return apSet[m] })
+		rep := byName["interference"].Finalize().(*analysis.InterferenceReport)
 		fmt.Printf("(s,r) pairs with >=50 packets: %d of %d\n", len(rep.Pairs), rep.PairsConsidered)
 		fmt.Printf("pairs with interference: %.0f%% (paper 88%%); negative Pi truncated: %.0f%% (paper 11%%)\n",
 			100*rep.FractionWithInterference, 100*rep.NegativePiFraction)
@@ -170,7 +229,7 @@ func main() {
 	}
 	if want("protection") {
 		fmt.Println("== Fig. 10: overprotective APs ==")
-		rep := analysis.Protection(res.JFrames, hourUS, hourUS)
+		rep := byName["protection"].Finalize().(*analysis.ProtectionReport)
 		fmt.Printf("%4s %10s %15s %10s %12s\n", "hr", "protected", "overprotective", "g active", "g affected")
 		for i, s := range rep.Slots {
 			if s.ProtectedAPs == 0 && s.ActiveGClients == 0 {
@@ -184,7 +243,7 @@ func main() {
 	}
 	if want("diagnose") {
 		fmt.Println("== §8: per-station diagnosis (top airtime consumers) ==")
-		diags := analysis.Diagnose(res.JFrames, res.Exchanges)
+		diags := byName["diagnose"].Finalize().([]analysis.StationDiagnosis)
 		n := 0
 		for _, d := range diags {
 			if n >= 8 {
@@ -201,16 +260,52 @@ func main() {
 	}
 	if want("tcploss") {
 		fmt.Println("== Fig. 11: TCP loss ==")
-		var rates []analysis.FlowLoss
-		for _, r := range res.Transport.LossRates(5) {
-			rates = append(rates, analysis.FlowLoss{
-				DataSegs: r.DataSegs, Losses: r.Losses,
-				WirelessLoss: r.WirelessLoss, WiredLoss: r.WiredLoss, LossRate: r.LossRate,
-			})
-		}
-		rep := analysis.TCPLoss(rates)
+		rep := byName["tcploss"].Finalize().(*analysis.TCPLossReport)
 		fmt.Printf("flows analyzed: %d, total losses: %d\n", rep.Flows, rep.TotalLosses)
-		fmt.Printf("wireless share of classified losses: %.0f%% (paper: wireless dominant)\n",
+		fmt.Printf("wireless share of classified losses: %.0f%% (paper: wireless dominant)\n\n",
 			100*rep.WirelessShare)
 	}
+	if want("roam") {
+		fmt.Println("== Roaming: handoffs reconstructed from the air ==")
+		rep := byName["roam"].Finalize().(*analysis.RoamingReport)
+		fmt.Print(analysis.RoamingTable(rep, nil))
+		if out != nil {
+			sc := analysis.ScoreHandoffs(out.Handoffs, rep)
+			if sc.Truth > 0 {
+				fmt.Printf("vs ground truth: %d/%d matched (recall %.0f%%), mean completion error %.1f ms\n",
+					sc.Matched, sc.Truth, 100*sc.Recall, sc.MeanAbsEndErrUS/1e3)
+			}
+			if rows := analysis.RoamDisruptionByCC(out); len(rows) > 0 {
+				fmt.Print(analysis.RoamingTable(nil, rows))
+			}
+		} else {
+			fmt.Println("handoff scoring / per-CC disruption: skipped — needs simulator ground truth (not carried by a trace directory)")
+		}
+	}
+}
+
+// parseSelector resolves the -passes/-exp value into a membership test.
+func parseSelector(sel string) (func(string) bool, error) {
+	sel = strings.TrimSpace(sel)
+	if sel == "" || sel == "all" {
+		return func(string) bool { return true }, nil
+	}
+	known := make(map[string]bool, len(sections))
+	names := make([]string, len(sections))
+	for i, sec := range sections {
+		known[sec.name] = true
+		names[i] = sec.name
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown report %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		want[name] = true
+	}
+	return func(s string) bool { return want[s] }, nil
 }

@@ -8,6 +8,14 @@
 // make unbounded-buffering regressions visible: the streaming row's
 // heap_peak_bytes must stay a small fraction of the in-memory row's, which
 // -bench-assert-streaming enforces in CI under GOMEMLIMIT.
+//
+// Two more rows per preset profile the analysis layer the same way: the
+// full truth-free report set run as inline streaming passes over the
+// streaming merge ("analysis_inline") versus retained via
+// KeepJFrames/KeepExchanges and analyzed post hoc from the slices
+// ("analysis_posthoc"). -bench-assert-inline gates their heap ratio: the
+// inline row must stay a small fraction of the slice-based row's, pinning
+// the win that lets building-scale analysis run at streaming heap.
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/dot80211"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tracefile"
@@ -38,13 +48,18 @@ type benchRow struct {
 	Clients int     `json:"clients"`
 	DaySec  float64 `json:"day_sec"`
 
-	MonitorRecords int64   `json:"monitor_records"`
-	JFrames        int64   `json:"jframes"`
-	Events         int64   `json:"events"`
-	MergeMS        int64   `json:"merge_ms"`
-	FramesPerSec   float64 `json:"frames_per_sec"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	XRealtime      float64 `json:"x_realtime"`
+	MonitorRecords int64 `json:"monitor_records"`
+	JFrames        int64 `json:"jframes"`
+	Events         int64 `json:"events"`
+	MergeMS        int64 `json:"merge_ms"`
+	// AnalysisMS is the time spent in analysis after the merge returns:
+	// the whole slice-based report set on "analysis_posthoc" rows, only
+	// the pass Finalize calls on "analysis_inline" rows (their analysis
+	// work rides inside the merge). MergeMS never includes it.
+	AnalysisMS   int64   `json:"analysis_ms,omitempty"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	XRealtime    float64 `json:"x_realtime"`
 	// HeapPeakBytes is the sampled peak Go heap during the merge;
 	// BytesPerFrame normalizes it by unified jframes. An in-memory merge's
 	// bytes-per-frame grows with trace length (the whole compressed set is
@@ -101,7 +116,7 @@ func (h *heapSampler) Stop() uint64 {
 }
 
 // runBenchJSON measures every preset and writes the JSON rows to path.
-func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, workDir string, assertRatio float64) {
+func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, workDir string, assertRatio, assertInline float64) {
 	// Aggressive GC during profiling: with the default GOGC the heap
 	// balloons to ~2x the live set before a collection, and that slack —
 	// not the pipeline's working set — would dominate small runs' peaks.
@@ -131,8 +146,8 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 			cfg.Day = sim.Time(dayOverride.Nanoseconds())
 		}
 		dir := filepath.Join(workDir, name)
-		stream, inmem := benchOnePreset(name, cfg, dir, workers)
-		rows = append(rows, stream, inmem)
+		stream, inmem, inline, posthoc := benchOnePreset(name, cfg, dir, workers)
+		rows = append(rows, stream, inmem, inline, posthoc)
 		if !keep {
 			if err := os.RemoveAll(dir); err != nil {
 				log.Fatal(err)
@@ -141,9 +156,17 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 		log.Printf("%s: streaming heap %.1f MB vs in-memory %.1f MB (%.1f%%), %.0f frames/s",
 			name, float64(stream.HeapPeakBytes)/1e6, float64(inmem.HeapPeakBytes)/1e6,
 			100*float64(stream.HeapPeakBytes)/float64(inmem.HeapPeakBytes), stream.FramesPerSec)
+		log.Printf("%s: inline-pass analysis heap %.1f MB vs slice-based %.1f MB (%.1f%%)",
+			name, float64(inline.HeapPeakBytes)/1e6, float64(posthoc.HeapPeakBytes)/1e6,
+			100*float64(inline.HeapPeakBytes)/float64(posthoc.HeapPeakBytes))
 		if assertRatio > 0 && float64(stream.HeapPeakBytes) >= assertRatio*float64(inmem.HeapPeakBytes) {
 			log.Printf("FAIL %s: streaming peak heap %d >= %.0f%% of in-memory %d",
 				name, stream.HeapPeakBytes, 100*assertRatio, inmem.HeapPeakBytes)
+			failed = true
+		}
+		if assertInline > 0 && float64(inline.HeapPeakBytes) >= assertInline*float64(posthoc.HeapPeakBytes) {
+			log.Printf("FAIL %s: inline-pass analysis peak heap %d >= %.0f%% of slice-based %d",
+				name, inline.HeapPeakBytes, 100*assertInline, posthoc.HeapPeakBytes)
 			failed = true
 		}
 	}
@@ -168,8 +191,10 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 	}
 }
 
-// benchOnePreset generates one trace directory and merges it both ways.
-func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (stream, inmem benchRow) {
+// benchOnePreset generates one trace directory, merges it both ways, then
+// profiles the truth-free analysis report set both ways (inline passes vs
+// retained slices).
+func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (stream, inmem, inline, posthoc benchRow) {
 	cfg.SpillDir = dir
 	t0 := time.Now()
 	out, err := scenario.Run(cfg)
@@ -189,25 +214,32 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 		MonitorRecords: out.MonitorRecords,
 	}
 	groups := out.ClockGroups
-	// Drop the simulation output (ground truth, wired tap) before
-	// profiling: the rows measure the merge pipeline, not the simulator.
+	// The analysis rows need only the AP roster and the slot width — keep
+	// those, then drop the simulation output (ground truth, wired tap)
+	// before profiling: the rows measure the pipeline, not the simulator.
+	apSet := scenario.APSet(out.APs)
+	isAP := func(m dot80211.MAC) bool { return apSet[m] }
+	hourUS := cfg.HourDur().US64()
 	out = nil
 
 	ccfg := core.DefaultConfig()
 	ccfg.Workers = workers
 
-	measure := func(mode string, ts *tracefile.TraceSet) benchRow {
+	measure := func(mode string, ts *tracefile.TraceSet, cfg core.Config, analyze func(*core.Result) time.Duration) benchRow {
 		row := base
 		row.Mode = mode
 		runtime.GC()
 		h := startHeapSampler()
 		t1 := time.Now()
-		res, err := core.RunFrom(ts, groups, ccfg, nil)
+		res, err := core.RunFrom(ts, groups, cfg, nil)
 		dur := time.Since(t1)
-		row.HeapPeakBytes = h.Stop()
 		if err != nil {
 			log.Fatalf("%s/%s: merge: %v", name, mode, err)
 		}
+		if analyze != nil {
+			row.AnalysisMS = analyze(res).Milliseconds()
+		}
+		row.HeapPeakBytes = h.Stop()
 		row.JFrames = res.UnifyStats.JFrames
 		row.Events = res.UnifyStats.Events
 		row.MergeMS = dur.Milliseconds()
@@ -224,7 +256,7 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
-	stream = measure("streaming", ts)
+	stream = measure("streaming", ts, ccfg, nil)
 
 	// The in-memory path: the whole compressed trace set resident, as
 	// core.Run's buffer map requires.
@@ -236,9 +268,50 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 		}
 		bufs[r] = b
 	}
-	inmem = measure("inmemory", tracefile.NewBufferSet(bufs))
-	return stream, inmem
+	inmem = measure("inmemory", tracefile.NewBufferSet(bufs), ccfg, nil)
+	bufs = nil
+
+	// Analysis trajectory over the streaming sources: the truth-free
+	// report set (what jiganalyze runs on a trace directory) as inline
+	// passes, then the same reports from retained slices.
+	params := analysis.PassParams{SlotUS: hourUS, MinPackets: 50, IsAP: isAP}
+	inlineCfg := ccfg
+	passes, err := analysis.NewPasses("all", params)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	inlineCfg.Passes = analysis.CorePasses(passes)
+	inline = measure("analysis_inline", ts, inlineCfg, func(*core.Result) time.Duration {
+		t := time.Now()
+		for _, p := range passes {
+			benchSink(p.Finalize())
+		}
+		return time.Since(t)
+	})
+
+	posthocCfg := ccfg
+	posthocCfg.KeepJFrames = true
+	posthocCfg.KeepExchanges = true
+	posthoc = measure("analysis_posthoc", ts, posthocCfg, func(res *core.Result) time.Duration {
+		t := time.Now()
+		benchSink(analysis.Summarize(res, res.JFrames))
+		benchSink(analysis.TimeSeries(res.JFrames, hourUS))
+		benchSink(analysis.Interference(res.JFrames, res.Exchanges, 50, isAP))
+		benchSink(analysis.Protection(res.JFrames, hourUS, hourUS))
+		benchSink(analysis.Diagnose(res.JFrames, res.Exchanges))
+		benchSink(analysis.TCPLoss(analysis.TransportFlowLosses(res.Transport, 5)))
+		benchSink(analysis.DetectHandoffs(res.Exchanges, isAP))
+		return time.Since(t)
+	})
+	benchSinkDump = nil
+	return stream, inmem, inline, posthoc
 }
+
+// benchSinkDump keeps finalized reports reachable until both measurements
+// complete, so the comparison charges each mode its report footprint.
+var benchSinkDump []any
+
+func benchSink(v any) { benchSinkDump = append(benchSinkDump, v) }
 
 // benchPreset resolves a preset name for -bench-presets and -sweep-scale
 // (the shared scenario.Preset registry, minus the empty-name default).

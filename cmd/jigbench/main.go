@@ -45,6 +45,7 @@ import (
 	"repro/internal/dot80211"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/unify"
 )
 
 func main() {
@@ -77,11 +78,12 @@ func main() {
 		benchDay     = flag.Duration("bench-day", 0, "override each bench preset's compressed day (0 = preset value)")
 		benchWork    = flag.String("bench-work-dir", "", "trace work directory for -bench-json (default: a temp dir, removed afterwards)")
 		benchAssert  = flag.Float64("bench-assert-streaming", 0, "fail unless streaming peak heap < this fraction of the in-memory merge's (e.g. 0.25); 0 disables")
+		benchInline  = flag.Float64("bench-assert-inline", 0, "fail unless inline-pass analysis peak heap < this fraction of the slice-based (KeepJFrames/KeepExchanges) analysis run's (e.g. 0.30); 0 disables")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		runBenchJSON(*benchJSON, *benchPresets, *benchDay, *workers, *benchWork, *benchAssert)
+		runBenchJSON(*benchJSON, *benchPresets, *benchDay, *workers, *benchWork, *benchAssert, *benchInline)
 		return
 	}
 	if *sweep {
@@ -306,7 +308,9 @@ func runSweep(a sweepArgs) {
 // measureScenario runs the pipeline over one scenario's traces and distills
 // the row metrics. Runs inside the batch pool. Traces are consumed through
 // the scenario's TraceSet, so spilled (out-of-core) scenarios stream from
-// disk and in-memory ones from their buffers, identically.
+// disk and in-memory ones from their buffers, identically; the coverage
+// and handoff analyses run as inline streaming passes, so nothing retains
+// the exchange stream.
 func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 	var row sweepRow
 	row.Radios = len(out.Indexes) // the true monitor count (0 on scenario error)
@@ -315,7 +319,14 @@ func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 
 	ccfg := core.DefaultConfig()
 	ccfg.Workers = mergeWorkers
-	ccfg.KeepExchanges = true
+	covPass := analysis.NewCoveragePass(out)
+	ccfg.Passes = []core.Pass{covPass}
+	var roamPass *analysis.RoamingPass
+	if out.Cfg.MobileClients > 0 {
+		apSet := scenario.APSet(out.APs)
+		roamPass = analysis.NewRoamingPass(func(m dot80211.MAC) bool { return apSet[m] })
+		ccfg.Passes = append(ccfg.Passes, roamPass)
+	}
 	h := startHeapSampler()
 	t1 := time.Now()
 	res, err := core.RunFrom(out.TraceSet(), out.ClockGroups, ccfg, nil)
@@ -332,8 +343,8 @@ func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 	row.CompleteFlows = res.Transport.Stats.CompleteFlows
 	row.DispersionP90US = res.Dispersion.Percentile(0.90)
 	row.DispersionP99US = res.Dispersion.Percentile(0.99)
-	row.CoverageOverall = analysis.Coverage(out, res.Exchanges).Overall
-	rep := analysis.TCPLoss(flowLosses(res))
+	row.CoverageOverall = covPass.Finalize().(*analysis.CoverageReport).Overall
+	rep := analysis.TCPLoss(analysis.TransportFlowLosses(res.Transport, 5))
 	row.WirelessShare = rep.WirelessShare
 	if len(out.Cfg.CCMix) > 0 {
 		row.PerCCGoodputBps = make(map[string]float64)
@@ -347,12 +358,8 @@ func measureScenario(out *scenario.Output, mergeWorkers int) sweepRow {
 		row.CCAccuracyWired = wired.Accuracy
 		row.CCClassifiedWired = wired.Classified
 	}
-	if out.Cfg.MobileClients > 0 {
-		apSet := make(map[dot80211.MAC]bool, len(out.APs))
-		for _, ap := range out.APs {
-			apSet[ap.MAC] = true
-		}
-		rep := analysis.DetectHandoffs(res.Exchanges, func(m dot80211.MAC) bool { return apSet[m] })
+	if roamPass != nil {
+		rep := roamPass.Finalize().(*analysis.RoamingReport)
 		sc := analysis.ScoreHandoffs(out.Handoffs, rep)
 		row.HandoffsTruth = sc.Truth
 		row.HandoffsDetected = sc.Events
@@ -391,18 +398,6 @@ func parseMixes(s string) []map[string]float64 {
 		out = append(out, nil)
 	}
 	return out
-}
-
-// flowLosses adapts transport loss rates to the analysis package's rows.
-func flowLosses(res *core.Result) []analysis.FlowLoss {
-	var rates []analysis.FlowLoss
-	for _, r := range res.Transport.LossRates(5) {
-		rates = append(rates, analysis.FlowLoss{
-			DataSegs: r.DataSegs, Losses: r.Losses,
-			WirelessLoss: r.WirelessLoss, WiredLoss: r.WiredLoss, LossRate: r.LossRate,
-		})
-	}
-	return rates
 }
 
 func parseInts(s string) []int {
@@ -485,25 +480,77 @@ func runFigures(paperscale bool, fig string, seed int64, workers int) {
 	fmt.Printf("simulated in %v: %d monitor records, %d transmissions\n",
 		time.Since(t0).Round(time.Millisecond), out.MonitorRecords, len(out.Truth))
 
-	ccfg := core.DefaultConfig()
-	ccfg.Workers = workers
-	ccfg.KeepExchanges = true
-	ccfg.KeepJFrames = true
-	t1 := time.Now()
-	res, err := core.RunFrom(out.TraceSet(), out.ClockGroups, ccfg, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mergeTime := time.Since(t1)
-
 	want := func(f string) bool { return fig == "all" || fig == f }
 	line := func(id, what, paper, measured string) {
 		fmt.Printf("%-8s %-42s paper: %-22s measured: %s\n", id, what, paper, measured)
 	}
 
+	// Every analysis runs as a streaming pass fed inline by the merge —
+	// nothing retains the jframe or exchange streams, even at -paperscale.
+	apSet := scenario.APSet(out.APs)
+	isAP := func(m dot80211.MAC) bool { return apSet[m] }
+	hourUS := out.Cfg.HourDur().US64()
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = workers
+	var (
+		sum  *analysis.SummaryPass
+		cov  *analysis.CoveragePass
+		ts   *analysis.TimeSeriesPass
+		intf *analysis.InterferencePass
+		prot *analysis.ProtectionPass
+		loss *analysis.TCPLossPass
+		viz  *analysis.VizPass
+	)
+	add := func(p core.Pass) { ccfg.Passes = append(ccfg.Passes, p) }
+	if want("table1") {
+		sum = analysis.NewSummaryPass()
+		add(sum)
+	}
+	if want("6") {
+		cov = analysis.NewCoveragePass(out)
+		add(cov)
+	}
+	if want("8") {
+		ts = analysis.NewTimeSeriesPass(hourUS)
+		add(ts)
+	}
+	if want("9") {
+		intf = analysis.NewInterferencePass(100, isAP)
+		add(intf)
+	}
+	if want("10") {
+		prot = analysis.NewProtectionPass(hourUS, hourUS)
+		add(prot)
+	}
+	if want("11") {
+		loss = analysis.NewTCPLossPass(5)
+		add(loss)
+	}
+	if want("2") {
+		// A 4 ms window in the middle of the compressed day (the slice era
+		// centered on the median retained jframe; without retention, the
+		// day's midpoint is the streaming equivalent).
+		viz = analysis.NewVizPassRelative(int64(out.Cfg.Day.SecondsF()*5e5), 4000, 96)
+		add(viz)
+	}
+	var firstUS, lastUS, nJF int64
+	sink := &core.Sink{OnJFrame: func(j *unify.JFrame) {
+		if nJF == 0 {
+			firstUS = j.UnivUS
+		}
+		lastUS = j.UnivUS
+		nJF++
+	}}
+	t1 := time.Now()
+	res, err := core.RunFrom(out.TraceSet(), out.ClockGroups, ccfg, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mergeTime := time.Since(t1)
+
 	fmt.Println()
 	if want("table1") {
-		s := analysis.Summarize(res, res.JFrames)
+		s := sum.Finalize().(*analysis.TraceSummary)
 		line("Table 1", "error events share", "47%", fmt.Sprintf("%.0f%%", s.ErrorEventPct))
 		line("Table 1", "observations per transmission", "2.97", fmt.Sprintf("%.2f", s.AvgInstances))
 		line("Table 1", "clients / APs seen", "1026 / 39 (full bldg)",
@@ -516,11 +563,11 @@ func runFigures(paperscale bool, fig string, seed int64, workers int) {
 			fmt.Sprintf("%d us", res.Dispersion.Percentile(0.99)))
 	}
 	if want("6") {
-		cov := analysis.Coverage(out, res.Exchanges)
+		covRep := cov.Finalize().(*analysis.CoverageReport)
 		oracle, _ := analysis.OracleCoverage(out)
-		line("Fig 6", "wired packets seen wirelessly", "97%", fmt.Sprintf("%.0f%%", 100*cov.Overall))
-		line("Fig 6", "AP stations at >=95% coverage", "94%", fmt.Sprintf("%.0f%%", 100*cov.APsOver95))
-		line("Fig 6", "client stations at >=95%", "78%", fmt.Sprintf("%.0f%%", 100*cov.ClientsOver95))
+		line("Fig 6", "wired packets seen wirelessly", "97%", fmt.Sprintf("%.0f%%", 100*covRep.Overall))
+		line("Fig 6", "AP stations at >=95% coverage", "94%", fmt.Sprintf("%.0f%%", 100*covRep.APsOver95))
+		line("Fig 6", "client stations at >=95%", "78%", fmt.Sprintf("%.0f%%", 100*covRep.ClientsOver95))
 		line("§6", "oracle link-event coverage", "95%", fmt.Sprintf("%.0f%%", 100*oracle))
 	}
 	if want("7") {
@@ -538,7 +585,7 @@ func runFigures(paperscale bool, fig string, seed int64, workers int) {
 		}
 	}
 	if want("8") {
-		slots := analysis.TimeSeries(res.JFrames, out.Cfg.HourDur().US64())
+		slots := ts.Finalize().([]analysis.ActivitySlot)
 		peak, night := 0, 0
 		for i, s := range slots {
 			if i >= 10 && i <= 16 && s.ActiveClients > peak {
@@ -554,11 +601,7 @@ func runFigures(paperscale bool, fig string, seed int64, workers int) {
 			fmt.Sprintf("%.0f%%", 100*analysis.BroadcastAirtimeShare(slots)))
 	}
 	if want("9") {
-		apSet := map[dot80211.MAC]bool{}
-		for _, ap := range out.APs {
-			apSet[ap.MAC] = true
-		}
-		rep := analysis.Interference(res.JFrames, res.Exchanges, 100, func(m dot80211.MAC) bool { return apSet[m] })
+		rep := intf.Finalize().(*analysis.InterferenceReport)
 		line("Fig 9", "pairs with interference", "88%",
 			fmt.Sprintf("%.0f%% (%d pairs)", 100*rep.FractionWithInterference, len(rep.Pairs)))
 		line("Fig 9", "median interference loss X", "0.025",
@@ -571,32 +614,30 @@ func runFigures(paperscale bool, fig string, seed int64, workers int) {
 			fmt.Sprintf("%.0f%%", 100*rep.SenderSplitAP))
 	}
 	if want("10") {
-		slotUS := out.Cfg.HourDur().US64()
-		rep := analysis.Protection(res.JFrames, slotUS, slotUS)
-		over, prot := 0, 0
+		rep := prot.Finalize().(*analysis.ProtectionReport)
+		over, protected := 0, 0
 		for _, s := range rep.Slots {
 			over += s.Overprotective
-			prot += s.ProtectedAPs
+			protected += s.ProtectedAPs
 		}
 		line("Fig 10", "overprotective AP slot-share", "common with 1h timeout",
-			fmt.Sprintf("%d of %d protected slots", over, prot))
+			fmt.Sprintf("%d of %d protected slots", over, protected))
 		line("Fig 10", "peak affected g clients", "25-50%",
 			fmt.Sprintf("%.0f%%", 100*rep.PeakAffectedShare))
 		line("fn 7", "protection overhead factor", "1.98",
 			fmt.Sprintf("%.2f", rep.PotentialSpeedup))
 	}
 	if want("11") {
-		rep := analysis.TCPLoss(flowLosses(res))
+		rep := loss.Finalize().(*analysis.TCPLossReport)
 		line("Fig 11", "wireless share of TCP loss", "dominant",
 			fmt.Sprintf("%.0f%% (%d losses over %d flows)", 100*rep.WirelessShare, rep.TotalLosses, rep.Flows))
 	}
-	if want("2") && len(res.JFrames) > 1000 {
-		from := res.JFrames[len(res.JFrames)/2].UnivUS
+	if want("2") && nJF > 1000 {
 		fmt.Println("\nFig 2: synchronized trace visualization")
-		fmt.Print(analysis.Visualize(res.JFrames, from, from+4000, 96))
+		fmt.Print(viz.Finalize().(string))
 	}
 	if want("§4") || fig == "all" {
-		span := res.JFrames[len(res.JFrames)-1].UnivUS - res.JFrames[0].UnivUS
+		span := lastUS - firstUS
 		line("§4", "merge faster than real time", "required",
 			fmt.Sprintf("%.1fx (%v for %s of trace)", float64(span)/float64(mergeTime.Microseconds()),
 				mergeTime.Round(time.Millisecond), time.Duration(span*1000).Round(time.Second)))

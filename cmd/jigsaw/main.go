@@ -64,7 +64,13 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
-	cfg.KeepJFrames = *viz >= 0
+	// The visualization is a streaming pass over a bounded window, so even
+	// a -viz run retains nothing of the merged trace.
+	var vizPass *analysis.VizPass
+	if *viz >= 0 {
+		vizPass = analysis.NewVizPassRelative(viz.Microseconds(), vizdur.Microseconds(), *width)
+		cfg.Passes = []core.Pass{vizPass}
+	}
 	var firstUS, lastUS int64
 	var nJF int64
 	sink := &core.Sink{OnJFrame: func(j *unify.JFrame) {
@@ -105,10 +111,8 @@ func main() {
 	fmt.Printf("merge wall time:    %v (%.1fx faster than real time over %d events)\n",
 		elapsed.Round(time.Millisecond), speedup, st.Events)
 
-	if *viz >= 0 && len(res.JFrames) > 0 {
-		from := res.JFrames[0].UnivUS + viz.Microseconds()
-		s := analysis.Visualize(res.JFrames, from, from+vizdur.Microseconds(), *width)
-		fmt.Println(strings.TrimRight(s, "\n"))
+	if vizPass != nil && nJF > 0 {
+		fmt.Println(strings.TrimRight(vizPass.Finalize().(string), "\n"))
 	}
 }
 

@@ -26,15 +26,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The coverage analysis runs as a streaming pass fed inline by the
+	// merge, so the exchange stream is never retained.
 	ccfg := core.DefaultConfig()
-	ccfg.KeepExchanges = true
-	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
-	if err != nil {
+	covPass := analysis.NewCoveragePass(out)
+	ccfg.Passes = []core.Pass{covPass}
+	if _, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil); err != nil {
 		log.Fatal(err)
 	}
 
 	// Fig. 6: full-deployment coverage.
-	cov := analysis.Coverage(out, res.Exchanges)
+	cov := covPass.Finalize().(*analysis.CoverageReport)
 	fmt.Printf("full deployment (%d pods):\n", cfg.Pods)
 	fmt.Printf("  %.1f%% of %d wired packets captured wirelessly (paper: 97%%)\n",
 		100*cov.Overall, cov.TotalWired)

@@ -29,20 +29,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The interference analysis runs as a streaming pass fed inline by
+	// the merge: a sliding interval window answers the overlap queries, so
+	// neither the jframe nor the exchange stream is retained.
+	apSet := scenario.APSet(out.APs)
+	pass := analysis.NewInterferencePass(50, func(m dot80211.MAC) bool { return apSet[m] })
 	ccfg := core.DefaultConfig()
-	ccfg.KeepJFrames = true
-	ccfg.KeepExchanges = true
-	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
-	if err != nil {
+	ccfg.Passes = []core.Pass{pass}
+	if _, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil); err != nil {
 		log.Fatal(err)
 	}
-
-	apSet := map[dot80211.MAC]bool{}
-	for _, ap := range out.APs {
-		apSet[ap.MAC] = true
-	}
-	rep := analysis.Interference(res.JFrames, res.Exchanges, 50,
-		func(m dot80211.MAC) bool { return apSet[m] })
+	rep := pass.Finalize().(*analysis.InterferenceReport)
 
 	fmt.Printf("(s,r) pairs with ≥50 packets: %d (of %d observed)\n",
 		len(rep.Pairs), rep.PairsConsidered)

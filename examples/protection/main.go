@@ -27,15 +27,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The protection analysis runs as a streaming pass fed inline by the
+	// merge, so the jframe stream is never retained.
+	slotUS := out.Cfg.HourDur().US64()
+	pass := analysis.NewProtectionPass(slotUS /* practical 1-"minute" timeout */, slotUS)
 	ccfg := core.DefaultConfig()
-	ccfg.KeepJFrames = true
-	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
-	if err != nil {
+	ccfg.Passes = []core.Pass{pass}
+	if _, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil); err != nil {
 		log.Fatal(err)
 	}
-
-	slotUS := out.Cfg.HourDur().US64()
-	rep := analysis.Protection(res.JFrames, slotUS /* practical 1-"minute" timeout */, slotUS)
+	rep := pass.Finalize().(*analysis.ProtectionReport)
 
 	fmt.Println("hour  protected  overprotective  g-active  g-affected")
 	for i, s := range rep.Slots {

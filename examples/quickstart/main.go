@@ -30,10 +30,14 @@ func main() {
 	// 2. Run the Jigsaw pipeline over the per-radio traces. Monitors'
 	//    clocks are off by up to ±50 ms with tens-of-ppm skew; the
 	//    pipeline synchronizes them to microseconds using nothing but the
-	//    frames they overheard in common.
+	//    frames they overheard in common. Analyses attach as streaming
+	//    passes — here a Figure-2 visualization window in the middle of
+	//    the day — so nothing retains the merged streams.
 	ccfg := core.DefaultConfig()
-	ccfg.KeepJFrames = true
-	ccfg.KeepExchanges = true
+	// 10 ms of trace at the diurnal peak (hour ~17 of the compressed day).
+	vizAt := int64(cfg.Day.SecondsF() * 1e6 * 17 / 24)
+	viz := analysis.NewVizPassRelative(vizAt, 10_000, 90)
+	ccfg.Passes = []core.Pass{viz}
 	start := time.Now()
 	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
 	if err != nil {
@@ -52,9 +56,8 @@ func main() {
 		res.Transport.Stats.Flows, res.Transport.Stats.CompleteFlows)
 
 	// 3. Show a slice of the synchronized trace (the paper's Figure 2).
-	if n := len(res.JFrames); n > 100 {
-		from := res.JFrames[n/2].UnivUS
+	if res.UnifyStats.JFrames > 100 {
 		fmt.Println()
-		fmt.Print(analysis.Visualize(res.JFrames, from, from+3000, 90))
+		fmt.Print(viz.Finalize().(string))
 	}
 }

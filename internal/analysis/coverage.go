@@ -1,12 +1,7 @@
-// Package analysis implements the paper's evaluation: the §6 coverage
-// experiments (oracle comparison, wired-trace comparison, pod-count
-// sensitivity) and the §7 analyses (trace summary, activity time series,
-// co-channel interference estimation, 802.11g protection policy, TCP loss
-// attribution), each producing the rows/series of the corresponding table
-// or figure.
 package analysis
 
 import (
+	"bytes"
 	"sort"
 
 	"repro/internal/core"
@@ -63,26 +58,64 @@ type CoverageReport struct {
 	APCoverage               float64 // aggregate over AP-transmitted packets
 }
 
-// Coverage compares the wired distribution trace against the unified
-// wireless trace: for every wired packet that must have appeared as a
-// unicast DATA frame on the air, was it captured by any monitor (§6)?
-// Uplink packets were transmitted by the client; downlink (delivered)
-// packets were transmitted by the client's AP.
-func Coverage(out *scenario.Output, exchanges []*llc.Exchange) *CoverageReport {
-	// Multiset of segment identities observed in the wireless trace.
-	seen := make(map[segIdentity]int)
-	for _, ex := range exchanges {
-		data := ex.Data()
-		if data == nil {
-			continue
-		}
-		seg, err := tcpsim.DecodeSegment(data.Frame.Body)
-		if err != nil {
-			continue
-		}
-		seen[identityOf(seg)]++
-	}
+// CoveragePass accumulates the wireless trace's segment-identity multiset
+// incrementally from the exchange stream; Finalize matches it against the
+// wired tap. Exchange-side state is a pure per-identity count, so the pass
+// shards across the parallel pipeline's transport workers
+// (core.ShardedPass) and the shards merge by summation.
+type CoveragePass struct {
+	named
+	noJFrame
+	out  *scenario.Output
+	seen map[segIdentity]int
+}
 
+// NewCoveragePass builds the §6 coverage pass over the run's ground truth.
+func NewCoveragePass(out *scenario.Output) *CoveragePass {
+	return &CoveragePass{named: "coverage", out: out, seen: make(map[segIdentity]int)}
+}
+
+// observeCoverage records one exchange's TCP segment identity, if any.
+func observeCoverage(seen map[segIdentity]int, ex *llc.Exchange) {
+	data := ex.Data()
+	if data == nil {
+		return
+	}
+	seg, err := tcpsim.DecodeSegment(data.Frame.Body)
+	if err != nil {
+		return
+	}
+	seen[identityOf(seg)]++
+}
+
+// ObserveExchange implements Pass.
+func (p *CoveragePass) ObserveExchange(ex *llc.Exchange) { observeCoverage(p.seen, ex) }
+
+// coverageShard is one transport worker's identity accumulator.
+type coverageShard struct {
+	noJFrame
+	seen map[segIdentity]int
+}
+
+func (s *coverageShard) ObserveExchange(ex *llc.Exchange) { observeCoverage(s.seen, ex) }
+
+// NewShard implements core.ShardedPass.
+func (p *CoveragePass) NewShard() core.Pass {
+	return &coverageShard{seen: make(map[segIdentity]int)}
+}
+
+// AbsorbShard implements core.ShardedPass: identity counts sum.
+func (p *CoveragePass) AbsorbShard(s core.Pass) {
+	for id, n := range s.(*coverageShard).seen {
+		p.seen[id] += n
+	}
+}
+
+// Finalize implements Pass, returning the *CoverageReport.
+func (p *CoveragePass) Finalize() Report { return p.finalize() }
+
+func (p *CoveragePass) finalize() *CoverageReport {
+	out, seen := p.out, p.seen
 	clientAP := make(map[dot80211.MAC]dot80211.MAC, len(out.Clients))
 	clientByIP := make(map[uint32]dot80211.MAC, len(out.Clients))
 	for _, c := range out.Clients {
@@ -161,7 +194,13 @@ func Coverage(out *scenario.Output, exchanges []*llc.Exchange) *CoverageReport {
 		}
 	}
 	sort.Slice(rep.Stations, func(i, j int) bool {
-		return rep.Stations[i].Fraction() < rep.Stations[j].Fraction()
+		fi, fj := rep.Stations[i].Fraction(), rep.Stations[j].Fraction()
+		if fi != fj {
+			return fi < fj
+		}
+		// Total order: map iteration fed the slice, so ties (common at
+		// 100% coverage) need a deterministic break.
+		return bytes.Compare(rep.Stations[i].MAC[:], rep.Stations[j].MAC[:]) < 0
 	})
 	if rep.TotalWired > 0 {
 		rep.Overall = float64(capTotal) / float64(rep.TotalWired)
@@ -181,6 +220,20 @@ func Coverage(out *scenario.Output, exchanges []*llc.Exchange) *CoverageReport {
 		rep.APCoverage = float64(apCap) / float64(apPk)
 	}
 	return rep
+}
+
+// Coverage compares the wired distribution trace against the unified
+// wireless trace: for every wired packet that must have appeared as a
+// unicast DATA frame on the air, was it captured by any monitor (§6)?
+// Uplink packets were transmitted by the client; downlink (delivered)
+// packets were transmitted by the client's AP. Compatibility wrapper over
+// CoveragePass for retained exchange slices.
+func Coverage(out *scenario.Output, exchanges []*llc.Exchange) *CoverageReport {
+	p := NewCoveragePass(out)
+	for _, ex := range exchanges {
+		p.ObserveExchange(ex)
+	}
+	return p.finalize()
 }
 
 // OracleCoverage reproduces the §6 controlled experiment: the simulator's
@@ -257,12 +310,13 @@ func PodSweep(out *scenario.Output, podCounts []int) ([]PodCoverage, error) {
 			}
 		}
 		cfg := core.DefaultConfig()
-		cfg.KeepExchanges = true
+		covPass := NewCoveragePass(out)
+		cfg.Passes = []core.Pass{covPass}
 		res, err := core.Run(traces, groups, cfg, nil)
 		if err != nil {
 			return rows, err
 		}
-		cov := Coverage(out, res.Exchanges)
+		cov := covPass.finalize()
 		rows = append(rows, PodCoverage{
 			Pods: len(reduced.Pods), Radios: len(traces),
 			Synced:     res.Bootstrap.Synced(),

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -44,110 +45,118 @@ const (
 	diagInterference = 0.25
 )
 
-// Diagnose builds per-station reports from the merged trace, sorted by
-// airtime (the biggest channel consumers first).
-func Diagnose(jframes []*unify.JFrame, exchanges []*llc.Exchange) []StationDiagnosis {
-	type acc struct {
-		d          StationDiagnosis
-		rateWeight float64
-		attempts   int
-		overlapped int
-	}
-	accs := map[dot80211.MAC]*acc{}
-	get := func(m dot80211.MAC) *acc {
-		a := accs[m]
-		if a == nil {
-			a = &acc{d: StationDiagnosis{MAC: m}}
-			accs[m] = a
-		}
-		return a
-	}
+// diagAcc is one station's accumulator.
+type diagAcc struct {
+	d          StationDiagnosis
+	rateWeight float64
+	attempts   int
+	overlapped int
+}
 
-	// Airtime & rates from jframes; overlap via interval index.
-	type iv struct{ start, end int64 }
-	byCh := map[dot80211.Channel][]iv{}
-	var totalAir int64
-	for _, j := range jframes {
-		if !j.Valid {
-			continue
-		}
-		end := j.EndUS()
-		if end == j.UnivUS {
-			end = j.UnivUS + 1
-		}
-		byCh[j.Channel] = append(byCh[j.Channel], iv{j.UnivUS, end})
-		tx := j.Frame.Transmitter()
-		air := j.AirtimeUS()
-		totalAir += air
-		if j.Frame.IsCTS() {
-			// CTS-to-self overhead accrues to the protected station
-			// (its own MAC rides in Addr1).
-			a := get(j.Frame.Addr1)
-			a.d.ProtectionUS += air
-			a.d.AirtimeUS += air
-			continue
-		}
-		if tx.IsZero() {
-			continue
-		}
-		a := get(tx)
+// DiagnosisPass builds the §8 per-station reports incrementally: airtime,
+// rates and protection overhead from the jframe stream (which also feeds
+// the sliding overlap window), delivery/retry/interference-exposure
+// evidence from the exchange stream, deferred like the interference pass
+// so overlap queries see a complete window. State is O(stations + window).
+type DiagnosisPass struct {
+	named
+	accs     map[dot80211.MAC]*diagAcc
+	idx      overlapIndex
+	pending  exchangeDeferral
+	totalAir int64
+}
+
+// NewDiagnosisPass builds the §8 diagnosis pass.
+func NewDiagnosisPass() *DiagnosisPass {
+	return &DiagnosisPass{
+		named: "diagnose",
+		accs:  make(map[dot80211.MAC]*diagAcc),
+		idx:   newOverlapIndex(),
+	}
+}
+
+func (p *DiagnosisPass) get(m dot80211.MAC) *diagAcc {
+	a := p.accs[m]
+	if a == nil {
+		a = &diagAcc{d: StationDiagnosis{MAC: m}}
+		p.accs[m] = a
+	}
+	return a
+}
+
+// ObserveJFrame implements Pass: airtime and rate accounting plus the
+// overlap window (valid frames only, as the legacy index built).
+func (p *DiagnosisPass) ObserveJFrame(j *unify.JFrame) {
+	p.pending.noteJFrame(j.UnivUS)
+	defer p.pending.flush(p.process)
+	if !j.Valid {
+		return
+	}
+	s, e := frameInterval(j)
+	p.idx.add(j.Channel, s, e)
+	tx := j.Frame.Transmitter()
+	air := j.AirtimeUS()
+	p.totalAir += air
+	if j.Frame.IsCTS() {
+		// CTS-to-self overhead accrues to the protected station
+		// (its own MAC rides in Addr1).
+		a := p.get(j.Frame.Addr1)
+		a.d.ProtectionUS += air
 		a.d.AirtimeUS += air
-		if j.Frame.IsData() {
-			a.d.MeanRateMbps += j.Rate.Mbps() * float64(air)
-			a.rateWeight += float64(air)
-		}
+		return
 	}
-	for ch := range byCh {
-		ivs := byCh[ch]
-		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
-		byCh[ch] = ivs
+	if tx.IsZero() {
+		return
 	}
-	overlapping := func(ch dot80211.Channel, s, e int64) bool {
-		ivs := byCh[ch]
-		i := sort.Search(len(ivs), func(k int) bool { return ivs[k].start >= e })
-		hits := 0
-		for k := i - 1; k >= 0; k-- {
-			if ivs[k].end <= s {
-				if s-ivs[k].start > 15_000 {
-					break
-				}
-				continue
-			}
-			if hits++; hits >= 2 {
-				return true
-			}
-		}
-		return false
+	a := p.get(tx)
+	a.d.AirtimeUS += air
+	if j.Frame.IsData() {
+		a.d.MeanRateMbps += j.Rate.Mbps() * float64(air)
+		a.rateWeight += float64(air)
 	}
+}
 
-	for _, ex := range exchanges {
-		if ex.Transmitter.IsZero() {
+// ObserveExchange implements Pass.
+func (p *DiagnosisPass) ObserveExchange(ex *llc.Exchange) {
+	p.pending.push(ex)
+	p.pending.flush(p.process)
+}
+
+func (p *DiagnosisPass) process(ex *llc.Exchange) {
+	p.idx.prune(ex.CloseUS - overlapPruneHorizonUS)
+	if ex.Transmitter.IsZero() {
+		return
+	}
+	a := p.get(ex.Transmitter)
+	a.d.Exchanges++
+	switch ex.Delivery {
+	case llc.DeliveryObserved, llc.DeliveryInferred:
+		a.d.Delivered++
+	case llc.DeliveryFailed:
+		a.d.Failed++
+	}
+	if !ex.Broadcast {
+		a.d.RetryRate += float64(ex.Retransmissions())
+	}
+	for _, at := range ex.Attempts {
+		if at.Data == nil || !at.Data.Frame.IsUnicastData() {
 			continue
 		}
-		a := get(ex.Transmitter)
-		a.d.Exchanges++
-		switch ex.Delivery {
-		case llc.DeliveryObserved, llc.DeliveryInferred:
-			a.d.Delivered++
-		case llc.DeliveryFailed:
-			a.d.Failed++
-		}
-		if !ex.Broadcast {
-			a.d.RetryRate += float64(ex.Retransmissions())
-		}
-		for _, at := range ex.Attempts {
-			if at.Data == nil || !at.Data.Frame.IsUnicastData() {
-				continue
-			}
-			a.attempts++
-			if overlapping(at.Data.Channel, at.Data.UnivUS, at.Data.EndUS()) {
-				a.overlapped++
-			}
+		a.attempts++
+		if p.idx.overlapping(at.Data.Channel, at.Data.UnivUS, at.Data.EndUS()) {
+			a.overlapped++
 		}
 	}
+}
 
-	out := make([]StationDiagnosis, 0, len(accs))
-	for _, a := range accs {
+// Finalize implements Pass, returning []StationDiagnosis sorted by airtime
+// (the biggest channel consumers first).
+func (p *DiagnosisPass) Finalize() Report { return p.finalize() }
+
+func (p *DiagnosisPass) finalize() []StationDiagnosis {
+	p.pending.drain(p.process)
+	out := make([]StationDiagnosis, 0, len(p.accs))
+	for _, a := range p.accs {
 		d := a.d
 		if d.Exchanges > 0 {
 			d.RetryRate /= float64(d.Exchanges)
@@ -155,8 +164,8 @@ func Diagnose(jframes []*unify.JFrame, exchanges []*llc.Exchange) []StationDiagn
 		if a.rateWeight > 0 {
 			d.MeanRateMbps /= a.rateWeight
 		}
-		if totalAir > 0 {
-			d.AirtimeShare = float64(d.AirtimeUS) / float64(totalAir)
+		if p.totalAir > 0 {
+			d.AirtimeShare = float64(d.AirtimeUS) / float64(p.totalAir)
 		}
 		if a.attempts > 0 {
 			d.InterferenceExposure = float64(a.overlapped) / float64(a.attempts)
@@ -164,8 +173,21 @@ func Diagnose(jframes []*unify.JFrame, exchanges []*llc.Exchange) []StationDiagn
 		d.Findings = findings(&d)
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].AirtimeUS > out[j].AirtimeUS })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AirtimeUS != out[j].AirtimeUS {
+			return out[i].AirtimeUS > out[j].AirtimeUS
+		}
+		// Total order: the slice was fed from map iteration, so airtime
+		// ties (idle stations) need a deterministic break.
+		return bytes.Compare(out[i].MAC[:], out[j].MAC[:]) < 0
+	})
 	return out
+}
+
+// Diagnose builds per-station reports from retained slices. Compatibility
+// wrapper over DiagnosisPass.
+func Diagnose(jframes []*unify.JFrame, exchanges []*llc.Exchange) []StationDiagnosis {
+	return drivePass(NewDiagnosisPass(), jframes, exchanges).([]StationDiagnosis)
 }
 
 // findings turns the aggregates into actionable diagnoses.

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"bytes"
+	"math"
 	"sort"
 
 	"repro/internal/dot80211"
@@ -72,102 +74,118 @@ type InterferenceReport struct {
 	XCDF []float64
 }
 
-// Interference estimates co-channel interference from the unified trace
-// (§7.2). For every unicast DATA transmission attempt it decides (a)
-// whether another transmission overlapped it in time on the same channel,
-// and (b) whether it was lost (no ACK captured for that attempt and the
-// exchange never showed delivery evidence for it), then aggregates the
-// conditional-probability estimate per (s,r) pair.
-func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets int, isAP func(dot80211.MAC) bool) *InterferenceReport {
-	// Index jframe intervals per channel for overlap queries.
-	type iv struct{ start, end int64 }
-	byCh := make(map[dot80211.Channel][]iv)
-	for _, j := range jframes {
-		if j.PhyOnly {
+// InterferencePass estimates co-channel interference from the unified
+// trace (§7.2), incrementally. The jframe stream maintains a sliding
+// per-channel interval window (overlapIndex); each exchange — deferred
+// until the jframe frontier guarantees the window is complete around its
+// attempts — decides, per unicast DATA attempt, (a) whether another
+// transmission overlapped it in time on the same channel and (b) whether
+// it was lost, aggregating the conditional-probability estimate per (s,r)
+// pair. State is O(pairs + window), independent of trace length.
+type InterferencePass struct {
+	named
+	minPackets int
+	isAP       func(dot80211.MAC) bool
+	idx        overlapIndex
+	pending    exchangeDeferral
+	pairs      map[[2]dot80211.MAC]*PairStats
+}
+
+// NewInterferencePass builds the §7.2 pass. minPackets is the per-pair
+// transmission floor; isAP classifies senders for the AP/client split (nil
+// disables it).
+func NewInterferencePass(minPackets int, isAP func(dot80211.MAC) bool) *InterferencePass {
+	return &InterferencePass{
+		named: "interference", minPackets: minPackets, isAP: isAP,
+		idx:   newOverlapIndex(),
+		pairs: make(map[[2]dot80211.MAC]*PairStats),
+	}
+}
+
+// ObserveJFrame implements Pass: index the transmission interval (every
+// non-phy-error event, decodable or not, occupies air) and advance the
+// deferral frontier.
+func (p *InterferencePass) ObserveJFrame(j *unify.JFrame) {
+	p.pending.noteJFrame(j.UnivUS)
+	if !j.PhyOnly {
+		s, e := frameInterval(j)
+		p.idx.add(j.Channel, s, e)
+	}
+	p.pending.flush(p.process)
+}
+
+// ObserveExchange implements Pass.
+func (p *InterferencePass) ObserveExchange(ex *llc.Exchange) {
+	p.pending.push(ex)
+	p.pending.flush(p.process)
+}
+
+// process scores one exchange's attempts once the interval window is
+// complete around them.
+func (p *InterferencePass) process(ex *llc.Exchange) {
+	p.idx.prune(ex.CloseUS - overlapPruneHorizonUS)
+	if ex.Broadcast {
+		return
+	}
+	for ai, at := range ex.Attempts {
+		if at.Data == nil || !at.Data.Frame.IsUnicastData() {
 			continue
 		}
-		end := j.EndUS()
-		if end == j.UnivUS {
-			end = j.UnivUS + 1
+		key := [2]dot80211.MAC{at.Transmitter, at.Receiver}
+		ps := p.pairs[key]
+		if ps == nil {
+			ps = &PairStats{S: at.Transmitter, R: at.Receiver}
+			p.pairs[key] = ps
 		}
-		byCh[j.Channel] = append(byCh[j.Channel], iv{j.UnivUS, end})
-	}
-	for ch := range byCh {
-		ivs := byCh[ch]
-		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
-		byCh[ch] = ivs
-	}
-	// overlapping reports whether any *other* transmission overlaps
-	// [s,e) on channel ch. The probe interval itself appears in the index,
-	// so we require a second overlapper.
-	overlapping := func(ch dot80211.Channel, s, e int64) bool {
-		ivs := byCh[ch]
-		// First interval with start < e, scanning left while end > s.
-		i := sort.Search(len(ivs), func(k int) bool { return ivs[k].start >= e })
-		hits := 0
-		for k := i - 1; k >= 0; k-- {
-			if ivs[k].end <= s {
-				// Starts are sorted but ends are not; scan a bounded
-				// window back (longest frame ≈ 12 ms).
-				if s-ivs[k].start > 15_000 {
-					break
-				}
-				continue
-			}
-			hits++
-			if hits >= 2 {
-				return true
+		simultaneous := p.idx.overlapping(at.Data.Channel, at.Data.UnivUS, at.Data.EndUS())
+		// A transmission attempt was lost if it drew a retransmission
+		// (it was not the final attempt) or the final attempt shows no
+		// delivery evidence.
+		lost := !at.Acked()
+		if ai == len(ex.Attempts)-1 {
+			switch ex.Delivery {
+			case llc.DeliveryObserved, llc.DeliveryInferred:
+				lost = false
 			}
 		}
-		return false
+		ps.N++
+		if simultaneous {
+			ps.NX++
+			if lost {
+				ps.NLX++
+			}
+		} else {
+			ps.N0++
+			if lost {
+				ps.NL0++
+			}
+		}
 	}
+}
 
-	pairs := make(map[[2]dot80211.MAC]*PairStats)
-	for _, ex := range exchanges {
-		if ex.Broadcast {
-			continue
-		}
-		for ai, at := range ex.Attempts {
-			if at.Data == nil || !at.Data.Frame.IsUnicastData() {
-				continue
-			}
-			key := [2]dot80211.MAC{at.Transmitter, at.Receiver}
-			ps := pairs[key]
-			if ps == nil {
-				ps = &PairStats{S: at.Transmitter, R: at.Receiver}
-				pairs[key] = ps
-			}
-			simultaneous := overlapping(at.Data.Channel, at.Data.UnivUS, at.Data.EndUS())
-			// A transmission attempt was lost if it drew a retransmission
-			// (it was not the final attempt) or the final attempt shows no
-			// delivery evidence.
-			lost := !at.Acked()
-			if ai == len(ex.Attempts)-1 {
-				switch ex.Delivery {
-				case llc.DeliveryObserved, llc.DeliveryInferred:
-					lost = false
-				}
-			}
-			ps.N++
-			if simultaneous {
-				ps.NX++
-				if lost {
-					ps.NLX++
-				}
-			} else {
-				ps.N0++
-				if lost {
-					ps.NL0++
-				}
-			}
-		}
-	}
+// Finalize implements Pass, returning the *InterferenceReport.
+func (p *InterferencePass) Finalize() Report { return p.finalize() }
 
-	rep := &InterferenceReport{PairsConsidered: len(pairs)}
+func (p *InterferencePass) finalize() *InterferenceReport {
+	p.pending.drain(p.process)
+	rep := &InterferenceReport{PairsConsidered: len(p.pairs)}
+	// Aggregate in sorted key order: the float accumulation below must not
+	// depend on map iteration order.
+	keys := make([][2]dot80211.MAC, 0, len(p.pairs))
+	for k := range p.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if c := bytes.Compare(keys[i][0][:], keys[j][0][:]); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(keys[i][1][:], keys[j][1][:]) < 0
+	})
 	var bgSum float64
 	var interfered, negative, apSenders int
-	for _, ps := range pairs {
-		if ps.N < minPackets {
+	for _, k := range keys {
+		ps := p.pairs[k]
+		if ps.N < p.minPackets {
 			continue
 		}
 		rep.Pairs = append(rep.Pairs, *ps)
@@ -175,7 +193,7 @@ func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets
 		pi := ps.Pi()
 		if pi > 0 {
 			interfered++
-			if isAP != nil && isAP(ps.S) {
+			if p.isAP != nil && p.isAP(ps.S) {
 				apSenders++
 			}
 		} else if pi < 0 {
@@ -184,7 +202,16 @@ func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets
 		rep.XCDF = append(rep.XCDF, ps.X())
 	}
 	sort.Float64s(rep.XCDF)
-	sort.Slice(rep.Pairs, func(i, j int) bool { return rep.Pairs[i].X() < rep.Pairs[j].X() })
+	sort.Slice(rep.Pairs, func(i, j int) bool {
+		xi, xj := rep.Pairs[i].X(), rep.Pairs[j].X()
+		if xi != xj {
+			return xi < xj
+		}
+		if c := bytes.Compare(rep.Pairs[i].S[:], rep.Pairs[j].S[:]); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(rep.Pairs[i].R[:], rep.Pairs[j].R[:]) < 0
+	})
 	if n := len(rep.Pairs); n > 0 {
 		rep.FractionWithInterference = float64(interfered) / float64(n)
 		rep.NegativePiFraction = float64(negative) / float64(n)
@@ -196,14 +223,26 @@ func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets
 	return rep
 }
 
-// XPercentile returns the p-th percentile of the interference loss rate.
+// Interference estimates co-channel interference from retained slices.
+// Compatibility wrapper over InterferencePass.
+func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets int, isAP func(dot80211.MAC) bool) *InterferenceReport {
+	return drivePass(NewInterferencePass(minPackets, isAP), jframes, exchanges).(*InterferenceReport)
+}
+
+// XPercentile returns the p-th percentile of the interference loss rate,
+// by the nearest-rank rule: the smallest X with at least a p fraction of
+// pairs at or below it (rank ⌈p·n⌉, i.e. index ⌈p·n⌉−1).
 func (r *InterferenceReport) XPercentile(p float64) float64 {
-	if len(r.XCDF) == 0 {
+	n := len(r.XCDF)
+	if n == 0 {
 		return 0
 	}
-	i := int(p * float64(len(r.XCDF)))
-	if i >= len(r.XCDF) {
-		i = len(r.XCDF) - 1
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
 	}
 	return r.XCDF[i]
 }

@@ -1,0 +1,448 @@
+// Package analysis implements the paper's evaluation: the §6 coverage
+// experiments (oracle comparison, wired-trace comparison, pod-count
+// sensitivity) and the §7 analyses (trace summary, activity time series,
+// co-channel interference estimation, 802.11g protection policy, TCP loss
+// attribution), each producing the rows/series of the corresponding table
+// or figure.
+//
+// # Streaming architecture
+//
+// Every analysis is an incremental observer (a Pass) over the pipeline's
+// two product streams —
+// unified jframes and reconstructed frame exchanges — rather than a
+// function over fully materialized slices. A pass accumulates only the
+// bounded state its report needs (per-station counters, per-slot buckets,
+// a sliding interval window for overlap queries), so the out-of-core merge
+// can run every analysis inline at streaming heap instead of retaining
+// O(trace) jframes/exchanges behind core.Config.KeepJFrames/KeepExchanges.
+//
+// Contract (mirrors core.Pass, which these passes satisfy structurally):
+//
+//   - ObserveJFrame sees the unified stream in emission order;
+//     ObserveExchange sees exchanges in canonical close order. The two
+//     callbacks are never concurrent.
+//   - When an exchange arrives, every jframe emitted before the
+//     reconstruction watermark passed its CloseUS has been observed.
+//     Emission order can locally invert by up to roughly the unifier's
+//     search window, so passes whose exchange handling queries the jframe
+//     history (interference, diagnosis) defer each exchange until their
+//     jframe frontier clears CloseUS + emitSlackUS, which makes the query
+//     results exactly those of a whole-trace index.
+//   - Finalize is called once, after both streams end (and, for passes
+//     implementing core.ResultSink, after SetResult); it returns the same
+//     report value the legacy slice-based function produces.
+//
+// Exchange-keyed passes whose state is a pure per-key accumulation can
+// additionally implement core.ShardedPass (NewShard/AbsorbShard, the
+// transport analyzer's FlowShard absorb/merge pattern) to have the
+// parallel pipeline feed them from the transport shard workers; the
+// coverage pass is the exemplar.
+//
+// The legacy slice-taking functions (Coverage, Diagnose, Interference,
+// Protection, TimeSeries, Summarize, DetectHandoffs, Visualize) remain as
+// thin compatibility wrappers that replay the slices through a pass via
+// Runner.DriveSlices.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/llc"
+	"repro/internal/scenario"
+	"repro/internal/unify"
+)
+
+// Report is a pass's finalized product: one of the concrete report types
+// of this package (*CoverageReport, []StationDiagnosis, *TraceSummary, a
+// rendered string, ...).
+type Report any
+
+// Pass is one streaming analysis: an incremental observer of the jframe
+// and exchange streams that yields its report on Finalize. Every Pass in
+// this package also satisfies core.Pass, so a []Pass can be handed to
+// core.Config.Passes (element-wise) to run inline over the merge.
+type Pass interface {
+	// Name is the pass's registry name (the -passes selector token).
+	Name() string
+	ObserveJFrame(*unify.JFrame)
+	ObserveExchange(*llc.Exchange)
+	// Finalize computes the report. Call exactly once, after the streams
+	// end; the result is the same value the legacy slice-based function
+	// returns for the same streams.
+	Finalize() Report
+}
+
+// named implements Pass.Name by value.
+type named string
+
+func (n named) Name() string { return string(n) }
+
+// noExchange is embedded by jframe-only passes.
+type noExchange struct{}
+
+func (noExchange) ObserveExchange(*llc.Exchange) {}
+
+// noJFrame is embedded by exchange-only passes.
+type noJFrame struct{}
+
+func (noJFrame) ObserveJFrame(*unify.JFrame) {}
+
+// PassReport pairs a pass's name with its finalized report.
+type PassReport struct {
+	Name   string
+	Report Report
+}
+
+// Runner drives a set of passes outside the live pipeline — over retained
+// slices (the compatibility path) — and collects their reports. Inside the
+// pipeline core.Config.Passes takes the passes directly.
+type Runner struct {
+	Passes []Pass
+}
+
+// DriveSlices replays retained jframe/exchange slices through the passes
+// in the streaming contract's order: exchanges in canonical close order,
+// each preceded by every jframe with UnivUS <= its CloseUS. This is
+// exactly the interleaving the live pipeline guarantees, so a pass fed
+// either way produces the identical report.
+func (r *Runner) DriveSlices(jframes []*unify.JFrame, exchanges []*llc.Exchange) {
+	i := 0
+	for _, ex := range exchanges {
+		for i < len(jframes) && jframes[i].UnivUS <= ex.CloseUS {
+			for _, p := range r.Passes {
+				p.ObserveJFrame(jframes[i])
+			}
+			i++
+		}
+		for _, p := range r.Passes {
+			p.ObserveExchange(ex)
+		}
+	}
+	for ; i < len(jframes); i++ {
+		for _, p := range r.Passes {
+			p.ObserveJFrame(jframes[i])
+		}
+	}
+}
+
+// SetResult forwards the completed pipeline result to every pass that
+// wants it (core calls this itself for inline passes; slice-driven runs
+// call it before Reports).
+func (r *Runner) SetResult(res *core.Result) {
+	for _, p := range r.Passes {
+		if rs, ok := p.(core.ResultSink); ok {
+			rs.SetResult(res)
+		}
+	}
+}
+
+// Reports finalizes every pass, in registration order.
+func (r *Runner) Reports() []PassReport {
+	out := make([]PassReport, len(r.Passes))
+	for i, p := range r.Passes {
+		out[i] = PassReport{Name: p.Name(), Report: p.Finalize()}
+	}
+	return out
+}
+
+// drivePass is the compatibility wrappers' helper: replay slices through
+// one pass and finalize it.
+func drivePass(p Pass, jframes []*unify.JFrame, exchanges []*llc.Exchange) Report {
+	r := Runner{Passes: []Pass{p}}
+	r.DriveSlices(jframes, exchanges)
+	return p.Finalize()
+}
+
+// PassParams carries the operating points the registry's constructors
+// need. Zero values select the paper's defaults where one exists.
+type PassParams struct {
+	// SlotUS is the activity/protection time bucket (the compressed hour
+	// in the cmds). Required by timeseries and protection.
+	SlotUS int64
+	// PracticalTimeoutUS is the protection analysis's practical timeout
+	// (0: SlotUS, the cmds' convention).
+	PracticalTimeoutUS int64
+	// MinPackets is interference's per-pair packet floor (0: 50).
+	MinPackets int
+	// TCPLossMinSegs is tcploss's per-flow data-segment floor (0: 5).
+	TCPLossMinSegs int
+	// IsAP distinguishes infrastructure MACs (from scenario ground truth
+	// or the meta.json roster). Required by interference and roam.
+	IsAP func(dot80211.MAC) bool
+	// Out is simulator ground truth; nil when analyzing a bare trace
+	// directory. Passes marked NeedsTruth require it.
+	Out *scenario.Output
+	// VizFromUS/VizDurUS/VizWidth frame the viz pass's window, relative
+	// to the first jframe.
+	VizFromUS, VizDurUS int64
+	VizWidth            int
+}
+
+// PassSpec describes one registered pass.
+type PassSpec struct {
+	Name string
+	Desc string
+	// NeedsTruth marks passes that require simulator ground truth (the
+	// wired tap / oracle); they cannot run over a bare trace directory.
+	NeedsTruth bool
+	// Optional passes are excluded from the "all" selector (viz needs an
+	// explicit window to be meaningful).
+	Optional bool
+	New      func(PassParams) Pass
+}
+
+// passRegistry lists every streaming analysis, in report order.
+var passRegistry = []PassSpec{
+	{Name: "summary", Desc: "Table 1 trace summary",
+		New: func(PassParams) Pass { return NewSummaryPass() }},
+	{Name: "coverage", Desc: "Fig. 6 wired-trace coverage", NeedsTruth: true,
+		New: func(p PassParams) Pass { return NewCoveragePass(p.Out) }},
+	{Name: "timeseries", Desc: "Fig. 8 activity time series",
+		New: func(p PassParams) Pass { return NewTimeSeriesPass(p.SlotUS) }},
+	{Name: "interference", Desc: "Fig. 9 interference loss rate",
+		New: func(p PassParams) Pass {
+			min := p.MinPackets
+			if min <= 0 {
+				min = 50
+			}
+			return NewInterferencePass(min, p.IsAP)
+		}},
+	{Name: "protection", Desc: "Fig. 10 overprotective APs",
+		New: func(p PassParams) Pass {
+			timeout := p.PracticalTimeoutUS
+			if timeout == 0 {
+				timeout = p.SlotUS
+			}
+			return NewProtectionPass(timeout, p.SlotUS)
+		}},
+	{Name: "diagnose", Desc: "§8 per-station diagnosis",
+		New: func(PassParams) Pass { return NewDiagnosisPass() }},
+	{Name: "tcploss", Desc: "Fig. 11 TCP loss attribution",
+		New: func(p PassParams) Pass {
+			min := p.TCPLossMinSegs
+			if min <= 0 {
+				min = 5
+			}
+			return NewTCPLossPass(min)
+		}},
+	{Name: "roam", Desc: "handoff detection from the exchange stream",
+		New: func(p PassParams) Pass { return NewRoamingPass(p.IsAP) }},
+	{Name: "viz", Desc: "Fig. 2 synchronized-trace window", Optional: true,
+		New: func(p PassParams) Pass { return NewVizPassRelative(p.VizFromUS, p.VizDurUS, p.VizWidth) }},
+}
+
+// PassSpecs returns the registry in report order.
+func PassSpecs() []PassSpec {
+	out := make([]PassSpec, len(passRegistry))
+	copy(out, passRegistry)
+	return out
+}
+
+// NewPasses resolves a selector — "all" or a comma-separated name list —
+// into constructed passes, in registry order. "all" expands to every
+// non-optional pass, silently skipping truth-needing ones when params.Out
+// is nil (the caller reports those as skipped); naming a truth-needing
+// pass explicitly without ground truth is an error.
+func NewPasses(selector string, params PassParams) ([]Pass, error) {
+	want := map[string]bool{}
+	all := selector == "" || selector == "all"
+	if !all {
+		for _, name := range strings.Split(selector, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			found := false
+			for _, spec := range passRegistry {
+				if spec.Name == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("analysis: unknown pass %q", name)
+			}
+			want[name] = true
+		}
+	}
+	var out []Pass
+	for _, spec := range passRegistry {
+		switch {
+		case all && (spec.Optional || (spec.NeedsTruth && params.Out == nil)):
+			continue
+		case !all && !want[spec.Name]:
+			continue
+		}
+		if spec.NeedsTruth && params.Out == nil {
+			return nil, fmt.Errorf("analysis: pass %q needs simulator ground truth (wired tap)", spec.Name)
+		}
+		out = append(out, spec.New(params))
+	}
+	return out, nil
+}
+
+// CorePasses converts to the slice type core.Config.Passes takes (Go's
+// structural interfaces convert element-wise, not slice-wise).
+func CorePasses(passes []Pass) []core.Pass {
+	out := make([]core.Pass, len(passes))
+	for i, p := range passes {
+		out[i] = p
+	}
+	return out
+}
+
+// emitSlackUS bounds the unifier's local emission-order inversion: a
+// jframe can be emitted after another whose UnivUS is up to roughly the
+// unification search window (default 10 ms) later. Deferring an exchange
+// until the jframe frontier clears CloseUS + emitSlackUS therefore
+// guarantees every jframe with UnivUS <= CloseUS has been observed, making
+// sliding-window overlap queries identical to whole-trace-index ones.
+const emitSlackUS = 100_000
+
+// exchangeDeferral holds exchanges (which arrive in canonical close order)
+// until the jframe frontier has advanced past their CloseUS plus the
+// emission slack. The buffer spans at most ~emitSlackUS of trace time plus
+// the pipeline's watermark lag — bounded, unlike the slices it replaces.
+type exchangeDeferral struct {
+	q        []*llc.Exchange
+	head     int
+	frontier int64
+}
+
+// noteJFrame advances the frontier.
+func (d *exchangeDeferral) noteJFrame(us int64) {
+	if us > d.frontier {
+		d.frontier = us
+	}
+}
+
+// push enqueues an exchange.
+func (d *exchangeDeferral) push(ex *llc.Exchange) { d.q = append(d.q, ex) }
+
+// flush processes every queued exchange the frontier has cleared, in
+// arrival (canonical) order.
+func (d *exchangeDeferral) flush(process func(*llc.Exchange)) {
+	for d.head < len(d.q) && d.q[d.head].CloseUS+emitSlackUS <= d.frontier {
+		ex := d.q[d.head]
+		d.q[d.head] = nil
+		d.head++
+		process(ex)
+	}
+	if d.head == len(d.q) {
+		d.q, d.head = d.q[:0], 0
+	}
+}
+
+// drain processes everything left (the streams have ended).
+func (d *exchangeDeferral) drain(process func(*llc.Exchange)) {
+	for d.head < len(d.q) {
+		ex := d.q[d.head]
+		d.q[d.head] = nil
+		d.head++
+		process(ex)
+	}
+	d.q, d.head = nil, 0
+}
+
+// iv is a half-open transmission interval [start, end) in universal µs.
+type iv struct{ start, end int64 }
+
+// overlapMaxAgeUS is how far back an overlap query's scan can reach: the
+// legacy index scan breaks once intervals start more than 15 ms (the
+// longest frame ≈ 12 ms) before the probe, so intervals older than the
+// query window by that margin can never influence an answer.
+const overlapMaxAgeUS = 15_000
+
+// overlapPruneHorizonUS is the sliding window the streaming index retains
+// behind the exchange-close trail. Queries probe attempt intervals of the
+// closing exchange, which start at most the exchange's span plus its
+// timeout before CloseUS — far less than this horizon — so pruning below
+// it can never change an answer while keeping the index bounded.
+const overlapPruneHorizonUS = 10_000_000
+
+// overlapIndex answers §7.2's "did another transmission overlap [s, e) on
+// this channel" over a sliding window of recently observed jframe
+// intervals, replacing the legacy whole-trace sorted index. Intervals are
+// kept sorted by start (the emission stream is near-sorted; inserts bubble
+// at the tail) and pruned behind the exchange-close trail.
+type overlapIndex struct {
+	byCh map[dot80211.Channel]*chanIvs
+}
+
+type chanIvs struct {
+	ivs []iv
+	lo  int // ivs[:lo] pruned
+}
+
+func newOverlapIndex() overlapIndex {
+	return overlapIndex{byCh: make(map[dot80211.Channel]*chanIvs)}
+}
+
+// add indexes one transmission interval.
+func (x overlapIndex) add(ch dot80211.Channel, start, end int64) {
+	c := x.byCh[ch]
+	if c == nil {
+		c = &chanIvs{}
+		x.byCh[ch] = c
+	}
+	c.ivs = append(c.ivs, iv{start, end})
+	for i := len(c.ivs) - 1; i > c.lo && c.ivs[i-1].start > c.ivs[i].start; i-- {
+		c.ivs[i-1], c.ivs[i] = c.ivs[i], c.ivs[i-1]
+	}
+}
+
+// overlapping reports whether any *other* transmission overlaps [s, e) on
+// ch. The probe's own interval is in the index, so two overlappers are
+// required. Identical scan rule to the legacy index: walk left from the
+// first interval starting at or after e, stopping once a non-overlapping
+// interval starts more than overlapMaxAgeUS before s.
+func (x overlapIndex) overlapping(ch dot80211.Channel, s, e int64) bool {
+	c := x.byCh[ch]
+	if c == nil {
+		return false
+	}
+	live := c.ivs[c.lo:]
+	i := sort.Search(len(live), func(k int) bool { return live[k].start >= e })
+	hits := 0
+	for k := i - 1; k >= 0; k-- {
+		if live[k].end <= s {
+			if s-live[k].start > overlapMaxAgeUS {
+				break
+			}
+			continue
+		}
+		hits++
+		if hits >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// prune drops intervals starting before cutoff, compacting occasionally.
+func (x overlapIndex) prune(cutoff int64) {
+	for _, c := range x.byCh {
+		for c.lo < len(c.ivs) && c.ivs[c.lo].start < cutoff {
+			c.lo++
+		}
+		if c.lo > 4096 && 2*c.lo >= len(c.ivs) {
+			n := copy(c.ivs, c.ivs[c.lo:])
+			c.ivs = c.ivs[:n]
+			c.lo = 0
+		}
+	}
+}
+
+// frameInterval is the indexed extent of a jframe: its airtime, or 1 µs
+// for zero-airtime events, matching the legacy index construction.
+func frameInterval(j *unify.JFrame) (start, end int64) {
+	end = j.EndUS()
+	if end == j.UnivUS {
+		end = j.UnivUS + 1
+	}
+	return j.UnivUS, end
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/llc"
+)
+
+// TestXPercentileNearestRank is the regression for the nearest-rank
+// off-by-one: int(p·n) selects one rank too high — p=0.5 of a 2-element
+// CDF must return the lower element (rank ⌈p·n⌉ = 1), not the max.
+func TestXPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		cdf  []float64
+		p    float64
+		want float64
+	}{
+		{[]float64{0.1, 0.9}, 0.5, 0.1}, // the motivating case: was 0.9
+		{[]float64{0.1, 0.9}, 0.25, 0.1},
+		{[]float64{0.1, 0.9}, 0.75, 0.9},
+		{[]float64{0.1, 0.9}, 1.0, 0.9},
+		{[]float64{1, 2, 3, 4}, 0.5, 2},
+		{[]float64{1, 2, 3, 4}, 0.25, 1},
+		{[]float64{1, 2, 3, 4}, 0.9, 4},  // ⌈3.6⌉ = rank 4
+		{[]float64{1, 2, 3, 4}, 0.75, 3}, // exact boundary: rank 3
+		{[]float64{1, 2, 3, 4}, 0.0, 1},
+		{[]float64{7}, 0.5, 7},
+		{nil, 0.5, 0},
+	}
+	for _, tc := range cases {
+		r := &InterferenceReport{XCDF: tc.cdf}
+		if got := r.XPercentile(tc.p); got != tc.want {
+			t.Errorf("XPercentile(%v) over %v = %v, want %v", tc.p, tc.cdf, got, tc.want)
+		}
+	}
+}
+
+// TestNewPassesSelector pins the registry's selector semantics.
+func TestNewPassesSelector(t *testing.T) {
+	// "all" without ground truth: every non-optional, truth-free pass, in
+	// registry order.
+	passes, err := NewPasses("all", PassParams{SlotUS: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range passes {
+		names = append(names, p.Name())
+	}
+	want := []string{"summary", "timeseries", "interference", "protection", "diagnose", "tcploss", "roam"}
+	if len(names) != len(want) {
+		t.Fatalf("all (no truth) = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("all (no truth) = %v, want %v", names, want)
+		}
+	}
+
+	if _, err := NewPasses("nosuch", PassParams{}); err == nil {
+		t.Error("unknown pass name did not error")
+	}
+	if _, err := NewPasses("coverage", PassParams{}); err == nil {
+		t.Error("truth-needing pass without ground truth did not error")
+	}
+	one, err := NewPasses("diagnose,summary", PassParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 2 || one[0].Name() != "summary" || one[1].Name() != "diagnose" {
+		t.Errorf("named selection = %v, want registry order [summary diagnose]", one)
+	}
+}
+
+// TestExchangeDeferral pins the deferral invariant: an exchange is
+// processed only once the jframe frontier has cleared CloseUS plus the
+// emission slack, in arrival order, and drain releases the rest.
+func TestExchangeDeferral(t *testing.T) {
+	var d exchangeDeferral
+	var got []int64
+	record := func(ex *llc.Exchange) { got = append(got, ex.CloseUS) }
+
+	d.push(&llc.Exchange{CloseUS: 100})
+	d.push(&llc.Exchange{CloseUS: 200})
+	d.noteJFrame(100 + emitSlackUS - 1)
+	d.flush(record)
+	if len(got) != 0 {
+		t.Fatalf("flushed %v before the frontier cleared CloseUS+slack", got)
+	}
+	d.noteJFrame(100 + emitSlackUS)
+	d.flush(record)
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("after frontier 100+slack got %v, want [100]", got)
+	}
+	d.push(&llc.Exchange{CloseUS: 300})
+	d.drain(record)
+	if len(got) != 3 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("drain got %v, want [100 200 300]", got)
+	}
+}

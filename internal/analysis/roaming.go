@@ -79,94 +79,126 @@ type roamTrack struct {
 	candUS    int64
 }
 
-// DetectHandoffs runs the handoff detector over a canonical exchange
-// stream (the order core.Run emits). isAP distinguishes infrastructure
-// addresses from stations, the same predicate the interference analysis
-// takes.
-func DetectHandoffs(exchanges []*llc.Exchange, isAP func(dot80211.MAC) bool) *RoamingReport {
-	rep := &RoamingReport{PerClient: make(map[dot80211.MAC]int)}
-	tracks := make(map[dot80211.MAC]*roamTrack)
-	track := func(c dot80211.MAC) *roamTrack {
-		t := tracks[c]
-		if t == nil {
-			t = &roamTrack{}
-			tracks[c] = t
-		}
-		return t
-	}
+// RoamingPass runs the handoff detector incrementally over the canonical
+// exchange stream. State is O(stations): one roamTrack per client plus the
+// events detected so far.
+type RoamingPass struct {
+	named
+	noJFrame
+	isAP   func(dot80211.MAC) bool
+	rep    *RoamingReport
+	tracks map[dot80211.MAC]*roamTrack
+	latSum int64
+	latN   int
+}
 
-	var latSum int64
-	var latN int
-	emit := func(e HandoffEvent) {
-		rep.Events = append(rep.Events, e)
-		rep.PerClient[e.Client]++
-		if e.MgmtEvidence {
-			latSum += e.LatencyUS()
-			latN++
-		} else {
-			rep.DataOnly++
-		}
+// NewRoamingPass builds the handoff-detection pass. isAP distinguishes
+// infrastructure addresses from stations, the same predicate the
+// interference analysis takes.
+func NewRoamingPass(isAP func(dot80211.MAC) bool) *RoamingPass {
+	return &RoamingPass{
+		named: "roam", isAP: isAP,
+		rep:    &RoamingReport{PerClient: make(map[dot80211.MAC]int)},
+		tracks: make(map[dot80211.MAC]*roamTrack),
 	}
+}
 
-	for _, ex := range exchanges {
-		if ex.Broadcast {
-			continue
-		}
-		j := ex.Data()
-		if j == nil {
-			continue // fully inferred exchange: no frame kind to go on
-		}
-		f := &j.Frame
-		tx, rx := ex.Transmitter, ex.Receiver
+func (p *RoamingPass) track(c dot80211.MAC) *roamTrack {
+	t := p.tracks[c]
+	if t == nil {
+		t = &roamTrack{}
+		p.tracks[c] = t
+	}
+	return t
+}
+
+func (p *RoamingPass) emit(e HandoffEvent) {
+	p.rep.Events = append(p.rep.Events, e)
+	p.rep.PerClient[e.Client]++
+	if e.MgmtEvidence {
+		p.latSum += e.LatencyUS()
+		p.latN++
+	} else {
+		p.rep.DataOnly++
+	}
+}
+
+// ObserveExchange implements Pass.
+func (p *RoamingPass) ObserveExchange(ex *llc.Exchange) {
+	if ex.Broadcast {
+		return
+	}
+	j := ex.Data()
+	if j == nil {
+		return // fully inferred exchange: no frame kind to go on
+	}
+	f := &j.Frame
+	tx, rx := ex.Transmitter, ex.Receiver
+	switch {
+	case p.isAP(tx) && !p.isAP(rx) && !rx.IsZero():
+		t := p.track(rx)
 		switch {
-		case isAP(tx) && !isAP(rx) && !rx.IsZero():
-			t := track(rx)
-			switch {
-			case f.Type == dot80211.TypeManagement && f.Subtype == dot80211.SubtypeAssocResp:
-				from := t.curAP
-				if from.IsZero() && t.hasDis {
-					from = t.disAP
-				}
-				if !from.IsZero() && from != tx {
-					e := HandoffEvent{
-						Client: rx, FromAP: from, ToAP: tx,
-						StartUS: ex.StartUS, EndUS: ex.EndUS,
-						MgmtEvidence: true,
-					}
-					if t.hasDis && ex.EndUS-t.disUS >= 0 && ex.EndUS-t.disUS < disassocLinkUS {
-						e.StartUS = t.disUS
-						e.SawDisassoc = true
-					} else if t.hasJoin && t.joinAP == tx && t.joinStartUS < e.StartUS {
-						e.StartUS = t.joinStartUS
-					}
-					emit(e)
-				}
-				t.curAP = tx
-				t.hasDis, t.hasJoin = false, false
-				t.candCount = 0
-			case f.IsData():
-				observeDataTransition(t, rx, tx, ex, emit)
+		case f.Type == dot80211.TypeManagement && f.Subtype == dot80211.SubtypeAssocResp:
+			from := t.curAP
+			if from.IsZero() && t.hasDis {
+				from = t.disAP
 			}
-		case !isAP(tx) && isAP(rx) && !tx.IsZero():
-			t := track(tx)
-			switch {
-			case f.Type == dot80211.TypeManagement && f.Subtype == dot80211.SubtypeDisassoc:
-				t.hasDis, t.disAP, t.disUS = true, rx, ex.StartUS
-			case f.Type == dot80211.TypeManagement &&
-				(f.Subtype == dot80211.SubtypeAuth || f.Subtype == dot80211.SubtypeAssocReq ||
-					f.Subtype == dot80211.SubtypeReassocReq):
-				if rx != t.curAP && (!t.hasJoin || t.joinAP != rx) {
-					t.hasJoin, t.joinAP, t.joinStartUS = true, rx, ex.StartUS
+			if !from.IsZero() && from != tx {
+				e := HandoffEvent{
+					Client: rx, FromAP: from, ToAP: tx,
+					StartUS: ex.StartUS, EndUS: ex.EndUS,
+					MgmtEvidence: true,
 				}
-			case f.IsData():
-				observeDataTransition(t, tx, rx, ex, emit)
+				if t.hasDis && ex.EndUS-t.disUS >= 0 && ex.EndUS-t.disUS < disassocLinkUS {
+					e.StartUS = t.disUS
+					e.SawDisassoc = true
+				} else if t.hasJoin && t.joinAP == tx && t.joinStartUS < e.StartUS {
+					e.StartUS = t.joinStartUS
+				}
+				p.emit(e)
 			}
+			t.curAP = tx
+			t.hasDis, t.hasJoin = false, false
+			t.candCount = 0
+		case f.IsData():
+			observeDataTransition(t, rx, tx, ex, p.emit)
+		}
+	case !p.isAP(tx) && p.isAP(rx) && !tx.IsZero():
+		t := p.track(tx)
+		switch {
+		case f.Type == dot80211.TypeManagement && f.Subtype == dot80211.SubtypeDisassoc:
+			t.hasDis, t.disAP, t.disUS = true, rx, ex.StartUS
+		case f.Type == dot80211.TypeManagement &&
+			(f.Subtype == dot80211.SubtypeAuth || f.Subtype == dot80211.SubtypeAssocReq ||
+				f.Subtype == dot80211.SubtypeReassocReq):
+			if rx != t.curAP && (!t.hasJoin || t.joinAP != rx) {
+				t.hasJoin, t.joinAP, t.joinStartUS = true, rx, ex.StartUS
+			}
+		case f.IsData():
+			observeDataTransition(t, tx, rx, ex, p.emit)
 		}
 	}
-	if latN > 0 {
-		rep.MeanLatencyUS = float64(latSum) / float64(latN)
+}
+
+// Finalize implements Pass, returning the *RoamingReport.
+func (p *RoamingPass) Finalize() Report { return p.finalize() }
+
+func (p *RoamingPass) finalize() *RoamingReport {
+	if p.latN > 0 {
+		p.rep.MeanLatencyUS = float64(p.latSum) / float64(p.latN)
 	}
-	return rep
+	return p.rep
+}
+
+// DetectHandoffs runs the handoff detector over a retained canonical
+// exchange slice (the order core.Run emits). Compatibility wrapper over
+// RoamingPass.
+func DetectHandoffs(exchanges []*llc.Exchange, isAP func(dot80211.MAC) bool) *RoamingReport {
+	p := NewRoamingPass(isAP)
+	for _, ex := range exchanges {
+		p.ObserveExchange(ex)
+	}
+	return p.finalize()
 }
 
 // observeDataTransition updates a station's serving-AP belief from a data

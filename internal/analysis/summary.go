@@ -29,69 +29,110 @@ type TraceSummary struct {
 	CompleteFlows   int64
 }
 
-// Summarize builds Table 1 from a pipeline result. Clients and APs are told
-// apart by who transmits beacons / carries the FromDS bit, exactly as a
-// passive observer must.
+// SummaryPass builds Table 1 incrementally from the jframe stream; the
+// unify/llc/transport aggregates arrive through core.ResultSink once the
+// run completes. Clients and APs are told apart by who transmits beacons /
+// carries the FromDS bit, exactly as a passive observer must. State is
+// O(stations).
+type SummaryPass struct {
+	named
+	noExchange
+	started         bool
+	firstUS, lastUS int64
+	multi           int64
+	instances       int64
+	aps             map[dot80211.MAC]bool
+	clients         map[dot80211.MAC]bool
+	s               TraceSummary
+	res             *core.Result
+}
+
+// NewSummaryPass builds the Table 1 pass.
+func NewSummaryPass() *SummaryPass {
+	return &SummaryPass{
+		named:   "summary",
+		aps:     make(map[dot80211.MAC]bool),
+		clients: make(map[dot80211.MAC]bool),
+	}
+}
+
+// SetResult implements core.ResultSink.
+func (p *SummaryPass) SetResult(res *core.Result) { p.res = res }
+
+// ObserveJFrame implements Pass.
+func (p *SummaryPass) ObserveJFrame(j *unify.JFrame) {
+	if !p.started {
+		p.started = true
+		p.firstUS = j.UnivUS
+	}
+	p.lastUS = j.UnivUS
+	if !j.PhyOnly {
+		p.multi++
+		p.instances += int64(len(j.Instances))
+	}
+	if !j.Valid {
+		return
+	}
+	f := &j.Frame
+	switch {
+	case f.IsBeacon():
+		p.s.BeaconFrames++
+		p.s.MgmtFrames++
+		p.aps[f.Addr2] = true
+	case f.Type == dot80211.TypeManagement:
+		p.s.MgmtFrames++
+	case f.Type == dot80211.TypeControl:
+		p.s.ControlFrames++
+	case f.IsData():
+		p.s.DataFrames++
+		if f.Addr1.IsMulticast() {
+			p.s.BroadcastFrames++
+		}
+		if f.Flags&dot80211.FlagFromDS != 0 {
+			p.aps[f.Addr2] = true
+		} else if f.Flags&dot80211.FlagToDS != 0 {
+			p.clients[f.Addr2] = true
+		}
+	}
+}
+
+// Finalize implements Pass, returning the *TraceSummary.
+func (p *SummaryPass) Finalize() Report { return p.finalize() }
+
+func (p *SummaryPass) finalize() *TraceSummary {
+	s := p.s
+	if p.res != nil {
+		s.Events = p.res.UnifyStats.Events
+		s.UnifiedEvents = p.res.UnifyStats.Unified
+		s.JFrames = p.res.UnifyStats.JFrames
+		errs := p.res.UnifyStats.PhyErrors + p.res.UnifyStats.CRCErrors
+		if s.Events > 0 {
+			s.ErrorEventPct = 100 * float64(errs) / float64(s.Events)
+		}
+		s.TCPFlows = p.res.Transport.Stats.Flows
+		s.CompleteFlows = int64(p.res.Transport.Stats.CompleteFlows)
+	}
+	for m := range p.aps {
+		delete(p.clients, m)
+	}
+	s.UniqueAPs = len(p.aps)
+	s.UniqueClients = len(p.clients)
+	s.DurationUS = p.lastUS - p.firstUS
+	if p.multi > 0 {
+		s.AvgInstances = float64(p.instances) / float64(p.multi)
+	}
+	return &s
+}
+
+// Summarize builds Table 1 from a pipeline result and a retained jframe
+// slice. Compatibility wrapper over SummaryPass.
 func Summarize(res *core.Result, jframes []*unify.JFrame) *TraceSummary {
-	s := &TraceSummary{
-		Events:        res.UnifyStats.Events,
-		UnifiedEvents: res.UnifyStats.Unified,
-		JFrames:       res.UnifyStats.JFrames,
+	p := NewSummaryPass()
+	for _, j := range jframes {
+		p.ObserveJFrame(j)
 	}
-	errs := res.UnifyStats.PhyErrors + res.UnifyStats.CRCErrors
-	if s.Events > 0 {
-		s.ErrorEventPct = 100 * float64(errs) / float64(s.Events)
-	}
-	var multi, instances int64
-	aps := make(map[dot80211.MAC]bool)
-	clients := make(map[dot80211.MAC]bool)
-	var firstUS, lastUS int64
-	for i, j := range jframes {
-		if i == 0 {
-			firstUS = j.UnivUS
-		}
-		lastUS = j.UnivUS
-		if !j.PhyOnly {
-			multi++
-			instances += int64(len(j.Instances))
-		}
-		if !j.Valid {
-			continue
-		}
-		f := &j.Frame
-		switch {
-		case f.IsBeacon():
-			s.BeaconFrames++
-			s.MgmtFrames++
-			aps[f.Addr2] = true
-		case f.Type == dot80211.TypeManagement:
-			s.MgmtFrames++
-		case f.Type == dot80211.TypeControl:
-			s.ControlFrames++
-		case f.IsData():
-			s.DataFrames++
-			if f.Addr1.IsMulticast() {
-				s.BroadcastFrames++
-			}
-			if f.Flags&dot80211.FlagFromDS != 0 {
-				aps[f.Addr2] = true
-			} else if f.Flags&dot80211.FlagToDS != 0 {
-				clients[f.Addr2] = true
-			}
-		}
-	}
-	for m := range aps {
-		delete(clients, m)
-	}
-	s.UniqueAPs = len(aps)
-	s.UniqueClients = len(clients)
-	s.DurationUS = lastUS - firstUS
-	if multi > 0 {
-		s.AvgInstances = float64(instances) / float64(multi)
-	}
-	s.TCPFlows = res.Transport.Stats.Flows
-	s.CompleteFlows = int64(res.Transport.Stats.CompleteFlows)
-	return s
+	p.SetResult(res)
+	return p.finalize()
 }
 
 // String renders the summary as a paper-style table.
@@ -146,4 +187,34 @@ func Inference(st llc.Stats) InferenceStats {
 		Attempts: st.Attempts, InferredAttempts: st.InferredAttempts,
 		Exchanges: st.Exchanges, InferredExch: st.InferredExchanges,
 	}
+}
+
+// TCPLossPass is Fig. 11 as a pass: purely result-derived (the transport
+// analyzer already aggregates per-flow loss attribution in bounded
+// memory), it observes nothing and finalizes from core.ResultSink.
+type TCPLossPass struct {
+	named
+	noJFrame
+	noExchange
+	minSegs int
+	res     *core.Result
+}
+
+// NewTCPLossPass builds the Fig. 11 pass over flows with at least minSegs
+// data segments.
+func NewTCPLossPass(minSegs int) *TCPLossPass {
+	return &TCPLossPass{named: "tcploss", minSegs: minSegs}
+}
+
+// SetResult implements core.ResultSink.
+func (p *TCPLossPass) SetResult(res *core.Result) { p.res = res }
+
+// Finalize implements Pass, returning the *TCPLossReport.
+func (p *TCPLossPass) Finalize() Report { return p.finalize() }
+
+func (p *TCPLossPass) finalize() *TCPLossReport {
+	if p.res == nil {
+		return &TCPLossReport{}
+	}
+	return TCPLoss(TransportFlowLosses(p.res.Transport, p.minSegs))
 }

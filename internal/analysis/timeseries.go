@@ -27,78 +27,128 @@ type activity struct {
 	aps     map[dot80211.MAC]bool
 }
 
-// TimeSeries builds Fig. 8 from the jframe stream: per-slot active clients
-// and APs (active = communicating, not merely beaconing; an AP only sending
-// beacons is not active) and the byte split into Data / Management /
-// Beacon / ARP categories.
-func TimeSeries(jframes []*unify.JFrame, slotUS int64) []ActivitySlot {
-	if slotUS <= 0 || len(jframes) == 0 {
+// TimeSeriesPass builds Fig. 8 incrementally from the jframe stream:
+// per-slot active clients and APs (active = communicating, not merely
+// beaconing; an AP only sending beacons is not active) and the byte split
+// into Data / Management / Beacon / ARP categories. Memory is O(slots ×
+// stations active per slot), independent of trace length.
+type TimeSeriesPass struct {
+	named
+	noExchange
+	slotUS  int64
+	started bool
+	startUS int64 // first jframe in stream order anchors slot 0
+	lastUS  int64 // last jframe in stream order bounds the slot count
+	slots   []ActivitySlot
+	acts    []activity
+}
+
+// NewTimeSeriesPass buckets activity into slotUS-wide slots.
+func NewTimeSeriesPass(slotUS int64) *TimeSeriesPass {
+	return &TimeSeriesPass{named: "timeseries", slotUS: slotUS}
+}
+
+// grow extends the slot arrays through index idx.
+func (p *TimeSeriesPass) grow(idx int) {
+	for len(p.slots) <= idx {
+		i := len(p.slots)
+		p.slots = append(p.slots, ActivitySlot{StartUS: p.startUS + int64(i)*p.slotUS})
+		p.acts = append(p.acts, activity{clients: map[dot80211.MAC]bool{}, aps: map[dot80211.MAC]bool{}})
+	}
+}
+
+// ObserveJFrame implements Pass.
+func (p *TimeSeriesPass) ObserveJFrame(j *unify.JFrame) {
+	if p.slotUS <= 0 {
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.startUS = j.UnivUS
+	}
+	p.lastUS = j.UnivUS
+	if !j.Valid {
+		return
+	}
+	idx := int((j.UnivUS - p.startUS) / p.slotUS)
+	if idx < 0 {
+		return
+	}
+	p.grow(idx)
+	s, a := &p.slots[idx], &p.acts[idx]
+	f := &j.Frame
+	n := int64(j.WireLen)
+	if n == 0 {
+		n = int64(len(j.Wire))
+	}
+	air := j.AirtimeUS()
+	s.TotalAirtimeUS += air
+	if f.Addr1.IsMulticast() {
+		s.BroadcastAirtimeUS += air
+	}
+	switch {
+	case f.IsBeacon():
+		s.BeaconBytes += n
+	case f.IsData():
+		if isARP(f.Body) {
+			s.ARPBytes += n
+		} else {
+			s.DataBytes += n
+		}
+		// The DS bits separate AP from client transmissions.
+		switch {
+		case f.Flags&dot80211.FlagFromDS != 0:
+			a.aps[f.Addr2] = true
+			if !f.Addr1.IsMulticast() {
+				a.clients[f.Addr1] = true
+			}
+		case f.Flags&dot80211.FlagToDS != 0:
+			a.clients[f.Addr2] = true
+			a.aps[f.Addr1] = true
+		default:
+			a.clients[f.Addr2] = true
+		}
+	default:
+		s.MgmtBytes += n
+		// Association activity also marks a client active.
+		if f.Type == dot80211.TypeManagement &&
+			(f.Subtype == dot80211.SubtypeAssocReq || f.Subtype == dot80211.SubtypeAuth) {
+			a.clients[f.Addr2] = true
+		}
+	}
+}
+
+// Finalize implements Pass, returning []ActivitySlot.
+func (p *TimeSeriesPass) Finalize() Report { return p.finalize() }
+
+func (p *TimeSeriesPass) finalize() []ActivitySlot {
+	if p.slotUS <= 0 || !p.started {
 		return nil
 	}
-	start := jframes[0].UnivUS
-	nSlots := int((jframes[len(jframes)-1].UnivUS-start)/slotUS) + 1
-	slots := make([]ActivitySlot, nSlots)
-	acts := make([]activity, nSlots)
-	for i := range slots {
-		slots[i].StartUS = start + int64(i)*slotUS
-		acts[i] = activity{clients: map[dot80211.MAC]bool{}, aps: map[dot80211.MAC]bool{}}
+	// The last jframe in stream order bounds the series: activity past it
+	// (emission-order stragglers) falls outside the figure, exactly as the
+	// slice-based construction sized its slot array.
+	nSlots := int((p.lastUS-p.startUS)/p.slotUS) + 1
+	if nSlots < 0 {
+		nSlots = 0
 	}
-
-	for _, j := range jframes {
-		if !j.Valid {
-			continue
-		}
-		idx := int((j.UnivUS - start) / slotUS)
-		if idx < 0 || idx >= nSlots {
-			continue
-		}
-		s, a := &slots[idx], &acts[idx]
-		f := &j.Frame
-		n := int64(j.WireLen)
-		if n == 0 {
-			n = int64(len(j.Wire))
-		}
-		air := j.AirtimeUS()
-		s.TotalAirtimeUS += air
-		if f.Addr1.IsMulticast() {
-			s.BroadcastAirtimeUS += air
-		}
-		switch {
-		case f.IsBeacon():
-			s.BeaconBytes += n
-		case f.IsData():
-			if isARP(f.Body) {
-				s.ARPBytes += n
-			} else {
-				s.DataBytes += n
-			}
-			// The DS bits separate AP from client transmissions.
-			switch {
-			case f.Flags&dot80211.FlagFromDS != 0:
-				a.aps[f.Addr2] = true
-				if !f.Addr1.IsMulticast() {
-					a.clients[f.Addr1] = true
-				}
-			case f.Flags&dot80211.FlagToDS != 0:
-				a.clients[f.Addr2] = true
-				a.aps[f.Addr1] = true
-			default:
-				a.clients[f.Addr2] = true
-			}
-		default:
-			s.MgmtBytes += n
-			// Association activity also marks a client active.
-			if f.Type == dot80211.TypeManagement &&
-				(f.Subtype == dot80211.SubtypeAssocReq || f.Subtype == dot80211.SubtypeAuth) {
-				a.clients[f.Addr2] = true
-			}
-		}
-	}
+	p.grow(nSlots - 1)
+	slots := p.slots[:nSlots]
 	for i := range slots {
-		slots[i].ActiveClients = len(acts[i].clients)
-		slots[i].ActiveAPs = len(acts[i].aps)
+		slots[i].ActiveClients = len(p.acts[i].clients)
+		slots[i].ActiveAPs = len(p.acts[i].aps)
 	}
 	return slots
+}
+
+// TimeSeries builds Fig. 8 from a retained jframe slice. Compatibility
+// wrapper over TimeSeriesPass.
+func TimeSeries(jframes []*unify.JFrame, slotUS int64) []ActivitySlot {
+	p := NewTimeSeriesPass(slotUS)
+	for _, j := range jframes {
+		p.ObserveJFrame(j)
+	}
+	return p.finalize()
 }
 
 // isARP recognizes the broadcast ARP payloads in the trace.

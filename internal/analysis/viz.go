@@ -8,21 +8,75 @@ import (
 	"repro/internal/unify"
 )
 
+// VizPass collects the jframes inside one time window from the stream and
+// renders a Figure-2-style view on Finalize. Memory is O(window), so the
+// out-of-core merge can produce a visualization without retaining the
+// trace. The window is fixed either absolutely (NewVizPass) or relative to
+// the first jframe observed (NewVizPassRelative — how the cmds frame "2s
+// into the trace").
+type VizPass struct {
+	named
+	noExchange
+	fromUS, toUS int64
+	width        int
+
+	relative         bool
+	relFromUS, durUS int64
+	started          bool
+
+	window []*unify.JFrame
+}
+
+// NewVizPass renders [fromUS, toUS) in absolute universal time.
+func NewVizPass(fromUS, toUS int64, width int) *VizPass {
+	return &VizPass{named: "viz", fromUS: fromUS, toUS: toUS, width: width}
+}
+
+// NewVizPassRelative renders [first+relFromUS, first+relFromUS+durUS),
+// anchored on the first jframe in the stream.
+func NewVizPassRelative(relFromUS, durUS int64, width int) *VizPass {
+	return &VizPass{named: "viz", relative: true, relFromUS: relFromUS, durUS: durUS, width: width}
+}
+
+// ObserveJFrame implements Pass.
+func (p *VizPass) ObserveJFrame(j *unify.JFrame) {
+	if p.relative && !p.started {
+		p.started = true
+		p.fromUS = j.UnivUS + p.relFromUS
+		p.toUS = p.fromUS + p.durUS
+	}
+	if j.UnivUS < p.fromUS || j.UnivUS >= p.toUS {
+		return
+	}
+	p.window = append(p.window, j)
+}
+
+// Finalize implements Pass, returning the rendered string.
+func (p *VizPass) Finalize() Report { return p.finalize() }
+
+func (p *VizPass) finalize() string {
+	return renderWindow(p.window, p.fromUS, p.toUS, p.width)
+}
+
 // Visualize renders a Figure-2-style view of a slice of the synchronized
 // trace: time on the x-axis, one row per radio, a mark where each radio
 // heard each jframe ('#' decoded, 'x' corrupt, '.' phy error), and a legend
-// line per jframe.
+// line per jframe. Compatibility wrapper over VizPass.
 func Visualize(jframes []*unify.JFrame, fromUS, toUS int64, width int) string {
+	p := NewVizPass(fromUS, toUS, width)
+	for _, j := range jframes {
+		p.ObserveJFrame(j)
+	}
+	return p.finalize()
+}
+
+// renderWindow draws the collected window.
+func renderWindow(window []*unify.JFrame, fromUS, toUS int64, width int) string {
 	if width < 20 {
 		width = 80
 	}
-	var window []*unify.JFrame
 	radios := map[int32]bool{}
-	for _, j := range jframes {
-		if j.UnivUS < fromUS || j.UnivUS >= toUS {
-			continue
-		}
-		window = append(window, j)
+	for _, j := range window {
 		for _, in := range j.Instances {
 			radios[in.Radio] = true
 		}

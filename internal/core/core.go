@@ -67,6 +67,66 @@ type Config struct {
 	// reconstruction and transport analysis across that many workers.
 	// Results are identical at every setting.
 	Workers int
+	// Passes are streaming analysis observers fed inline as the pipeline
+	// emits jframes and exchanges — the bounded-memory replacement for
+	// KeepJFrames/KeepExchanges plus post-hoc slice analysis. The
+	// internal/analysis passes satisfy this interface; results are
+	// identical at every Workers setting.
+	Passes []Pass
+}
+
+// Pass is a streaming analysis observer the pipeline feeds inline, the
+// structural contract internal/analysis's Pass type implements (defined
+// here so core does not import the analysis layer it feeds).
+//
+// Delivery contract, identical on the serial and sharded-parallel paths:
+//
+//   - ObserveJFrame is called with every unified jframe in emission order
+//     (the unifier's near-time-ordered stream), serialized: never two
+//     concurrent calls, though successive calls may come from different
+//     goroutines.
+//   - ObserveExchange is called with every reconstructed exchange in
+//     canonical close order (the order the transport analyzer consumes),
+//     serialized the same way. ObserveJFrame and ObserveExchange are also
+//     mutually serialized: a pass never sees two concurrent callbacks.
+//   - When ObserveExchange(ex) fires, every jframe the unifier emitted
+//     before the reconstruction watermark passed ex.CloseUS has already
+//     been observed. The unifier's emission order can locally invert by up
+//     to roughly its search window, so a pass that needs *every* jframe
+//     with UnivUS <= ex.CloseUS must additionally defer the exchange until
+//     its jframe frontier has advanced past CloseUS plus that slack (see
+//     internal/analysis's exchange deferral).
+//   - Callbacks stop before RunFrom returns; the caller finalizes passes
+//     afterwards.
+type Pass interface {
+	ObserveJFrame(*unify.JFrame)
+	ObserveExchange(*llc.Exchange)
+}
+
+// ShardedPass is an exchange-keyed Pass whose state partitions by TCP flow
+// (transport.FlowShard), the same absorb/merge pattern the transport
+// analyzer itself uses. On the parallel path the pipeline creates one
+// shard per transport worker with NewShard, feeds each shard its flow
+// shard's exchange subsequence concurrently (ObserveJFrame still goes to
+// the root pass), and calls AbsorbShard on the root once per shard, in
+// shard order, after the merge completes. AbsorbShard must therefore be
+// insensitive to how exchanges were partitioned, which holds whenever the
+// pass's exchange-side state is a per-key accumulation. The serial path
+// never shards: the root pass sees every exchange directly.
+type ShardedPass interface {
+	Pass
+	// NewShard returns a fresh exchange-side accumulator.
+	NewShard() Pass
+	// AbsorbShard merges a shard's state back into the receiver.
+	AbsorbShard(Pass)
+}
+
+// ResultSink is implemented by passes that need the run's aggregate result
+// (unify/llc/transport stats) to finalize; the pipeline calls SetResult
+// once, after the pass has observed both full streams, before RunFrom
+// returns.
+type ResultSink interface {
+	SetResult(*Result)
 }
 
 // DefaultConfig returns the paper's defaults (Workers auto-sizes to the
@@ -222,25 +282,132 @@ func RunFrom(ts *tracefile.TraceSet, clockGroups [][]int32, cfg Config, sink *Si
 	}
 
 	// Phase 2: single pass — unify, reconstruct, analyze.
+	ps := newPassSet(cfg.Passes)
 	if workers <= 1 {
-		err = runSerial(ts, boot, cfg, sink, res)
+		err = runSerial(ts, boot, cfg, sink, ps, res)
 	} else {
-		err = runParallel(ts, boot, cfg, sink, res, workers)
+		err = runParallel(ts, boot, cfg, sink, ps, res, workers)
 	}
 	if err != nil {
 		return nil, err
 	}
+	ps.finish(res)
 	return res, nil
 }
 
+// passSet dispatches pipeline products to the configured passes. On the
+// serial path every callback comes from one goroutine and the mutex is
+// unused; on the parallel path jframes arrive from the router goroutine
+// and exchanges from the merge goroutine, so dispatch locks to honor the
+// Pass serialization contract. Sharded passes' exchange sides are fed from
+// the transport shard workers instead (one shard instance per worker, no
+// lock: each instance is owned by one goroutine).
+type passSet struct {
+	mu        sync.Mutex
+	locked    bool
+	all       []Pass // every configured pass (jframe dispatch)
+	serial    []Pass // passes whose exchanges flow through the canonical stream
+	shardable []ShardedPass
+	shards    [][]Pass // shards[w][k]: worker w's instance of shardable[k]
+}
+
+func newPassSet(passes []Pass) *passSet {
+	ps := &passSet{all: passes}
+	ps.serial = passes
+	return ps
+}
+
+// shard prepares per-worker exchange shards for passes that support it and
+// removes them from the serial exchange dispatch. Called once, before the
+// parallel path starts, with locked dispatch enabled.
+func (ps *passSet) shard(workers int) {
+	ps.locked = true
+	ps.serial = nil
+	for _, p := range ps.all {
+		if sp, ok := p.(ShardedPass); ok {
+			ps.shardable = append(ps.shardable, sp)
+		} else {
+			ps.serial = append(ps.serial, p)
+		}
+	}
+	if len(ps.shardable) == 0 {
+		return
+	}
+	ps.shards = make([][]Pass, workers)
+	for w := range ps.shards {
+		insts := make([]Pass, len(ps.shardable))
+		for k, sp := range ps.shardable {
+			insts[k] = sp.NewShard()
+		}
+		ps.shards[w] = insts
+	}
+}
+
+// absorb merges every worker's shard instances back into their root
+// passes, in worker order. Called after the transport workers finish.
+func (ps *passSet) absorb() {
+	for k, sp := range ps.shardable {
+		for w := range ps.shards {
+			sp.AbsorbShard(ps.shards[w][k])
+		}
+	}
+}
+
+func (ps *passSet) observeJFrame(j *unify.JFrame) {
+	if len(ps.all) == 0 {
+		return
+	}
+	if ps.locked {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+	}
+	for _, p := range ps.all {
+		p.ObserveJFrame(j)
+	}
+}
+
+func (ps *passSet) observeExchange(ex *llc.Exchange) {
+	if len(ps.serial) == 0 {
+		return
+	}
+	if ps.locked {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+	}
+	for _, p := range ps.serial {
+		p.ObserveExchange(ex)
+	}
+}
+
+// observeShardExchange feeds worker w's shard instances one exchange of
+// its flow shard's subsequence.
+func (ps *passSet) observeShardExchange(w int, ex *llc.Exchange) {
+	if ps.shards == nil {
+		return
+	}
+	for _, p := range ps.shards[w] {
+		p.ObserveExchange(ex)
+	}
+}
+
+// finish hands the completed result to every pass that wants it.
+func (ps *passSet) finish(res *Result) {
+	for _, p := range ps.all {
+		if rs, ok := p.(ResultSink); ok {
+			rs.SetResult(res)
+		}
+	}
+}
+
 // observeJFrame applies the per-jframe bookkeeping every driver shares.
-func observeJFrame(res *Result, cfg Config, sink *Sink, j *unify.JFrame) {
+func observeJFrame(res *Result, cfg Config, sink *Sink, ps *passSet, j *unify.JFrame) {
 	if len(j.Instances) >= 2 {
 		res.Dispersion.Add(j.DispersionUS)
 	}
 	if sink.OnJFrame != nil {
 		sink.OnJFrame(j)
 	}
+	ps.observeJFrame(j)
 	if cfg.KeepJFrames {
 		res.JFrames = append(res.JFrames, j)
 	}
@@ -248,10 +415,11 @@ func observeJFrame(res *Result, cfg Config, sink *Sink, j *unify.JFrame) {
 
 // deliverExchange applies the per-exchange bookkeeping every driver shares.
 // Both drivers call it in canonical close order.
-func deliverExchange(res *Result, cfg Config, sink *Sink, ex *llc.Exchange) {
+func deliverExchange(res *Result, cfg Config, sink *Sink, ps *passSet, ex *llc.Exchange) {
 	if sink.OnExchange != nil {
 		sink.OnExchange(ex)
 	}
+	ps.observeExchange(ex)
 	if cfg.KeepExchanges {
 		res.Exchanges = append(res.Exchanges, ex)
 	}
@@ -290,7 +458,7 @@ func exchangeLess(a, b *llc.Exchange) bool {
 // in canonical close order as the reconstructor's watermark advances — the
 // same streaming release rule the parallel merger uses, so the pass stays
 // online with bounded buffering.
-func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, res *Result) error {
+func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, ps *passSet, res *Result) error {
 	sources := make(map[int32]unify.Source, ts.Len())
 	for _, r := range ts.Radios() {
 		sources[r] = &readerSource{ts: ts, radio: r}
@@ -302,7 +470,7 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 	release := func(limit int64) {
 		for h.Len() > 0 && (*h)[0].ex.CloseUS < limit {
 			ex := heap.Pop(h).(routedExchange).ex
-			deliverExchange(res, cfg, sink, ex)
+			deliverExchange(res, cfg, sink, ps, ex)
 			ta.AddExchange(ex)
 		}
 	}
@@ -314,7 +482,7 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 		if err != nil {
 			return fmt.Errorf("core: unify: %w", err)
 		}
-		observeJFrame(res, cfg, sink, j)
+		observeJFrame(res, cfg, sink, ps, j)
 		rec.Process(j)
 		for _, ex := range rec.Take() {
 			heap.Push(h, routedExchange{ex: ex})
@@ -378,7 +546,8 @@ type mergeMsg struct {
 // conversation-keyed reconstruction shards, a watermark-driven heap merges
 // their exchanges back into canonical close order, and flow-keyed transport
 // shards consume the merged stream — all stages overlapping.
-func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, res *Result, workers int) error {
+func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, ps *passSet, res *Result, workers int) error {
+	ps.shard(workers)
 	// Per-radio prefetchers decompress each trace in the background; only
 	// synchronized radios get one (the unifier skips the rest, and an
 	// unconsumed prefetcher would leak its goroutine).
@@ -421,6 +590,7 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 			ta := transport.NewAnalyzer()
 			for ex := range tIn[id] {
 				ta.AddExchange(ex)
+				ps.observeShardExchange(id, ex)
 			}
 			analyzers[id] = ta
 		}(w)
@@ -429,7 +599,7 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 	mergeDone := make(chan struct{})
 	go func() {
 		defer close(mergeDone)
-		mergeExchanges(merged, tIn, res, cfg, sink, workers)
+		mergeExchanges(merged, tIn, res, cfg, sink, ps, workers)
 	}()
 
 	// Router (this goroutine): drive unification, observe every jframe,
@@ -447,7 +617,7 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 			uerr = fmt.Errorf("core: unify: %w", err)
 			break
 		}
-		observeJFrame(res, cfg, sink, j)
+		observeJFrame(res, cfg, sink, ps, j)
 		if j.Valid {
 			shard := int(macHash(llc.ConversationKey(j)) % uint64(workers))
 			llcIn[shard] <- llcMsg{j: j}
@@ -464,6 +634,7 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 	}
 	<-mergeDone
 	tWG.Wait()
+	ps.absorb()
 	if uerr != nil {
 		return uerr
 	}
@@ -531,7 +702,7 @@ func (h *exchangeHeap) Pop() any {
 // below every shard's watermark — at that point no shard can still emit an
 // earlier one — then routed to its flow's transport shard. Closes the
 // transport channels when all shards have finished.
-func mergeExchanges(in <-chan mergeMsg, tIn []chan *llc.Exchange, res *Result, cfg Config, sink *Sink, workers int) {
+func mergeExchanges(in <-chan mergeMsg, tIn []chan *llc.Exchange, res *Result, cfg Config, sink *Sink, ps *passSet, workers int) {
 	wm := make([]int64, workers)
 	for i := range wm {
 		wm[i] = math.MinInt64
@@ -540,7 +711,7 @@ func mergeExchanges(in <-chan mergeMsg, tIn []chan *llc.Exchange, res *Result, c
 	release := func(limit int64) {
 		for h.Len() > 0 && (*h)[0].ex.CloseUS < limit {
 			re := heap.Pop(h).(routedExchange)
-			deliverExchange(res, cfg, sink, re.ex)
+			deliverExchange(res, cfg, sink, ps, re.ex)
 			tIn[re.shard] <- re.ex
 		}
 	}

@@ -1,0 +1,228 @@
+// Pass-vs-slice parity: the companion to TestParallelMatchesSerial for the
+// streaming analysis layer. (It lives in an external test package because
+// internal/analysis imports core; TestParallelMatchesSerial itself cannot
+// reference the passes without an import cycle.)
+//
+// For Default(), MixedCC() and Roaming() scenarios, every registered
+// analysis pass fed inline by the pipeline must finalize to a report
+// identical to the legacy slice-based function over the retained
+// jframe/exchange slices — and identical again across shard counts and
+// buffer- vs directory-backed trace sources. This is the contract that
+// lets jiganalyze drop KeepJFrames/KeepExchanges: inline output is
+// byte-for-byte what post-hoc analysis would have produced.
+package core_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+)
+
+// parityTraceDir spills a scenario's in-memory traces to a temp directory
+// in the trace-directory layout.
+func parityTraceDir(t *testing.T, out *scenario.Output) *tracefile.TraceSet {
+	t.Helper()
+	dir := t.TempDir()
+	for r, buf := range out.Traces {
+		if err := os.WriteFile(tracefile.TracePath(dir, r), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := tracefile.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// vizWindowUS is the parity viz pass's window length; relative offset is
+// half the scenario day.
+const vizWindowUS = 4_000
+
+// parityPasses constructs one fresh instance of every registered pass
+// (plus the viz pass, which "all" excludes) for a run.
+func parityPasses(t *testing.T, out *scenario.Output) []analysis.Pass {
+	t.Helper()
+	apSet := scenario.APSet(out.APs)
+	params := analysis.PassParams{
+		SlotUS:     out.Cfg.HourDur().US64(),
+		MinPackets: 50,
+		IsAP:       func(m dot80211.MAC) bool { return apSet[m] },
+		Out:        out,
+		VizFromUS:  int64(out.Cfg.Day.SecondsF() * 5e5),
+		VizDurUS:   vizWindowUS,
+		VizWidth:   96,
+	}
+	passes, err := analysis.NewPasses("all", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viz, err := analysis.NewPasses("viz", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(passes, viz...)
+}
+
+// finalizeAll collects every pass's report by name.
+func finalizeAll(passes []analysis.Pass) map[string]analysis.Report {
+	out := make(map[string]analysis.Report, len(passes))
+	for _, p := range passes {
+		out[p.Name()] = p.Finalize()
+	}
+	return out
+}
+
+func TestPassParity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() scenario.Config
+	}{
+		{"default", func() scenario.Config {
+			cfg := scenario.Default()
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
+			return cfg
+		}},
+		{"mixedCC", func() scenario.Config {
+			cfg := scenario.MixedCC()
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 5, 8
+			return cfg
+		}},
+		{"roaming", func() scenario.Config {
+			cfg := scenario.Roaming()
+			cfg.Pods, cfg.APs, cfg.Clients = 5, 9, 8
+			cfg.MobileClients = 3
+			cfg.MoveSpeedMPS = 6
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			cfg.Seed = 1
+			cfg.Day = 30 * sim.Second
+			out, err := scenario.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufTS := tracefile.NewBufferSet(core.TracesFromBuffers(out.Traces))
+			dirTS := parityTraceDir(t, out)
+
+			run := func(ts *tracefile.TraceSet, workers int, keep bool) (*core.Result, map[string]analysis.Report) {
+				ccfg := core.DefaultConfig()
+				ccfg.Workers = workers
+				ccfg.KeepJFrames = keep
+				ccfg.KeepExchanges = keep
+				passes := parityPasses(t, out)
+				ccfg.Passes = analysis.CorePasses(passes)
+				res, err := core.RunFrom(ts, out.ClockGroups, ccfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, finalizeAll(passes)
+			}
+
+			// Reference: the serial path with retention, so the same run
+			// yields both inline-pass reports and the legacy slice inputs.
+			res, ref := run(bufTS, 1, true)
+
+			apSet := scenario.APSet(out.APs)
+			isAP := func(m dot80211.MAC) bool { return apSet[m] }
+			hourUS := out.Cfg.HourDur().US64()
+			vizFrom := res.JFrames[0].UnivUS + int64(out.Cfg.Day.SecondsF()*5e5)
+			legacy := map[string]analysis.Report{
+				"summary":      analysis.Summarize(res, res.JFrames),
+				"coverage":     analysis.Coverage(out, res.Exchanges),
+				"timeseries":   analysis.TimeSeries(res.JFrames, hourUS),
+				"interference": analysis.Interference(res.JFrames, res.Exchanges, 50, isAP),
+				"protection":   analysis.Protection(res.JFrames, hourUS, hourUS),
+				"diagnose":     analysis.Diagnose(res.JFrames, res.Exchanges),
+				"tcploss":      analysis.TCPLoss(analysis.TransportFlowLosses(res.Transport, 5)),
+				"roam":         analysis.DetectHandoffs(res.Exchanges, isAP),
+				"viz":          analysis.Visualize(res.JFrames, vizFrom, vizFrom+vizWindowUS, 96),
+			}
+			for name, want := range legacy {
+				got, ok := ref[name]
+				if !ok {
+					t.Fatalf("pass %q missing from inline run", name)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: inline pass report differs from slice-based analysis:\n inline: %+v\n slices: %+v", name, got, want)
+				}
+			}
+
+			// Shard counts and trace sources must not change any report.
+			variants := []struct {
+				label   string
+				ts      *tracefile.TraceSet
+				workers int
+			}{
+				{"buf/workers=2", bufTS, 2},
+				{"buf/workers=4", bufTS, 4},
+				{"dir/workers=1", dirTS, 1},
+				{"dir/workers=4", dirTS, 4},
+			}
+			for _, v := range variants {
+				_, got := run(v.ts, v.workers, false)
+				for name, want := range ref {
+					if !reflect.DeepEqual(got[name], want) {
+						t.Errorf("%s: pass %q differs from serial reference:\n got:  %+v\n want: %+v", v.label, name, got[name], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoveragePassSharded pins the ShardedPass contract directly: shard
+// instances fed disjoint exchange subsequences and absorbed in any
+// partition must reproduce the unsharded pass's report.
+func TestCoveragePassSharded(t *testing.T) {
+	cfg := scenario.Default()
+	cfg.Pods, cfg.APs, cfg.Clients = 4, 4, 8
+	cfg.Day = 20 * sim.Second
+	cfg.Seed = 3
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = 1
+	ccfg.KeepExchanges = true
+	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exchanges) == 0 {
+		t.Fatal("no exchanges")
+	}
+
+	whole := analysis.NewCoveragePass(out)
+	for _, ex := range res.Exchanges {
+		whole.ObserveExchange(ex)
+	}
+
+	sharded := analysis.NewCoveragePass(out)
+	shards := make([]core.Pass, 3)
+	for i := range shards {
+		shards[i] = sharded.NewShard()
+	}
+	for i, ex := range res.Exchanges {
+		shards[i%len(shards)].ObserveExchange(ex)
+	}
+	for _, s := range shards {
+		sharded.AbsorbShard(s)
+	}
+
+	if !reflect.DeepEqual(sharded.Finalize(), whole.Finalize()) {
+		t.Error("sharded coverage pass report differs from unsharded")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/dot80211"
 )
 
 // Meta is the sidecar metadata written next to a trace directory
@@ -24,6 +26,17 @@ type Meta struct {
 
 // MetaFileName is the sidecar's name inside a trace directory.
 const MetaFileName = "meta.json"
+
+// APSet builds the infrastructure-MAC membership test the analyses take
+// (analysis.PassParams.IsAP) from an AP roster — a simulation's ground
+// truth or a trace directory's meta.json.
+func APSet(aps []APInfo) map[dot80211.MAC]bool {
+	set := make(map[dot80211.MAC]bool, len(aps))
+	for _, ap := range aps {
+		set[ap.MAC] = true
+	}
+	return set
+}
 
 // MetaFromOutput distills a run's sidecar metadata.
 func MetaFromOutput(out *Output) Meta {

@@ -66,6 +66,16 @@
 //	res, _ := jigsaw.Merge(out, jigsaw.DefaultPipeline())
 //	fmt.Println(jigsaw.Summarize(res))
 //
+// # Streaming analyses
+//
+// Every analysis in internal/analysis is a streaming pass
+// (analysis.Pass): attach passes to PipelineConfig.Passes and the pipeline
+// feeds them inline as jframes and exchanges are emitted, on both the
+// serial and sharded-parallel paths, with no KeepJFrames/KeepExchanges
+// retention — the property that lets a building-scale trace directory be
+// analyzed in bounded memory. See the "Writing an analysis pass" section
+// of README.md.
+//
 // Congestion-control workloads: MixedCCScenario runs a Reno/CUBIC/BBR
 // flow mix over a finite bottleneck queue, the transport analyzer
 // fingerprints each reconstructed flow's controller from its passive
@@ -133,8 +143,10 @@ func Merge(out *ScenarioOutput, cfg PipelineConfig) (*Result, error) {
 	return core.RunFrom(out.TraceSet(), out.ClockGroups, cfg, nil)
 }
 
-// Summarize builds the Table-1 style trace summary (requires
-// cfg.KeepJFrames during Merge).
+// Summarize builds the Table-1 style trace summary. With
+// cfg.KeepJFrames set during Merge it reads the retained slice; without
+// retention, attach analysis.NewSummaryPass() to PipelineConfig.Passes
+// instead and Finalize it after Merge.
 func Summarize(res *Result) string {
 	return analysis.Summarize(res, res.JFrames).String()
 }
