@@ -26,6 +26,11 @@
 // the bounded bottleneck queue so the controllers contend for real buffer,
 // and each JSON row reports the mix, per-algorithm goodput and the CC
 // fingerprinter's accuracy against ground truth.
+//
+// Progress logs and benchmark rows report real elapsed time, so
+// wall-clock reads here are deliberate.
+//jiglint:allow wallclock
+
 package main
 
 import (

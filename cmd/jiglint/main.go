@@ -1,0 +1,95 @@
+// Command jiglint runs the jiglint analyzer suite (internal/lint) — the
+// mechanized form of Jigsaw's determinism and streaming-memory
+// invariants — over Go packages, in the spirit of a
+// golang.org/x/tools/go/analysis multichecker.
+//
+// Usage:
+//
+//	jiglint [-checkers name,name] [packages]
+//	jiglint -list
+//
+// With no packages, ./... is analyzed. The exit code is 0 when no
+// findings survive //jiglint:allow suppression, 1 when findings are
+// reported, and 2 on usage or load errors — so CI can gate on it
+// directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("jiglint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "describe the available checkers and exit")
+	checkers := fs.String("checkers", "", "comma-separated subset of checkers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jiglint [-checkers name,name] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := lint.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checkers != "" {
+		byName := make(map[string]*lint.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var sel []*lint.Analyzer
+		for _, name := range strings.Split(*checkers, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "jiglint: unknown checker %q (run jiglint -list)\n", name)
+				return 2
+			}
+			sel = append(sel, a)
+		}
+		suite = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jiglint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jiglint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jiglint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "jiglint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -80,12 +80,12 @@ func main() {
 		lastUS = j.UnivUS
 		nJF++
 	}}
-	start := time.Now()
+	start := time.Now() //jiglint:allow wallclock (merge progress timing, not simulation)
 	res, err := core.RunFrom(traces, meta.ClockGroups, cfg, sink)
 	if err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //jiglint:allow wallclock
 
 	st := res.UnifyStats
 	fmt.Printf("radios merged:      %d (root r%d, %d reference frames)\n",

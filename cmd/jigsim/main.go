@@ -140,7 +140,7 @@ func main() {
 	}
 	cfg.SpillDir = dir
 
-	start := time.Now()
+	start := time.Now() //jiglint:allow wallclock (generation progress timing)
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -151,7 +151,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := tracefile.WriteIndex(f, idx); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the write error is already fatal
 			log.Fatalf("writing index for radio %d: %v", radio, err)
 		}
 		if err := f.Close(); err != nil {
@@ -162,7 +162,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	log.Printf("simulated %v of network time in %v", time.Duration(cfg.Day), time.Since(start).Round(time.Millisecond))
+	log.Printf("simulated %v of network time in %v", time.Duration(cfg.Day), time.Since(start).Round(time.Millisecond)) //jiglint:allow wallclock
 	log.Printf("%d radios, %d monitor records, %d transmissions, %d wired packets",
 		len(res.Indexes), res.MonitorRecords, len(res.Truth), len(res.Wired))
 	log.Printf("flows: %d started, %d completed", res.FlowsStarted, res.FlowsCompleted)

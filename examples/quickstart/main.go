@@ -38,13 +38,13 @@ func main() {
 	vizAt := int64(cfg.Day.SecondsF() * 1e6 * 17 / 24)
 	viz := analysis.NewVizPassRelative(vizAt, 10_000, 90)
 	ccfg.Passes = []core.Pass{viz}
-	start := time.Now()
+	start := time.Now() //jiglint:allow wallclock (real merge timing for the demo output)
 	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("merged in %v: %d jframes from %d events (%.2f observations each)\n",
-		time.Since(start).Round(time.Millisecond),
+		time.Since(start).Round(time.Millisecond), //jiglint:allow wallclock
 		res.UnifyStats.JFrames, res.UnifyStats.Events,
 		float64(res.UnifyStats.Unified)/float64(res.UnifyStats.JFrames))
 	fmt.Printf("synchronization dispersion: p50=%dµs p90=%dµs p99=%dµs\n",

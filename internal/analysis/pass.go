@@ -308,7 +308,9 @@ const emitSlackUS = 100_000
 // emission slack. The buffer spans at most ~emitSlackUS of trace time plus
 // the pipeline's watermark lag — bounded, unlike the slices it replaces.
 type exchangeDeferral struct {
-	q        []*llc.Exchange
+	// The hold is bounded by the emission slack plus watermark lag, not
+	// O(trace) — the sanctioned exception to the no-retention rule.
+	q        []*llc.Exchange //jiglint:allow retainframe (bounded sliding window, see type comment)
 	head     int
 	frontier int64
 }

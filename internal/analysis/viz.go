@@ -24,7 +24,9 @@ type VizPass struct {
 	relFromUS, durUS int64
 	started          bool
 
-	window []*unify.JFrame
+	// O(window) retention, clamped to the requested render span — the
+	// sanctioned exception to the no-retention rule.
+	window []*unify.JFrame //jiglint:allow retainframe (bounded render window, see type comment)
 }
 
 // NewVizPass renders [fromUS, toUS) in absolute universal time.

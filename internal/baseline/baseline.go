@@ -61,7 +61,17 @@ func BeaconSync(recs []tracefile.Record) *BeaconSyncResult {
 		delta int64
 	}
 	adj := map[int32][]edge{}
-	for _, os := range sets {
+	// Build adjacency in sorted content-key order: the BFS below assigns
+	// each radio's offset through the first edge that reaches it, so
+	// insertion order must not depend on map iteration (the timesync
+	// bootstrap had this exact bug; jiglint's mapiterorder now flags it).
+	keys := make([]uint64, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		os := sets[k]
 		if len(os) < 2 {
 			continue
 		}

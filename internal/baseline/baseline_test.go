@@ -69,6 +69,38 @@ func TestBeaconSyncPartitionAcrossAPs(t *testing.T) {
 	}
 }
 
+// TestBeaconSyncDeterministic pins the fix jiglint's mapiterorder
+// checker demanded: adjacency was built by ranging over the reference-
+// set map, and with two beacon references giving inconsistent pairwise
+// deltas (clock noise between beacons — exactly what BeaconSync's
+// missing skew model produces), the BFS's first-path-wins assignment
+// made OffsetUS depend on map iteration order. Go randomizes that order
+// per range statement, so with the bug present identical inputs
+// disagree with themselves within a single process; with the sorted-key
+// fix every run must pick the same path.
+func TestBeaconSyncDeterministic(t *testing.T) {
+	recs := []tracefile.Record{
+		// Reference A (ap 1): r0@0, r1@10  → delta -10.
+		beaconRec(0, 0, 1, 10), beaconRec(1, 10, 1, 10),
+		// Reference B (ap 2): r0@100, r1@130 → delta -30 (inconsistent).
+		beaconRec(0, 100, 2, 20), beaconRec(1, 130, 2, 20),
+	}
+	first := BeaconSync(recs)
+	if !first.Synced() {
+		t.Fatalf("unsynced: %v", first.Unsynced)
+	}
+	if got := first.OffsetUS[1]; got != -10 && got != -30 {
+		t.Fatalf("OffsetUS[1] = %d, want one of the pairwise deltas -10/-30", got)
+	}
+	for i := 0; i < 64; i++ {
+		res := BeaconSync(recs)
+		if res.OffsetUS[1] != first.OffsetUS[1] {
+			t.Fatalf("run %d: OffsetUS[1] = %d, first run had %d — adjacency order leaked map iteration order",
+				i, res.OffsetUS[1], first.OffsetUS[1])
+		}
+	}
+}
+
 func TestNaiveMergeMissesOffsetDuplicates(t *testing.T) {
 	// The same frame at two radios with a 5 ms clock offset: naive merge
 	// with a 100 µs tolerance cannot collapse it.

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrLoss flags statements that silently discard the error returned by
+// Close, Flush, Sync, Write or WriteString — the PR 4 CLI class, where
+// cmd mains swallowed spill/index/meta I/O errors and a full disk
+// produced a truncated trace with a zero exit code. The repo's rule
+// since PR 4: I/O errors reach stderr and a nonzero exit.
+//
+// Only bare expression statements are reported. An explicit
+// `_ = f.Close()` is a visible, reviewable decision; `defer f.Close()`
+// on read paths is idiomatic (write paths should close explicitly and
+// check); tests are exempt. Types whose error contract makes the
+// discard safe are exempt: bytes.Buffer and strings.Builder never
+// fail, hash.Hash documents that Write never returns an error, and
+// bufio.Writer latches write errors and resurfaces them from Flush
+// (so its writes are exempt but its Flush is still checked).
+var ErrLoss = &Analyzer{
+	Name: "errloss",
+	Doc: "discarded errors from Close/Flush/Write/Sync\n\n" +
+		"Reports `x.Close()`, `x.Flush()`, `x.Sync()`, `x.Write(...)` and\n" +
+		"`x.WriteString(...)` as bare statements when the method returns an\n" +
+		"error, outside tests. Check the error; on cleanup paths prefer an\n" +
+		"explicit `_ =` if the error is truly meaningless.",
+	Run: runErrLoss,
+}
+
+// errLossMethods are the flagged method names.
+var errLossMethods = map[string]bool{
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+}
+
+// errlessMethods exempts (receiver type, method) pairs whose error
+// contract makes the discard safe: bytes.Buffer and strings.Builder
+// never fail, and bufio.Writer latches write errors and resurfaces
+// them from Flush — so its writes are exempt but its Flush is not.
+var errlessMethods = map[string]map[string]bool{
+	"bytes.Buffer":    nil, // nil = every flagged method exempt
+	"strings.Builder": nil,
+	"bufio.Writer": {
+		"Write":       true,
+		"WriteString": true,
+	},
+}
+
+// exemptByContract reports whether the receiver type's error contract
+// exempts the method. hash.Hash implementations (detected by shape:
+// Sum and BlockSize methods alongside Write) document that Write never
+// returns an error.
+func exemptByContract(recv types.Type, method string) bool {
+	if methods, ok := errlessMethods[namedTypePath(recv)]; ok {
+		return methods == nil || methods[method]
+	}
+	if method == "Write" && hasMethods(recv, "Sum", "BlockSize") {
+		return true
+	}
+	return false
+}
+
+// hasMethods reports whether t's method set (widened to *t for value
+// types) contains every named method.
+func hasMethods(t types.Type, names ...string) bool {
+	if _, isPtr := t.(*types.Pointer); !isPtr && !types.IsInterface(t) {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for _, n := range names {
+		found := false
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func runErrLoss(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Selections records genuine method calls (and their true
+			// receiver type, seen through interface embedding);
+			// package-qualified function calls are absent from it.
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			f, ok := selection.Obj().(*types.Func)
+			if !ok || !errLossMethods[f.Name()] {
+				return true
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || !returnsError(sig) {
+				return true
+			}
+			if exemptByContract(selection.Recv(), f.Name()) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf(
+					"error returned by %s is discarded; I/O failures must reach stderr and a nonzero exit", f.Name()),
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAccum flags floating-point accumulation inside map-range loops.
+// Float addition and multiplication are not associative, so a sum taken
+// in map iteration order differs in the low bits from run to run — the
+// PR 5 class, where order-dependent float aggregation broke
+// pass-vs-slice DeepEqual parity and serial-vs-parallel comparisons.
+// Integer accumulation is exact and commutative, so it is not reported.
+//
+// Fix by iterating sorted keys (collect keys, sort, then range the
+// slice — which also satisfies mapiterorder) so every run reduces in
+// the same order.
+var FloatAccum = &Analyzer{
+	Name: "floataccum",
+	Doc: "floating-point accumulation in map iteration order\n\n" +
+		"Reports `x += v`, `x = x + v` and the -, *, / forms on float or\n" +
+		"complex x inside a `for range` over a map, when x outlives the loop.\n" +
+		"Reduce over sorted keys instead.",
+	Run: runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.Types[rng.X].Type) {
+				return true
+			}
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				checkFloatAssign(pass, as, rng)
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFloatAssign reports as if it accumulates into a float that
+// outlives the map-range loop rng.
+func checkFloatAssign(pass *Pass, as *ast.AssignStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	for i, lhs := range as.Lhs {
+		if !isFloatType(info.Types[lhs].Type) {
+			continue
+		}
+		root := rootIdent(lhs)
+		if root == nil || !declaredOutside(info, root, rng.Pos(), rng.End()) {
+			continue
+		}
+		accum := false
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			accum = true
+		case token.ASSIGN:
+			if i < len(as.Rhs) {
+				accum = selfReferential(as.Rhs[i], types.ExprString(lhs))
+			}
+		}
+		if accum {
+			pass.Report(Diagnostic{
+				Pos: as.Pos(),
+				Message: fmt.Sprintf(
+					"floating-point accumulation into %q inside a map-range loop is order-dependent; reduce over sorted keys",
+					types.ExprString(lhs)),
+			})
+		}
+	}
+}
+
+// selfReferential reports whether the arithmetic expression rhs reads
+// the value it is being assigned to (`x = x + v`, `x = v*0.5 + x`).
+func selfReferential(rhs ast.Expr, lhsStr string) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == lhsStr {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isTestFile reports whether the file position is in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloatType reports whether t's basic kind is a floating-point or
+// complex type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// rootIdent strips selectors, indexing, derefs and parens down to the
+// base identifier: `s.rows[i]` → `s`, `(*p).q` → `p`. Returns nil when
+// the base is not a plain identifier (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltin reports whether the identifier resolves to a builtin (or to
+// nothing at all), rather than to a user declaration shadowing it.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj := objectOf(info, id)
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// objectOf resolves an identifier through Uses then Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the [lo, hi] node span (i.e. it outlives the loop or closure
+// being inspected). Objects with no position (builtins) count as
+// outside.
+func declaredOutside(info *types.Info, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := objectOf(info, id)
+	if obj == nil {
+		return false
+	}
+	p := obj.Pos()
+	if !p.IsValid() {
+		return true
+	}
+	return p < lo || p > hi
+}
+
+// calleeFunc resolves a call's target to the *types.Func it invokes
+// (package function or method), or nil for closures, conversions and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := objectOf(info, id).(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether the call invokes the named package-level
+// function, e.g. isPkgFunc(info, call, "time", "Now"). Methods never
+// match: a *types.Func with a receiver is excluded, so rand.Intn the
+// global matches while r.Intn on a seeded *rand.Rand does not.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypePath returns the "pkgpath.Name" of t if it is (a pointer to)
+// a named type, else "".
+func namedTypePath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}

@@ -1,0 +1,248 @@
+// Package lint is jiglint: a suite of static analyzers that mechanize
+// Jigsaw's determinism and streaming-memory invariants.
+//
+// The repo's correctness contract — serial ≡ parallel at every worker
+// count, golden trace digests, pass-vs-slice parity — depends on a
+// handful of invariants that have each been broken (and fixed by hand)
+// before:
+//
+//   - map iteration order must never reach an ordered output (PR 1's
+//     timesync BFS adjacency bug, PR 5's unsorted report rows),
+//   - floating-point aggregation must not run in map order (PR 5),
+//   - simulation and analysis code must not consult wall-clock time or
+//     unseeded global randomness,
+//   - analysis/transport state must not retain *unify.JFrame or
+//     *llc.Exchange beyond the Observe call that delivered it (PR 4's
+//     SegObs leak made analyzer memory O(trace)),
+//   - I/O errors from Close/Flush/Write/Sync must not be discarded
+//     (PR 4's CLI fixes).
+//
+// Each analyzer turns one of those review findings into a build
+// failure. The API deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic) so analyzers port verbatim if the repo
+// ever vendors x/tools; the driver and loader are stdlib-only because
+// this environment builds offline.
+//
+// # Suppressing a finding
+//
+// A comment of the form
+//
+//	//jiglint:allow <checker>[ <checker>...]
+//
+// on the flagged line, on the line immediately above it, or in the
+// file's header (before the package clause, which suppresses for the
+// whole file) marks an intentional exception — e.g. the bounded
+// exchangeDeferral window in internal/analysis, or wall-clock timing
+// in cmd/ binaries. Use it sparingly and say why in the same comment
+// block.
+//
+// # Adding a new analyzer
+//
+// Write a file in this package defining an *Analyzer whose Run walks
+// pass.Files with pass.TypesInfo, calling pass.Report for findings
+// (Report applies the allow directives automatically); append it to
+// All(); give it fixtures under testdata/src/<name>/ exercised through
+// linttest.Run with at least one true positive and one allowlisted
+// negative.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one jiglint checker. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the checker in diagnostics and in
+	// //jiglint:allow directives.
+	Name string
+	// Doc is a one-paragraph description shown by `jiglint -list`.
+	Doc string
+	// Run analyzes one package and reports findings via pass.Report.
+	Run func(*Pass) error
+	// Scope, when non-empty, restricts the analyzer to packages whose
+	// import path contains one of these substrings (e.g.
+	// "internal/analysis"). An empty Scope means every package.
+	Scope []string
+}
+
+// inScope reports whether the analyzer applies to the package path.
+func (a *Analyzer) inScope(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass holds the per-package inputs handed to an Analyzer.Run, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test syntax trees, parsed with
+	// comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types, definitions and uses for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. It applies //jiglint:allow
+	// suppression before recording, so analyzers call it
+	// unconditionally.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// All returns the full jiglint suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIterOrder,
+		FloatAccum,
+		WallClock,
+		RetainFrame,
+		ErrLoss,
+	}
+}
+
+// directivePrefix introduces an allow directive comment.
+const directivePrefix = "//jiglint:allow"
+
+// allowIndex records, per file, which checkers are suppressed on which
+// lines (and whether the whole file is suppressed for a checker).
+type allowIndex struct {
+	// file-wide suppressions: checker name → true.
+	file map[string]bool
+	// line suppressions: line → set of checker names.
+	lines map[int]map[string]bool
+}
+
+// buildAllowIndex scans a file's comments for //jiglint:allow directives.
+// A directive before the package clause suppresses for the whole file;
+// anywhere else it suppresses findings on its own line and the line
+// immediately below (so it can sit above the flagged statement or trail
+// it on the same line).
+func buildAllowIndex(fset *token.FileSet, f *ast.File) *allowIndex {
+	idx := &allowIndex{file: map[string]bool{}, lines: map[int]map[string]bool{}}
+	pkgLine := fset.Position(f.Package).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //jiglint:allowfoo — not a directive
+			}
+			names := strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ' ' || r == '\t' || r == ','
+			})
+			line := fset.Position(c.Pos()).Line
+			for _, n := range names {
+				if line < pkgLine {
+					idx.file[n] = true
+					continue
+				}
+				for _, l := range []int{line, line + 1} {
+					if idx.lines[l] == nil {
+						idx.lines[l] = map[string]bool{}
+					}
+					idx.lines[l][n] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether the checker is suppressed at the given line.
+func (idx *allowIndex) allows(checker string, line int) bool {
+	if idx == nil {
+		return false
+	}
+	return idx.file[checker] || idx.lines[line][checker]
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := make(map[*token.File]*allowIndex, len(pkg.Files))
+		for _, f := range pkg.Files {
+			allow[pkg.Fset.File(f.Pos())] = buildAllowIndex(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			if !a.inScope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if idx := allow[pkg.Fset.File(d.Pos)]; idx.allows(a.Name, pos.Line) {
+					return
+				}
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      pos,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// Finding is a resolved diagnostic with its file position and the
+// analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool { return findingLess(fs[i], fs[j]) })
+}
+
+func findingLess(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

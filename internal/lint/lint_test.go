@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMapIterOrder(t *testing.T) {
+	linttest.Run(t, "mapiterorder", lint.MapIterOrder)
+}
+
+func TestFloatAccum(t *testing.T) {
+	linttest.Run(t, "floataccum", lint.FloatAccum)
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, "wallclock", lint.WallClock)
+}
+
+// TestRetainFrame loads the fixture as if it lived in
+// internal/transport, where the analyzer applies; it includes the PR 4
+// SegObs reproduction as a true positive and the bounded-deferral
+// allowlist shape as a negative.
+func TestRetainFrame(t *testing.T) {
+	linttest.RunWithConfig(t, "retainframe", lint.RetainFrame, linttest.Config{
+		PkgPath: "repro/internal/transport/fixture",
+	})
+}
+
+// TestRetainFrameOutOfScope checks the analyzer stays quiet outside
+// internal/analysis and internal/transport: the fixture declares a
+// would-be finding but is loaded under a neutral import path.
+func TestRetainFrameOutOfScope(t *testing.T) {
+	linttest.Run(t, "retainframe_scope", lint.RetainFrame)
+}
+
+func TestErrLoss(t *testing.T) {
+	linttest.Run(t, "errloss", lint.ErrLoss)
+}
+
+// TestAllRegistered pins the suite composition: a checker dropped from
+// All() silently stops gating CI.
+func TestAllRegistered(t *testing.T) {
+	want := []string{"mapiterorder", "floataccum", "wallclock", "retainframe", "errloss"}
+	got := lint.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package linttest runs jiglint analyzers over fixture packages and
+// checks their diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives in testdata/src/<name>/ as ordinary Go files. Every
+// line that should be reported carries a trailing comment
+//
+//	code() // want `regexp matching the message`
+//
+// (backquoted Go string, matched with regexp.MatchString against
+// "analyzer: message"). Lines with no want comment must produce no
+// diagnostic, so allowlisted negatives are expressed by a
+// //jiglint:allow directive and the absence of a want.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the backquoted pattern of a want comment.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Config adjusts how a fixture is loaded.
+type Config struct {
+	// PkgPath overrides the import path the fixture package is
+	// type-checked as. Scoped analyzers (retainframe) only fire when
+	// the path matches their scope, so fixtures impersonate e.g.
+	// "repro/internal/analysis/fixture". Defaults to the fixture
+	// directory name.
+	PkgPath string
+}
+
+// Run loads testdata/src/<fixture> relative to the caller's package
+// directory, runs the analyzer, and reports mismatches between its
+// diagnostics and the fixture's want annotations.
+func Run(t *testing.T, fixture string, a *lint.Analyzer) {
+	t.Helper()
+	RunWithConfig(t, fixture, a, Config{})
+}
+
+// RunWithConfig is Run with loading options.
+func RunWithConfig(t *testing.T, fixture string, a *lint.Analyzer, cfg Config) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+	sort.Strings(files)
+
+	pkgPath := cfg.PkgPath
+	if pkgPath == "" {
+		pkgPath = fixture
+	}
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkg, err := lint.LoadFiles(moduleDir, pkgPath, files)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		msg := fmt.Sprintf("%s: %s", f.Analyzer, f.Message)
+		if w := matchWant(wants, f.Pos.Filename, f.Pos.Line, msg); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", f.Pos, msg)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation for the diagnostic.
+func matchWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants scans the fixture files' comments for want annotations.
+func parseWants(files []string) ([]*expectation, error) {
+	var wants []*expectation
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern %q: %w", name, m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: name, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so fixtures can import in-module packages regardless of which
+// package's tests invoked the harness.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIterOrder flags `for range` loops over maps whose bodies feed an
+// order-sensitive sink: appending to a slice that outlives the loop
+// (including map-of-slice appends, the PR 1 timesync BFS adjacency
+// bug), writing formatted output or report rows, or sending on a
+// channel. Go randomizes map iteration order per process, so any such
+// loop makes output differ run to run — the exact class behind the
+// serial-vs-parallel and golden-digest regressions fixed by hand in
+// PR 1 and PR 5.
+//
+// The sorted-keys idiom is recognized and accepted: a loop whose only
+// sinks are appends into slices that a later statement in the same
+// block passes to sort.* / slices.Sort* is the standard
+// collect-then-sort pattern and is not reported. Calls to closures
+// defined in the enclosing function are inspected one level deep, so
+// hiding the append behind a local helper (as the original BFS bug
+// did with addEdge) is still caught.
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc: "map-range loops feeding slices, output or channels without a sort\n\n" +
+		"Reports `for range m` over a map whose body appends to something that\n" +
+		"outlives the loop, prints/writes output, or sends on a channel, unless\n" +
+		"every appended slice is sorted later in the same block (the sorted-keys\n" +
+		"idiom). Fix by iterating sorted keys or sorting the result.",
+	Run: runMapIterOrder,
+}
+
+// sinkKind classifies what an order-sensitive statement does.
+type sinkKind int
+
+const (
+	sinkAppend sinkKind = iota
+	sinkOutput
+	sinkSend
+)
+
+type sink struct {
+	kind sinkKind
+	pos  token.Pos
+	// target is the object appended to, for sinkAppend; nil otherwise.
+	target types.Object
+	desc   string
+}
+
+func runMapIterOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		closures := closureMap(pass.TypesInfo, file)
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if ok && isMapType(pass.TypesInfo.Types[rng.X].Type) {
+				checkMapRange(pass, rng, parents, closures)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// buildParents records each node's syntactic parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// closureMap indexes function-literal values bound to local variables
+// (`f := func(...){...}`, `var f = func...`) so calls through those
+// variables can be inspected one level deep.
+func closureMap(info *types.Info, f *ast.File) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				lit, ok := rhs.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if id, ok := x.Lhs[i].(*ast.Ident); ok {
+					if obj := objectOf(info, id); obj != nil {
+						out[obj] = lit
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				lit, ok := v.(*ast.FuncLit)
+				if !ok || i >= len(x.Names) {
+					continue
+				}
+				if obj := objectOf(info, x.Names[i]); obj != nil {
+					out[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRange inspects one map-range loop and reports it if it feeds
+// an order-sensitive sink without the sorted-keys escape.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, parents map[ast.Node]ast.Node, closures map[types.Object]*ast.FuncLit) {
+	sinks := collectSinks(pass.TypesInfo, rng.Body, rng.Pos(), rng.End(), closures, 1)
+	if len(sinks) == 0 {
+		return
+	}
+	// Sorted-keys escape: every sink is an append whose target is sorted
+	// by a statement after the loop in the enclosing block(s), up to the
+	// function boundary — the collect-then-sort idiom, possibly with the
+	// sort outside an enclosing loop or conditional.
+	allSorted := true
+	for _, s := range sinks {
+		if s.kind != sinkAppend || s.target == nil || !sortedInContinuation(pass.TypesInfo, parents, rng, s.target) {
+			allSorted = false
+			break
+		}
+	}
+	if allSorted {
+		return
+	}
+	s := sinks[0]
+	pass.Report(Diagnostic{
+		Pos: rng.Pos(),
+		Message: fmt.Sprintf(
+			"map iteration order is nondeterministic but this loop %s; iterate sorted keys or sort the result",
+			s.desc),
+	})
+}
+
+// collectSinks walks body for order-sensitive statements. lo/hi bound
+// the loop (or closure) span: only effects on objects declared outside
+// it are sinks. depth limits closure expansion.
+func collectSinks(info *types.Info, body ast.Node, lo, hi token.Pos, closures map[types.Object]*ast.FuncLit, depth int) []sink {
+	var sinks []sink
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{kind: sinkSend, pos: x.Pos(), desc: "sends on a channel"})
+		case *ast.CallExpr:
+			if s, ok := classifyCallSink(info, x, lo, hi, closures, depth); ok {
+				sinks = append(sinks, s)
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// classifyCallSink decides whether one call is an order-sensitive sink.
+func classifyCallSink(info *types.Info, call *ast.CallExpr, lo, hi token.Pos, closures map[types.Object]*ast.FuncLit, depth int) (sink, bool) {
+	// append(target, ...) where target outlives the loop. Covers plain
+	// slices, struct fields and map-of-slice elements alike.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(info, id) {
+		if len(call.Args) == 0 {
+			return sink{}, false
+		}
+		target := rootIdent(call.Args[0])
+		if target == nil || !declaredOutside(info, target, lo, hi) {
+			return sink{}, false
+		}
+		return sink{
+			kind:   sinkAppend,
+			pos:    call.Pos(),
+			target: objectOf(info, target),
+			desc:   fmt.Sprintf("appends to %q, which outlives it", target.Name),
+		}, true
+	}
+	// fmt printing (except the pure Sprint family) and writer methods.
+	if isPkgFunc(info, call, "fmt", "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln") {
+		return sink{kind: sinkOutput, pos: call.Pos(), desc: "writes formatted output"}, true
+	}
+	if f := calleeFunc(info, call); f != nil {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch f.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "Printf", "Print", "Println", "Encode":
+				return sink{kind: sinkOutput, pos: call.Pos(), desc: fmt.Sprintf("writes output via %s", f.Name())}, true
+			}
+		}
+	}
+	// A call through a local closure variable: look one level inside.
+	if depth > 0 {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := objectOf(info, id); obj != nil {
+				if lit := closures[obj]; lit != nil {
+					inner := collectSinks(info, lit.Body, lit.Pos(), lit.End(), closures, depth-1)
+					if len(inner) > 0 {
+						s := inner[0]
+						return sink{
+							kind:   s.kind,
+							pos:    call.Pos(),
+							target: s.target,
+							desc:   fmt.Sprintf("calls %q, which %s", id.Name, s.desc),
+						}, true
+					}
+				}
+			}
+		}
+	}
+	return sink{}, false
+}
+
+// sortedInContinuation reports whether any statement that executes
+// after the loop — following it in its own block or in any enclosing
+// block up to the function boundary — sorts the appended-to object.
+func sortedInContinuation(info *types.Info, parents map[ast.Node]ast.Node, rng *ast.RangeStmt, target types.Object) bool {
+	var node ast.Node = rng
+	for {
+		parent := parents[node]
+		if parent == nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.CommClause:
+			list = p.Body
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+		for i, stmt := range list {
+			if ast.Node(stmt) == node && sortedLater(info, list[i+1:], target) {
+				return true
+			}
+		}
+		node = parent
+	}
+}
+
+// sortedLater reports whether one of the statements sorts the
+// appended-to object: the collect-keys-then-sort idiom.
+func sortedLater(info *types.Info, follow []ast.Stmt, target types.Object) bool {
+	for _, stmt := range follow {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if id := rootIdent(call.Args[0]); id != nil && objectOf(info, id) == target {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall matches the standard sorting entry points.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(info, call, "sort",
+		"Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s") ||
+		isPkgFunc(info, call, "slices",
+			"Sort", "SortFunc", "SortStableFunc")
+}

@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoClean runs the full jiglint suite over the whole module and
+// requires zero findings — the same gate CI applies via
+// `go run ./cmd/jiglint ./...`, enforced here so a plain `go test ./...`
+// catches regressions too. If this fails, either fix the finding or
+// (for a deliberate exception) add a justified //jiglint:allow
+// directive at the site.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo lint in -short mode")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

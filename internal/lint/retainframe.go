@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// retainedTypes are the streaming payload types whose retention defeats
+// the out-of-core pipeline: a held *llc.Exchange pins every attempt's
+// jframes and wire bytes; a held *unify.JFrame pins its wire bytes.
+// PR 4's SegObs bug retained exchanges per observed TCP segment, making
+// analyzer memory O(trace) and erasing the streaming pipeline's whole
+// point. Values count the same as pointers — a copied JFrame still
+// pins its backing arrays.
+var retainedTypes = map[string]bool{
+	"repro/internal/unify.JFrame": true,
+	"repro/internal/llc.Exchange": true,
+}
+
+// RetainFrame flags declarations in the streaming-analysis packages
+// (internal/analysis, internal/transport) that can retain unify.JFrame
+// or llc.Exchange past the Observe call that delivered it: struct
+// fields, package-level variables, and named types whose underlying
+// type contains either payload type. Pass methods receive these
+// pointers transiently — copy the scalar fields you need (as
+// transport.SegObs does post-PR 4) instead of storing the pointer.
+//
+// Deliberately bounded holds — the exchangeDeferral sliding window and
+// the viz pass's clamped window from PR 5 — are the sanctioned
+// exceptions; they carry //jiglint:allow retainframe with a
+// justification.
+var RetainFrame = &Analyzer{
+	Name: "retainframe",
+	Doc: "state that retains *unify.JFrame or *llc.Exchange\n\n" +
+		"Reports struct fields, package vars and type definitions in\n" +
+		"internal/analysis and internal/transport whose type contains\n" +
+		"unify.JFrame or llc.Exchange (by pointer or value, including slice,\n" +
+		"array, map and channel element positions). Copy the fields you need\n" +
+		"in Observe instead of retaining the frame.",
+	Scope: []string{"internal/analysis", "internal/transport"},
+	Run:   runRetainFrame,
+}
+
+func runRetainFrame(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		// Struct fields, wherever the struct type appears.
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t := info.Types[field.Type].Type
+				if name := retainedIn(t); name != "" {
+					pass.Report(Diagnostic{
+						Pos: field.Pos(),
+						Message: fmt.Sprintf(
+							"struct field retains %s beyond the Observe call; copy the needed fields instead", name),
+					})
+				}
+			}
+			return true
+		})
+		// Package-level vars and non-struct named types.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.ValueSpec:
+					for _, id := range sp.Names {
+						obj := info.Defs[id]
+						if obj == nil {
+							continue
+						}
+						if name := retainedIn(obj.Type()); name != "" {
+							pass.Report(Diagnostic{
+								Pos: id.Pos(),
+								Message: fmt.Sprintf(
+									"package variable %q retains %s for the process lifetime", id.Name, name),
+							})
+						}
+					}
+				case *ast.TypeSpec:
+					// Struct underlyings are covered field-by-field above.
+					if _, isStruct := sp.Type.(*ast.StructType); isStruct {
+						continue
+					}
+					t := info.Types[sp.Type].Type
+					if name := retainedIn(t); name != "" {
+						pass.Report(Diagnostic{
+							Pos: sp.Pos(),
+							Message: fmt.Sprintf(
+								"type %q retains %s; copy the needed fields instead", sp.Name.Name, name),
+						})
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// retainedIn walks t's structure and returns the qualified name of the
+// first retained payload type it contains, or "". Function and
+// interface types do not retain (values merely pass through them), and
+// named types from other packages are not expanded — a type that wraps
+// an Exchange is flagged where it is declared.
+func retainedIn(t types.Type) string {
+	return retainedInSeen(t, map[types.Type]bool{})
+}
+
+func retainedInSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if name := namedTypePath(t); retainedTypes[name] {
+		return name
+	}
+	switch x := t.(type) {
+	case *types.Pointer:
+		return retainedInSeen(x.Elem(), seen)
+	case *types.Slice:
+		return retainedInSeen(x.Elem(), seen)
+	case *types.Array:
+		return retainedInSeen(x.Elem(), seen)
+	case *types.Map:
+		if n := retainedInSeen(x.Key(), seen); n != "" {
+			return n
+		}
+		return retainedInSeen(x.Elem(), seen)
+	case *types.Chan:
+		return retainedInSeen(x.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if n := retainedInSeen(x.Field(i).Type(), seen); n != "" {
+				return n
+			}
+		}
+	case *types.Named:
+		// Only expand named types declared in the package under
+		// analysis context implicitly: expanding everything would blame
+		// the use site for a definition flagged elsewhere. Local named
+		// types are reached through their TypeSpec directly.
+		return ""
+	}
+	return ""
+}

@@ -1,0 +1,74 @@
+// Fixture for the errloss checker: discarded Close/Flush/Write/Sync
+// errors (the PR 4 CLI class) versus checked, explicitly-discarded,
+// deferred and contract-exempt forms.
+package errloss
+
+import (
+	"bufio"
+	"bytes"
+	"hash/fnv"
+	"os"
+)
+
+// bareClose is the PR 4 shape: a failed close (buffered data hitting a
+// full disk) vanishes.
+func bareClose(f *os.File) {
+	f.Close() // want `error returned by Close is discarded`
+}
+
+// bareFlush loses whatever the writer buffered.
+func bareFlush(bw *bufio.Writer) {
+	bw.Flush() // want `error returned by Flush is discarded`
+}
+
+// bareSync loses a durability failure.
+func bareSync(f *os.File) {
+	f.Sync() // want `error returned by Sync is discarded`
+}
+
+// bareWrite on a file loses a short-write error.
+func bareWrite(f *os.File, b []byte) {
+	f.Write(b) // want `error returned by Write is discarded`
+}
+
+// checkedClose is the required form.
+func checkedClose(f *os.File) error {
+	return f.Close()
+}
+
+// explicitDiscard is visible and reviewable, so it is accepted.
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// deferredClose is the idiomatic read-path cleanup.
+func deferredClose(f *os.File) {
+	defer f.Close()
+}
+
+// bufferWrites never fail: bytes.Buffer is exempt by contract.
+func bufferWrites(buf *bytes.Buffer, b []byte) {
+	buf.Write(b)
+	buf.WriteString("x")
+}
+
+// bufioWrites latch their error and resurface it from Flush, so the
+// writes are exempt while Flush stays checked (bareFlush above).
+func bufioWrites(bw *bufio.Writer, b []byte) error {
+	bw.Write(b)
+	bw.WriteString("x")
+	return bw.Flush()
+}
+
+// hashWrites never return an error per the hash.Hash contract.
+func hashWrites(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// allowedClose documents a deliberate discard without the blank
+// assignment.
+func allowedClose(f *os.File) {
+	f.Close() //jiglint:allow errloss (read-only handle, close error meaningless)
+}

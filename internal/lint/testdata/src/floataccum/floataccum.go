@@ -1,0 +1,103 @@
+// Fixture for the floataccum checker: floating-point accumulation in
+// map iteration order (the PR 5 report-aggregation class) versus the
+// exact/sorted forms that are fine.
+package floataccum
+
+import "sort"
+
+// sumInMapOrder is the PR 5 bug shape: float addition is not
+// associative, so the low bits depend on iteration order.
+func sumInMapOrder(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into "sum" inside a map-range loop`
+	}
+	return sum
+}
+
+// explicitSelfAssign is the same accumulation spelled out.
+func explicitSelfAssign(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v*0.5 // want `floating-point accumulation into "sum"`
+	}
+	return sum
+}
+
+// productInMapOrder: multiplication is order-dependent too.
+func productInMapOrder(m map[int]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point accumulation into "p"`
+	}
+	return p
+}
+
+// fieldAccum accumulates into a struct field that outlives the loop.
+type stats struct{ total float64 }
+
+func fieldAccum(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.total += v // want `floating-point accumulation into "s.total"`
+	}
+}
+
+// intSum is exact: integers commute under +.
+func intSum(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sortedReduce is the fix: collect keys, sort, reduce over the slice.
+// The accumulation ranges over a slice, not a map.
+func sortedReduce(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// maxIsOrderFree: comparisons are not accumulation.
+func maxIsOrderFree(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// allowedAccum documents a deliberate exception (e.g. a diagnostic
+// counter whose low bits are never compared).
+func allowedAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //jiglint:allow floataccum (diagnostic-only total, low bits unused)
+	}
+	return sum
+}
+
+// localFloat accumulates into a per-iteration variable: unobservable.
+func localFloat(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}

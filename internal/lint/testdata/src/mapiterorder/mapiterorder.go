@@ -1,0 +1,124 @@
+// Fixture for the mapiterorder checker: true positives for map-range
+// loops feeding order-sensitive sinks, and negatives for the sorted-keys
+// idiom, order-independent bodies, and //jiglint:allow directives.
+package mapiterorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendToOuterSlice is the plainest true positive.
+func appendToOuterSlice(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic but this loop appends to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeysIdiom collects keys and sorts them: the sanctioned pattern.
+func sortedKeysIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceIdiom uses sort.Slice instead of sort.Strings.
+func sortSliceIdiom(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// sortInAncestorBlock appends from a nested map range but sorts after
+// the outer loop: deterministic, because everything is ordered before
+// use.
+func sortInAncestorBlock(groups []map[string]int64) []int64 {
+	var all []int64
+	for _, g := range groups {
+		for _, v := range g {
+			all = append(all, v)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// printsInMapOrder writes output rows directly from a map range.
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m { // want `map iteration order is nondeterministic but this loop writes formatted output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// bfsAdjacency reproduces the PR 1 timesync bootstrap bug: adjacency
+// built in map iteration order through a local closure, feeding a BFS
+// whose first-path-wins assignment makes insertion order observable.
+func bfsAdjacency(g map[uint64][]int32) map[int32][]int32 {
+	adj := map[int32][]int32{}
+	addEdge := func(a, b int32) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, obs := range g { // want `calls "addEdge", which appends to "adj"`
+		for i := 1; i < len(obs); i++ {
+			addEdge(obs[0], obs[i])
+		}
+	}
+	return adj
+}
+
+// channelSend leaks map order through a channel.
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+// mapToMapAssign rewrites entries keyed by the loop variable: each key
+// is written exactly once, so iteration order cannot be observed.
+func mapToMapAssign(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intAccumulation is exact and commutative: not a finding.
+func intAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// allowedAppend documents a deliberate exception.
+func allowedAppend(m map[string]int) []string {
+	var out []string
+	//jiglint:allow mapiterorder (order genuinely irrelevant here: result is a set)
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// appendInsideLoopScope appends to a slice declared inside the loop
+// body: it cannot outlive an iteration, so order is unobservable.
+func appendInsideLoopScope(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

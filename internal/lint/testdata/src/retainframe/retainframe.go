@@ -1,0 +1,66 @@
+// Fixture for the retainframe checker, type-checked as if it lived in
+// internal/transport: declarations that retain the streaming payload
+// types (*llc.Exchange, *unify.JFrame) versus the copy-the-fields
+// discipline and the allowlisted bounded windows.
+package retainframe
+
+import (
+	"repro/internal/llc"
+	"repro/internal/unify"
+)
+
+// buggySegObs reproduces the PR 4 transport.SegObs leak: one retained
+// exchange per observed TCP segment pinned every attempt's jframes and
+// wire bytes, making analyzer memory O(trace).
+type buggySegObs struct {
+	TimeUS int64
+	Ex     *llc.Exchange // want `struct field retains repro/internal/llc.Exchange`
+}
+
+// frameWindow retains jframes through a slice field.
+type frameWindow struct {
+	frames []*unify.JFrame // want `struct field retains repro/internal/unify.JFrame`
+}
+
+// byValue retains a full copy: the backing arrays are pinned all the
+// same.
+type byValue struct {
+	last unify.JFrame // want `struct field retains repro/internal/unify.JFrame`
+}
+
+// nestedRetention hides the pointer inside a map-of-slice.
+type nestedRetention struct {
+	byFlow map[uint64][]*llc.Exchange // want `struct field retains repro/internal/llc.Exchange`
+}
+
+// lastExchanges is package-level retention.
+var lastExchanges []*llc.Exchange // want `package variable "lastExchanges" retains repro/internal/llc.Exchange`
+
+// exchangeRing is a named non-struct type whose values retain.
+type exchangeRing []*llc.Exchange // want `type "exchangeRing" retains repro/internal/llc.Exchange`
+
+// fixedSegObs is the post-PR 4 shape: scalar copies of the fields the
+// analyses read, no pointer back into the stream.
+type fixedSegObs struct {
+	TimeUS   int64
+	MacSeq   uint16
+	Delivery llc.Delivery
+}
+
+// boundedDeferral mirrors the sanctioned internal/analysis structures:
+// a sliding window whose occupancy is bounded by the emission slack.
+type boundedDeferral struct {
+	q []*llc.Exchange //jiglint:allow retainframe (bounded sliding window)
+}
+
+// observe shows that transient use is fine: parameters and locals do
+// not retain past the call.
+func observe(ex *llc.Exchange, j *unify.JFrame) int64 {
+	local := ex
+	_ = j
+	return local.CloseUS
+}
+
+// callbackType: function signatures pass frames through, they do not
+// hold them.
+type callbackType func(*llc.Exchange)

@@ -1,0 +1,12 @@
+// Negative-scope fixture: this package is loaded under an import path
+// outside internal/analysis and internal/transport, so retainframe must
+// not fire even though the declaration below would be flagged in scope.
+package retainframe_scope
+
+import "repro/internal/llc"
+
+// held would be a finding inside the analyzer scope; out of scope (the
+// llc and core layers own these values) it is legitimate plumbing.
+type held struct {
+	ex *llc.Exchange
+}

@@ -1,0 +1,53 @@
+// Fixture for the wallclock checker: wall-clock time, global math/rand
+// and process identity versus the sanctioned seeded/virtual sources.
+package wallclock
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+// stampNow reads the wall clock.
+func stampNow() int64 {
+	return time.Now().UnixMicro() // want `wall-clock time \(time.Now\) is nondeterministic`
+}
+
+// elapsed uses the Since sugar.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time \(time.Since\) is nondeterministic`
+}
+
+// globalRand draws from the shared generator, seeded per process.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand generator \(rand.Intn\)`
+}
+
+// globalRandV2 is the v2 flavor of the same problem.
+func globalRandV2(n int) int {
+	return randv2.IntN(n) // want `global math/rand generator \(rand.IntN\)`
+}
+
+// pidEntropy mixes process identity into state.
+func pidEntropy() int {
+	return os.Getpid() // want `process identity \(os.Getpid\)`
+}
+
+// seededRand is the sanctioned source: a *rand.Rand from an explicit
+// seed. Methods on it are deterministic given the seed.
+func seededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// constructedTime manipulates time values without reading the clock.
+func constructedTime() time.Time {
+	return time.Unix(0, 0).Add(5 * time.Second)
+}
+
+// allowedTiming is the cmd/-style exception: real elapsed time for a
+// progress log, deliberately allowlisted.
+func allowedTiming() time.Time {
+	return time.Now() //jiglint:allow wallclock (progress logging, not simulation state)
+}

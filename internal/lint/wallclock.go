@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// WallClock forbids nondeterministic environment inputs — wall-clock
+// time, the global math/rand generators, and process identity — in
+// non-test code. Jigsaw's simulation, unification and analysis must be
+// pure functions of (trace bytes, seed): the golden trace digest and
+// TestParallelMatchesSerial both depend on it, and the ROADMAP's
+// always-on daemon makes any hidden wall-clock dependency a silent
+// merge-contract breaker.
+//
+// Seeded generators (methods on a *rand.Rand from rand.New) and the
+// virtual clock in internal/clock are the sanctioned sources. Wall
+// timing in cmd/ binaries (progress logs, benchmark timing) is
+// legitimate — mark those sites //jiglint:allow wallclock.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "wall-clock time, global math/rand and process identity\n\n" +
+		"Reports time.Now/Since/Until, package-level math/rand and math/rand/v2\n" +
+		"functions (rand.Intn etc. — methods on a seeded *rand.Rand are fine),\n" +
+		"and os.Getpid/Getppid in non-test code. Use the simulation clock and\n" +
+		"seeded generators; allowlist cmd/ timing code explicitly.",
+	Run: runWallClock,
+}
+
+// randGlobals are the package-level functions of math/rand (v1 and v2)
+// that draw from the shared, internally-seeded generator.
+var randGlobals = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "IntN",
+	"Uint32", "Uint64", "UintN", "Uint64N", "Uint32N",
+	"Float32", "Float64", "NormFloat64", "ExpFloat64",
+	"Perm", "Shuffle", "Seed",
+	"N",
+}
+
+func runWallClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			info := pass.TypesInfo
+			var what string
+			switch {
+			case isPkgFunc(info, call, "time", "Now", "Since", "Until"):
+				what = "wall-clock time (time." + calleeFunc(info, call).Name() + ")"
+			case isPkgFunc(info, call, "math/rand", randGlobals...),
+				isPkgFunc(info, call, "math/rand/v2", randGlobals...):
+				what = "the global math/rand generator (rand." + calleeFunc(info, call).Name() + ")"
+			case isPkgFunc(info, call, "os", "Getpid", "Getppid"):
+				what = "process identity (os." + calleeFunc(info, call).Name() + ")"
+			default:
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf(
+					"%s is nondeterministic; use the simulation clock or a seeded *rand.Rand", what),
+			})
+			return true
+		})
+	}
+	return nil
+}
