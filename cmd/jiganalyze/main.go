@@ -20,12 +20,20 @@
 //
 // -passes selects which reports to run (comma-separated section names, or
 // "all").
+//
+// -json replaces the text report with a JSON array of sections — the
+// analysis.Section encoding, one element per selected report, byte-wise
+// the same rows jigd serves at /reports/<pass>. Sections that need
+// simulator ground truth are skipped (announced on stderr) in directory
+// mode, exactly as in text mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -71,6 +79,7 @@ func main() {
 		passesF  = flag.String("passes", "", "which reports to run: comma-separated section names, or 'all' (default)")
 		exp      = flag.String("exp", "all", "deprecated alias for -passes")
 		workers  = flag.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = flag.Bool("json", false, "emit reports as a JSON array of sections (jigd's /reports encoding) instead of text")
 	)
 	flag.Parse()
 	dir := *in
@@ -172,6 +181,11 @@ func main() {
 	res, err := core.RunFrom(traces, clockGroups, ccfg, nil)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		emitJSON(want, byName, res, out)
+		return
 	}
 
 	if want("table1") {
@@ -281,6 +295,48 @@ func main() {
 		} else {
 			fmt.Println("handoff scoring / per-CC disruption: skipped — needs simulator ground truth (not carried by a trace directory)")
 		}
+	}
+}
+
+// emitJSON prints the selected reports as a JSON array of sections in
+// print order. Pass-backed sections use the shared Section encoding
+// (identical to jigd's /reports/<pass>); fig4, which is derived from the
+// pipeline result rather than a pass, gets a section of percentile rows.
+func emitJSON(want func(string) bool, byName map[string]analysis.Pass, res *core.Result, out *scenario.Output) {
+	var secs []analysis.Section
+	for _, sec := range sections {
+		if !want(sec.name) {
+			continue
+		}
+		if sec.name == "fig4" {
+			type prow struct {
+				P  float64 `json:"p"`
+				US int64   `json:"dispersion_us"`
+			}
+			rows := make([]prow, 0, 5)
+			for _, p := range []float64{0.5, 0.75, 0.9, 0.95, 0.99} {
+				rows = append(rows, prow{P: p, US: res.Dispersion.Percentile(p)})
+			}
+			secs = append(secs, analysis.Section{Pass: "fig4", Rows: rows})
+			continue
+		}
+		if sec.pass == "" {
+			continue
+		}
+		if sec.needsTruth && out == nil {
+			log.Printf("%s: skipped — needs simulator ground truth", sec.name)
+			continue
+		}
+		s, err := analysis.SectionJSON(sec.pass, byName[sec.pass].Finalize())
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs = append(secs, s)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(secs); err != nil {
+		log.Fatal(err)
 	}
 }
 

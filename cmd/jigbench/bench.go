@@ -17,6 +17,14 @@
 // inline row must stay a small fraction of the slice-based row's, pinning
 // the win that lets building-scale analysis run at streaming heap.
 //
+// A fifth row per preset ("jigd_windowed") profiles the daemon's read
+// path: the trace directory replayed into a rotating capture, tailed
+// through a TailSet, with the full pass set behind a serve.Monitor that
+// finalizes and evicts per window on the serial pipeline — sustained
+// frames/sec and peak heap for an always-on jigd over the same capture.
+// -bench-assert-jigd gates that row's heap against the slice-based
+// analysis run's, pinning the daemon's bounded-memory claim.
+//
 // Measuring wall time is this harness's purpose: the rows above are
 // real-time throughput numbers, not simulation outputs.
 //jiglint:allow wallclock
@@ -39,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dot80211"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/tracefile"
 )
@@ -46,7 +55,7 @@ import (
 // benchRow is one merge measurement in BENCH_pipeline.json.
 type benchRow struct {
 	Preset  string  `json:"preset"`
-	Mode    string  `json:"mode"` // "streaming" or "inmemory"
+	Mode    string  `json:"mode"` // streaming, inmemory, analysis_inline, analysis_posthoc, jigd_windowed
 	Pods    int     `json:"pods"`
 	Radios  int     `json:"radios"`
 	APs     int     `json:"aps"`
@@ -72,6 +81,9 @@ type benchRow struct {
 	// invariant this file's trajectory pins.
 	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
 	BytesPerFrame float64 `json:"bytes_per_frame"`
+	// WindowsClosed counts the analysis windows the monitor finalized on a
+	// "jigd_windowed" row (absent elsewhere).
+	WindowsClosed int64 `json:"windows_closed,omitempty"`
 }
 
 // heapSampler polls runtime.ReadMemStats in the background recording peak
@@ -121,7 +133,7 @@ func (h *heapSampler) Stop() uint64 {
 }
 
 // runBenchJSON measures every preset and writes the JSON rows to path.
-func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, workDir string, assertRatio, assertInline float64) {
+func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, workDir string, assertRatio, assertInline, assertJigd float64) {
 	// Aggressive GC during profiling: with the default GOGC the heap
 	// balloons to ~2x the live set before a collection, and that slack —
 	// not the pipeline's working set — would dominate small runs' peaks.
@@ -151,8 +163,8 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 			cfg.Day = sim.Time(dayOverride.Nanoseconds())
 		}
 		dir := filepath.Join(workDir, name)
-		stream, inmem, inline, posthoc := benchOnePreset(name, cfg, dir, workers)
-		rows = append(rows, stream, inmem, inline, posthoc)
+		stream, inmem, inline, posthoc, jigd := benchOnePreset(name, cfg, dir, workers)
+		rows = append(rows, stream, inmem, inline, posthoc, jigd)
 		if !keep {
 			if err := os.RemoveAll(dir); err != nil {
 				log.Fatal(err)
@@ -164,6 +176,9 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 		log.Printf("%s: inline-pass analysis heap %.1f MB vs slice-based %.1f MB (%.1f%%)",
 			name, float64(inline.HeapPeakBytes)/1e6, float64(posthoc.HeapPeakBytes)/1e6,
 			100*float64(inline.HeapPeakBytes)/float64(posthoc.HeapPeakBytes))
+		log.Printf("%s: jigd windowed heap %.1f MB over %d windows (%.1f%% of slice-based), %.0f frames/s sustained",
+			name, float64(jigd.HeapPeakBytes)/1e6, jigd.WindowsClosed,
+			100*float64(jigd.HeapPeakBytes)/float64(posthoc.HeapPeakBytes), jigd.FramesPerSec)
 		if assertRatio > 0 && float64(stream.HeapPeakBytes) >= assertRatio*float64(inmem.HeapPeakBytes) {
 			log.Printf("FAIL %s: streaming peak heap %d >= %.0f%% of in-memory %d",
 				name, stream.HeapPeakBytes, 100*assertRatio, inmem.HeapPeakBytes)
@@ -172,6 +187,11 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 		if assertInline > 0 && float64(inline.HeapPeakBytes) >= assertInline*float64(posthoc.HeapPeakBytes) {
 			log.Printf("FAIL %s: inline-pass analysis peak heap %d >= %.0f%% of slice-based %d",
 				name, inline.HeapPeakBytes, 100*assertInline, posthoc.HeapPeakBytes)
+			failed = true
+		}
+		if assertJigd > 0 && float64(jigd.HeapPeakBytes) >= assertJigd*float64(posthoc.HeapPeakBytes) {
+			log.Printf("FAIL %s: jigd windowed peak heap %d >= %.0f%% of slice-based %d",
+				name, jigd.HeapPeakBytes, 100*assertJigd, posthoc.HeapPeakBytes)
 			failed = true
 		}
 	}
@@ -196,10 +216,11 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 	}
 }
 
-// benchOnePreset generates one trace directory, merges it both ways, then
+// benchOnePreset generates one trace directory, merges it both ways,
 // profiles the truth-free analysis report set both ways (inline passes vs
-// retained slices).
-func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (stream, inmem, inline, posthoc benchRow) {
+// retained slices), then profiles jigd's windowed read path over a
+// replayed rotating capture of the same traces.
+func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (stream, inmem, inline, posthoc, jigd benchRow) {
 	cfg.SpillDir = dir
 	t0 := time.Now()
 	out, err := scenario.Run(cfg)
@@ -309,7 +330,46 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 		return time.Since(t)
 	})
 	benchSinkDump = nil
-	return stream, inmem, inline, posthoc
+
+	// The jigd trajectory: replay the directory into a rotating capture
+	// (the daemon's input shape), tail it, and run the same pass set
+	// behind a windowed monitor on the serial pipeline — per-window
+	// finalize and eviction, exactly the daemon's bounded-state path. The
+	// replay itself is setup, not part of the measured merge.
+	const windowUS = 5_000_000
+	capDir := dir + ".capture"
+	if err := scenario.Replay(scenario.ReplayConfig{
+		SrcDir: dir, DstDir: capDir, SegmentUS: windowUS, MarkDone: true,
+	}); err != nil {
+		log.Fatalf("%s: replay: %v", name, err)
+	}
+	tail := tracefile.NewTailSet(capDir)
+	if _, err := tail.Scan(); err != nil {
+		log.Fatalf("%s: scan capture: %v", name, err)
+	}
+	tail.Finish() // capture is complete: readers must drain, not block
+	wPasses, err := analysis.NewPasses("all", params)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	mon, err := serve.NewMonitor(serve.MonitorConfig{WindowUS: windowUS, Passes: wPasses})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	jigdCfg := ccfg
+	jigdCfg.Workers = 1 // the daemon's serial live path
+	jigdCfg.SnapshotEveryUS = windowUS
+	jigdCfg.Passes = []core.Pass{mon}
+	jigd = measure("jigd_windowed", tail.TraceSet(), jigdCfg, func(*core.Result) time.Duration {
+		t := time.Now()
+		mon.Flush()
+		return time.Since(t)
+	})
+	jigd.WindowsClosed = mon.Summary().WindowsClosed
+	if err := os.RemoveAll(capDir); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return stream, inmem, inline, posthoc, jigd
 }
 
 // benchSinkDump keeps finalized reports reachable until both measurements

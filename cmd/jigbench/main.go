@@ -84,11 +84,12 @@ func main() {
 		benchWork    = flag.String("bench-work-dir", "", "trace work directory for -bench-json (default: a temp dir, removed afterwards)")
 		benchAssert  = flag.Float64("bench-assert-streaming", 0, "fail unless streaming peak heap < this fraction of the in-memory merge's (e.g. 0.25); 0 disables")
 		benchInline  = flag.Float64("bench-assert-inline", 0, "fail unless inline-pass analysis peak heap < this fraction of the slice-based (KeepJFrames/KeepExchanges) analysis run's (e.g. 0.30); 0 disables")
+		benchJigd    = flag.Float64("bench-assert-jigd", 0, "fail unless the jigd windowed-monitor peak heap < this fraction of the slice-based analysis run's (e.g. 0.30); 0 disables")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		runBenchJSON(*benchJSON, *benchPresets, *benchDay, *workers, *benchWork, *benchAssert, *benchInline)
+		runBenchJSON(*benchJSON, *benchPresets, *benchDay, *workers, *benchWork, *benchAssert, *benchInline, *benchJigd)
 		return
 	}
 	if *sweep {

@@ -1,0 +1,224 @@
+// Command jigd is the always-on monitoring daemon: it tails a growing
+// capture directory (rotating per-radio segments, as written by a live
+// capture or jigsim -replay), feeds newly sealed segments through the
+// Jigsaw pipeline incrementally, and serves the streaming analyses over
+// HTTP while the capture is still growing.
+//
+//	jigd -dir capture/ -http localhost:8970 -window 5s
+//
+// Endpoints: /healthz (readiness), /summary (cumulative pipeline stats),
+// /reports/<pass> (latest closed-window report, jiganalyze -json rows),
+// /metrics (frames/sec, watermark lag, heap). Analysis state is bounded:
+// every pass finalizes per window and evicts sliding state behind the
+// delivery frontier, so heap stays flat no matter how long the capture
+// runs. SIGINT/SIGTERM drains the pipeline, closes the trailing window
+// and exits cleanly; when the capture marks itself done, jigd finishes
+// the trace and keeps serving the final reports until signalled.
+//
+//jiglint:allow wallclock (daemon edge: polling cadence and shutdown timeouts are wall-clock by nature)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/tracefile"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("jigd: ")
+	var (
+		dir     = flag.String("dir", "", "capture directory to tail (required)")
+		addr    = flag.String("http", "localhost:8970", "HTTP listen address")
+		window  = flag.Duration("window", 5*time.Second, "analysis window length in trace time")
+		slack   = flag.Duration("slack", time.Duration(serve.DefaultSlackUS)*time.Microsecond, "frontier slack before a window closes (covers pipeline reordering)")
+		poll    = flag.Duration("poll", 200*time.Millisecond, "directory scan interval")
+		passesF = flag.String("passes", "all", "which analyses to serve (comma-separated, or 'all')")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("-dir is required")
+	}
+	if *window <= 0 {
+		log.Fatalf("invalid -window %v", *window)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *dir, *addr, *window, *slack, *poll, *passesF); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// waitMeta polls until the capture's meta.json appears (the writer copies
+// it in before the first segment seals).
+func waitMeta(ctx context.Context, dir string, poll time.Duration) (scenario.Meta, error) {
+	for {
+		meta, err := scenario.ReadMeta(dir)
+		if err == nil {
+			return meta, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return scenario.Meta{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return scenario.Meta{}, fmt.Errorf("interrupted waiting for %s in %s", scenario.MetaFileName, dir)
+		case <-time.After(poll):
+		}
+	}
+}
+
+// waitRoster polls Scan until every roster radio has at least one sealed
+// segment, so the trace set fixed by TraceSet() covers the deployment.
+func waitRoster(ctx context.Context, ts *tracefile.TailSet, roster []int32, poll time.Duration) error {
+	for {
+		if _, err := ts.Scan(); err != nil {
+			return fmt.Errorf("scanning capture dir: %w", err)
+		}
+		ready := 0
+		for _, r := range roster {
+			if ts.SealedSegments(r) > 0 {
+				ready++
+			}
+		}
+		if ready == len(roster) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted waiting for first sealed segment (%d/%d radios ready)", ready, len(roster))
+		case <-time.After(poll):
+		}
+	}
+}
+
+func run(ctx context.Context, dir, addr string, window, slack, poll time.Duration, selector string) error {
+	meta, err := waitMeta(ctx, dir, poll)
+	if err != nil {
+		return err
+	}
+	var roster []int32
+	for _, g := range meta.ClockGroups {
+		roster = append(roster, g...)
+	}
+	if len(roster) == 0 {
+		return fmt.Errorf("%s in %s lists no radios", scenario.MetaFileName, dir)
+	}
+	log.Printf("capture %s: %d radios, %d APs", dir, len(roster), len(meta.APs))
+
+	tail := tracefile.NewTailSet(dir)
+	if err := waitRoster(ctx, tail, roster, poll); err != nil {
+		return err
+	}
+
+	// Passes over the live stream: same registry and parameters as
+	// jiganalyze directory mode (no simulator ground truth available).
+	daySec := meta.DaySec
+	if daySec == 0 {
+		daySec = 86_400
+	}
+	apSet := scenario.APSet(meta.APs)
+	params := analysis.PassParams{
+		SlotUS:     int64(daySec * 1e6 / 24),
+		MinPackets: 50,
+		IsAP:       func(m dot80211.MAC) bool { return apSet[m] },
+	}
+	passes, err := analysis.NewPasses(selector, params)
+	if err != nil {
+		return err
+	}
+	mon, err := serve.NewMonitor(serve.MonitorConfig{
+		WindowUS: window.Microseconds(),
+		SlackUS:  slack.Microseconds(),
+		Passes:   passes,
+		OnWindow: func(endUS int64) { log.Printf("window closed at %s trace time", time.Duration(endUS)*time.Microsecond) },
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: serve.NewServer(mon, serve.Info{Dir: dir, Radios: roster}),
+	}
+	httpErr := make(chan error, 1)
+	go func() {
+		log.Printf("serving on http://%s", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			httpErr <- err
+		}
+		close(httpErr)
+	}()
+
+	// Scan pump: pick up newly sealed segments until the capture is done
+	// or we are told to stop; either way Finish unblocks the tail readers
+	// so the pipeline drains.
+	go func() {
+		defer tail.Finish()
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := tail.Scan(); err != nil {
+					log.Printf("scan: %v", err)
+					return
+				}
+				if tail.Done() {
+					log.Printf("capture marked done")
+					return
+				}
+			}
+		}
+	}()
+
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = 1 // serial path: required for live result snapshots
+	ccfg.SnapshotEveryUS = window.Microseconds()
+	ccfg.Passes = []core.Pass{mon}
+	res, err := core.RunFrom(tail.TraceSet(), meta.ClockGroups, ccfg, nil)
+	if err != nil {
+		_ = srv.Close() // tearing down on a fatal pipeline error
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	mon.Flush()
+	log.Printf("pipeline drained: %d jframes, %d windows served", res.UnifyStats.JFrames, mon.Summary().WindowsClosed)
+
+	// Natural end of capture: keep serving the final reports until
+	// signalled. On a signal the context is already done and we shut down
+	// immediately.
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		if err != nil {
+			return fmt.Errorf("http: %w", err)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err, ok := <-httpErr; ok && err != nil {
+		return fmt.Errorf("http: %w", err)
+	}
+	log.Printf("clean exit")
+	return nil
+}

@@ -20,6 +20,16 @@
 // the RSSI-threshold roaming state machine enabled (-mobile-speed-mps,
 // -roam-hysteresis-db tune it); the run log then reports handoff counts,
 // mean handoff latency and the per-CC disruption table.
+//
+// Live replay: -replay re-emits an existing trace directory into a
+// growing capture directory of rotating sealed segments — the input shape
+// jigd tails:
+//
+//	jigsim -replay traces/ -o capture/ -pace 10 -segment 2s
+//
+// -pace R plays trace time at R× wall-clock speed (0 = as fast as
+// possible); -segment sets the rotation period in trace time. The
+// capture-done marker is written at the end so tailing daemons finish.
 package main
 
 import (
@@ -58,6 +68,10 @@ func main() {
 		mobility  = flag.Int("mobility", 0, "number of mobile clients walking waypoint paths (0 = preset value)")
 		moveSpeed = flag.Float64("mobile-speed-mps", 0, "mobile clients' walking speed in m/s (0 = 1.2)")
 		roamHyst  = flag.Float64("roam-hysteresis-db", 0, "dB a candidate AP must beat the serving AP by before a mobile client roams (0 = 6)")
+
+		replaySrc = flag.String("replay", "", "replay this trace directory into -o as a live capture (instead of simulating)")
+		pace      = flag.Float64("pace", 0, "replay: trace-time speedup over wall clock (0 = as fast as possible)")
+		segment   = flag.Duration("segment", 2*time.Second, "replay: segment rotation period in trace time")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,6 +83,12 @@ func main() {
 	}
 	if dir == "" {
 		log.Fatal("empty output directory")
+	}
+	if *replaySrc != "" {
+		if err := replay(*replaySrc, dir, *pace, *segment); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	cfg, err := scenario.Preset(*preset)
@@ -193,6 +213,38 @@ func main() {
 		}
 	}
 	log.Printf("traces written to %s", dir)
+}
+
+// replay re-emits src into dst as a live capture directory, pacing trace
+// time against the wall clock at the requested speedup. The pacing sleep
+// is the cmd-edge wall-clock dependency; the library replay itself is
+// deterministic.
+func replay(src, dst string, pace float64, segment time.Duration) error {
+	if pace < 0 {
+		return fmt.Errorf("negative -pace %v", pace)
+	}
+	cfg := scenario.ReplayConfig{
+		SrcDir:    src,
+		DstDir:    dst,
+		SegmentUS: segment.Microseconds(),
+		MarkDone:  true,
+	}
+	if pace > 0 {
+		start := time.Now() //jiglint:allow wallclock (replay pacing is wall-clock by definition)
+		cfg.Pace = func(relUS int64) {
+			due := time.Duration(float64(relUS)/pace) * time.Microsecond
+			if ahead := due - time.Since(start); ahead > 0 { //jiglint:allow wallclock (replay pacing)
+				time.Sleep(ahead)
+			}
+		}
+	}
+	start := time.Now() //jiglint:allow wallclock (progress timing)
+	if err := scenario.Replay(cfg); err != nil {
+		return err
+	}
+	log.Printf("replayed %s into %s in %v (pace %.3gx, %v segments)",
+		src, dst, time.Since(start).Round(time.Millisecond), pace, segment) //jiglint:allow wallclock
+	return nil
 }
 
 // clearStaleTraces removes radio trace and index files left in dir by a

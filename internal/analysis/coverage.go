@@ -222,6 +222,21 @@ func (p *CoveragePass) finalize() *CoverageReport {
 	return rep
 }
 
+// FinalizeWindow implements WindowedPass: match the window's captured
+// segment-identity multiset against the full wired tap, then start a
+// fresh multiset. (Windowed coverage reads as "what share of the whole
+// wired trace this window captured"; the one-shot run remains the §6
+// figure.)
+func (p *CoveragePass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.seen = make(map[segIdentity]int)
+	return rep
+}
+
+// Evict implements WindowedPass: identity counts are dropped wholesale by
+// the window reset.
+func (p *CoveragePass) Evict(int64) {}
+
 // Coverage compares the wired distribution trace against the unified
 // wireless trace: for every wired packet that must have appeared as a
 // unicast DATA frame on the air, was it captured by any monitor (§6)?

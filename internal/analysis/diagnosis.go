@@ -184,6 +184,24 @@ func (p *DiagnosisPass) finalize() []StationDiagnosis {
 	return out
 }
 
+// FinalizeWindow implements WindowedPass: drain the deferral, report the
+// window's per-station diagnoses, then drop all accumulators and the
+// interval window for a fresh start.
+func (p *DiagnosisPass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.accs = make(map[dot80211.MAC]*diagAcc)
+	p.idx = newOverlapIndex()
+	p.pending = exchangeDeferral{}
+	p.totalAir = 0
+	return rep
+}
+
+// Evict implements WindowedPass: prune the sliding interval window, as
+// the interference pass does.
+func (p *DiagnosisPass) Evict(beforeUS int64) {
+	p.idx.prune(beforeUS - overlapPruneHorizonUS)
+}
+
 // Diagnose builds per-station reports from retained slices. Compatibility
 // wrapper over DiagnosisPass.
 func Diagnose(jframes []*unify.JFrame, exchanges []*llc.Exchange) []StationDiagnosis {

@@ -223,6 +223,25 @@ func (p *InterferencePass) finalize() *InterferenceReport {
 	return rep
 }
 
+// FinalizeWindow implements WindowedPass: drain the deferral, report the
+// window's pair statistics, then drop every pair counter and the interval
+// window for a fresh start.
+func (p *InterferencePass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.idx = newOverlapIndex()
+	p.pending = exchangeDeferral{}
+	p.pairs = make(map[[2]dot80211.MAC]*PairStats)
+	return rep
+}
+
+// Evict implements WindowedPass: prune the sliding interval window behind
+// beforeUS minus the overlap query horizon. Callers must stay at or
+// behind the delivered-exchange frontier, so no later query can reach the
+// pruned intervals.
+func (p *InterferencePass) Evict(beforeUS int64) {
+	p.idx.prune(beforeUS - overlapPruneHorizonUS)
+}
+
 // Interference estimates co-channel interference from retained slices.
 // Compatibility wrapper over InterferencePass.
 func Interference(jframes []*unify.JFrame, exchanges []*llc.Exchange, minPackets int, isAP func(dot80211.MAC) bool) *InterferenceReport {

@@ -76,6 +76,43 @@ type Pass interface {
 	Finalize() Report
 }
 
+// WindowedPass extends Pass for long-running, windowed operation (the
+// jigd daemon, internal/serve): instead of one Finalize at end of stream,
+// the driver closes report windows as the stream's watermark advances,
+// and the pass drops each window's state behind it so memory is bounded
+// by the window, not the capture length.
+//
+// Contract:
+//
+//   - FinalizeWindow(upToUS) closes the current window: it returns
+//     exactly the Report a freshly constructed pass's one-shot Finalize
+//     would produce over the subsequence observed since the previous
+//     FinalizeWindow (or construction) — windows are self-contained, a
+//     property the parity tests assert per window against a fresh pass —
+//     and then resets the pass's observational state for the next window.
+//     upToUS is the window's end (universal µs), advisory: the driver
+//     guarantees it has delivered every jframe with UnivUS < upToUS and
+//     every exchange with CloseUS < upToUS (modulo the stream's bounded
+//     emission slack) before calling. The returned Report is detached:
+//     later observations never mutate it.
+//   - Evict(beforeUS) drops any sliding mid-window state that cannot
+//     influence reports at or after beforeUS (overlap-index intervals,
+//     drained deferral slots). It must only be called at or behind the
+//     driver's delivered-exchange frontier. For most passes the
+//     per-window reset inside FinalizeWindow already evicts everything,
+//     and Evict is a cheap no-op.
+//   - Passes that finalize from the run-aggregate Result
+//     (core.ResultSink: summary's pipeline counters, tcploss) report
+//     those fields as of the latest SetResult — cumulative, not
+//     per-window — because the pipeline aggregates them monotonically.
+//
+// Every pass in the registry implements WindowedPass.
+type WindowedPass interface {
+	Pass
+	FinalizeWindow(upToUS int64) Report
+	Evict(beforeUS int64)
+}
+
 // named implements Pass.Name by value.
 type named string
 

@@ -190,6 +190,22 @@ func (p *RoamingPass) finalize() *RoamingReport {
 	return p.rep
 }
 
+// FinalizeWindow implements WindowedPass: the window's handoff events,
+// then a fresh start. Serving-AP beliefs reset with the window and are
+// re-learned from the next window's traffic (dataTransitionMin exchanges,
+// or a management handshake), exactly as a fresh detector would.
+func (p *RoamingPass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.rep = &RoamingReport{PerClient: make(map[dot80211.MAC]int)}
+	p.tracks = make(map[dot80211.MAC]*roamTrack)
+	p.latSum, p.latN = 0, 0
+	return rep
+}
+
+// Evict implements WindowedPass: per-station tracks are dropped wholesale
+// by the window reset.
+func (p *RoamingPass) Evict(int64) {}
+
 // DetectHandoffs runs the handoff detector over a retained canonical
 // exchange slice (the order core.Run emits). Compatibility wrapper over
 // RoamingPass.

@@ -124,6 +124,24 @@ func (p *SummaryPass) finalize() *TraceSummary {
 	return &s
 }
 
+// FinalizeWindow implements WindowedPass: the window's Table 1, then a
+// fresh start. The result-derived rows (event/flow counters) reflect the
+// latest SetResult — cumulative pipeline aggregates, not per-window ones.
+func (p *SummaryPass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.started = false
+	p.firstUS, p.lastUS = 0, 0
+	p.multi, p.instances = 0, 0
+	p.aps = make(map[dot80211.MAC]bool)
+	p.clients = make(map[dot80211.MAC]bool)
+	p.s = TraceSummary{}
+	return rep
+}
+
+// Evict implements WindowedPass: per-station state is dropped by the
+// window reset; nothing slides mid-window.
+func (p *SummaryPass) Evict(int64) {}
+
 // Summarize builds Table 1 from a pipeline result and a retained jframe
 // slice. Compatibility wrapper over SummaryPass.
 func Summarize(res *core.Result, jframes []*unify.JFrame) *TraceSummary {
@@ -218,3 +236,11 @@ func (p *TCPLossPass) finalize() *TCPLossReport {
 	}
 	return TCPLoss(TransportFlowLosses(p.res.Transport, p.minSegs))
 }
+
+// FinalizeWindow implements WindowedPass. The pass is purely
+// result-derived, so each window reports the transport analyzer's loss
+// attribution as of the latest SetResult — cumulative over the run.
+func (p *TCPLossPass) FinalizeWindow(int64) Report { return p.finalize() }
+
+// Evict implements WindowedPass: no observational state at all.
+func (p *TCPLossPass) Evict(int64) {}

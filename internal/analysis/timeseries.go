@@ -141,6 +141,22 @@ func (p *TimeSeriesPass) finalize() []ActivitySlot {
 	return slots
 }
 
+// FinalizeWindow implements WindowedPass: the window's activity series
+// (slot 0 re-anchors at the window's first jframe, exactly like a fresh
+// pass), then a fresh start. The returned slots are detached — the reset
+// drops the backing arrays.
+func (p *TimeSeriesPass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.started = false
+	p.startUS, p.lastUS = 0, 0
+	p.slots, p.acts = nil, nil
+	return rep
+}
+
+// Evict implements WindowedPass: slot state is bounded by the window and
+// dropped wholesale by the reset.
+func (p *TimeSeriesPass) Evict(int64) {}
+
 // TimeSeries builds Fig. 8 from a retained jframe slice. Compatibility
 // wrapper over TimeSeriesPass.
 func TimeSeries(jframes []*unify.JFrame, slotUS int64) []ActivitySlot {

@@ -60,6 +60,23 @@ func (p *VizPass) finalize() string {
 	return renderWindow(p.window, p.fromUS, p.toUS, p.width)
 }
 
+// FinalizeWindow implements WindowedPass: render the collected span and
+// drop it. In relative mode the next window re-anchors on its first
+// jframe, so a live run renders one span per report window.
+func (p *VizPass) FinalizeWindow(int64) Report {
+	rep := p.finalize()
+	p.window = nil
+	if p.relative {
+		p.started = false
+		p.fromUS, p.toUS = 0, 0
+	}
+	return rep
+}
+
+// Evict implements WindowedPass: retention is already clamped to the
+// render span, which the window reset drops.
+func (p *VizPass) Evict(int64) {}
+
 // Visualize renders a Figure-2-style view of a slice of the synchronized
 // trace: time on the x-axis, one row per radio, a mark where each radio
 // heard each jframe ('#' decoded, 'x' corrupt, '.' phy error), and a legend

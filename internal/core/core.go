@@ -73,6 +73,15 @@ type Config struct {
 	// internal/analysis passes satisfy this interface; results are
 	// identical at every Workers setting.
 	Passes []Pass
+	// SnapshotEveryUS, when > 0, re-delivers the run's aggregate result
+	// (unify/llc/transport stats) to every ResultSink pass each time the
+	// reconstruction watermark advances this far — the live-monitoring
+	// hook: result-derived report fields stay current while the run is
+	// still in flight instead of materializing only at the end. Serial
+	// path only (the single goroutine makes mid-run stats reads safe);
+	// RunFrom rejects it with Workers > 1. The final SetResult before
+	// RunFrom returns still happens either way.
+	SnapshotEveryUS int64
 }
 
 // Pass is a streaming analysis observer the pipeline feeds inline, the
@@ -236,6 +245,9 @@ func RunFrom(ts *tracefile.TraceSet, clockGroups [][]int32, cfg Config, sink *Si
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SnapshotEveryUS > 0 && workers > 1 {
+		return nil, fmt.Errorf("core: SnapshotEveryUS requires the serial path (Workers=1), have %d workers", workers)
 	}
 
 	// Phase 1: bootstrap over each trace's first window, pre-scanning the
@@ -467,6 +479,7 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 	rec := llc.NewReconstructor()
 	ta := transport.NewAnalyzer()
 	h := &exchangeHeap{}
+	var lastSnapUS int64
 	release := func(limit int64) {
 		for h.Len() > 0 && (*h)[0].ex.CloseUS < limit {
 			ex := heap.Pop(h).(routedExchange).ex
@@ -487,7 +500,15 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 		for _, ex := range rec.Take() {
 			heap.Push(h, routedExchange{ex: ex})
 		}
-		release(rec.Watermark())
+		wm := rec.Watermark()
+		release(wm)
+		if cfg.SnapshotEveryUS > 0 && wm >= lastSnapUS+cfg.SnapshotEveryUS {
+			lastSnapUS = wm
+			res.Transport = ta
+			res.UnifyStats = u.Stats
+			res.LLCStats = rec.Stats
+			ps.finish(res)
+		}
 	}
 	for _, ex := range rec.Flush() {
 		heap.Push(h, routedExchange{ex: ex})

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/unify"
+)
+
+// resultCounter records every SetResult delivery.
+type resultCounter struct {
+	calls   int
+	results []*core.Result
+}
+
+func (r *resultCounter) ObserveJFrame(*unify.JFrame)   {}
+func (r *resultCounter) ObserveExchange(*llc.Exchange) {}
+func (r *resultCounter) SetResult(res *core.Result)    { r.calls++; r.results = append(r.results, res) }
+
+// TestSnapshotEveryUS pins the live-result hook: on the serial path the
+// pipeline re-delivers the aggregate result to ResultSink passes as the
+// watermark advances, with mid-run stats monotonically below the final
+// ones, and still delivers the final SetResult.
+func TestSnapshotEveryUS(t *testing.T) {
+	cfg := scenario.Default()
+	cfg.Pods, cfg.APs, cfg.Clients = 4, 4, 6
+	cfg.Day = 20 * sim.Second
+	cfg.Seed = 2
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = 1
+	ccfg.SnapshotEveryUS = 2_000_000
+	rc := &resultCounter{}
+	ccfg.Passes = []core.Pass{rc}
+	res, err := core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, ccfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~20 compressed seconds at 2 s snapshots: several mid-run deliveries
+	// plus the final one.
+	if rc.calls < 3 {
+		t.Fatalf("SetResult calls = %d, want >= 3", rc.calls)
+	}
+	for i, r := range rc.results {
+		if r != res {
+			t.Fatalf("snapshot %d delivered a different Result pointer", i)
+		}
+	}
+	if res.UnifyStats.JFrames == 0 {
+		t.Fatal("final result has no jframes")
+	}
+
+	// The parallel path must reject the serial-only hook loudly.
+	pcfg := core.DefaultConfig()
+	pcfg.Workers = 4
+	pcfg.SnapshotEveryUS = 2_000_000
+	_, err = core.Run(core.TracesFromBuffers(out.Traces), out.ClockGroups, pcfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "SnapshotEveryUS") {
+		t.Fatalf("parallel run with SnapshotEveryUS: err = %v, want serial-only error", err)
+	}
+}

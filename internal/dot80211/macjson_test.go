@@ -1,0 +1,63 @@
+package dot80211
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMACJSONRoundTrip(t *testing.T) {
+	m := MAC{0x02, 0x1a, 0xff, 0x00, 0x7b, 0xc4}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(b) != `"02:1a:ff:00:7b:c4"` {
+		t.Fatalf("marshal = %s, want quoted colon-hex", b)
+	}
+	var got MAC
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != m {
+		t.Fatalf("round trip = %v, want %v", got, m)
+	}
+}
+
+func TestMACJSONLegacyArray(t *testing.T) {
+	// meta.json files written before the text encoding carry MACs as
+	// six-element byte arrays; they must stay readable.
+	var got MAC
+	if err := json.Unmarshal([]byte(`[2,26,255,0,123,196]`), &got); err != nil {
+		t.Fatalf("unmarshal legacy array: %v", err)
+	}
+	want := MAC{0x02, 0x1a, 0xff, 0x00, 0x7b, 0xc4}
+	if got != want {
+		t.Fatalf("legacy array = %v, want %v", got, want)
+	}
+	if err := json.Unmarshal([]byte(`[1,2,3]`), &got); err == nil {
+		t.Fatal("short array should fail")
+	}
+	if err := json.Unmarshal([]byte(`"not-a-mac"`), &got); err == nil {
+		t.Fatal("bad string should fail")
+	}
+}
+
+func TestMACJSONMapKey(t *testing.T) {
+	// MAC-keyed maps (e.g. RoamingReport.PerClient) marshal via
+	// TextMarshaler and must round trip.
+	src := map[MAC]int{
+		{0x02, 0, 0, 0, 0, 0x01}: 3,
+		{0x02, 0, 0, 0, 0, 0x02}: 7,
+	}
+	b, err := json.Marshal(src)
+	if err != nil {
+		t.Fatalf("marshal map: %v", err)
+	}
+	var got map[MAC]int
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal map: %v", err)
+	}
+	if len(got) != 2 || got[MAC{0x02, 0, 0, 0, 0, 0x01}] != 3 || got[MAC{0x02, 0, 0, 0, 0, 0x02}] != 7 {
+		t.Fatalf("map round trip = %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package scenario_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+)
+
+// replaySourceDir spills a small scenario into a trace directory.
+func replaySourceDir(t *testing.T) (string, *scenario.Output) {
+	t.Helper()
+	cfg := scenario.Default()
+	cfg.Pods, cfg.APs, cfg.Clients = 3, 3, 4
+	cfg.Day = 10 * sim.Second
+	cfg.Seed = 4
+	out, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for r, buf := range out.Traces {
+		if err := os.WriteFile(tracefile.TracePath(dir, r), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := scenario.WriteMeta(dir, scenario.MetaFromOutput(out)); err != nil {
+		t.Fatal(err)
+	}
+	return dir, out
+}
+
+// readAllVia drains one radio through a TraceSet.
+func readAllVia(t *testing.T, ts *tracefile.TraceSet, radio int32) []tracefile.Record {
+	t.Helper()
+	rc, err := ts.Open(radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	recs, err := tracefile.ReadAll(rc)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestReplayPreservesRecords(t *testing.T) {
+	src, _ := replaySourceDir(t)
+	dst := t.TempDir()
+	var paced int
+	err := scenario.Replay(scenario.ReplayConfig{
+		SrcDir: src, DstDir: dst, SegmentUS: 1_000_000,
+		Pace:     func(relUS int64) { paced++ },
+		MarkDone: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paced == 0 {
+		t.Fatal("pace hook never fired")
+	}
+
+	// meta.json must be byte-identical, and present before any reader needs
+	// the roster.
+	sm, err := os.ReadFile(filepath.Join(src, scenario.MetaFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := os.ReadFile(filepath.Join(dst, scenario.MetaFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sm) != string(dm) {
+		t.Fatal("replay altered meta.json")
+	}
+
+	srcTS, err := tracefile.OpenDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The destination is a finished capture directory: tail it to EOF.
+	tail := tracefile.NewTailSet(dst)
+	if _, err := tail.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if !tail.Done() {
+		t.Fatal("capture.done marker not noticed")
+	}
+	dstTS := tail.TraceSet()
+
+	srcRadios := srcTS.Radios()
+	if got := dstTS.Radios(); !reflect.DeepEqual(got, srcRadios) {
+		t.Fatalf("radios = %v, want %v", got, srcRadios)
+	}
+	for _, r := range srcRadios {
+		want := readAllVia(t, srcTS, r)
+		got := readAllVia(t, dstTS, r)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("radio %d: replayed records differ (%d vs %d)", r, len(got), len(want))
+		}
+		if tail.SealedSegments(r) < 2 {
+			t.Errorf("radio %d: only %d segments; rotation did not engage", r, tail.SealedSegments(r))
+		}
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	if err := scenario.Replay(scenario.ReplayConfig{SrcDir: "x", DstDir: "y"}); err == nil {
+		t.Error("zero SegmentUS should fail")
+	}
+	if err := scenario.Replay(scenario.ReplayConfig{
+		SrcDir: t.TempDir(), DstDir: t.TempDir(), SegmentUS: 1,
+	}); err == nil {
+		t.Error("source without meta.json should fail")
+	}
+}

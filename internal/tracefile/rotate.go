@@ -9,8 +9,16 @@ import (
 // local-clock period, mirroring jigdump's behaviour of "creating a new file
 // pair each hour" (§3.3). Each segment is an independent trace stream with
 // its own metadata index.
+//
+// Boundary semantics: the segment grid is anchored at the first record's
+// timestamp, and a record timestamped exactly on a period edge opens the
+// new segment (segments are the half-open intervals [start, start+period)).
+// Idle periods produce no segment at all — segment numbers stay
+// consecutive and the next record's period is entered directly, so a
+// tailing reader never sees zero-record segment files.
 type RotatingWriter struct {
 	open     func(segment int) (io.Writer, error)
+	seal     func(segment int, idx []IndexEntry) error
 	periodUS int64
 	snapLen  int
 
@@ -32,6 +40,15 @@ func NewRotatingWriter(open func(segment int) (io.Writer, error), periodUS int64
 // SetSnapLen sets the per-frame capture limit for subsequent segments.
 func (w *RotatingWriter) SetSnapLen(n int) { w.snapLen = n }
 
+// SetSealFunc registers a callback invoked after each segment's stream is
+// fully written (on rotation and on Close), with the segment number and
+// its metadata index. Directory-backed writers use it to flush, close and
+// mark the segment file complete so a concurrent tailer can tell sealed
+// segments from the one still being written.
+func (w *RotatingWriter) SetSealFunc(seal func(segment int, idx []IndexEntry) error) {
+	w.seal = seal
+}
+
 // WriteRecord appends a record, rotating first if its timestamp falls past
 // the current segment's period.
 func (w *RotatingWriter) WriteRecord(r Record) error {
@@ -39,7 +56,7 @@ func (w *RotatingWriter) WriteRecord(r Record) error {
 		w.started = true
 		w.segStart = r.LocalUS
 	}
-	for w.cur == nil || r.LocalUS >= w.segStart+w.periodUS {
+	if w.cur == nil || r.LocalUS >= w.segStart+w.periodUS {
 		if err := w.rotate(r.LocalUS); err != nil {
 			return err
 		}
@@ -47,14 +64,16 @@ func (w *RotatingWriter) WriteRecord(r Record) error {
 	return w.cur.WriteRecord(r)
 }
 
-// rotate closes the current segment and opens the next.
+// rotate seals the current segment and opens the one containing nowUS.
 func (w *RotatingWriter) rotate(nowUS int64) error {
 	if w.cur != nil {
-		if err := w.cur.Close(); err != nil {
+		if err := w.closeCur(); err != nil {
 			return err
 		}
-		w.indexes = append(w.indexes, w.cur.Index())
-		w.segStart += w.periodUS
+		// Jump straight to the period containing nowUS (staying on the
+		// grid the first record anchored): idle periods in between get no
+		// zero-record segment file, and segment numbers stay consecutive.
+		w.segStart += (nowUS - w.segStart) / w.periodUS * w.periodUS
 	} else {
 		w.segStart = nowUS
 	}
@@ -68,15 +87,29 @@ func (w *RotatingWriter) rotate(nowUS int64) error {
 	return nil
 }
 
-// Close finishes the current segment.
+// closeCur finishes the current segment's stream and seals it.
+func (w *RotatingWriter) closeCur() error {
+	err := w.cur.Close()
+	idx := w.cur.Index()
+	w.indexes = append(w.indexes, idx)
+	w.cur = nil
+	if err != nil {
+		return err
+	}
+	if w.seal != nil {
+		if serr := w.seal(w.seg, idx); serr != nil {
+			return fmt.Errorf("tracefile: sealing segment %d: %w", w.seg, serr)
+		}
+	}
+	return nil
+}
+
+// Close finishes and seals the current segment.
 func (w *RotatingWriter) Close() error {
 	if w.cur == nil {
 		return nil
 	}
-	err := w.cur.Close()
-	w.indexes = append(w.indexes, w.cur.Index())
-	w.cur = nil
-	return err
+	return w.closeCur()
 }
 
 // Segments returns how many segments were produced.

@@ -47,18 +47,140 @@ func TestRotatingWriterSplitsByPeriod(t *testing.T) {
 }
 
 func TestRotatingWriterSkipsEmptyPeriods(t *testing.T) {
-	opened := 0
+	var bufs []*bytes.Buffer
 	w := NewRotatingWriter(func(seg int) (io.Writer, error) {
-		opened++
+		b := &bytes.Buffer{}
+		bufs = append(bufs, b)
+		return b, nil
+	}, 1_000_000)
+	// Two records 5 periods apart: the idle periods in between must not
+	// produce zero-record segment files, and segment numbers stay
+	// consecutive.
+	if err := w.WriteRecord(Record{LocalUS: 0, Frame: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{LocalUS: 5_100_000, Frame: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() != 2 {
+		t.Errorf("segments = %d, want 2 (no zero-record segments for idle periods)", w.Segments())
+	}
+	for i, b := range bufs {
+		rs, err := ReadAll(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 1 {
+			t.Errorf("segment %d holds %d records, want 1", i, len(rs))
+		}
+	}
+	// The grid stays anchored at the first record: a later record in the
+	// same period as the jump target must share its segment.
+	var bufs2 []*bytes.Buffer
+	w2 := NewRotatingWriter(func(seg int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		bufs2 = append(bufs2, b)
+		return b, nil
+	}, 1_000_000)
+	for _, us := range []int64{200_000, 5_300_000, 5_900_000} {
+		if err := w2.WriteRecord(Record{LocalUS: us, Frame: []byte{9}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", w2.Segments())
+	}
+	rs, err := ReadAll(bytes.NewReader(bufs2[1].Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Errorf("post-gap segment holds %d records, want 2 (grid anchored at first record)", len(rs))
+	}
+}
+
+func TestRotatingWriterPeriodEdge(t *testing.T) {
+	var bufs []*bytes.Buffer
+	w := NewRotatingWriter(func(seg int) (io.Writer, error) {
+		b := &bytes.Buffer{}
+		bufs = append(bufs, b)
+		return b, nil
+	}, 1_000_000)
+	// A record timestamped exactly on the rotation edge must open the new
+	// segment (segments are half-open [start, start+period)).
+	for _, us := range []int64{0, 999_999, 1_000_000} {
+		if err := w.WriteRecord(Record{LocalUS: us, Frame: []byte{byte(us)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", w.Segments())
+	}
+	first, err := ReadAll(bytes.NewReader(bufs[0].Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadAll(bytes.NewReader(bufs[1].Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 || first[len(first)-1].LocalUS != 999_999 {
+		t.Errorf("first segment = %d records ending %d, want 2 ending 999999",
+			len(first), first[len(first)-1].LocalUS)
+	}
+	if len(second) != 1 || second[0].LocalUS != 1_000_000 {
+		t.Errorf("edge record not at head of new segment: %v", second)
+	}
+}
+
+func TestRotatingWriterSealHook(t *testing.T) {
+	var sealed []int
+	var segIdx [][]IndexEntry
+	w := NewRotatingWriter(func(seg int) (io.Writer, error) {
 		return &bytes.Buffer{}, nil
 	}, 1_000_000)
-	// Two records 5 periods apart: intermediate segments are created
-	// (like empty hourly files) but contain nothing.
-	w.WriteRecord(Record{LocalUS: 0, Frame: []byte{1}})
-	w.WriteRecord(Record{LocalUS: 5_100_000, Frame: []byte{2}})
-	w.Close()
-	if opened != 6 {
-		t.Errorf("opened %d segments, want 6 (hourly files even when idle)", opened)
+	w.SetSealFunc(func(seg int, idx []IndexEntry) error {
+		sealed = append(sealed, seg)
+		segIdx = append(segIdx, idx)
+		return nil
+	})
+	for i := int64(0); i < 25; i++ {
+		if err := w.WriteRecord(Record{LocalUS: i * 100_000, Frame: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal fires on rotation, before the next segment opens…
+	if len(sealed) != 2 || sealed[0] != 0 || sealed[1] != 1 {
+		t.Fatalf("sealed after writes = %v, want [0 1]", sealed)
+	}
+	// …and on Close for the final segment.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 3 || sealed[2] != 2 {
+		t.Fatalf("sealed after close = %v, want [0 1 2]", sealed)
+	}
+	for i, idx := range segIdx {
+		var n int32
+		for _, e := range idx {
+			n += e.Records
+		}
+		want := int32(10)
+		if i == 2 {
+			want = 5
+		}
+		if n != want {
+			t.Errorf("segment %d index counts %d records, want %d", i, n, want)
+		}
 	}
 }
 

@@ -1,0 +1,291 @@
+package tracefile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseSegmentName(t *testing.T) {
+	cases := []struct {
+		name  string
+		radio int32
+		seg   int
+		ok    bool
+	}{
+		{"radio-7.seg-0003.jig", 7, 3, true},
+		{"radio-120.seg-0000.jig", 120, 0, true},
+		{"radio-7.seg-12345.jig", 7, 12345, true},
+		{"radio-7.jig", 0, 0, false},
+		{"radio-7.seg-0003.idx", 0, 0, false},
+		{"radio-.seg-0003.jig", 0, 0, false},
+		{"radio-7.seg-.jig", 0, 0, false},
+		{"meta.json", 0, 0, false},
+	}
+	for _, c := range cases {
+		r, s, ok := ParseSegmentName(c.name)
+		if ok != c.ok || r != c.radio || s != c.seg {
+			t.Errorf("ParseSegmentName(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				c.name, r, s, ok, c.radio, c.seg, c.ok)
+		}
+	}
+}
+
+// writeSealedSegment writes one sealed segment file + index sidecar.
+func writeSealedSegment(t *testing.T, dir string, radio int32, seg int, recs []Record) {
+	t.Helper()
+	f, err := os.Create(SegmentTracePath(dir, radio, seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := WriteAll(f, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	xf, err := os.Create(SegmentIndexPath(dir, radio, seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIndex(xf, idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := xf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tailRecords(n int, base int64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{LocalUS: base + int64(i)*1000, RadioID: 1, Frame: []byte{byte(i), 1, 2}, Flags: FlagFCSOK}
+	}
+	return recs
+}
+
+func TestDirRotatingWriterSealsSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := NewDirRotatingWriter(dir, 3, 1_000_000)
+	for i := int64(0); i < 25; i++ {
+		if err := w.WriteRecord(Record{LocalUS: i * 100_000, RadioID: 3, Frame: []byte{byte(i)}, Flags: FlagFCSOK}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Segments 0 and 1 are rotated out and sealed; segment 2 is still
+	// being written, so its sidecar must not exist yet.
+	for seg := 0; seg < 2; seg++ {
+		if _, err := os.Stat(SegmentIndexPath(dir, 3, seg)); err != nil {
+			t.Errorf("segment %d not sealed: %v", seg, err)
+		}
+	}
+	if _, err := os.Stat(SegmentIndexPath(dir, 3, 2)); err == nil {
+		t.Error("active segment 2 has an index sidecar before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() != 3 {
+		t.Fatalf("segments = %d, want 3", w.Segments())
+	}
+	// Every sealed segment round-trips, and the sidecar parses.
+	var total int
+	for seg := 0; seg < 3; seg++ {
+		f, err := os.Open(SegmentTracePath(dir, 3, seg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("segment %d: %v", seg, err)
+		}
+		total += len(recs)
+		xf, err := os.Open(SegmentIndexPath(dir, 3, seg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ReadIndex(xf)
+		xf.Close()
+		if err != nil {
+			t.Fatalf("segment %d index: %v", seg, err)
+		}
+		var n int32
+		for _, e := range idx {
+			n += e.Records
+		}
+		if int(n) != len(recs) {
+			t.Errorf("segment %d index counts %d, file holds %d", seg, n, len(recs))
+		}
+	}
+	if total != 25 {
+		t.Fatalf("read %d records across segments, want 25", total)
+	}
+}
+
+func TestTailSetSealedVsActive(t *testing.T) {
+	dir := t.TempDir()
+	writeSealedSegment(t, dir, 1, 0, tailRecords(5, 0))
+	// Segment 1 exists but is unsealed (no sidecar): an in-progress write.
+	if err := os.WriteFile(SegmentTracePath(dir, 1, 1), []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := NewTailSet(dir)
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.SealedSegments(1); got != 1 {
+		t.Fatalf("sealed segments = %d, want 1 (active segment must not count)", got)
+	}
+	set := ts.TraceSet()
+	rc, err := set.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	r := NewReader(rc)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	// The reader is now at the sealed frontier. Finish and expect a clean
+	// EOF — the truncated active segment must never be read.
+	ts.Finish()
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF at sealed frontier", err)
+	}
+}
+
+func TestTailSetPicksUpNewSegments(t *testing.T) {
+	dir := t.TempDir()
+	writeSealedSegment(t, dir, 2, 0, tailRecords(4, 0))
+	ts := NewTailSet(dir)
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	set := ts.TraceSet()
+	rc, err := set.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	r := NewReader(rc)
+
+	got := make(chan []int64, 1)
+	go func() {
+		var us []int64
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				break
+			}
+			us = append(us, rec.LocalUS)
+		}
+		got <- us
+	}()
+
+	// Let the reader drain segment 0 and block at the frontier, then seal
+	// a new segment mid-run and mark the capture done.
+	time.Sleep(20 * time.Millisecond)
+	writeSealedSegment(t, dir, 2, 1, tailRecords(3, 1_000_000))
+	if err := MarkCaptureDone(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+
+	us := <-got
+	if len(us) != 7 {
+		t.Fatalf("read %d records, want 7 (4 + 3 from the mid-run segment)", len(us))
+	}
+	if us[4] != 1_000_000 {
+		t.Fatalf("first record of new segment at %d, want 1000000", us[4])
+	}
+	if !ts.Done() {
+		t.Error("capture.done marker not noticed")
+	}
+}
+
+func TestTailSetTruncatedSegmentSkippedThenPickedUp(t *testing.T) {
+	dir := t.TempDir()
+	writeSealedSegment(t, dir, 1, 0, tailRecords(2, 0))
+	// Segment 1: a truncated crash leftover with no sidecar.
+	if err := os.WriteFile(SegmentTracePath(dir, 1, 1), []byte{0x4a, 0x49}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Segment 2 sealed *before* segment 1: must be held back until its
+	// predecessor seals, or the stream would skip records.
+	writeSealedSegment(t, dir, 1, 2, tailRecords(2, 2_000_000))
+
+	ts := NewTailSet(dir)
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.SealedSegments(1); got != 1 {
+		t.Fatalf("sealed segments = %d, want 1 (gap at unsealed segment 1)", got)
+	}
+
+	// The writer recovers: segment 1 is rewritten completely and sealed.
+	writeSealedSegment(t, dir, 1, 1, tailRecords(2, 1_000_000))
+	progress, err := ts.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !progress {
+		t.Fatal("scan after sealing reported no progress")
+	}
+	if got := ts.SealedSegments(1); got != 3 {
+		t.Fatalf("sealed segments = %d, want 3 (gap closed, successor published)", got)
+	}
+	ts.Finish()
+	rc, err := ts.TraceSet().Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	recs, err := ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("read %d records, want 6 in order across the healed gap", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LocalUS < recs[i-1].LocalUS {
+			t.Fatal("records out of order across segments")
+		}
+	}
+}
+
+func TestTailSetRosterFixedAtTraceSet(t *testing.T) {
+	dir := t.TempDir()
+	writeSealedSegment(t, dir, 1, 0, tailRecords(1, 0))
+	ts := NewTailSet(dir)
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	set := ts.TraceSet()
+	writeSealedSegment(t, dir, 9, 0, tailRecords(1, 0))
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("trace set grew after creation: %d radios", set.Len())
+	}
+	if got := len(ts.Radios()); got != 2 {
+		t.Fatalf("tail set radios = %d, want 2", got)
+	}
+	// meta/unknown files in the directory are ignored by Scan.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Scan(); err != nil {
+		t.Fatal(err)
+	}
+}
