@@ -3,10 +3,19 @@
 // (Fig. 9), protection mode (Fig. 10), per-station diagnosis (§8), TCP loss
 // (Fig. 11) and air-reconstructed roaming handoffs.
 //
-// Two modes:
+// Three modes:
 //
 //	jiganalyze [-pods 8 -aps 9 -clients 16 -day 120s]   # simulate + analyze
 //	jiganalyze traces/                                  # analyze a trace directory
+//	jiganalyze campus/                                  # hierarchical: building-NN subdirectories
+//
+// A directory containing building-NN subdirectories (the layout
+// jigsim -campus writes) is analyzed hierarchically: each building is
+// unified into a sorted intermediate jframe stream by a per-building worker
+// pool (level 1), then the global k-way merge drives the same passes over
+// the combined stream (level 2, core.RunHierarchical). Reports are
+// unchanged; memory stays bounded by the per-building unifier windows plus
+// the merge frontier.
 //
 // Every analysis runs as a streaming pass (internal/analysis) fed inline
 // by the pipeline, so nothing retains the jframe or exchange streams:
@@ -34,12 +43,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dot80211"
+	"repro/internal/hmerge"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tracefile"
@@ -104,15 +118,19 @@ func main() {
 		hourUS      int64
 		out         *scenario.Output // nil in directory mode: no ground truth
 	)
+	var buildingDirs []string // non-nil: campus layout, hierarchical path
 	if dir != "" {
-		var err error
-		traces, err = tracefile.OpenDir(dir)
-		if err != nil {
-			log.Fatal(err)
-		}
 		meta, err := scenario.ReadMeta(dir)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if bds, berr := scenario.ListBuildings(dir); berr == nil {
+			buildingDirs = bds
+		} else {
+			traces, err = tracefile.OpenDir(dir)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		clockGroups = meta.ClockGroups
 		apInfos = meta.APs
@@ -121,8 +139,13 @@ func main() {
 			daySec = day.Seconds()
 			log.Printf("warning: %s has no DaySec; slicing time by -day %v", scenario.MetaFileName, *day)
 		}
-		log.Printf("trace directory %s: %d radios, %d APs, day %.0fs, seed %d",
-			dir, traces.Len(), len(apInfos), daySec, meta.Seed)
+		if buildingDirs != nil {
+			log.Printf("campus directory %s: %d buildings, %d APs, day %.0fs, seed %d",
+				dir, len(buildingDirs), len(apInfos), daySec, meta.Seed)
+		} else {
+			log.Printf("trace directory %s: %d radios, %d APs, day %.0fs, seed %d",
+				dir, traces.Len(), len(apInfos), daySec, meta.Seed)
+		}
 		hourUS = int64(daySec * 1e6 / 24)
 	} else {
 		if *pods <= 0 || *aps <= 0 || *clients < 0 {
@@ -178,7 +201,12 @@ func main() {
 	ccfg := core.DefaultConfig()
 	ccfg.Workers = *workers
 	ccfg.Passes = analysis.CorePasses(passes)
-	res, err := core.RunFrom(traces, clockGroups, ccfg, nil)
+	var res *core.Result
+	if buildingDirs != nil {
+		res, err = runCampus(buildingDirs, ccfg, *workers)
+	} else {
+		res, err = core.RunFrom(traces, clockGroups, ccfg, nil)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -296,6 +324,60 @@ func main() {
 			fmt.Println("handoff scoring / per-CC disruption: skipped — needs simulator ground truth (not carried by a trace directory)")
 		}
 	}
+}
+
+// runCampus executes the hierarchical pipeline over a campus layout:
+// level 1 unifies each building directory into an intermediate stream
+// (worker pool, one stream per building, written to a temporary directory),
+// level 2 k-way-merges the streams and drives the configured passes.
+func runCampus(buildingDirs []string, ccfg core.Config, workers int) (*core.Result, error) {
+	streamDir, err := os.MkdirTemp("", "jiganalyze-hmerge-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(streamDir)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := workers
+	if pool > len(buildingDirs) {
+		pool = len(buildingDirs)
+	}
+	paths := make([]string, len(buildingDirs))
+	errs := make([]error, len(buildingDirs))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(buildingDirs) {
+					return
+				}
+				bdir := buildingDirs[i]
+				meta, err := scenario.ReadMeta(bdir)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out := filepath.Join(streamDir, filepath.Base(bdir)+".jfs")
+				if _, err := hmerge.UnifyDir(bdir, out, meta.ClockGroups, hmerge.UnifyConfig{Workers: 1}); err != nil {
+					errs[i] = err
+					continue
+				}
+				paths[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("unify %s: %w", buildingDirs[i], err)
+		}
+	}
+	return core.RunHierarchicalPaths(paths, ccfg, nil)
 }
 
 // emitJSON prints the selected reports as a JSON array of sections in

@@ -25,6 +25,10 @@
 // -bench-assert-jigd gates that row's heap against the slice-based
 // analysis run's, pinning the daemon's bounded-memory claim.
 //
+// The "campus" preset takes a different path entirely — the two-level
+// scale harness in campus.go (rows replay/flat/hier_unify/hier_global,
+// gated by -bench-assert-campus-*).
+//
 // Measuring wall time is this harness's purpose: the rows above are
 // real-time throughput numbers, not simulation outputs.
 //jiglint:allow wallclock
@@ -55,7 +59,7 @@ import (
 // benchRow is one merge measurement in BENCH_pipeline.json.
 type benchRow struct {
 	Preset  string  `json:"preset"`
-	Mode    string  `json:"mode"` // streaming, inmemory, analysis_inline, analysis_posthoc, jigd_windowed
+	Mode    string  `json:"mode"` // streaming, inmemory, analysis_inline, analysis_posthoc, jigd_windowed; campus: replay, flat, hier_unify, hier_global
 	Pods    int     `json:"pods"`
 	Radios  int     `json:"radios"`
 	APs     int     `json:"aps"`
@@ -132,12 +136,24 @@ func (h *heapSampler) Stop() uint64 {
 	return h.peak.Load()
 }
 
-// runBenchJSON measures every preset and writes the JSON rows to path.
-func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, workDir string, assertRatio, assertInline, assertJigd float64) {
+// benchArgs collects the -bench-json flag values.
+type benchArgs struct {
+	path, presets                             string
+	day                                       time.Duration
+	workers                                   int
+	workDir                                   string
+	assertStreaming, assertInline, assertJigd float64
+	campus                                    campusBenchArgs
+}
+
+// runBenchJSON measures every preset and writes the JSON rows to a.path.
+func runBenchJSON(a benchArgs) {
 	// Aggressive GC during profiling: with the default GOGC the heap
 	// balloons to ~2x the live set before a collection, and that slack —
 	// not the pipeline's working set — would dominate small runs' peaks.
 	debug.SetGCPercent(10)
+	workers := a.workers
+	workDir := a.workDir
 	keep := workDir != ""
 	if workDir == "" {
 		d, err := os.MkdirTemp("", "jigbench-")
@@ -150,19 +166,34 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 
 	var rows []benchRow
 	failed := false
-	for _, name := range strings.Split(presets, ",") {
+	for _, name := range strings.Split(a.presets, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
+			continue
+		}
+		dir := filepath.Join(workDir, name)
+		if name == "campus" {
+			// The campus scale harness (campus.go): its own generation,
+			// row set and gates.
+			crows, ok := benchCampus(dir, workers, a.campus)
+			rows = append(rows, crows...)
+			if !ok {
+				failed = true
+			}
+			if !keep {
+				if err := os.RemoveAll(dir); err != nil {
+					log.Fatal(err)
+				}
+			}
 			continue
 		}
 		cfg, err := benchPreset(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if dayOverride > 0 {
-			cfg.Day = sim.Time(dayOverride.Nanoseconds())
+		if a.day > 0 {
+			cfg.Day = sim.Time(a.day.Nanoseconds())
 		}
-		dir := filepath.Join(workDir, name)
 		stream, inmem, inline, posthoc, jigd := benchOnePreset(name, cfg, dir, workers)
 		rows = append(rows, stream, inmem, inline, posthoc, jigd)
 		if !keep {
@@ -179,24 +210,24 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 		log.Printf("%s: jigd windowed heap %.1f MB over %d windows (%.1f%% of slice-based), %.0f frames/s sustained",
 			name, float64(jigd.HeapPeakBytes)/1e6, jigd.WindowsClosed,
 			100*float64(jigd.HeapPeakBytes)/float64(posthoc.HeapPeakBytes), jigd.FramesPerSec)
-		if assertRatio > 0 && float64(stream.HeapPeakBytes) >= assertRatio*float64(inmem.HeapPeakBytes) {
+		if a.assertStreaming > 0 && float64(stream.HeapPeakBytes) >= a.assertStreaming*float64(inmem.HeapPeakBytes) {
 			log.Printf("FAIL %s: streaming peak heap %d >= %.0f%% of in-memory %d",
-				name, stream.HeapPeakBytes, 100*assertRatio, inmem.HeapPeakBytes)
+				name, stream.HeapPeakBytes, 100*a.assertStreaming, inmem.HeapPeakBytes)
 			failed = true
 		}
-		if assertInline > 0 && float64(inline.HeapPeakBytes) >= assertInline*float64(posthoc.HeapPeakBytes) {
+		if a.assertInline > 0 && float64(inline.HeapPeakBytes) >= a.assertInline*float64(posthoc.HeapPeakBytes) {
 			log.Printf("FAIL %s: inline-pass analysis peak heap %d >= %.0f%% of slice-based %d",
-				name, inline.HeapPeakBytes, 100*assertInline, posthoc.HeapPeakBytes)
+				name, inline.HeapPeakBytes, 100*a.assertInline, posthoc.HeapPeakBytes)
 			failed = true
 		}
-		if assertJigd > 0 && float64(jigd.HeapPeakBytes) >= assertJigd*float64(posthoc.HeapPeakBytes) {
+		if a.assertJigd > 0 && float64(jigd.HeapPeakBytes) >= a.assertJigd*float64(posthoc.HeapPeakBytes) {
 			log.Printf("FAIL %s: jigd windowed peak heap %d >= %.0f%% of slice-based %d",
-				name, jigd.HeapPeakBytes, 100*assertJigd, posthoc.HeapPeakBytes)
+				name, jigd.HeapPeakBytes, 100*a.assertJigd, posthoc.HeapPeakBytes)
 			failed = true
 		}
 	}
 
-	f, err := os.Create(path)
+	f, err := os.Create(a.path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -210,7 +241,7 @@ func runBenchJSON(path, presets string, dayOverride time.Duration, workers int, 
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %d rows to %s", len(rows), path)
+	log.Printf("wrote %d rows to %s", len(rows), a.path)
 	if failed {
 		os.Exit(1)
 	}

@@ -1,0 +1,332 @@
+// The campus scale-harness mode (-bench-presets campus): the two-level
+// merge's trajectory at ~1000 radios.
+//
+// The harness pre-generates a Campus() trace directory once (reused across
+// runs via -bench-work-dir: generation dominates the wall time, the
+// measurements don't), then emits four rows:
+//
+//   - "replay": every building replayed concurrently at line rate through
+//     scenario.Replay's pacing hook into a rotating capture — the
+//     reflector-style ingest check. x_realtime ~= 1.0 proves the capture
+//     side sustains line rate; events_per_sec is the sustained record
+//     rate. JFrame fields are zero (replay moves records, not jframes).
+//   - "flat": the single-process baseline — core.RunFrom over the union
+//     of every building's traces (tracefile.OpenDirs), bridged by the
+//     campus meta's anchor clock group, full truth-free pass set inline.
+//   - "hier_unify": level 1 of the hierarchical path — a pool of
+//     per-building unify workers (hmerge.UnifyDir) writing sorted
+//     intermediate streams; merge_ms is the whole level's wall time.
+//   - "hier_global": level 2 — core.RunHierarchical's k-way merge over
+//     the intermediate streams, same pass set inline. This row carries
+//     the hierarchical path's heap peak and x_realtime, which
+//     -bench-assert-campus-heap / -bench-assert-campus-speed gate
+//     against the flat row in CI.
+//
+// Wall-clock reads are this harness's purpose (line-rate pacing, row
+// timings), as in the rest of the bench.
+//jiglint:allow wallclock
+
+package main
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/hmerge"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+)
+
+// campusBenchArgs collects the campus-mode flag values.
+type campusBenchArgs struct {
+	buildings   int
+	day         time.Duration
+	assertHeap  float64
+	assertSpeed float64
+}
+
+// campusReplaySegmentUS is the replayed capture's rotation period, matching
+// the jigd row's window.
+const campusReplaySegmentUS = 5_000_000
+
+// benchCampus measures the campus rows over dir (generated there on first
+// use, reused afterwards). Returns the rows plus whether every campus gate
+// passed.
+func benchCampus(dir string, workers int, a campusBenchArgs) ([]benchRow, bool) {
+	camp := scenario.Campus()
+	if a.buildings > 0 {
+		camp.Buildings = a.buildings
+	}
+	if a.day > 0 {
+		camp.Building.Day = sim.Time(a.day.Nanoseconds())
+	}
+
+	// Generate once; a kept work dir is reused as long as it matches the
+	// requested shape (the trace bytes are deterministic in the config).
+	var genRecords int64
+	meta, merr := scenario.ReadMeta(dir)
+	bds, berr := scenario.ListBuildings(dir)
+	switch {
+	case merr != nil || berr != nil:
+		t0 := time.Now()
+		n, err := scenario.RunCampus(camp, dir, workers)
+		if err != nil {
+			log.Fatalf("campus: generate: %v", err)
+		}
+		genRecords = n
+		if meta, err = scenario.ReadMeta(dir); err != nil {
+			log.Fatalf("campus: %v", err)
+		}
+		if bds, err = scenario.ListBuildings(dir); err != nil {
+			log.Fatalf("campus: %v", err)
+		}
+		log.Printf("campus: generated %d buildings (%d radios), %d records in %v",
+			camp.Buildings, camp.NumRadios(), n, time.Since(t0).Round(time.Millisecond))
+	case len(bds) != camp.Buildings || meta.DaySec != camp.Building.Day.SecondsF():
+		log.Fatalf("campus: work dir %s holds %d buildings over a %.0fs day, want %d over %.0fs — remove it to regenerate",
+			dir, len(bds), meta.DaySec, camp.Buildings, camp.Building.Day.SecondsF())
+	default:
+		log.Printf("campus: reusing %s (%d buildings, %d radios)", dir, len(bds), camp.NumRadios())
+	}
+
+	base := benchRow{
+		Preset: "campus", Mode: "",
+		Pods:    camp.Buildings * camp.Building.Pods,
+		Radios:  camp.NumRadios(),
+		APs:     camp.Buildings * camp.Building.APs,
+		Clients: camp.Buildings * camp.Building.Clients,
+		DaySec:  camp.Building.Day.SecondsF(),
+	}
+	apSet := scenario.APSet(meta.APs)
+	isAP := func(m dot80211.MAC) bool { return apSet[m] }
+	params := analysis.PassParams{SlotUS: camp.Building.HourDur().US64(), MinPackets: 50, IsAP: isAP}
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = workers
+
+	// Level 1: the per-building unify worker pool. One stream per building;
+	// merge_ms is the whole level's wall time (workers run concurrently, as
+	// they would as separate processes on separate machines).
+	streamDir := dir + ".streams"
+	if err := os.MkdirAll(streamDir, 0o755); err != nil {
+		log.Fatalf("campus: %v", err)
+	}
+	pool := workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if pool > len(bds) {
+		pool = len(bds)
+	}
+	paths := make([]string, len(bds))
+	smetas := make([]*hmerge.Meta, len(bds))
+	errs := make([]error, len(bds))
+	runtime.GC()
+	h := startHeapSampler()
+	t1 := time.Now()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(bds) {
+					return
+				}
+				bmeta, err := scenario.ReadMeta(bds[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out := filepath.Join(streamDir, filepath.Base(bds[i])+".jfs")
+				m, err := hmerge.UnifyDir(bds[i], out, bmeta.ClockGroups, hmerge.UnifyConfig{Workers: 1})
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				paths[i], smetas[i] = out, m
+			}
+		}()
+	}
+	wg.Wait()
+	unifyWall := time.Since(t1)
+	hierUnify := base
+	hierUnify.Mode = "hier_unify"
+	hierUnify.HeapPeakBytes = h.Stop()
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("campus/hier_unify: %s: %v", bds[i], err)
+		}
+	}
+	var events, jframes int64
+	for _, m := range smetas {
+		events += m.Unify.Events
+		jframes += m.JFrames
+	}
+	records := genRecords
+	if records == 0 {
+		records = events // every monitor record passes through the unifiers
+	}
+	hierUnify.JFrames = jframes
+	hierUnify.Events = events
+	hierUnify.MergeMS = unifyWall.Milliseconds()
+	hierUnify.FramesPerSec = float64(jframes) / unifyWall.Seconds()
+	hierUnify.EventsPerSec = float64(events) / unifyWall.Seconds()
+	hierUnify.XRealtime = base.DaySec / unifyWall.Seconds()
+	hierUnify.BytesPerFrame = float64(hierUnify.HeapPeakBytes) / float64(jframes)
+
+	// Level 2: the global k-way merge over the intermediate streams, full
+	// pass set inline — the row the campus gates ride on.
+	hierPasses, err := analysis.NewPasses("all", params)
+	if err != nil {
+		log.Fatalf("campus: %v", err)
+	}
+	hcfg := ccfg
+	hcfg.Passes = analysis.CorePasses(hierPasses)
+	hierGlobal := base
+	hierGlobal.Mode = "hier_global"
+	runtime.GC()
+	h = startHeapSampler()
+	t2 := time.Now()
+	hres, err := core.RunHierarchicalPaths(paths, hcfg, nil)
+	globalWall := time.Since(t2)
+	if err != nil {
+		log.Fatalf("campus/hier_global: %v", err)
+	}
+	tFin := time.Now()
+	for _, p := range hierPasses {
+		benchSink(p.Finalize())
+	}
+	hierGlobal.AnalysisMS = time.Since(tFin).Milliseconds()
+	hierGlobal.HeapPeakBytes = h.Stop()
+	hierGlobal.JFrames = hres.UnifyStats.JFrames
+	hierGlobal.Events = hres.UnifyStats.Events
+	hierGlobal.MergeMS = globalWall.Milliseconds()
+	hierGlobal.FramesPerSec = float64(hres.UnifyStats.JFrames) / globalWall.Seconds()
+	hierGlobal.EventsPerSec = float64(hres.UnifyStats.Events) / globalWall.Seconds()
+	hierGlobal.XRealtime = base.DaySec / globalWall.Seconds()
+	hierGlobal.BytesPerFrame = float64(hierGlobal.HeapPeakBytes) / float64(hres.UnifyStats.JFrames)
+
+	// The flat baseline: one process bootstrapping and unifying all ~1000
+	// radios at once over the union trace set, bridged by the campus meta's
+	// cross-building anchor clock group.
+	fts, err := tracefile.OpenDirs(bds...)
+	if err != nil {
+		log.Fatalf("campus/flat: %v", err)
+	}
+	flatPasses, err := analysis.NewPasses("all", params)
+	if err != nil {
+		log.Fatalf("campus: %v", err)
+	}
+	fcfg := ccfg
+	fcfg.Passes = analysis.CorePasses(flatPasses)
+	flat := base
+	flat.Mode = "flat"
+	runtime.GC()
+	h = startHeapSampler()
+	t3 := time.Now()
+	fres, err := core.RunFrom(fts, meta.ClockGroups, fcfg, nil)
+	flatWall := time.Since(t3)
+	if err != nil {
+		log.Fatalf("campus/flat: %v", err)
+	}
+	tFin = time.Now()
+	for _, p := range flatPasses {
+		benchSink(p.Finalize())
+	}
+	flat.AnalysisMS = time.Since(tFin).Milliseconds()
+	flat.HeapPeakBytes = h.Stop()
+	flat.JFrames = fres.UnifyStats.JFrames
+	flat.Events = fres.UnifyStats.Events
+	flat.MergeMS = flatWall.Milliseconds()
+	flat.FramesPerSec = float64(fres.UnifyStats.JFrames) / flatWall.Seconds()
+	flat.EventsPerSec = float64(fres.UnifyStats.Events) / flatWall.Seconds()
+	flat.XRealtime = base.DaySec / flatWall.Seconds()
+	flat.BytesPerFrame = float64(flat.HeapPeakBytes) / float64(fres.UnifyStats.JFrames)
+	benchSinkDump = nil
+	if err := os.RemoveAll(streamDir); err != nil {
+		log.Fatalf("campus: %v", err)
+	}
+
+	// The line-rate replay: every building re-emitted concurrently into a
+	// rotating capture, paced so each record lands at its recorded offset
+	// from the trace's start. Takes one compressed day of wall time by
+	// construction; x_realtime ~= 1.0 means the pacing never fell behind.
+	capDir := dir + ".capture"
+	replay := base
+	replay.Mode = "replay"
+	rerrs := make([]error, len(bds))
+	runtime.GC()
+	h = startHeapSampler()
+	t4 := time.Now()
+	var rwg sync.WaitGroup
+	for i, bdir := range bds {
+		rwg.Add(1)
+		go func(i int, bdir string) {
+			defer rwg.Done()
+			start := time.Now()
+			rerrs[i] = scenario.Replay(scenario.ReplayConfig{
+				SrcDir:    bdir,
+				DstDir:    filepath.Join(capDir, filepath.Base(bdir)),
+				SegmentUS: campusReplaySegmentUS,
+				Pace: func(relUS int64) {
+					if d := time.Duration(relUS)*time.Microsecond - time.Since(start); d > 0 {
+						time.Sleep(d)
+					}
+				},
+				MarkDone: true,
+			})
+		}(i, bdir)
+	}
+	rwg.Wait()
+	replayWall := time.Since(t4)
+	replay.HeapPeakBytes = h.Stop()
+	for i, err := range rerrs {
+		if err != nil {
+			log.Fatalf("campus/replay: %s: %v", bds[i], err)
+		}
+	}
+	if err := os.RemoveAll(capDir); err != nil {
+		log.Fatalf("campus: %v", err)
+	}
+	replay.Events = records
+	replay.MergeMS = replayWall.Milliseconds()
+	replay.EventsPerSec = float64(records) / replayWall.Seconds()
+	replay.XRealtime = base.DaySec / replayWall.Seconds()
+
+	rows := []benchRow{replay, flat, hierUnify, hierGlobal}
+	for i := range rows {
+		rows[i].MonitorRecords = records
+	}
+
+	log.Printf("campus: replay sustained %.2fx realtime (%.0f records/s across %d buildings)",
+		replay.XRealtime, replay.EventsPerSec, len(bds))
+	log.Printf("campus: flat %.1f MB heap, %.0f frames/s (%.1fx realtime)",
+		float64(flat.HeapPeakBytes)/1e6, flat.FramesPerSec, flat.XRealtime)
+	log.Printf("campus: hier %.1f MB heap, %.0f frames/s (%.1fx realtime) after %.1fs level-1 unify (%.1f MB)",
+		float64(hierGlobal.HeapPeakBytes)/1e6, hierGlobal.FramesPerSec, hierGlobal.XRealtime,
+		unifyWall.Seconds(), float64(hierUnify.HeapPeakBytes)/1e6)
+
+	ok := true
+	if a.assertHeap > 0 && float64(hierGlobal.HeapPeakBytes) >= a.assertHeap*float64(flat.HeapPeakBytes) {
+		log.Printf("FAIL campus: hierarchical peak heap %d >= %.0f%% of flat %d",
+			hierGlobal.HeapPeakBytes, 100*a.assertHeap, flat.HeapPeakBytes)
+		ok = false
+	}
+	if a.assertSpeed > 0 && hierGlobal.XRealtime < a.assertSpeed*flat.XRealtime {
+		log.Printf("FAIL campus: hierarchical x_realtime %.2f < %.2f x flat %.2f",
+			hierGlobal.XRealtime, a.assertSpeed, flat.XRealtime)
+		ok = false
+	}
+	return rows, ok
+}

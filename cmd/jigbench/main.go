@@ -20,6 +20,9 @@
 //	jigbench -sweep -sweep-pods 6,9,12 -sweep-bfrac 0.1,0.3 \
 //	         -sweep-seeds 1,2,3 -sweep-day 60s -workers 4
 //
+//	jigbench -bench-json BENCH_pipeline.json -bench-presets campus \
+//	         -bench-work-dir /data/campus    # the two-level scale harness
+//
 // -sweep-cc adds a congestion-control axis to the grid: a pipe-separated
 // list of per-flow CC mixes ("fixed|reno=1,cubic=1,bbr=1"), each mix a
 // weighted spec as accepted by cc.ParseMixSpec. Non-fixed mixes run over
@@ -85,11 +88,24 @@ func main() {
 		benchAssert  = flag.Float64("bench-assert-streaming", 0, "fail unless streaming peak heap < this fraction of the in-memory merge's (e.g. 0.25); 0 disables")
 		benchInline  = flag.Float64("bench-assert-inline", 0, "fail unless inline-pass analysis peak heap < this fraction of the slice-based (KeepJFrames/KeepExchanges) analysis run's (e.g. 0.30); 0 disables")
 		benchJigd    = flag.Float64("bench-assert-jigd", 0, "fail unless the jigd windowed-monitor peak heap < this fraction of the slice-based analysis run's (e.g. 0.30); 0 disables")
+
+		benchCampusBuildings = flag.Int("bench-campus-buildings", 0, "override the Campus() building count for the campus bench preset (0 = preset's 10)")
+		benchCampusDay       = flag.Duration("bench-campus-day", 0, "override the Campus() per-building compressed day (0 = preset's 6m)")
+		benchCampusHeap      = flag.Float64("bench-assert-campus-heap", 0, "fail unless the hierarchical campus merge's peak heap < this fraction of the flat merge's; 0 disables")
+		benchCampusSpeed     = flag.Float64("bench-assert-campus-speed", 0, "fail unless the hierarchical campus merge's x_realtime >= this multiple of the flat merge's; 0 disables")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		runBenchJSON(*benchJSON, *benchPresets, *benchDay, *workers, *benchWork, *benchAssert, *benchInline, *benchJigd)
+		runBenchJSON(benchArgs{
+			path: *benchJSON, presets: *benchPresets, day: *benchDay,
+			workers: *workers, workDir: *benchWork,
+			assertStreaming: *benchAssert, assertInline: *benchInline, assertJigd: *benchJigd,
+			campus: campusBenchArgs{
+				buildings: *benchCampusBuildings, day: *benchCampusDay,
+				assertHeap: *benchCampusHeap, assertSpeed: *benchCampusSpeed,
+			},
+		})
 		return
 	}
 	if *sweep {

@@ -69,6 +69,9 @@ func main() {
 		moveSpeed = flag.Float64("mobile-speed-mps", 0, "mobile clients' walking speed in m/s (0 = 1.2)")
 		roamHyst  = flag.Float64("roam-hysteresis-db", 0, "dB a candidate AP must beat the serving AP by before a mobile client roams (0 = 6)")
 
+		campus        = flag.Int("campus", 0, "generate a campus of this many buildings into -o (building-NN subdirectories; scenario.Campus template, -pods/-aps/-clients/-day override per building)")
+		campusWorkers = flag.Int("campus-workers", 0, "campus: concurrent building simulations (0 = GOMAXPROCS)")
+
 		replaySrc = flag.String("replay", "", "replay this trace directory into -o as a live capture (instead of simulating)")
 		pace      = flag.Float64("pace", 0, "replay: trace-time speedup over wall clock (0 = as fast as possible)")
 		segment   = flag.Duration("segment", 2*time.Second, "replay: segment rotation period in trace time")
@@ -88,6 +91,32 @@ func main() {
 		if err := replay(*replaySrc, dir, *pace, *segment); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+	if *campus > 0 {
+		camp := scenario.Campus()
+		camp.Buildings = *campus
+		camp.Seed = *seed
+		if *pods != 0 {
+			camp.Building.Pods = *pods
+		}
+		if *aps != 0 {
+			camp.Building.APs = *aps
+		}
+		if *clients != 0 {
+			camp.Building.Clients = *clients
+		}
+		if *day != 0 {
+			camp.Building.Day = sim.Time(day.Nanoseconds())
+		}
+		start := time.Now() //jiglint:allow wallclock (generation progress timing)
+		records, err := scenario.RunCampus(camp, dir, *campusWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("campus: %d buildings (%d radios) simulated %v each in %v, %d monitor records, traces in %s",
+			camp.Buildings, camp.NumRadios(), time.Duration(camp.Building.Day),
+			time.Since(start).Round(time.Millisecond), records, dir) //jiglint:allow wallclock
 		return
 	}
 

@@ -1,0 +1,52 @@
+// Command jigunify is the per-building unify worker of the hierarchical
+// (campus-scale) pipeline: it bootstraps and unifies one building's trace
+// directory into a sorted intermediate jframe stream plus a metadata
+// sidecar — the level-1 half of the two-level merge that core's
+// RunHierarchical (or jiganalyze pointed at a campus directory) completes.
+//
+// Unification is deterministic, so running one jigunify process per
+// building on separate machines produces byte-identical files to a single
+// process running a goroutine pool over the same directories; the outputs
+// compose either way.
+//
+// Usage:
+//
+//	jigunify -in traces/building-00 -out streams/building-00.jfs
+//
+// Clock groups come from the building directory's meta.json.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/hmerge"
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jigunify: ")
+	var (
+		in      = flag.String("in", "", "building trace directory (radio-<id>.jig + meta.json)")
+		out     = flag.String("out", "", "output intermediate stream (sidecar written next to it)")
+		workers = flag.Int("workers", 0, "bootstrap pre-scan parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	meta, err := scenario.ReadMeta(*in)
+	if err != nil {
+		log.Fatalf("read %s meta: %v (a building trace directory needs its meta.json for clock groups)", *in, err)
+	}
+	m, err := hmerge.UnifyDir(*in, *out, meta.ClockGroups, hmerge.UnifyConfig{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d radios -> %d jframes, span %.1fs, %d resyncs",
+		m.Building, len(m.Radios), m.JFrames,
+		float64(m.LastUnivUS-m.FirstUnivUS)/1e6, m.Unify.Resyncs)
+}

@@ -465,17 +465,34 @@ func exchangeLess(a, b *llc.Exchange) bool {
 	return len(a.Attempts) < len(b.Attempts)
 }
 
-// runSerial is the single-goroutine reference path: one reconstructor over
-// the whole jframe stream, its exchanges released to one transport analyzer
-// in canonical close order as the reconstructor's watermark advances — the
-// same streaming release rule the parallel merger uses, so the pass stays
-// online with bounded buffering.
+// jframeStream is a source of unified jframes in emission order — the
+// unifier on the flat path, the global k-way merger on the hierarchical
+// path. Next returns io.EOF at clean end of stream.
+type jframeStream interface {
+	Next() (*unify.JFrame, error)
+}
+
+// runSerial is the single-goroutine reference path over a live unifier.
 func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, ps *passSet, res *Result) error {
 	sources := make(map[int32]unify.Source, ts.Len())
 	for _, r := range ts.Radios() {
 		sources[r] = &readerSource{ts: ts, radio: r}
 	}
 	u := unify.New(cfg.Unify, sources, boot)
+	if err := driveSerial(u, func() unify.Stats { return u.Stats }, cfg, sink, ps, res); err != nil {
+		return err
+	}
+	return sourceFaults(sources)
+}
+
+// driveSerial runs the back half of the serial pipeline over any jframe
+// stream: one reconstructor over the whole stream, its exchanges released
+// to one transport analyzer in canonical close order as the reconstructor's
+// watermark advances — the same streaming release rule the parallel merger
+// uses, so the pass stays online with bounded buffering. stats reads the
+// stream's unification counters (live mid-run on the flat path, a
+// precomputed aggregate on the hierarchical path).
+func driveSerial(src jframeStream, stats func() unify.Stats, cfg Config, sink *Sink, ps *passSet, res *Result) error {
 	rec := llc.NewReconstructor()
 	ta := transport.NewAnalyzer()
 	h := &exchangeHeap{}
@@ -488,12 +505,12 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 		}
 	}
 	for {
-		j, err := u.Next()
+		j, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return fmt.Errorf("core: unify: %w", err)
+			return fmt.Errorf("core: jframe stream: %w", err)
 		}
 		observeJFrame(res, cfg, sink, ps, j)
 		rec.Process(j)
@@ -505,7 +522,7 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 		if cfg.SnapshotEveryUS > 0 && wm >= lastSnapUS+cfg.SnapshotEveryUS {
 			lastSnapUS = wm
 			res.Transport = ta
-			res.UnifyStats = u.Stats
+			res.UnifyStats = stats()
 			res.LLCStats = rec.Stats
 			ps.finish(res)
 		}
@@ -514,11 +531,8 @@ func runSerial(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *
 		heap.Push(h, routedExchange{ex: ex})
 	}
 	release(math.MaxInt64)
-	if err := sourceFaults(sources); err != nil {
-		return err
-	}
 	res.Transport = ta
-	res.UnifyStats = u.Stats
+	res.UnifyStats = stats()
 	res.LLCStats = rec.Stats
 	return nil
 }
@@ -563,15 +577,11 @@ type mergeMsg struct {
 	stats     *llc.Stats
 }
 
-// runParallel is the sharded pipeline: unification streams jframes to
-// conversation-keyed reconstruction shards, a watermark-driven heap merges
-// their exchanges back into canonical close order, and flow-keyed transport
-// shards consume the merged stream — all stages overlapping.
+// runParallel is the sharded pipeline over a live unifier: per-radio
+// prefetchers decompress each trace in the background; only synchronized
+// radios get one (the unifier skips the rest, and an unconsumed prefetcher
+// would leak its goroutine).
 func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink *Sink, ps *passSet, res *Result, workers int) error {
-	ps.shard(workers)
-	// Per-radio prefetchers decompress each trace in the background; only
-	// synchronized radios get one (the unifier skips the rest, and an
-	// unconsumed prefetcher would leak its goroutine).
 	sources := make(map[int32]unify.Source, ts.Len())
 	for _, r := range ts.Radios() {
 		if _, ok := boot.OffsetUS[r]; ok {
@@ -579,6 +589,19 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 		}
 	}
 	u := unify.New(cfg.Unify, sources, boot)
+	if err := driveParallel(u, func() unify.Stats { return u.Stats }, cfg, sink, ps, res, workers); err != nil {
+		return err
+	}
+	return sourceFaults(sources)
+}
+
+// driveParallel runs the sharded back half of the pipeline over any jframe
+// stream: the stream's emissions route to conversation-keyed reconstruction
+// shards, a watermark-driven heap merges their exchanges back into
+// canonical close order, and flow-keyed transport shards consume the merged
+// stream — all stages overlapping.
+func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink *Sink, ps *passSet, res *Result, workers int) error {
+	ps.shard(workers)
 
 	llcIn := make([]chan llcMsg, workers)
 	for i := range llcIn {
@@ -623,19 +646,19 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 		mergeExchanges(merged, tIn, res, cfg, sink, ps, workers)
 	}()
 
-	// Router (this goroutine): drive unification, observe every jframe,
+	// Router (this goroutine): drive the stream, observe every jframe,
 	// dispatch valid ones to their conversation's shard, and tick all
 	// shards periodically so quiet ones expire state and advance their
 	// watermarks just as an unsharded reconstructor would.
 	var uerr error
 	count := 0
 	for {
-		j, err := u.Next()
+		j, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			uerr = fmt.Errorf("core: unify: %w", err)
+			uerr = fmt.Errorf("core: jframe stream: %w", err)
 			break
 		}
 		observeJFrame(res, cfg, sink, ps, j)
@@ -659,16 +682,13 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 	if uerr != nil {
 		return uerr
 	}
-	if err := sourceFaults(sources); err != nil {
-		return err
-	}
 
 	ta := analyzers[0]
 	for _, o := range analyzers[1:] {
 		ta.Absorb(o)
 	}
 	res.Transport = ta
-	res.UnifyStats = u.Stats
+	res.UnifyStats = stats()
 	return nil
 }
 

@@ -1,0 +1,520 @@
+// Hierarchical-vs-flat parity: the campus path's determinism contract,
+// mirroring TestParallelMatchesSerial one level up. Buildings are radio-
+// and conversation-disjoint, so the hierarchical pipeline — per-building
+// unify workers serializing sorted intermediate streams, then a global
+// k-way merge driving the ordinary pipeline — must reproduce, exactly, the
+// reference a test-side merge of per-building flat runs defines: the same
+// jframe stream byte for byte (digests), the same canonical exchange
+// sequence, and DeepEqual-identical analysis-pass reports, across building
+// counts, worker counts, seeds, and buffer- vs directory-backed sources.
+//
+// (Like the pass-parity suite, this lives in the external test package
+// because it drives internal/analysis passes, which import core.)
+package core_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dot80211"
+	"repro/internal/hmerge"
+	"repro/internal/llc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/tracefile"
+	"repro/internal/transport"
+	"repro/internal/unify"
+)
+
+// hierDigest hashes a jframe stream exactly like the parallel-parity
+// test's digest (external-package copy).
+type hierDigest struct{ h hash.Hash }
+
+func newHierDigest() *hierDigest { return &hierDigest{h: sha256.New()} }
+
+func (d *hierDigest) observe(j *unify.JFrame) {
+	var b [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		d.h.Write(b[:])
+	}
+	put(j.UnivUS)
+	put(int64(j.Rate))
+	put(int64(j.Channel))
+	put(int64(j.WireLen))
+	put(j.DispersionUS)
+	flags := int64(0)
+	if j.Valid {
+		flags |= 1
+	}
+	if j.PhyOnly {
+		flags |= 2
+	}
+	put(flags)
+	put(int64(len(j.Wire)))
+	d.h.Write(j.Wire)
+	for _, in := range j.Instances {
+		put(int64(in.Radio))
+		put(in.LocalUS)
+		put(in.UnivUS)
+		put(int64(in.RSSIdBm))
+	}
+}
+
+func (d *hierDigest) sum() string { return fmt.Sprintf("%x", d.h.Sum(nil)) }
+
+// hierExchangeLess is the canonical exchange order (core's exchangeLess,
+// replicated for the external package): close stamp, then deterministic
+// tiebreaks.
+func hierExchangeLess(a, b *llc.Exchange) bool {
+	if a.CloseUS != b.CloseUS {
+		return a.CloseUS < b.CloseUS
+	}
+	if a.StartUS != b.StartUS {
+		return a.StartUS < b.StartUS
+	}
+	if a.EndUS != b.EndUS {
+		return a.EndUS < b.EndUS
+	}
+	if c := bytes.Compare(a.Transmitter[:], b.Transmitter[:]); c != 0 {
+		return c < 0
+	}
+	if c := bytes.Compare(a.Receiver[:], b.Receiver[:]); c != 0 {
+		return c < 0
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Delivery != b.Delivery {
+		return a.Delivery < b.Delivery
+	}
+	return len(a.Attempts) < len(b.Attempts)
+}
+
+// hierMergeJFrames is the reference global merge: head-min by
+// (UnivUS, building index) over per-building sorted jframe slices —
+// exactly the Merger's ordering contract, reimplemented trivially.
+func hierMergeJFrames(lists [][]*unify.JFrame) []*unify.JFrame {
+	cursors := make([]int, len(lists))
+	var out []*unify.JFrame
+	for {
+		best := -1
+		for i := range lists {
+			if cursors[i] >= len(lists[i]) {
+				continue
+			}
+			if best < 0 || lists[i][cursors[i]].UnivUS < lists[best][cursors[best]].UnivUS {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, lists[best][cursors[best]])
+		cursors[best]++
+	}
+}
+
+// hierMergeExchanges merges per-building canonical exchange sequences into
+// the global canonical order. Buildings are MAC-disjoint, so heads of
+// different lists never compare equal and the merge is unambiguous.
+func hierMergeExchanges(lists [][]*llc.Exchange) []*llc.Exchange {
+	cursors := make([]int, len(lists))
+	var out []*llc.Exchange
+	for {
+		best := -1
+		for i := range lists {
+			if cursors[i] >= len(lists[i]) {
+				continue
+			}
+			if best < 0 || hierExchangeLess(lists[i][cursors[i]], lists[best][cursors[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, lists[best][cursors[best]])
+		cursors[best]++
+	}
+}
+
+// requireExchangesEqual compares two exchange sequences on every field the
+// analyses consume (the canonical comparator's fields plus the delivery
+// annotations), element by element.
+func requireExchangesEqual(t *testing.T, label string, got, want []*llc.Exchange) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: exchange count differs: %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		x, y := got[i], want[i]
+		if x.CloseUS != y.CloseUS || x.StartUS != y.StartUS || x.EndUS != y.EndUS ||
+			x.Transmitter != y.Transmitter || x.Receiver != y.Receiver ||
+			x.Seq != y.Seq || x.Broadcast != y.Broadcast ||
+			x.Delivery != y.Delivery || x.Inferred != y.Inferred ||
+			len(x.Attempts) != len(y.Attempts) {
+			t.Fatalf("%s: exchange %d differs:\n  got  %+v\n  want %+v", label, i, x, y)
+		}
+	}
+}
+
+// hierPasses builds a fresh truth-free instance of every registered pass —
+// the report set a campus run drives (no ground-truth Output spans
+// buildings).
+func hierPasses(t *testing.T, apSet map[dot80211.MAC]bool, hourUS int64) []analysis.Pass {
+	t.Helper()
+	params := analysis.PassParams{
+		SlotUS:     hourUS,
+		MinPackets: 50,
+		IsAP:       func(m dot80211.MAC) bool { return apSet[m] },
+	}
+	passes, err := analysis.NewPasses("all", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return passes
+}
+
+// hierBuilding is one generated building plus everything the parity checks
+// reference: its flat serial run (retained slices, stream digest) and its
+// intermediate stream in both buffer- and file-backed form.
+type hierBuilding struct {
+	out        *scenario.Output
+	flat       *core.Result
+	flatDigest string
+	stream     []byte // buffer-backed hmerge.Unify output
+	meta       *hmerge.Meta
+	streamPath string // hmerge.UnifyDir output over the spilled trace dir
+}
+
+// hierTemplate is the per-building scenario shape shared by the
+// hierarchical parity tests.
+func hierTemplate() scenario.Config {
+	cfg := scenario.Default()
+	cfg.Pods, cfg.APs, cfg.Clients = 3, 3, 6
+	cfg.Day = 12 * sim.Second
+	return cfg
+}
+
+// buildHierBuildings generates n buildings for one campus seed and
+// prepares, per building: the flat serial reference run and the
+// intermediate stream — produced twice (buffer-backed unify worker and
+// directory-backed UnifyDir with a different bootstrap pool size), which
+// must serialize byte-identically: the separate-process contract.
+func buildHierBuildings(t *testing.T, seed int64, n int) ([]*hierBuilding, map[dot80211.MAC]bool) {
+	t.Helper()
+	camp := scenario.CampusConfig{Buildings: n, Seed: seed, Building: hierTemplate()}
+	blds := make([]*hierBuilding, n)
+	apSet := make(map[dot80211.MAC]bool)
+	for k := 0; k < n; k++ {
+		out, err := scenario.Run(camp.BuildingConfig(k))
+		if err != nil {
+			t.Fatalf("building %d: %v", k, err)
+		}
+		for _, ap := range out.APs {
+			apSet[ap.MAC] = true
+		}
+		bufTS := tracefile.NewBufferSet(core.TracesFromBuffers(out.Traces))
+
+		ccfg := core.DefaultConfig()
+		ccfg.Workers = 1
+		ccfg.KeepJFrames = true
+		ccfg.KeepExchanges = true
+		d := newHierDigest()
+		flat, err := core.RunFrom(bufTS, out.ClockGroups, ccfg, &core.Sink{OnJFrame: d.observe})
+		if err != nil {
+			t.Fatalf("building %d: flat run: %v", k, err)
+		}
+		if len(flat.Exchanges) == 0 {
+			t.Fatalf("building %d: no exchanges; the scenario is too small", k)
+		}
+
+		var sb bytes.Buffer
+		meta, err := hmerge.Unify(bufTS, out.ClockGroups, hmerge.UnifyConfig{Workers: 1}, &sb)
+		if err != nil {
+			t.Fatalf("building %d: unify: %v", k, err)
+		}
+
+		dir := t.TempDir()
+		for r, buf := range out.Traces {
+			if err := os.WriteFile(tracefile.TracePath(dir, r), buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		spath := filepath.Join(t.TempDir(), "stream.jfs")
+		dmeta, err := hmerge.UnifyDir(dir, spath, out.ClockGroups, hmerge.UnifyConfig{Workers: 4})
+		if err != nil {
+			t.Fatalf("building %d: unify dir: %v", k, err)
+		}
+		db, err := os.ReadFile(spath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(db, sb.Bytes()) {
+			t.Fatalf("building %d: directory-backed stream bytes differ from buffer-backed (%d vs %d bytes)",
+				k, len(db), len(sb.Bytes()))
+		}
+		dm := *dmeta
+		dm.Building = "" // the only field allowed to differ (dir base name)
+		if !reflect.DeepEqual(&dm, meta) {
+			t.Fatalf("building %d: sidecars differ across sources:\n  dir %+v\n  buf %+v", k, dmeta, meta)
+		}
+
+		blds[k] = &hierBuilding{
+			out: out, flat: flat, flatDigest: d.sum(),
+			stream: sb.Bytes(), meta: meta, streamPath: spath,
+		}
+	}
+	return blds, apSet
+}
+
+// TestHierarchicalMatchesFlat is the campus determinism contract:
+// RunHierarchical over {1, 2, 4} buildings × {1, 4} workers × 3 seeds,
+// over buffer- and file-backed intermediate streams, must reproduce the
+// test-side reference merge of the per-building flat runs — digest,
+// exchange sequence, aggregated stats and every pass report.
+func TestHierarchicalMatchesFlat(t *testing.T) {
+	hourUS := hierTemplate().HourDur().US64()
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const maxB = 4
+			blds, apSet := buildHierBuildings(t, seed, maxB)
+
+			runHier := func(streams []*hmerge.Stream, workers int) (*core.Result, string, map[string]analysis.Report) {
+				ccfg := core.DefaultConfig()
+				ccfg.Workers = workers
+				ccfg.KeepExchanges = true
+				passes := hierPasses(t, apSet, hourUS)
+				ccfg.Passes = analysis.CorePasses(passes)
+				d := newHierDigest()
+				res, err := core.RunHierarchical(streams, ccfg, &core.Sink{OnJFrame: d.observe})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res, d.sum(), finalizeAll(passes)
+			}
+
+			for _, B := range []int{1, 2, 4} {
+				// The flat reference: merge the per-building flat runs in
+				// the test, by the Merger's own ordering contract. (A single
+				// flat run over the union of traces is NOT an exact
+				// reference — its global bootstrap walks a different
+				// co-reception spanning tree and lands on offsets a few µs
+				// apart. The hierarchical contract is per-building
+				// bootstraps, aggregated.)
+				jlists := make([][]*unify.JFrame, B)
+				xlists := make([][]*llc.Exchange, B)
+				var refStats unify.Stats
+				var refLLC llc.Stats
+				refOffsets := make(map[int32]int64)
+				for k := 0; k < B; k++ {
+					jlists[k] = blds[k].flat.JFrames
+					xlists[k] = blds[k].flat.Exchanges
+					refStats.Add(blds[k].meta.Unify)
+					refLLC.Add(blds[k].flat.LLCStats)
+					for r, off := range blds[k].meta.Bootstrap.OffsetUS {
+						refOffsets[r] = off
+					}
+				}
+				mergedJF := hierMergeJFrames(jlists)
+				mergedEx := hierMergeExchanges(xlists)
+				rd := newHierDigest()
+				for _, j := range mergedJF {
+					rd.observe(j)
+				}
+				refDigest := rd.sum()
+
+				// Reference pass reports: drive the merged slices through
+				// fresh passes, then hand result-consuming passes (summary,
+				// tcploss) a synthesized Result carrying the aggregate stats
+				// and a transport analyzer fed the same canonical exchange
+				// sequence — exactly what the hierarchical pipeline gives
+				// its inline passes.
+				refTA := transport.NewAnalyzer()
+				for _, ex := range mergedEx {
+					refTA.AddExchange(ex)
+				}
+				fresh := hierPasses(t, apSet, hourUS)
+				refRunner := analysis.Runner{Passes: fresh}
+				refRunner.DriveSlices(mergedJF, mergedEx)
+				refRunner.SetResult(&core.Result{
+					UnifyStats: refStats,
+					LLCStats:   refLLC,
+					Transport:  refTA,
+				})
+				refReports := finalizeAll(fresh)
+
+				check := func(label string, res *core.Result, digest string, reports map[string]analysis.Report) {
+					t.Helper()
+					if digest != refDigest {
+						t.Errorf("%s: jframe stream digest differs from the flat reference merge", label)
+					}
+					requireExchangesEqual(t, label, res.Exchanges, mergedEx)
+					if res.UnifyStats != refStats {
+						t.Errorf("%s: unify stats differ from the per-building aggregate:\n  got  %+v\n  want %+v",
+							label, res.UnifyStats, refStats)
+					}
+					if !reflect.DeepEqual(res.Bootstrap.OffsetUS, refOffsets) {
+						t.Errorf("%s: bootstrap offsets differ from the flat run", label)
+					}
+					if res.LLCStats != refLLC {
+						t.Errorf("%s: llc stats differ from the per-building aggregate:\n  got  %+v\n  want %+v",
+							label, res.LLCStats, refLLC)
+					}
+					if res.Transport.Stats != refTA.Stats {
+						t.Errorf("%s: transport stats differ from the flat reference:\n  got  %+v\n  want %+v",
+							label, res.Transport.Stats, refTA.Stats)
+					}
+					for name, want := range refReports {
+						got, ok := reports[name]
+						if !ok {
+							t.Errorf("%s: pass %q missing from hierarchical run", label, name)
+							continue
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("%s: pass %q differs from flat reference:\n  got  %+v\n  want %+v",
+								label, name, got, want)
+						}
+					}
+				}
+
+				paths := make([]string, B)
+				for _, w := range []int{1, 4} {
+					streams := make([]*hmerge.Stream, B)
+					for k := 0; k < B; k++ {
+						streams[k] = hmerge.NewStream(blds[k].meta, bytes.NewReader(blds[k].stream))
+						paths[k] = blds[k].streamPath
+					}
+					res, digest, reports := runHier(streams, w)
+					check(fmt.Sprintf("B=%d buf/workers=%d", B, w), res, digest, reports)
+
+					// File-backed streams through the sidecar/open path.
+					fstreams, err := hmerge.OpenStreams(paths)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fres, fdigest, freports := runHier(fstreams, w)
+					for _, s := range fstreams {
+						if err := s.Close(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					check(fmt.Sprintf("B=%d file/workers=%d", B, w), fres, fdigest, freports)
+
+					// A single building must also match its flat run exactly
+					// (the degenerate hierarchy is the flat pipeline).
+					if B == 1 {
+						if digest != blds[0].flatDigest {
+							t.Errorf("workers=%d: single-building digest differs from the flat run", w)
+						}
+						if res.LLCStats != blds[0].flat.LLCStats {
+							t.Errorf("workers=%d: single-building llc stats differ:\n  got  %+v\n  want %+v",
+								w, res.LLCStats, blds[0].flat.LLCStats)
+						}
+						if res.Transport.Stats != blds[0].flat.Transport.Stats {
+							t.Errorf("workers=%d: single-building transport stats differ:\n  got  %+v\n  want %+v",
+								w, res.Transport.Stats, blds[0].flat.Transport.Stats)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHierarchicalWindowedPassParity mirrors TestWindowedPassParity over
+// the global merge: a windowed pass driven continuously over the
+// hierarchical pipeline's merged stream, finalized and evicted per window,
+// must report exactly what a fresh pass fed only that window's
+// subsequence reports — the contract that lets jigd sit on top of the
+// campus merge unchanged.
+func TestHierarchicalWindowedPassParity(t *testing.T) {
+	const buildings = 2
+	hourUS := hierTemplate().HourDur().US64()
+	blds, apSet := buildHierBuildings(t, 1, buildings)
+
+	streams := make([]*hmerge.Stream, buildings)
+	for k, b := range blds {
+		streams[k] = hmerge.NewStream(b.meta, bytes.NewReader(b.stream))
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = 1
+	ccfg.KeepJFrames = true
+	ccfg.KeepExchanges = true
+	res, err := core.RunHierarchical(streams, ccfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JFrames) == 0 || len(res.Exchanges) == 0 {
+		t.Fatal("empty streams")
+	}
+
+	firstUS := res.JFrames[0].UnivUS
+	lastUS := firstUS
+	for _, j := range res.JFrames {
+		if j.UnivUS > lastUS {
+			lastUS = j.UnivUS
+		}
+	}
+	for _, ex := range res.Exchanges {
+		if ex.CloseUS > lastUS {
+			lastUS = ex.CloseUS
+		}
+	}
+	const windows = 3
+	span := lastUS - firstUS + 1
+	step := span / windows
+
+	cont := hierPasses(t, apSet, hourUS)
+	windowed := make([]analysis.WindowedPass, len(cont))
+	for i, p := range cont {
+		wp, ok := p.(analysis.WindowedPass)
+		if !ok {
+			t.Fatalf("pass %q does not implement WindowedPass", p.Name())
+		}
+		windowed[i] = wp
+	}
+	contRunner := analysis.Runner{Passes: cont}
+
+	prev := firstUS - 1
+	for k := 0; k < windows; k++ {
+		end := firstUS + int64(k+1)*step - 1
+		if k == windows-1 {
+			end = lastUS
+		}
+		wj, wx := windowSlices(res.JFrames, res.Exchanges, prev, end)
+		if len(wj) == 0 {
+			t.Fatalf("window %d is empty; widen the scenario", k)
+		}
+
+		contRunner.DriveSlices(wj, wx)
+		contReps := make(map[string]analysis.Report, len(windowed))
+		for _, wp := range windowed {
+			contReps[wp.Name()] = wp.FinalizeWindow(end)
+			wp.Evict(end)
+		}
+
+		fresh := hierPasses(t, apSet, hourUS)
+		fr := analysis.Runner{Passes: fresh}
+		fr.DriveSlices(wj, wx)
+		for _, p := range fresh {
+			want := p.Finalize()
+			if got := contReps[p.Name()]; !reflect.DeepEqual(got, want) {
+				t.Errorf("window %d pass %q: windowed report over the global merge differs from one-shot:\n got:  %+v\n want: %+v",
+					k, p.Name(), got, want)
+			}
+		}
+		prev = end
+	}
+}

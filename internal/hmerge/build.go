@@ -1,0 +1,386 @@
+package hmerge
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/timesync"
+	"repro/internal/tracefile"
+	"repro/internal/unify"
+)
+
+// BootstrapMeta is a building's bootstrap result in sidecar form: the
+// per-radio universal-time offsets the global merge needs to aggregate a
+// campus-level timesync.Result without re-running the bootstrap.
+type BootstrapMeta struct {
+	// OffsetUS maps radio → T_i such that universal = local + T_i.
+	OffsetUS map[int32]int64
+	// Root anchors the building's universal time (T_root = 0).
+	Root int32
+	// Unsynced lists radios with no path to the root.
+	Unsynced []int32 `json:",omitempty"`
+	// RefFrames and Candidates carry the bootstrap's reference-frame
+	// accounting through to campus-level reports.
+	RefFrames  int
+	Candidates int
+}
+
+// bootstrapMetaFrom converts a bootstrap result to sidecar form.
+func bootstrapMetaFrom(r *timesync.Result) BootstrapMeta {
+	return BootstrapMeta{
+		OffsetUS:   r.OffsetUS,
+		Root:       r.Root,
+		Unsynced:   r.Unsynced,
+		RefFrames:  r.RefFrames,
+		Candidates: r.Candidates,
+	}
+}
+
+// Result converts the sidecar form back to a timesync.Result.
+func (m BootstrapMeta) Result() *timesync.Result {
+	return &timesync.Result{
+		OffsetUS:   m.OffsetUS,
+		Root:       m.Root,
+		Unsynced:   m.Unsynced,
+		RefFrames:  m.RefFrames,
+		Candidates: m.Candidates,
+	}
+}
+
+// Meta is the intermediate stream's metadata sidecar: everything the global
+// merge needs to know about a building's stream without decoding it —
+// roster, record count, the stream's time span (LastUnivUS doubles as the
+// building's watermark), and the per-building unify/bootstrap accounting
+// that aggregates into the campus result.
+type Meta struct {
+	// Building labels the stream (typically its source directory's name).
+	Building string `json:",omitempty"`
+	// Radios lists every radio present in the building's trace directory.
+	Radios []int32
+	// JFrames counts serialized records.
+	JFrames int64
+	// FirstUnivUS/LastUnivUS bound the stream's universal-time span;
+	// LastUnivUS is the stream's watermark (streams are sorted, so no
+	// record past the end precedes it).
+	FirstUnivUS int64
+	LastUnivUS  int64
+	// Unify carries the building's unification stats.
+	Unify unify.Stats
+	// Bootstrap carries the building's synchronization result.
+	Bootstrap BootstrapMeta
+}
+
+// MetaPath names a stream's metadata sidecar.
+func MetaPath(streamPath string) string { return streamPath + ".json" }
+
+// WriteMetaFile writes a stream's metadata sidecar.
+func WriteMetaFile(path string, m *Meta) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("hmerge: encode meta: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("hmerge: write meta: %w", err)
+	}
+	return nil
+}
+
+// ReadMetaFile reads a stream's metadata sidecar.
+func ReadMetaFile(path string) (*Meta, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hmerge: read meta: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("hmerge: parse meta %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// UnifyConfig tunes a per-building unify worker.
+type UnifyConfig struct {
+	// Unify holds the unifier's operating point; zero value takes the
+	// defaults.
+	Unify unify.Config
+	// BootstrapWindowUS is how much of each trace the bootstrap examines
+	// (0: the paper's first second).
+	BootstrapWindowUS int64
+	// Workers parallelizes the bootstrap pre-scan (0: GOMAXPROCS).
+	// Unification itself is inherently serial per building — cross-building
+	// parallelism comes from running one worker per building.
+	Workers int
+}
+
+// Unify runs one building's bootstrap + unification and serializes the
+// unifier's emission stream to w. This is exactly the front half of
+// core.RunFrom — same bootstrap, same unifier, same stream — with the
+// reconstruction stages replaced by the codec, so the jframes a
+// hierarchical run merges back are the jframes a flat run would have seen.
+// Unification is deterministic, which makes the serialized bytes
+// deterministic too: any worker, in any process, produces the identical
+// file for the same inputs.
+func Unify(ts *tracefile.TraceSet, clockGroups [][]int32, cfg UnifyConfig, w io.Writer) (*Meta, error) {
+	if ts == nil || ts.Len() == 0 {
+		return nil, fmt.Errorf("hmerge: no traces")
+	}
+	if cfg.BootstrapWindowUS == 0 {
+		cfg.BootstrapWindowUS = timesync.DefaultWindowUS
+	}
+	if cfg.Unify.SearchWindowUS == 0 {
+		cfg.Unify = unify.DefaultConfig()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Bootstrap pre-scan over each trace's first window.
+	readers := make(map[int32]*tracefile.Reader, ts.Len())
+	closers := make([]io.Closer, 0, ts.Len())
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		closers = closers[:0]
+		return first
+	}
+	for _, r := range ts.Radios() {
+		rc, err := ts.Open(r)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("hmerge: open trace for radio %d: %w", r, err)
+		}
+		closers = append(closers, rc)
+		readers[r] = tracefile.NewReader(rc)
+	}
+	window, err := timesync.CollectWindowParallel(readers, cfg.BootstrapWindowUS, workers)
+	if cerr := closeAll(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hmerge: bootstrap window: %w", err)
+	}
+	boot, err := timesync.Bootstrap(window, clockGroups)
+	if err != nil {
+		return nil, fmt.Errorf("hmerge: bootstrap: %w", err)
+	}
+
+	// Unify and serialize.
+	sources := make(map[int32]unify.Source, ts.Len())
+	for _, r := range ts.Radios() {
+		sources[r] = &buildSource{ts: ts, radio: r}
+	}
+	u := unify.New(cfg.Unify, sources, boot)
+	wtr, err := NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	// The unifier's emission order can invert by up to its search window
+	// (a group is held until its window closes, so a short group can be
+	// emitted after a later-starting long one). The intermediate format is
+	// strictly sorted, so a bounded reorder heap sits between the unifier
+	// and the writer: frames are released only once the emission frontier
+	// has moved reorderSlackFactor search windows past them — far beyond
+	// the unifier's actual inversion bound. A violation still surfaces as
+	// a hard error from WriteJFrame rather than a corrupt stream. Ties
+	// release in emission order, keeping the stream deterministic.
+	slackUS := reorderSlackFactor * cfg.Unify.SearchWindowUS
+	var rh reorderHeap
+	flush := func(limitUS int64) error {
+		for rh.Len() > 0 && rh[0].j.UnivUS <= limitUS {
+			it := heap.Pop(&rh).(reorderItem)
+			if err := wtr.WriteJFrame(it.j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var seq int64
+	maxUS := int64(math.MinInt64)
+	for {
+		j, err := u.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hmerge: unify: %w", err)
+		}
+		heap.Push(&rh, reorderItem{j: j, seq: seq})
+		seq++
+		if j.UnivUS > maxUS {
+			maxUS = j.UnivUS
+		}
+		if err := flush(maxUS - slackUS); err != nil {
+			return nil, err
+		}
+	}
+	if err := flush(math.MaxInt64); err != nil {
+		return nil, err
+	}
+	if err := wtr.Close(); err != nil {
+		return nil, err
+	}
+	if err := buildSourceFaults(sources); err != nil {
+		return nil, err
+	}
+	return &Meta{
+		Radios:      ts.Radios(),
+		JFrames:     wtr.JFrames,
+		FirstUnivUS: wtr.FirstUnivUS,
+		LastUnivUS:  wtr.WatermarkUS,
+		Unify:       u.Stats,
+		Bootstrap:   bootstrapMetaFrom(boot),
+	}, nil
+}
+
+// reorderSlackFactor sizes Unify's reorder heap in unify search windows:
+// frames are held until the emission frontier is this many windows ahead.
+// The unifier's inversion bound is about one search window; 16 leaves a
+// wide margin at bounded memory (≤ 16 windows of jframes in flight).
+const reorderSlackFactor = 16
+
+// reorderItem is one buffered jframe awaiting release in UnivUS order;
+// seq breaks timestamp ties by emission order.
+type reorderItem struct {
+	j   *unify.JFrame
+	seq int64
+}
+
+// reorderHeap is a min-heap by (UnivUS, emission sequence).
+type reorderHeap []reorderItem
+
+func (h reorderHeap) Len() int { return len(h) }
+func (h reorderHeap) Less(i, k int) bool {
+	if h[i].j.UnivUS != h[k].j.UnivUS {
+		return h[i].j.UnivUS < h[k].j.UnivUS
+	}
+	return h[i].seq < h[k].seq
+}
+func (h reorderHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *reorderHeap) Push(x any)   { *h = append(*h, x.(reorderItem)) }
+func (h *reorderHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = reorderItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// UnifyDir is Unify over a trace directory, writing the stream to outPath
+// and its metadata sidecar next to it. The stream is labeled with the
+// source directory's base name.
+func UnifyDir(srcDir, outPath string, clockGroups [][]int32, cfg UnifyConfig) (*Meta, error) {
+	ts, err := tracefile.OpenDir(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, fmt.Errorf("hmerge: create stream: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 128*1024)
+	meta, err := Unify(ts, clockGroups, cfg, bw)
+	if err != nil {
+		_ = f.Close() // error-path cleanup; the unify error wins
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close() // error-path cleanup; the flush error wins
+		return nil, fmt.Errorf("hmerge: flush stream: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("hmerge: close stream: %w", err)
+	}
+	meta.Building = filepath.Base(srcDir)
+	if err := WriteMetaFile(MetaPath(outPath), meta); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// openBuffered opens a stream file fronted by a read buffer.
+func openBuffered(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &bufReadCloser{Reader: bufio.NewReaderSize(f, 128*1024), c: f}, nil
+}
+
+type bufReadCloser struct {
+	*bufio.Reader
+	c io.Closer
+}
+
+func (b *bufReadCloser) Close() error { return b.c.Close() }
+
+// buildSource adapts one TraceSet radio to unify.Source, mirroring core's
+// reader source: lazy open (the unifier never opens unsynchronized radios),
+// self-closing at end of trace, and fault-latching — a mid-stream read
+// error must fail the worker after the pass rather than silently truncate
+// the building's stream.
+type buildSource struct {
+	ts    *tracefile.TraceSet
+	radio int32
+	r     *tracefile.Reader
+	rc    io.Closer
+	done  bool
+	err   error
+}
+
+func (s *buildSource) Next() (tracefile.Record, error) {
+	if s.done {
+		return tracefile.Record{}, io.EOF
+	}
+	if s.r == nil {
+		rc, err := s.ts.Open(s.radio)
+		if err != nil {
+			s.done, s.err = true, err
+			return tracefile.Record{}, err
+		}
+		s.rc = rc
+		s.r = tracefile.NewReader(rc)
+	}
+	rec, err := s.r.Next()
+	if err != nil {
+		s.done = true
+		cerr := s.rc.Close()
+		if err == io.EOF && cerr != nil {
+			err = cerr
+		}
+		if err != io.EOF {
+			s.err = err
+		}
+		return tracefile.Record{}, err
+	}
+	return rec, nil
+}
+
+// buildSourceFaults surfaces the first latched per-radio fault.
+func buildSourceFaults(sources map[int32]unify.Source) error {
+	radios := make([]int32, 0, len(sources))
+	for r := range sources {
+		radios = append(radios, r)
+	}
+	sort.Slice(radios, func(i, j int) bool { return radios[i] < radios[j] })
+	for _, r := range radios {
+		if bs, ok := sources[r].(*buildSource); ok && bs.err != nil {
+			return fmt.Errorf("hmerge: trace for radio %d: %w", r, bs.err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package hmerge
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+
+	"repro/internal/unify"
+)
+
+// Stream is one building's opened intermediate stream: its metadata sidecar
+// plus a positioned reader. A Stream is one-shot — it is consumed by a
+// single merge pass and cannot be rewound.
+type Stream struct {
+	Meta *Meta
+	r    *Reader
+	c    io.Closer
+}
+
+// NewStream wraps an already-open intermediate stream (e.g. an in-memory
+// buffer in tests). meta may be nil when only the jframes matter.
+func NewStream(meta *Meta, r io.Reader) *Stream {
+	return &Stream{Meta: meta, r: NewReader(r)}
+}
+
+// OpenStream opens an intermediate stream file and its metadata sidecar.
+func OpenStream(path string) (*Stream, error) {
+	meta, err := ReadMetaFile(MetaPath(path))
+	if err != nil {
+		return nil, err
+	}
+	f, err := openBuffered(path)
+	if err != nil {
+		return nil, fmt.Errorf("hmerge: open stream: %w", err)
+	}
+	return &Stream{Meta: meta, r: NewReader(f), c: f}, nil
+}
+
+// OpenStreams opens every path, closing any already-open streams on error.
+func OpenStreams(paths []string) ([]*Stream, error) {
+	streams := make([]*Stream, 0, len(paths))
+	for _, p := range paths {
+		s, err := OpenStream(p)
+		if err != nil {
+			for _, prev := range streams {
+				_ = prev.Close() // error-path cleanup; the open error wins
+			}
+			return nil, err
+		}
+		streams = append(streams, s)
+	}
+	return streams, nil
+}
+
+// Label names the stream for error messages.
+func (s *Stream) Label() string {
+	if s.Meta != nil && s.Meta.Building != "" {
+		return s.Meta.Building
+	}
+	return "stream"
+}
+
+// Next returns the stream's next jframe (io.EOF at clean end).
+func (s *Stream) Next() (*unify.JFrame, error) { return s.r.Next() }
+
+// Close releases the underlying file, if any.
+func (s *Stream) Close() error {
+	if s.c == nil {
+		return nil
+	}
+	return s.c.Close()
+}
+
+// mergeCursor abstracts how a stream's jframes reach the merger: directly,
+// or through a prefetching goroutine that overlaps decompression across
+// streams.
+type mergeCursor interface {
+	next() (*unify.JFrame, error)
+}
+
+type directCursor struct{ s *Stream }
+
+func (c directCursor) next() (*unify.JFrame, error) { return c.s.Next() }
+
+// mergePrefetchBatch sizes the prefetch batches; like the tracefile
+// prefetchers, small batch × small channel keeps per-stream buffering
+// bounded while amortizing channel synchronization.
+const (
+	mergePrefetchBatch   = 64
+	mergePrefetchChanBuf = 2
+)
+
+// prefetchCursor decodes a stream in a background goroutine. errp is
+// written before ch closes, so reading it after the channel drains is
+// race-free.
+type prefetchCursor struct {
+	ch   <-chan []*unify.JFrame
+	cur  []*unify.JFrame
+	i    int
+	errp *error
+}
+
+func newPrefetchCursor(s *Stream) *prefetchCursor {
+	ch := make(chan []*unify.JFrame, mergePrefetchChanBuf)
+	errp := new(error)
+	go func() {
+		defer close(ch)
+		batch := make([]*unify.JFrame, 0, mergePrefetchBatch)
+		for {
+			j, err := s.Next()
+			if err != nil {
+				if err != io.EOF {
+					*errp = err
+				}
+				if len(batch) > 0 {
+					ch <- batch
+				}
+				return
+			}
+			batch = append(batch, j)
+			if len(batch) == mergePrefetchBatch {
+				ch <- batch
+				batch = make([]*unify.JFrame, 0, mergePrefetchBatch)
+			}
+		}
+	}()
+	return &prefetchCursor{ch: ch, errp: errp}
+}
+
+func (c *prefetchCursor) next() (*unify.JFrame, error) {
+	for c.i >= len(c.cur) {
+		cur, ok := <-c.ch
+		if !ok {
+			if *c.errp != nil {
+				return nil, *c.errp
+			}
+			return nil, io.EOF
+		}
+		c.cur, c.i = cur, 0
+	}
+	j := c.cur[c.i]
+	c.i++
+	return j, nil
+}
+
+// mergeItem is one stream's head inside the merge heap.
+type mergeItem struct {
+	j   *unify.JFrame
+	idx int
+	cur mergeCursor
+}
+
+type mergeHeap []*mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].j.UnivUS != h[j].j.UnivUS {
+		return h[i].j.UnivUS < h[j].j.UnivUS
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Merger is the global k-way merge: it interleaves k sorted intermediate
+// streams into one jframe sequence ordered by (UnivUS, stream index). The
+// stream-index tiebreak makes the merged order deterministic for any fixed
+// stream list — the hierarchical path's analogue of the unifier's canonical
+// emission order.
+//
+// Unlike live radios (where the unifier drops a dead source and continues),
+// intermediate files are pipeline-owned: any stream error is a hard error.
+type Merger struct {
+	streams []*Stream
+	h       mergeHeap
+	started bool
+	// prefetch overlaps per-stream decompression with the merge, the
+	// multi-worker analogue of core's per-radio prefetchers.
+	prefetch bool
+}
+
+// NewMerger prepares a merge over streams. With prefetch set, each stream
+// decodes in its own goroutine.
+func NewMerger(streams []*Stream, prefetch bool) *Merger {
+	return &Merger{streams: streams, prefetch: prefetch}
+}
+
+func (m *Merger) streamErr(idx int, err error) error {
+	return fmt.Errorf("hmerge: merge %s (stream %d): %w", m.streams[idx].Label(), idx, err)
+}
+
+func (m *Merger) start() error {
+	m.h = make(mergeHeap, 0, len(m.streams))
+	for i, s := range m.streams {
+		var cur mergeCursor
+		if m.prefetch {
+			cur = newPrefetchCursor(s)
+		} else {
+			cur = directCursor{s: s}
+		}
+		j, err := cur.next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return m.streamErr(i, err)
+		}
+		m.h = append(m.h, &mergeItem{j: j, idx: i, cur: cur})
+	}
+	heap.Init(&m.h)
+	return nil
+}
+
+// Next returns the globally next jframe (io.EOF when every stream is
+// drained).
+func (m *Merger) Next() (*unify.JFrame, error) {
+	if !m.started {
+		if err := m.start(); err != nil {
+			return nil, err
+		}
+		m.started = true
+	}
+	if m.h.Len() == 0 {
+		return nil, io.EOF
+	}
+	it := m.h[0]
+	j := it.j
+	nxt, err := it.cur.next()
+	if err == io.EOF {
+		heap.Pop(&m.h)
+	} else if err != nil {
+		return nil, m.streamErr(it.idx, err)
+	} else {
+		it.j = nxt
+		heap.Fix(&m.h, 0)
+	}
+	return j, nil
+}

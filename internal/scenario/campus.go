@@ -1,0 +1,162 @@
+// Campus generation: many buildings, one namespace. Each building is an
+// independent deterministic scenario (its own seed, medium, workload) whose
+// identities — monitor radio ids, AP/client MACs, client IPs, server pool —
+// are offset into a disjoint per-building stride, so the per-building trace
+// directories compose into one campus without collisions. Buildings are
+// RF-isolated (separate media: no cross-building interference, like real
+// buildings hundreds of meters apart) and conversation-disjoint, which is
+// exactly the structure the hierarchical merge exploits.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// Per-building identity strides. Radio ids must stay under the AP node
+// base (10000), so radioStride bounds a building at 250 pods; indexStride
+// bounds its AP+client+server rosters at 4096 identities. Both are far
+// above any preset.
+const (
+	campusRadioStride = 1000
+	campusIndexStride = 4096
+)
+
+// CampusConfig parameterizes a campus: one per-building template replicated
+// across Buildings buildings with disjoint seeds and identity strides.
+type CampusConfig struct {
+	// Buildings is the number of buildings (each an independent scenario).
+	Buildings int
+	// Seed seeds building k with Seed + k.
+	Seed int64
+	// Building is the per-building template; its Seed, RadioIDBase,
+	// IndexBase, NTPAnchor and SpillDir are overridden per building.
+	Building Config
+}
+
+// Campus returns the campus-scale preset: 10 buildings × 24 pods = 960
+// monitor radios watching 100 APs and 400 clients under the mixed-CC
+// workload for a 6-minute compressed day — the ~1000-radio deployment the
+// paper envisions, an order of magnitude past BuildingScale.
+func Campus() CampusConfig {
+	b := Default()
+	b.Pods, b.APs, b.Clients = 24, 10, 40
+	b.Day = 360 * sim.Second
+	b.CCMix = map[string]float64{cc.Reno: 1, cc.Cubic: 1, cc.BBR: 1}
+	b.WiredQueuePkts = 32
+	b.WiredBottleneckMbps = 30
+	b.FlowScale = 4
+	return CampusConfig{Buildings: 10, Seed: 1, Building: b}
+}
+
+// NumRadios returns the campus's total monitor-radio count.
+func (c CampusConfig) NumRadios() int { return c.Buildings * c.Building.Pods * 4 }
+
+// BuildingConfig instantiates building k's scenario config: the template
+// with building-k seed and identity strides. The first monitor clock is
+// NTP-anchored so the campus anchor clock group (see ClockGroups) is
+// truthful.
+func (c CampusConfig) BuildingConfig(k int) Config {
+	cfg := c.Building
+	cfg.Seed = c.Seed + int64(k)
+	cfg.RadioIDBase = int32(k * campusRadioStride)
+	cfg.IndexBase = k * campusIndexStride
+	cfg.NTPAnchor = true
+	return cfg
+}
+
+// BuildingDirName names building k's trace directory inside a campus
+// directory.
+func BuildingDirName(k int) string { return fmt.Sprintf("building-%02d", k) }
+
+// ListBuildings returns a campus directory's building trace directories in
+// building order.
+func ListBuildings(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: campus dir: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && len(e.Name()) > len("building-") && e.Name()[:len("building-")] == "building-" {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: no building-* directories in %s", dir)
+	}
+	return out, nil
+}
+
+// AnchorClockGroup lists each building's NTP-anchored first radio as one
+// cross-building clock group. Within a building the anchor radio's clock is
+// truthful (BuildingConfig sets NTPAnchor), so declaring the anchors
+// mutually synchronized is also truthful — it is what lets a flat merge
+// over the union of buildings bridge their otherwise-disjoint channels.
+func (c CampusConfig) AnchorClockGroup() []int32 {
+	g := make([]int32, c.Buildings)
+	for k := range g {
+		g[k] = int32(k * campusRadioStride)
+	}
+	return g
+}
+
+// RunCampus generates every building's trace directory under dir
+// (building-00, building-01, ...) across a pool of workers, writing each
+// building's meta.json plus a campus-level meta.json in dir whose rosters
+// and clock groups are the buildings' concatenated, with the cross-building
+// anchor clock group appended. Returns total monitor records.
+func RunCampus(c CampusConfig, dir string, workers int) (int64, error) {
+	if c.Buildings <= 0 {
+		return 0, fmt.Errorf("scenario: campus needs buildings")
+	}
+	if c.Building.Pods*4 > campusRadioStride {
+		return 0, fmt.Errorf("scenario: building has %d radios, stride is %d", c.Building.Pods*4, campusRadioStride)
+	}
+	cfgs := make([]Config, c.Buildings)
+	for k := range cfgs {
+		cfg := c.BuildingConfig(k)
+		cfg.SpillDir = filepath.Join(dir, BuildingDirName(k))
+		cfgs[k] = cfg
+	}
+	var mu sync.Mutex
+	metas := make([]Meta, c.Buildings)
+	var records int64
+	results := RunBatch(cfgs, workers, func(k int, out *Output) error {
+		m := MetaFromOutput(out)
+		if err := WriteMeta(cfgs[k].SpillDir, m); err != nil {
+			return err
+		}
+		mu.Lock()
+		metas[k] = m
+		records += out.MonitorRecords
+		mu.Unlock()
+		return nil
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			return 0, fmt.Errorf("scenario: campus %s: %w", BuildingDirName(r.Index), r.Err)
+		}
+	}
+	campus := Meta{
+		DaySec: c.Building.Day.SecondsF(),
+		Seed:   c.Seed,
+	}
+	for _, m := range metas {
+		campus.ClockGroups = append(campus.ClockGroups, m.ClockGroups...)
+		campus.Clients = append(campus.Clients, m.Clients...)
+		campus.APs = append(campus.APs, m.APs...)
+	}
+	campus.ClockGroups = append(campus.ClockGroups, c.AnchorClockGroup())
+	if err := WriteMeta(dir, campus); err != nil {
+		return 0, err
+	}
+	return records, nil
+}

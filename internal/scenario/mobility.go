@@ -79,7 +79,7 @@ func (s *state) makeMobile(cl *client) {
 	// real transport state.
 	s.eng.At(0, func() {
 		if !mc.IsAssociated() && mc.BSSID().IsZero() {
-			mc.Associate(apMAC(cl.info.APIndex))
+			mc.Associate(apMAC(s.cfg.IndexBase + cl.info.APIndex))
 		}
 		s.flowLoop(cl, s.cfg.Day)
 	})

@@ -102,6 +102,23 @@ type Config struct {
 	// RoamHysteresisDB is how much stronger a candidate AP must be before
 	// a mobile client roams to it (0 = mac.DefaultRoamHysteresisDB).
 	RoamHysteresisDB float64
+	// RadioIDBase offsets every monitor radio's id (trace filename and
+	// medium node id). Campus generation gives each building a disjoint
+	// stride so per-building trace directories can merge into one namespace;
+	// RadioIDBase + 4*Pods must stay below the AP node base.
+	RadioIDBase int32
+	// IndexBase offsets the building's AP/client/server identity indices
+	// (MAC addresses and client IPs), keeping campus-wide identities
+	// disjoint the same way. Building-local roster indices (ClientInfo.
+	// APIndex etc.) remain zero-based.
+	IndexBase int
+	// NTPAnchor zeroes the first monitor clock's offset/skew/drift, making
+	// it a truthful universal-time anchor (the real deployment's footnote-4
+	// NTP alignment). Campus generation sets it so a cross-building anchor
+	// clock group can bridge otherwise-disjoint buildings in a flat merge;
+	// the same number of rng draws happens either way, so enabling it does
+	// not shift any other sampled value.
+	NTPAnchor bool
 	// SpillDir, when non-empty, streams every monitor's trace to
 	// radio-<id>.jig in this directory as the radios produce records,
 	// instead of accumulating compressed buffers in memory. The directory
@@ -370,6 +387,9 @@ func (o *Output) TraceSet() *tracefile.TraceSet {
 func Run(cfg Config) (*Output, error) {
 	if cfg.Pods <= 0 || cfg.APs <= 0 {
 		return nil, fmt.Errorf("scenario: need pods and APs")
+	}
+	if cfg.RadioIDBase < 0 || int(cfg.RadioIDBase)+4*cfg.Pods > nodeAPBase {
+		return nil, fmt.Errorf("scenario: RadioIDBase %d leaves radios outside [0, %d)", cfg.RadioIDBase, nodeAPBase)
 	}
 	mix, err := cc.NewMix(cfg.CCMix)
 	if err != nil {

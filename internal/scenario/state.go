@@ -208,16 +208,22 @@ func (s *state) buildWorld() error {
 	// Monitors: 4 radios per pod covering channels 1/6/11 (+1 repeat),
 	// two radios per monitor sharing one clock (§3.3).
 	chans := []dot80211.Channel{1, 6, 11}
+	firstClock := true
 	for _, pod := range s.bld.Pods {
 		for m := 0; m < 2; m++ {
-			clk := &clock.Clock{
-				OffsetNS:  s.rng.Int63n(100_000_000) - 50_000_000, // ±50 ms
-				SkewPPM:   s.rng.NormFloat64() * 20,               // well under 100 ppm
-				DriftPPMH: s.rng.NormFloat64() * 1.5,
+			// Draw the clock parameters unconditionally so NTPAnchor leaves
+			// the rng stream (and every later sample) unchanged.
+			off := s.rng.Int63n(100_000_000) - 50_000_000 // ±50 ms
+			skew := s.rng.NormFloat64() * 20              // well under 100 ppm
+			drift := s.rng.NormFloat64() * 1.5
+			if cfg.NTPAnchor && firstClock {
+				off, skew, drift = 0, 0, 0
 			}
+			firstClock = false
+			clk := &clock.Clock{OffsetNS: off, SkewPPM: skew, DriftPPMH: drift}
 			var group []int32
 			for r := 0; r < 2; r++ {
-				ri := int(pod.Radios[m*2+r])
+				ri := int(cfg.RadioIDBase) + int(pod.Radios[m*2+r])
 				ch := chans[(int(pod.ID)+m*2+r)%len(chans)]
 				mr := &monitorRadio{s: s, id: radio.NodeID(ri), ch: ch, clk: clk}
 				if cfg.SpillDir != "" {
@@ -243,18 +249,19 @@ func (s *state) buildWorld() error {
 		}
 	}
 
-	// APs.
+	// APs. MACs are campus-global (IndexBase); node ids and roster indices
+	// stay building-local.
 	for i, apDesc := range s.bld.APs {
 		id := radio.NodeID(nodeAPBase + i)
 		cfgAP := mac.Config{
-			ID: id, MAC: apMAC(i), Channel: dot80211.Channel(apDesc.Channel),
+			ID: id, MAC: apMAC(cfg.IndexBase + i), Channel: dot80211.Channel(apDesc.Channel),
 		}
 		ap := mac.NewAP(s.eng, s.med, apDesc.Pos, cfgAP, "jigsaw-net")
 		ap.ProtectionTimeout = cfg.ProtectionTimeout
 		ap.ToWired = s.uplinkFromAP
 		s.aps = append(s.aps, ap)
 		s.apInfo = append(s.apInfo, APInfo{
-			MAC: apMAC(i), Channel: dot80211.Channel(apDesc.Channel), Node: id, Pos: apDesc.Pos,
+			MAC: apMAC(cfg.IndexBase + i), Channel: dot80211.Channel(apDesc.Channel), Node: id, Pos: apDesc.Pos,
 		})
 	}
 	s.out.APs = s.apInfo
@@ -271,7 +278,7 @@ func (s *state) buildWorld() error {
 		// b-only client can only join an AP whose channel it can use (all
 		// can; b clients just never decode OFDM).
 		ccfg := mac.Config{
-			ID: id, MAC: cliMAC(i), PHY: phy,
+			ID: id, MAC: cliMAC(cfg.IndexBase + i), PHY: phy,
 			BrokenRetryBit: s.rng.Float64() < cfg.BrokenRetryFrac,
 		}
 		// Register a probe node to measure RSSI, then create for real.
@@ -287,7 +294,7 @@ func (s *state) buildWorld() error {
 		mc := mac.NewClient(s.eng, s.med, pos, ccfg)
 		cl := &client{
 			info: ClientInfo{
-				MAC: cliMAC(i), IP: clientIPBase + uint32(i), PHY: phy,
+				MAC: cliMAC(cfg.IndexBase + i), IP: clientIPBase + uint32(cfg.IndexBase+i), PHY: phy,
 				APIndex: bestAP, Node: id, Pos: pos,
 			},
 			mc:    mc,
@@ -304,7 +311,7 @@ func (s *state) buildWorld() error {
 		// distribution network learns the move, like a real switch fabric
 		// after a reassociation); stationary clients keep the cheaper
 		// fixed binding.
-		capturedMAC := cliMAC(i)
+		capturedMAC := cliMAC(cfg.IndexBase + i)
 		if i < cfg.MobileClients {
 			s.wired.Attach(capturedMAC, func(seg tcpsim.Segment) {
 				ap := s.aps[cl.info.APIndex]

@@ -56,7 +56,7 @@ func (s *state) scheduleWorkload() {
 // startSession associates the client (if needed) and begins its flow loop.
 func (s *state) startSession(cl *client, end sim.Time) {
 	if !cl.ready && !cl.mc.IsAssociated() && cl.mc.BSSID().IsZero() {
-		cl.mc.Associate(apMAC(cl.info.APIndex))
+		cl.mc.Associate(apMAC(s.cfg.IndexBase + cl.info.APIndex))
 	}
 	s.flowLoop(cl, end)
 }
@@ -83,7 +83,11 @@ func (s *state) startFlow(cl *client) {
 		spec.UpBytes = int64(float64(spec.UpBytes) * s.cfg.FlowScale)
 		spec.DownBytes = int64(float64(spec.DownBytes) * s.cfg.FlowScale)
 	}
-	srv := s.rng.Intn(numServers)
+	// Server indices are campus-global from the draw (IndexBase offsets the
+	// per-building pool), so every MAC/IP derived from them — including the
+	// seg.SrcIP-serverIPBase recomputations on the wired side — needs no
+	// further adjustment.
+	srv := s.cfg.IndexBase + s.rng.Intn(numServers)
 	srvIP := uint32(serverIPBase + srv)
 	srvMAC := serverMAC(srv)
 	port := s.nextPort
@@ -180,7 +184,7 @@ func (s *state) attachServer(idx int) {
 // lookupServerEndpoint finds the server endpoint for a segment by asking
 // the owning client's flow table.
 func (s *state) lookupServerEndpoint(seg tcpsim.Segment) *tcpsim.Endpoint {
-	ci := int(seg.SrcIP - clientIPBase)
+	ci := int(seg.SrcIP-clientIPBase) - s.cfg.IndexBase
 	if ci < 0 || ci >= len(s.clients) {
 		return nil
 	}
@@ -214,7 +218,7 @@ func (s *state) arpSweep() {
 		ap := ap
 		// Wired fan-out jitter is microseconds: effectively simultaneous.
 		s.eng.After(sim.Time(s.rng.Int63n(int64(200*sim.Microsecond))), func() {
-			ap.SendBroadcastDownlink(serverMAC(0), body)
+			ap.SendBroadcastDownlink(serverMAC(s.cfg.IndexBase), body)
 		})
 	}
 	s.eng.After(s.cfg.ARPInterval, s.arpSweep)
@@ -226,16 +230,17 @@ func (s *state) arpSweep() {
 // the ground-truth log records every link-level event it generates.
 func (s *state) scheduleOracle() {
 	idx := len(s.clients)
+	gidx := s.cfg.IndexBase + idx
 	pos := building.ClientArea(s.rng)
 	id := radio.NodeID(nodeClientBase + idx)
-	ccfg := mac.Config{ID: id, MAC: cliMAC(idx), Channel: 1, PHY: mac.PHY80211g}
+	ccfg := mac.Config{ID: id, MAC: cliMAC(gidx), Channel: 1, PHY: mac.PHY80211g}
 	s.med.Register(id, pos, 1, radio.NopListener{}, false)
 	bestAP := s.strongestAP(id)
 	ccfg.Channel = s.apInfo[bestAP].Channel
 	mc := mac.NewClient(s.eng, s.med, pos, ccfg)
 	cl := &client{
 		info: ClientInfo{
-			MAC: cliMAC(idx), IP: clientIPBase + uint32(idx), PHY: mac.PHY80211g,
+			MAC: cliMAC(gidx), IP: clientIPBase + uint32(gidx), PHY: mac.PHY80211g,
 			APIndex: bestAP, Node: id, Pos: pos,
 		},
 		mc:    mc,
@@ -267,7 +272,7 @@ func (s *state) scheduleOracle() {
 		cl.info.APIndex = best
 		cl.ready = false
 		s.med.SetChannel(id, dot80211.Channel(s.apInfo[best].Channel))
-		cl.mc.Reassociate(apMAC(best))
+		cl.mc.Reassociate(apMAC(s.cfg.IndexBase + best))
 		s.eng.After(dwell, func() { visit(n + 1) })
 	}
 	s.eng.At(0, func() {

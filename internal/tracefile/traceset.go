@@ -149,6 +149,36 @@ func OpenDir(dir string) (*TraceSet, error) {
 	return &TraceSet{sources: m, dir: dir}, nil
 }
 
+// OpenDirs unions several trace directories into one TraceSet — the flat
+// (single-merge) view of a campus laid out as per-building directories.
+// Radio ids must be globally unique across the directories: a radio
+// appearing twice means two buildings claim the same monitor, and merging
+// both traces would double-count its frames.
+func OpenDirs(dirs ...string) (*TraceSet, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("tracefile: no trace dirs")
+	}
+	if len(dirs) == 1 {
+		return OpenDir(dirs[0])
+	}
+	m := make(map[int32]Source)
+	owner := make(map[int32]string)
+	for _, dir := range dirs {
+		ts, err := OpenDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for r, src := range ts.sources {
+			if prev, dup := owner[r]; dup {
+				return nil, fmt.Errorf("tracefile: radio %d appears in both %s and %s", r, prev, dir)
+			}
+			owner[r] = dir
+			m[r] = src
+		}
+	}
+	return &TraceSet{sources: m}, nil
+}
+
 // Dir returns the backing directory ("" for buffer-backed sets).
 func (ts *TraceSet) Dir() string { return ts.dir }
 

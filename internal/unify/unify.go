@@ -161,6 +161,21 @@ type Stats struct {
 	MaxDispersUS int64
 }
 
+// Add accumulates another run's counters into s — how per-building unify
+// stats combine into campus totals on the hierarchical path. Counters sum;
+// MaxDispersUS, a maximum, takes the larger value.
+func (s *Stats) Add(o Stats) {
+	s.Events += o.Events
+	s.PhyErrors += o.PhyErrors
+	s.CRCErrors += o.CRCErrors
+	s.Unified += o.Unified
+	s.JFrames += o.JFrames
+	s.Resyncs += o.Resyncs
+	if o.MaxDispersUS > s.MaxDispersUS {
+		s.MaxDispersUS = o.MaxDispersUS
+	}
+}
+
 // Unifier merges per-radio sources into a jframe stream.
 type Unifier struct {
 	cfg      Config
