@@ -85,6 +85,11 @@ type benchRow struct {
 	// invariant this file's trajectory pins.
 	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
 	BytesPerFrame float64 `json:"bytes_per_frame"`
+	// AllocsPerFrame is the merge's heap allocations (Mallocs delta across
+	// the measured RunFrom, analysis excluded) per unified jframe — the
+	// pooled frame lifecycle's regression metric, gated by
+	// -bench-assert-allocs. Absent on campus rows.
+	AllocsPerFrame float64 `json:"allocs_per_frame,omitempty"`
 	// WindowsClosed counts the analysis windows the monitor finalized on a
 	// "jigd_windowed" row (absent elsewhere).
 	WindowsClosed int64 `json:"windows_closed,omitempty"`
@@ -143,6 +148,7 @@ type benchArgs struct {
 	workers                                   int
 	workDir                                   string
 	assertStreaming, assertInline, assertJigd float64
+	assertFPS, assertAllocs                   float64
 	campus                                    campusBenchArgs
 }
 
@@ -201,9 +207,10 @@ func runBenchJSON(a benchArgs) {
 				log.Fatal(err)
 			}
 		}
-		log.Printf("%s: streaming heap %.1f MB vs in-memory %.1f MB (%.1f%%), %.0f frames/s",
+		log.Printf("%s: streaming heap %.1f MB vs in-memory %.1f MB (%.1f%%), %.0f frames/s, %.1f allocs/frame",
 			name, float64(stream.HeapPeakBytes)/1e6, float64(inmem.HeapPeakBytes)/1e6,
-			100*float64(stream.HeapPeakBytes)/float64(inmem.HeapPeakBytes), stream.FramesPerSec)
+			100*float64(stream.HeapPeakBytes)/float64(inmem.HeapPeakBytes), stream.FramesPerSec,
+			stream.AllocsPerFrame)
 		log.Printf("%s: inline-pass analysis heap %.1f MB vs slice-based %.1f MB (%.1f%%)",
 			name, float64(inline.HeapPeakBytes)/1e6, float64(posthoc.HeapPeakBytes)/1e6,
 			100*float64(inline.HeapPeakBytes)/float64(posthoc.HeapPeakBytes))
@@ -223,6 +230,16 @@ func runBenchJSON(a benchArgs) {
 		if a.assertJigd > 0 && float64(jigd.HeapPeakBytes) >= a.assertJigd*float64(posthoc.HeapPeakBytes) {
 			log.Printf("FAIL %s: jigd windowed peak heap %d >= %.0f%% of slice-based %d",
 				name, jigd.HeapPeakBytes, 100*a.assertJigd, posthoc.HeapPeakBytes)
+			failed = true
+		}
+		if a.assertFPS > 0 && stream.FramesPerSec < a.assertFPS {
+			log.Printf("FAIL %s: streaming merge %.0f frames/s < required %.0f",
+				name, stream.FramesPerSec, a.assertFPS)
+			failed = true
+		}
+		if a.assertAllocs > 0 && stream.AllocsPerFrame > a.assertAllocs {
+			log.Printf("FAIL %s: streaming merge %.2f allocs/frame > ceiling %.2f",
+				name, stream.AllocsPerFrame, a.assertAllocs)
 			failed = true
 		}
 	}
@@ -286,12 +303,22 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 		row := base
 		row.Mode = mode
 		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		h := startHeapSampler()
 		t1 := time.Now()
 		res, err := core.RunFrom(ts, groups, cfg, nil)
 		dur := time.Since(t1)
 		if err != nil {
 			log.Fatalf("%s/%s: merge: %v", name, mode, err)
+		}
+		// Mallocs delta before the analysis callback: the allocs-per-frame
+		// metric charges the merge alone (plus the sampler's negligible own
+		// allocation), not the finalized reports.
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if res.UnifyStats.JFrames > 0 {
+			row.AllocsPerFrame = float64(after.Mallocs-before.Mallocs) / float64(res.UnifyStats.JFrames)
 		}
 		if analyze != nil {
 			row.AnalysisMS = analyze(res).Milliseconds()

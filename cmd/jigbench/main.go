@@ -43,6 +43,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -89,6 +91,12 @@ func main() {
 		benchInline  = flag.Float64("bench-assert-inline", 0, "fail unless inline-pass analysis peak heap < this fraction of the slice-based (KeepJFrames/KeepExchanges) analysis run's (e.g. 0.30); 0 disables")
 		benchJigd    = flag.Float64("bench-assert-jigd", 0, "fail unless the jigd windowed-monitor peak heap < this fraction of the slice-based analysis run's (e.g. 0.30); 0 disables")
 
+		benchFPS    = flag.Float64("bench-assert-fps", 0, "fail unless each preset's streaming merge sustains >= this many frames/sec; 0 disables")
+		benchAllocs = flag.Float64("bench-assert-allocs", 0, "fail unless each preset's streaming merge stays <= this many heap allocs per jframe; 0 disables")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file before exiting (skipped when a bench gate fails)")
+
 		benchCampusBuildings = flag.Int("bench-campus-buildings", 0, "override the Campus() building count for the campus bench preset (0 = preset's 10)")
 		benchCampusDay       = flag.Duration("bench-campus-day", 0, "override the Campus() per-building compressed day (0 = preset's 6m)")
 		benchCampusHeap      = flag.Float64("bench-assert-campus-heap", 0, "fail unless the hierarchical campus merge's peak heap < this fraction of the flat merge's; 0 disables")
@@ -96,11 +104,26 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
+
 	if *benchJSON != "" {
 		runBenchJSON(benchArgs{
 			path: *benchJSON, presets: *benchPresets, day: *benchDay,
 			workers: *workers, workDir: *benchWork,
 			assertStreaming: *benchAssert, assertInline: *benchInline, assertJigd: *benchJigd,
+			assertFPS: *benchFPS, assertAllocs: *benchAllocs,
 			campus: campusBenchArgs{
 				buildings: *benchCampusBuildings, day: *benchCampusDay,
 				assertHeap: *benchCampusHeap, assertSpeed: *benchCampusSpeed,
@@ -120,6 +143,23 @@ func main() {
 		return
 	}
 	runFigures(*paperscale, *fig, *seed, *workers)
+}
+
+// writeHeapProfile dumps an allocation snapshot for -memprofile. A GC
+// first makes the live set exact (the heap profile is otherwise up to one
+// cycle stale).
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // sweepArgs collects the batch-mode flag values.

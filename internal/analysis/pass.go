@@ -346,8 +346,10 @@ const emitSlackUS = 100_000
 // the pipeline's watermark lag — bounded, unlike the slices it replaces.
 type exchangeDeferral struct {
 	// The hold is bounded by the emission slack plus watermark lag, not
-	// O(trace) — the sanctioned exception to the no-retention rule.
-	q        []*llc.Exchange //jiglint:allow retainframe (bounded sliding window, see type comment)
+	// O(trace). Each queued exchange carries a reference (Retain on push,
+	// Release after delivery), so the driver may release its own reference
+	// as soon as the observation call returns.
+	q        []*llc.Exchange
 	head     int
 	frontier int64
 }
@@ -359,8 +361,11 @@ func (d *exchangeDeferral) noteJFrame(us int64) {
 	}
 }
 
-// push enqueues an exchange.
-func (d *exchangeDeferral) push(ex *llc.Exchange) { d.q = append(d.q, ex) }
+// push enqueues an exchange, taking a reference for the queue slot.
+func (d *exchangeDeferral) push(ex *llc.Exchange) {
+	ex.Retain()
+	d.q = append(d.q, ex)
+}
 
 // flush processes every queued exchange the frontier has cleared, in
 // arrival (canonical) order.
@@ -370,6 +375,7 @@ func (d *exchangeDeferral) flush(process func(*llc.Exchange)) {
 		d.q[d.head] = nil
 		d.head++
 		process(ex)
+		ex.Release()
 	}
 	if d.head == len(d.q) {
 		d.q, d.head = d.q[:0], 0
@@ -383,6 +389,7 @@ func (d *exchangeDeferral) drain(process func(*llc.Exchange)) {
 		d.q[d.head] = nil
 		d.head++
 		process(ex)
+		ex.Release()
 	}
 	d.q, d.head = nil, 0
 }

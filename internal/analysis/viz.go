@@ -24,9 +24,10 @@ type VizPass struct {
 	relFromUS, durUS int64
 	started          bool
 
-	// O(window) retention, clamped to the requested render span — the
-	// sanctioned exception to the no-retention rule.
-	window []*unify.JFrame //jiglint:allow retainframe (bounded render window, see type comment)
+	// O(window) retention, clamped to the requested render span. Each
+	// buffered jframe carries a reference (Retain on append, Release when
+	// the window is dropped).
+	window []*unify.JFrame
 }
 
 // NewVizPass renders [fromUS, toUS) in absolute universal time.
@@ -50,6 +51,7 @@ func (p *VizPass) ObserveJFrame(j *unify.JFrame) {
 	if j.UnivUS < p.fromUS || j.UnivUS >= p.toUS {
 		return
 	}
+	j.Retain()
 	p.window = append(p.window, j)
 }
 
@@ -65,6 +67,9 @@ func (p *VizPass) finalize() string {
 // jframe, so a live run renders one span per report window.
 func (p *VizPass) FinalizeWindow(int64) Report {
 	rep := p.finalize()
+	for _, j := range p.window {
+		j.Release()
+	}
 	p.window = nil
 	if p.relative {
 		p.started = false
@@ -86,7 +91,11 @@ func Visualize(jframes []*unify.JFrame, fromUS, toUS int64, width int) string {
 	for _, j := range jframes {
 		p.ObserveJFrame(j)
 	}
-	return p.finalize()
+	out := p.finalize()
+	for _, j := range p.window {
+		j.Release()
+	}
+	return out
 }
 
 // renderWindow draws the collected window.

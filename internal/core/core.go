@@ -412,6 +412,8 @@ func (ps *passSet) finish(res *Result) {
 }
 
 // observeJFrame applies the per-jframe bookkeeping every driver shares.
+// Sinks and passes borrow the frame for the duration of the call; keeping
+// it in the result takes its own reference.
 func observeJFrame(res *Result, cfg Config, sink *Sink, ps *passSet, j *unify.JFrame) {
 	if len(j.Instances) >= 2 {
 		res.Dispersion.Add(j.DispersionUS)
@@ -421,18 +423,22 @@ func observeJFrame(res *Result, cfg Config, sink *Sink, ps *passSet, j *unify.JF
 	}
 	ps.observeJFrame(j)
 	if cfg.KeepJFrames {
+		j.Retain()
 		res.JFrames = append(res.JFrames, j)
 	}
 }
 
 // deliverExchange applies the per-exchange bookkeeping every driver shares.
-// Both drivers call it in canonical close order.
+// Both drivers call it in canonical close order. Sinks and passes borrow
+// the exchange; keeping it in the result takes its own reference on the
+// exchange's jframes.
 func deliverExchange(res *Result, cfg Config, sink *Sink, ps *passSet, ex *llc.Exchange) {
 	if sink.OnExchange != nil {
 		sink.OnExchange(ex)
 	}
 	ps.observeExchange(ex)
 	if cfg.KeepExchanges {
+		ex.Retain()
 		res.Exchanges = append(res.Exchanges, ex)
 	}
 }
@@ -502,6 +508,9 @@ func driveSerial(src jframeStream, stats func() unify.Stats, cfg Config, sink *S
 			ex := heap.Pop(h).(routedExchange).ex
 			deliverExchange(res, cfg, sink, ps, ex)
 			ta.AddExchange(ex)
+			// The transport analyzer copies what it keeps; the stream's
+			// ownership of the exchange's jframes ends here.
+			ex.Release()
 		}
 	}
 	for {
@@ -514,6 +523,9 @@ func driveSerial(src jframeStream, stats func() unify.Stats, cfg Config, sink *S
 		}
 		observeJFrame(res, cfg, sink, ps, j)
 		rec.Process(j)
+		// Passes observed it, the reconstructor retained what it stores —
+		// the driver's reference from Next ends here.
+		j.Release()
 		for _, ex := range rec.Take() {
 			heap.Push(h, routedExchange{ex: ex})
 		}
@@ -588,6 +600,11 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 			sources[r] = newPrefetchSource(ts, r)
 		}
 	}
+	if cfg.Unify.CoalesceWorkers == 0 {
+		// The sharded coalescer emits identical output at every worker
+		// count, so the parallel path defaults it to the pipeline width.
+		cfg.Unify.CoalesceWorkers = workers
+	}
 	u := unify.New(cfg.Unify, sources, boot)
 	if err := driveParallel(u, func() unify.Stats { return u.Stats }, cfg, sink, ps, res, workers); err != nil {
 		return err
@@ -635,6 +652,9 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 			for ex := range tIn[id] {
 				ta.AddExchange(ex)
 				ps.observeShardExchange(id, ex)
+				// Last consumer on the parallel path: the analyzer copies
+				// what it keeps and shard passes only borrow.
+				ex.Release()
 			}
 			analyzers[id] = ta
 		}(w)
@@ -662,14 +682,20 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 			break
 		}
 		observeJFrame(res, cfg, sink, ps, j)
+		// The frame crosses a channel: read everything the router still
+		// needs before handing the driver's reference to the shard worker
+		// (which releases it after processing).
+		univUS := j.UnivUS
 		if j.Valid {
 			shard := int(macHash(llc.ConversationKey(j)) % uint64(workers))
 			llcIn[shard] <- llcMsg{j: j}
+		} else {
+			j.Release()
 		}
 		count++
 		if count%tickEvery == 0 {
 			for i := range llcIn {
-				llcIn[i] <- llcMsg{tickUS: j.UnivUS}
+				llcIn[i] <- llcMsg{tickUS: univUS}
 			}
 		}
 	}
@@ -707,6 +733,9 @@ func llcShardWorker(id, tShards int, in <-chan llcMsg, out chan<- mergeMsg) {
 	for m := range in {
 		if m.j != nil {
 			rec.Process(m.j)
+			// The router handed its reference over; the reconstructor
+			// retained whatever it stored.
+			m.j.Release()
 		} else {
 			rec.Tick(m.tickUS)
 		}
@@ -866,14 +895,40 @@ func (s *readerSource) Next() (tracefile.Record, error) {
 	return rec, nil
 }
 
+// recBatch is a prefetched run of records whose frame bytes live in one
+// shared arena: block decompression happens in batches on the prefetch
+// goroutine, and since records borrow their frames from the reader's
+// block buffer, each frame is copied into the arena before the batch
+// crosses the channel. Batches recycle through a pool once the consumer
+// moves past them.
+type recBatch struct {
+	recs  []tracefile.Record
+	arena []byte
+}
+
+var recBatchPool = sync.Pool{New: func() any { return new(recBatch) }}
+
+// add appends a record, copying its borrowed frame into the arena.
+func (b *recBatch) add(rec tracefile.Record) {
+	if rec.Frame != nil {
+		off := len(b.arena)
+		// An arena growth strands earlier frames on the old backing
+		// array — still valid copies, and the grown capacity persists
+		// across reuse, so growth stops after warmup.
+		b.arena = append(b.arena, rec.Frame...)
+		rec.Frame = b.arena[off:len(b.arena):len(b.arena)]
+	}
+	b.recs = append(b.recs, rec)
+}
+
 // prefetchSource decodes a radio's compressed trace in a background
 // goroutine, handing record batches to the unifier through a channel so
 // per-radio decompression overlaps with unification (and with every other
 // radio's decompression). Read errors end the stream early, matching the
 // unifier's drop-radio-on-error behaviour for direct readers.
 type prefetchSource struct {
-	ch  <-chan []tracefile.Record
-	cur []tracefile.Record
+	ch  <-chan *recBatch
+	cur *recBatch
 	i   int
 	// errp is written by the prefetch goroutine before it closes ch, so
 	// reading it after the channel drains is race-free.
@@ -883,7 +938,7 @@ type prefetchSource struct {
 func (s *prefetchSource) fault() error { return *s.errp }
 
 func newPrefetchSource(ts *tracefile.TraceSet, radio int32) *prefetchSource {
-	ch := make(chan []tracefile.Record, prefetchChanBuf)
+	ch := make(chan *recBatch, prefetchChanBuf)
 	errp := new(error)
 	go func() {
 		defer close(ch)
@@ -894,37 +949,49 @@ func newPrefetchSource(ts *tracefile.TraceSet, radio int32) *prefetchSource {
 		}
 		defer rc.Close()
 		r := tracefile.NewReader(rc)
-		batch := make([]tracefile.Record, 0, prefetchBatch)
+		batch := recBatchPool.Get().(*recBatch)
+		batch.recs, batch.arena = batch.recs[:0], batch.arena[:0]
 		for {
 			rec, err := r.Next()
 			if err != nil {
 				if err != io.EOF {
 					*errp = err
 				}
-				if len(batch) > 0 {
+				if len(batch.recs) > 0 {
 					ch <- batch
+				} else {
+					recBatchPool.Put(batch)
 				}
 				return
 			}
-			batch = append(batch, rec)
-			if len(batch) == prefetchBatch {
+			batch.add(rec)
+			if len(batch.recs) == prefetchBatch {
 				ch <- batch
-				batch = make([]tracefile.Record, 0, prefetchBatch)
+				batch = recBatchPool.Get().(*recBatch)
+				batch.recs, batch.arena = batch.recs[:0], batch.arena[:0]
 			}
 		}
 	}()
 	return &prefetchSource{ch: ch, errp: errp}
 }
 
+// Next hands out the current batch's records one at a time. Returned
+// records borrow their frames from the batch arena, which is recycled
+// when the consumer crosses the next batch boundary — the unifier copies
+// each record before asking for another, which satisfies that.
 func (s *prefetchSource) Next() (tracefile.Record, error) {
-	for s.i >= len(s.cur) {
+	for s.cur == nil || s.i >= len(s.cur.recs) {
+		if s.cur != nil {
+			recBatchPool.Put(s.cur)
+			s.cur = nil
+		}
 		cur, ok := <-s.ch
 		if !ok {
 			return tracefile.Record{}, io.EOF
 		}
 		s.cur, s.i = cur, 0
 	}
-	rec := s.cur[s.i]
+	rec := s.cur.recs[s.i]
 	s.i++
 	return rec, nil
 }

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/tracefile"
+)
+
+// TestProfileMerge runs the streaming merge over JIG_PROF_DIR so the merge
+// hot path can be profiled with -cpuprofile/-memprofile. Skipped unless the
+// env var is set.
+func TestProfileMerge(t *testing.T) {
+	dir := os.Getenv("JIG_PROF_DIR")
+	if dir == "" {
+		t.Skip("set JIG_PROF_DIR to a trace directory to profile the merge")
+	}
+	meta, err := scenario.ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tracefile.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	res, err := RunFrom(ts, meta.ClockGroups, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("jframes=%d events=%d", res.UnifyStats.JFrames, res.UnifyStats.Events)
+}

@@ -319,6 +319,12 @@ func headerLen(t Type, s Subtype) int {
 // fcsLen is the length of the frame check sequence.
 const fcsLen = 4
 
+// BodyOffset returns the offset of the frame body within the capture
+// buffer it was decoded from — the MAC header length for this frame kind.
+// Callers that copy a capture buffer use it to re-point Body into the
+// copy.
+func (f *Frame) BodyOffset() int { return headerLen(f.Type, f.Subtype) }
+
 // WireLen returns the total on-air length of the frame in bytes, including
 // MAC header, body and FCS. This is the length the PHY airtime model uses.
 func (f *Frame) WireLen() int {

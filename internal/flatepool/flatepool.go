@@ -1,0 +1,59 @@
+// Package flatepool pools DEFLATE codec state across the repo's block
+// formats (the tracefile capture format and hmerge's .jfs intermediate
+// streams). A flate.Writer carries large internal hash/window state and a
+// flate reader a sliding window; allocating either per 64 KB block used
+// to dominate the codec paths' allocations. Both are Reset onto their
+// next destination/source when taken from a pool, so steady-state block
+// compression and decompression allocate nothing.
+package flatepool
+
+import (
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+var writers = sync.Pool{}
+
+// GetWriter returns a pooled DEFLATE compressor reset onto dst,
+// compressing at flate.BestSpeed (every block format here trades ratio
+// for throughput). Return it with PutWriter after Close.
+func GetWriter(dst io.Writer) *flate.Writer {
+	if fw, ok := writers.Get().(*flate.Writer); ok {
+		fw.Reset(dst)
+		return fw
+	}
+	fw, err := flate.NewWriter(dst, flate.BestSpeed)
+	if err != nil {
+		// BestSpeed is a valid level; NewWriter cannot fail on it.
+		panic(err)
+	}
+	return fw
+}
+
+// PutWriter recycles a compressor obtained from GetWriter.
+func PutWriter(fw *flate.Writer) { writers.Put(fw) }
+
+var readers = sync.Pool{}
+
+// GetReader returns a pooled DEFLATE decompressor reset onto src (the
+// stdlib reader's flate.Resetter rewinds one onto the next block's
+// bytes). Return it with PutReader. The result also implements
+// flate.Resetter, so a caller holding one across blocks can Reset it
+// directly.
+func GetReader(src io.Reader) io.ReadCloser {
+	if fr, ok := readers.Get().(io.ReadCloser); ok {
+		if err := fr.(flate.Resetter).Reset(src, nil); err == nil {
+			return fr
+		}
+	}
+	return flate.NewReader(src)
+}
+
+// PutReader recycles a decompressor obtained from GetReader; nil is
+// ignored so error paths can return unconditionally.
+func PutReader(fr io.ReadCloser) {
+	if fr != nil {
+		readers.Put(fr)
+	}
+}

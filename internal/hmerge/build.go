@@ -202,7 +202,11 @@ func Unify(ts *tracefile.TraceSet, clockGroups [][]int32, cfg UnifyConfig, w io.
 	flush := func(limitUS int64) error {
 		for rh.Len() > 0 && rh[0].j.UnivUS <= limitUS {
 			it := heap.Pop(&rh).(reorderItem)
-			if err := wtr.WriteJFrame(it.j); err != nil {
+			err := wtr.WriteJFrame(it.j)
+			// The heap held the unifier's reference; the writer has copied
+			// everything it needs, so the frame recycles here.
+			it.j.Release()
+			if err != nil {
 				return err
 			}
 		}

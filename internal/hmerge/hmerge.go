@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"repro/internal/dot80211"
+	"repro/internal/flatepool"
 	"repro/internal/unify"
 )
 
@@ -84,6 +85,7 @@ const instPrealloc = 256
 type Writer struct {
 	w       io.Writer
 	buf     bytes.Buffer
+	comp    bytes.Buffer // reused compressed-block scratch
 	count   int32
 	firstUS int64
 	lastUS  int64
@@ -178,17 +180,16 @@ func (w *Writer) flushBlock() error {
 	if w.count == 0 {
 		return nil
 	}
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
-	if err != nil {
-		return err
-	}
+	w.comp.Reset()
+	fw := flatepool.GetWriter(&w.comp)
 	if _, err := fw.Write(w.buf.Bytes()); err != nil {
 		return err
 	}
 	if err := fw.Close(); err != nil {
 		return err
 	}
+	flatepool.PutWriter(fw)
+	comp := &w.comp
 	var bh [24]byte
 	copy(bh[0:4], blockMagic[:])
 	binary.LittleEndian.PutUint32(bh[4:8], uint32(comp.Len()))
@@ -219,9 +220,19 @@ func (w *Writer) Close() error {
 // re-derived from the stored wire bytes with the same partial decode the
 // unifier applies at emission, so a decoded stream is structurally
 // identical to the one the unify worker serialized.
+//
+// Returned frames are pooled (unify.NewJFrame) and OWNED by the caller,
+// who must Release each one — the .jfs decode path participates in the
+// same frame lifecycle as the live unifier. The reader's block buffers
+// are reused across blocks; every frame's wire bytes are copied into the
+// frame's own storage, so frames are independent of the reader.
 type Reader struct {
 	r       io.Reader
-	block   *bytes.Reader
+	comp    []byte       // reused compressed-block buffer
+	compRd  bytes.Reader // reused reader over comp
+	raw     []byte       // reused decompressed-block buffer
+	pos     int          // parse cursor into raw
+	fr      io.ReadCloser
 	started bool
 	lastUS  int64
 	haveUS  bool
@@ -230,6 +241,13 @@ type Reader struct {
 
 // NewReader wraps an intermediate stream for iteration.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// retire returns the pooled decompressor once the stream has ended; the
+// reader is latched on t.err by then.
+func (t *Reader) retire() {
+	flatepool.PutReader(t.fr)
+	t.fr = nil
+}
 
 // Next returns the next jframe. io.EOF signals a clean end of stream; any
 // other error is a corrupt stream (intermediate files are pipeline-owned,
@@ -245,21 +263,25 @@ func (t *Reader) Next() (*unify.JFrame, error) {
 		}
 		t.started = true
 	}
-	for t.block == nil || t.block.Len() == 0 {
+	for t.pos >= len(t.raw) {
 		if err := t.loadBlock(); err != nil {
 			t.err = err
+			t.retire()
 			return nil, err
 		}
 	}
 	j, err := t.decodeRecord()
 	if err != nil {
 		t.err = err
+		t.retire()
 		return nil, err
 	}
 	// The format's contract: streams are sorted. Enforce on read too, so a
 	// corrupted stream cannot silently break the k-way merge's ordering.
 	if t.haveUS && j.UnivUS < t.lastUS {
 		t.err = fmt.Errorf("hmerge: stream out of order: %d after %d", j.UnivUS, t.lastUS)
+		j.Release()
+		t.retire()
 		return nil, t.err
 	}
 	t.lastUS, t.haveUS = j.UnivUS, true
@@ -304,56 +326,68 @@ func (t *Reader) loadBlock() error {
 	if compLen > maxBlockLen || rawLen > maxBlockLen {
 		return fmt.Errorf("hmerge: block header claims %d/%d bytes", compLen, rawLen)
 	}
-	comp := make([]byte, compLen)
+	if cap(t.comp) < int(compLen) {
+		t.comp = make([]byte, compLen)
+	}
+	comp := t.comp[:compLen]
 	if _, err := io.ReadFull(t.r, comp); err != nil {
 		return fmt.Errorf("hmerge: truncated block: %w", err)
 	}
-	fr := flate.NewReader(bytes.NewReader(comp))
-	buf := bytes.NewBuffer(make([]byte, 0, rawLen))
-	n, err := io.Copy(buf, io.LimitReader(fr, int64(rawLen)+1))
-	if err != nil {
+	t.compRd.Reset(comp)
+	if t.fr == nil {
+		t.fr = flatepool.GetReader(&t.compRd)
+	} else if err := t.fr.(flate.Resetter).Reset(&t.compRd, nil); err != nil {
 		return fmt.Errorf("hmerge: decompress: %w", err)
 	}
-	if n != int64(rawLen) {
-		return fmt.Errorf("hmerge: block decompressed to %d bytes, header says %d", n, rawLen)
+	if cap(t.raw) < int(rawLen) {
+		t.raw = make([]byte, rawLen)
 	}
-	t.block = bytes.NewReader(buf.Bytes())
+	t.raw = t.raw[:rawLen]
+	if _, err := io.ReadFull(t.fr, t.raw); err != nil {
+		return fmt.Errorf("hmerge: decompress: %w", err)
+	}
+	// The decompressor must land exactly on the claimed length.
+	var probe [1]byte
+	if n, _ := t.fr.Read(probe[:]); n != 0 {
+		return fmt.Errorf("hmerge: block decompressed past %d claimed bytes", rawLen)
+	}
+	t.pos = 0
 	return nil
 }
 
 func (t *Reader) decodeRecord() (*unify.JFrame, error) {
-	var hdr [recHdrLen]byte
-	if _, err := io.ReadFull(t.block, hdr[:]); err != nil {
-		return nil, fmt.Errorf("hmerge: corrupt block: %w", err)
+	b := t.raw[t.pos:]
+	if len(b) < recHdrLen {
+		return nil, fmt.Errorf("hmerge: corrupt block: %w", io.ErrUnexpectedEOF)
 	}
+	hdr := b[:recHdrLen]
 	flags := hdr[0]
-	j := &unify.JFrame{
-		Channel:      dot80211.Channel(hdr[1]),
-		Rate:         dot80211.Rate(binary.LittleEndian.Uint16(hdr[2:4])),
-		WireLen:      int(binary.LittleEndian.Uint16(hdr[4:6])),
-		UnivUS:       int64(binary.LittleEndian.Uint64(hdr[10:18])),
-		DispersionUS: int64(binary.LittleEndian.Uint64(hdr[18:26])),
-		Valid:        flags&flagValid != 0,
-		PhyOnly:      flags&flagPhyOnly != 0,
-	}
 	nWire := int(binary.LittleEndian.Uint16(hdr[6:8]))
 	nInst := int(binary.LittleEndian.Uint16(hdr[8:10]))
-	if nWire > 0 {
-		j.Wire = make([]byte, nWire)
-		if _, err := io.ReadFull(t.block, j.Wire); err != nil {
-			return nil, fmt.Errorf("hmerge: corrupt block: %w", err)
+	if len(b) < recHdrLen+nWire+nInst*instLen {
+		return nil, fmt.Errorf("hmerge: corrupt block: %w", io.ErrUnexpectedEOF)
+	}
+	j := unify.NewJFrame()
+	j.Channel = dot80211.Channel(hdr[1])
+	j.Rate = dot80211.Rate(binary.LittleEndian.Uint16(hdr[2:4]))
+	j.WireLen = int(binary.LittleEndian.Uint16(hdr[4:6]))
+	j.UnivUS = int64(binary.LittleEndian.Uint64(hdr[10:18]))
+	j.DispersionUS = int64(binary.LittleEndian.Uint64(hdr[18:26]))
+	j.Valid = flags&flagValid != 0
+	j.PhyOnly = flags&flagPhyOnly != 0
+	// The wire bytes are copied out of the reused block buffer into the
+	// frame's own storage; the decoded header below then aliases that copy,
+	// never the block.
+	j.SetWire(b[recHdrLen : recHdrLen+nWire])
+	if j.Instances == nil {
+		prealloc := nInst
+		if prealloc > instPrealloc {
+			prealloc = instPrealloc
 		}
+		j.Instances = make([]unify.Instance, 0, prealloc)
 	}
-	prealloc := nInst
-	if prealloc > instPrealloc {
-		prealloc = instPrealloc
-	}
-	j.Instances = make([]unify.Instance, 0, prealloc)
 	for i := 0; i < nInst; i++ {
-		var ib [instLen]byte
-		if _, err := io.ReadFull(t.block, ib[:]); err != nil {
-			return nil, fmt.Errorf("hmerge: corrupt block: %w", err)
-		}
+		ib := b[recHdrLen+nWire+i*instLen:]
 		j.Instances = append(j.Instances, unify.Instance{
 			Radio:   int32(binary.LittleEndian.Uint32(ib[0:4])),
 			LocalUS: int64(binary.LittleEndian.Uint64(ib[4:12])),
@@ -363,6 +397,7 @@ func (t *Reader) decodeRecord() (*unify.JFrame, error) {
 			PhyErr:  ib[21]&instPhyErr != 0,
 		})
 	}
+	t.pos += recHdrLen + nWire + nInst*instLen
 	// Re-derive the decoded header exactly as the unifier does at emission:
 	// partial decodes are kept (Valid already records whether the decode
 	// succeeded on a FCS-valid capture), phy-only events carry no frame.

@@ -9,6 +9,48 @@ import (
 	"repro/internal/unify"
 )
 
+// countedWindow participates in the ownership contract: it stores
+// jframes, but its methods Retain on store and Release on drop, so the
+// hold is a counted reference rather than a leaked borrow. No finding.
+type countedWindow struct {
+	window []*unify.JFrame
+}
+
+func (w *countedWindow) add(j *unify.JFrame) {
+	j.Retain()
+	w.window = append(w.window, j)
+}
+
+func (w *countedWindow) drop() {
+	for _, j := range w.window {
+		j.Release()
+	}
+	w.window = nil
+}
+
+// halfContract only ever Retains — without the Release half the hold
+// still pins memory forever, so it is flagged.
+type halfContract struct {
+	q []*llc.Exchange // want `struct field retains repro/internal/llc.Exchange`
+}
+
+func (h *halfContract) push(ex *llc.Exchange) {
+	ex.Retain()
+	h.q = append(h.q, ex)
+}
+
+// crossContract Retains/Releases jframes but STORES exchanges: the
+// contract must cover the payload type actually held.
+type crossContract struct {
+	held []*llc.Exchange // want `struct field retains repro/internal/llc.Exchange`
+}
+
+func (c *crossContract) note(j *unify.JFrame) {
+	j.Retain()
+	j.Release()
+	c.held = nil
+}
+
 // buggySegObs reproduces the PR 4 transport.SegObs leak: one retained
 // exchange per observed TCP segment pinned every attempt's jframes and
 // wire bytes, making analyzer memory O(trace).

@@ -112,6 +112,34 @@ func (e *Exchange) Data() *unify.JFrame {
 	return nil
 }
 
+// frames visits every jframe the exchange's attempts hold.
+func (e *Exchange) frames(fn func(*unify.JFrame)) {
+	for _, a := range e.Attempts {
+		if a.RTS != nil {
+			fn(a.RTS)
+		}
+		if a.CTS != nil {
+			fn(a.CTS)
+		}
+		if a.Data != nil {
+			fn(a.Data)
+		}
+		if a.Ack != nil {
+			fn(a.Ack)
+		}
+	}
+}
+
+// Retain adds one ownership reference to every jframe the exchange holds,
+// for holders that keep the exchange past the observation that delivered
+// it (see the unify package's ownership rules).
+func (e *Exchange) Retain() { e.frames((*unify.JFrame).Retain) }
+
+// Release drops the exchange's ownership of its jframes. After the last
+// holder releases, the frames' storage is recycled; the exchange and its
+// attempts must not be touched again.
+func (e *Exchange) Release() { e.frames((*unify.JFrame).Release) }
+
 // Retransmissions counts attempts beyond the first.
 func (e *Exchange) Retransmissions() int { return len(e.Attempts) - 1 }
 
@@ -241,15 +269,28 @@ func (r *Reconstructor) Process(j *unify.JFrame) {
 	r.now = j.UnivUS
 	r.expire()
 
+	// Ownership: Process borrows j from the caller. Every slot that keeps
+	// a frame past this call (pending CTS/RTS, attempts, orphan ACKs)
+	// holds exactly one reference, taken on store and dropped when the
+	// slot is cleared; attaching a pending frame to an attempt transfers
+	// the slot's reference.
 	f := &j.Frame
 	switch {
 	case f.Type == dot80211.TypeControl && f.Subtype == dot80211.SubtypeRTS:
 		// RTS: Addr2 is the transmitter about to send data.
+		j.Retain()
+		if old := r.pendingRTS[f.Addr2]; old != nil {
+			old.Release()
+		}
 		r.pendingRTS[f.Addr2] = j
 	case f.IsCTS():
 		// CTS-to-self carries the protecting transmitter in Addr1; a CTS
 		// answering an RTS is addressed to the data transmitter the same
 		// way, so one pending slot serves both.
+		j.Retain()
+		if old := r.pendingCTS[f.Addr1]; old != nil {
+			old.Release()
+		}
 		r.pendingCTS[f.Addr1] = j
 	case f.IsACK():
 		r.handleAck(j)
@@ -302,11 +343,13 @@ func (r *Reconstructor) expire() {
 		// The Duration field reserves the medium from the frame's end.
 		if r.now > cts.EndUS()+int64(cts.Frame.Duration)+ackSlackUS {
 			delete(r.pendingCTS, tx)
+			cts.Release()
 		}
 	}
 	for tx, rts := range r.pendingRTS {
 		if r.now > rts.EndUS()+int64(rts.Frame.Duration)+ackSlackUS {
 			delete(r.pendingRTS, tx)
+			rts.Release()
 		}
 	}
 }
@@ -315,6 +358,7 @@ func (r *Reconstructor) expire() {
 func (r *Reconstructor) handleData(j *unify.JFrame) {
 	f := &j.Frame
 	tx := f.Addr2
+	j.Retain()
 	a := &Attempt{
 		Data:        j,
 		Transmitter: tx,
@@ -325,16 +369,21 @@ func (r *Reconstructor) handleData(j *unify.JFrame) {
 		StartUS:     j.UnivUS,
 		EndUS:       j.EndUS(),
 	}
-	// Attach a preceding CTS (protection or RTS response) if timing fits,
-	// and the RTS before that.
+	// Attach a preceding CTS (protection or RTS response) if timing fits
+	// (the pending slot's reference transfers to the attempt), and the RTS
+	// before that. Either way the pending slot empties: an unattachable
+	// frame is dropped.
 	if cts, ok := r.pendingCTS[tx]; ok {
+		delete(r.pendingCTS, tx)
 		if gap := j.UnivUS - cts.EndUS(); gap >= 0 && gap <= ctsGapMaxUS {
 			a.CTS = cts
 			a.StartUS = cts.UnivUS
+		} else {
+			cts.Release()
 		}
-		delete(r.pendingCTS, tx)
 	}
 	if rts, ok := r.pendingRTS[tx]; ok {
+		delete(r.pendingRTS, tx)
 		start := j.UnivUS
 		if a.CTS != nil {
 			start = a.CTS.UnivUS
@@ -342,8 +391,9 @@ func (r *Reconstructor) handleData(j *unify.JFrame) {
 		if gap := start - rts.EndUS(); gap >= 0 && gap <= ctsGapMaxUS {
 			a.RTS = rts
 			a.StartUS = rts.UnivUS
+		} else {
+			rts.Release()
 		}
-		delete(r.pendingRTS, tx)
 	}
 	r.Stats.Attempts++
 
@@ -370,6 +420,7 @@ func (r *Reconstructor) handleData(j *unify.JFrame) {
 func (r *Reconstructor) handleAck(j *unify.JFrame) {
 	dataTx := j.Frame.Addr1 // the station being acknowledged
 	if oa, ok := r.awaiting[dataTx]; ok && j.UnivUS <= oa.deadline {
+		j.Retain()
 		oa.attempt.Ack = j
 		oa.attempt.EndUS = j.EndUS()
 		delete(r.awaiting, dataTx)
@@ -384,6 +435,10 @@ func (r *Reconstructor) handleAck(j *unify.JFrame) {
 	// until more frames from this sender resolve its position (§5.1).
 	r.Stats.OrphanAcks++
 	ss := r.sender(dataTx)
+	j.Retain()
+	if ss.orphanAck != nil {
+		ss.orphanAck.Release()
+	}
 	ss.orphanAck = j
 	ss.lastSeen = r.now
 }
@@ -439,6 +494,7 @@ func (r *Reconstructor) assignAttempt(ss *senderState, a *Attempt, broadcast boo
 		default:
 			// R4: sequence gap — no inferences; flush.
 			if ss.orphanAck != nil {
+				ss.orphanAck.Release()
 				ss.orphanAck = nil
 				r.Stats.FlushedUnassigned++
 			}
@@ -464,6 +520,8 @@ func (r *Reconstructor) resolveOrphan(ss *senderState, nextSeq uint16) {
 	if ss.orphanAck == nil {
 		return
 	}
+	// The orphan slot's frame reference transfers to the inferred attempt
+	// built below (both branches store the ack).
 	ack := ss.orphanAck
 	ss.orphanAck = nil
 	if ss.cur != nil && ack.UnivUS-ss.cur.StartUS < exchangeTimeoutUS &&

@@ -73,9 +73,29 @@ type WindowReport struct {
 }
 
 // pendingEvent is one buffered stream event past the open window's end.
+// The buffer slot holds a reference on whichever object it carries
+// (retained on append, released after the pump or Flush delivers it).
 type pendingEvent struct {
 	j  *unify.JFrame
 	ex *llc.Exchange
+}
+
+// retain takes the buffer slot's reference.
+func (e pendingEvent) retain() {
+	if e.j != nil {
+		e.j.Retain()
+	} else {
+		e.ex.Retain()
+	}
+}
+
+// release drops the buffer slot's reference.
+func (e pendingEvent) release() {
+	if e.j != nil {
+		e.j.Release()
+	} else {
+		e.ex.Release()
+	}
 }
 
 func (e pendingEvent) timeUS() int64 {
@@ -186,7 +206,9 @@ func (m *Monitor) ObserveJFrame(j *unify.JFrame) {
 	if j.UnivUS <= m.winEndUS {
 		m.deliverJFrame(j)
 	} else {
-		m.pending = append(m.pending, pendingEvent{j: j})
+		e := pendingEvent{j: j}
+		e.retain()
+		m.pending = append(m.pending, e)
 	}
 }
 
@@ -199,7 +221,9 @@ func (m *Monitor) ObserveExchange(ex *llc.Exchange) {
 	if ex.CloseUS <= m.winEndUS {
 		m.deliverExchange(ex)
 	} else {
-		m.pending = append(m.pending, pendingEvent{ex: ex})
+		e := pendingEvent{ex: ex}
+		e.retain()
+		m.pending = append(m.pending, e)
 	}
 }
 
@@ -248,9 +272,13 @@ func (m *Monitor) pump() {
 				} else {
 					m.deliverExchange(e.ex)
 				}
+				e.release()
 			} else {
 				kept = append(kept, e)
 			}
+		}
+		for i := len(kept); i < len(m.pending); i++ {
+			m.pending[i] = pendingEvent{}
 		}
 		m.pending = kept
 	}
@@ -318,6 +346,7 @@ func (m *Monitor) Flush() {
 		} else {
 			m.deliverExchange(e.ex)
 		}
+		e.release()
 	}
 	m.pending = nil
 	end := m.winEndUS

@@ -381,6 +381,9 @@ func collectRadioWindow(r *tracefile.Reader, windowUS int64) ([]tracefile.Record
 			first = rec.LocalUS
 			started = true
 		}
+		// The record borrows its frame from the reader's block buffer;
+		// the window outlives the read loop.
+		rec.CloneFrame()
 		out = append(out, rec)
 		if rec.LocalUS-first > windowUS {
 			break

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package tracefile
+
+import "io"
+
+// mmapOpen is unavailable off-linux; MmapSource degrades to buffered
+// file reads.
+func mmapOpen(string) (io.ReadCloser, bool, error) { return nil, false, nil }

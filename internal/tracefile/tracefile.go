@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/flatepool"
 )
 
 // Record flags.
@@ -26,6 +28,13 @@ const (
 // a corrupted frame, or a physical error. Timestamps are the radio's local
 // 1 µs clock — synchronization to universal time is Jigsaw's job, not the
 // capture format's.
+//
+// Ownership: a Record returned by Reader.Next (or any Source-backed
+// stream) BORROWS its Frame bytes from the reader's block buffer — they
+// are valid only until the next call on the same reader. Consumers that
+// hold a record across calls must copy the frame (see CloneFrame); the
+// unifier copies at intake, so everything downstream of it is governed by
+// the JFrame retain/release contract instead.
 type Record struct {
 	LocalUS int64  // local receive timestamp, microseconds
 	RadioID int32  // capturing radio
@@ -45,6 +54,14 @@ func (r *Record) FCSOK() bool { return r.Flags&FlagFCSOK != 0 }
 
 // IsPhyErr reports whether the record is a physical error event.
 func (r *Record) IsPhyErr() bool { return r.Flags&FlagPhyErr != 0 }
+
+// CloneFrame replaces a borrowed Frame with an owned copy, so the record
+// stays valid past the reader call that produced it.
+func (r *Record) CloneFrame() {
+	if r.Frame != nil {
+		r.Frame = append([]byte(nil), r.Frame...)
+	}
+}
 
 // DefaultSnapLen bounds captured frame bytes: MAC header plus up to 200
 // payload bytes, like the paper's captures (§5).
@@ -73,6 +90,7 @@ type Writer struct {
 	w       io.Writer
 	offset  int64
 	buf     bytes.Buffer // uncompressed pending records
+	comp    bytes.Buffer // reused compressed-block scratch
 	count   int32
 	firstUS int64
 	lastUS  int64
@@ -132,17 +150,16 @@ func (w *Writer) flushBlock() error {
 	if w.count == 0 {
 		return nil
 	}
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
-	if err != nil {
-		return err
-	}
+	w.comp.Reset()
+	fw := flatepool.GetWriter(&w.comp)
 	if _, err := fw.Write(w.buf.Bytes()); err != nil {
 		return err
 	}
 	if err := fw.Close(); err != nil {
 		return err
 	}
+	flatepool.PutWriter(fw)
+	comp := &w.comp
 	var bh [24]byte
 	copy(bh[0:4], magic[:])
 	binary.LittleEndian.PutUint32(bh[4:8], uint32(comp.Len()))
@@ -239,54 +256,85 @@ func ReadIndex(in io.Reader) ([]IndexEntry, error) {
 	return idx, nil
 }
 
-// Reader iterates records from a trace stream.
+// BlockSlicer is implemented by trace inputs that can expose the next n
+// bytes of the stream as a zero-copy view (memory-mapped files, in-memory
+// buffers). The returned slice stays valid until the input is closed.
+// Reader uses it to decompress blocks straight out of the backing bytes
+// instead of staging them through a copy.
+type BlockSlicer interface {
+	Slice(n int) ([]byte, error)
+}
+
+// Reader iterates records from a trace stream. Records are parsed in
+// place: each returned Record's Frame aliases the reader's decompressed
+// block buffer and is only valid until the next call (see Record).
 type Reader struct {
-	r     io.Reader
-	block *bytes.Reader
-	err   error
+	r      io.Reader
+	sl     BlockSlicer // non-nil when r supports zero-copy block reads
+	comp   []byte      // reused compressed-block staging (nil-copy path)
+	compRd bytes.Reader
+	raw    []byte // reused decompressed block
+	pos    int    // parse cursor into raw
+	fr     io.ReadCloser
+	err    error
 }
 
 // NewReader wraps a trace stream for record iteration.
-func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+func NewReader(r io.Reader) *Reader {
+	t := &Reader{r: r}
+	t.sl, _ = r.(BlockSlicer)
+	return t
+}
 
-// Next returns the next record. io.EOF signals a clean end of trace.
+// recHdrLen is the per-record header (20 bytes) plus the 2-byte frame
+// length.
+const recHdrLen = 22
+
+// Next returns the next record. io.EOF signals a clean end of trace. The
+// record's Frame is borrowed (valid until the next Next call).
 func (t *Reader) Next() (Record, error) {
 	var rec Record
 	if t.err != nil {
 		return rec, t.err
 	}
-	for t.block == nil || t.block.Len() == 0 {
+	for t.pos >= len(t.raw) {
 		if err := t.loadBlock(); err != nil {
 			t.err = err
+			t.retire()
 			return rec, err
 		}
 	}
-	var hdr [20]byte
-	if _, err := io.ReadFull(t.block, hdr[:]); err != nil {
-		t.err = fmt.Errorf("tracefile: corrupt block: %w", err)
+	b := t.raw[t.pos:]
+	if len(b) < recHdrLen {
+		t.err = errors.New("tracefile: corrupt block: truncated record header")
+		t.retire()
 		return rec, t.err
 	}
-	rec.LocalUS = int64(binary.LittleEndian.Uint64(hdr[0:8]))
-	rec.RadioID = int32(binary.LittleEndian.Uint32(hdr[8:12]))
-	rec.Channel = hdr[12]
-	rec.RSSIdBm = int8(hdr[13])
-	rec.Rate = binary.LittleEndian.Uint16(hdr[14:16])
-	rec.Flags = hdr[16]
-	rec.OrigLen = binary.LittleEndian.Uint16(hdr[18:20])
-	var l [2]byte
-	if _, err := io.ReadFull(t.block, l[:]); err != nil {
-		t.err = fmt.Errorf("tracefile: corrupt block: %w", err)
+	rec.LocalUS = int64(binary.LittleEndian.Uint64(b[0:8]))
+	rec.RadioID = int32(binary.LittleEndian.Uint32(b[8:12]))
+	rec.Channel = b[12]
+	rec.RSSIdBm = int8(b[13])
+	rec.Rate = binary.LittleEndian.Uint16(b[14:16])
+	rec.Flags = b[16]
+	rec.OrigLen = binary.LittleEndian.Uint16(b[18:20])
+	n := int(binary.LittleEndian.Uint16(b[20:22]))
+	if len(b) < recHdrLen+n {
+		t.err = errors.New("tracefile: corrupt block: truncated frame")
+		t.retire()
 		return rec, t.err
 	}
-	n := binary.LittleEndian.Uint16(l[:])
 	if n > 0 {
-		rec.Frame = make([]byte, n)
-		if _, err := io.ReadFull(t.block, rec.Frame); err != nil {
-			t.err = fmt.Errorf("tracefile: corrupt block: %w", err)
-			return rec, t.err
-		}
+		rec.Frame = b[recHdrLen : recHdrLen+n : recHdrLen+n]
 	}
+	t.pos += recHdrLen + n
 	return rec, nil
+}
+
+// retire returns the pooled decompressor once the stream has ended; the
+// reader is latched on t.err by then.
+func (t *Reader) retire() {
+	flatepool.PutReader(t.fr)
+	t.fr = nil
 }
 
 // maxBlockLen bounds the compressed and uncompressed size a block header
@@ -296,7 +344,9 @@ func (t *Reader) Next() (Record, error) {
 // allocation.
 const maxBlockLen = 1 << 26
 
-// loadBlock reads and decompresses the next block.
+// loadBlock reads and decompresses the next block into the reused raw
+// buffer. Compressed bytes are sliced straight out of BlockSlicer-backed
+// inputs; other inputs stage them through a reused buffer.
 func (t *Reader) loadBlock() error {
 	var bh [24]byte
 	if _, err := io.ReadFull(t.r, bh[:]); err != nil {
@@ -313,27 +363,49 @@ func (t *Reader) loadBlock() error {
 	if compLen > maxBlockLen || rawLen > maxBlockLen {
 		return fmt.Errorf("tracefile: block header claims %d/%d bytes", compLen, rawLen)
 	}
-	comp := make([]byte, compLen)
-	if _, err := io.ReadFull(t.r, comp); err != nil {
-		return fmt.Errorf("tracefile: truncated block: %w", err)
+	var comp []byte
+	if t.sl != nil {
+		b, err := t.sl.Slice(int(compLen))
+		if err != nil {
+			return fmt.Errorf("tracefile: truncated block: %w", err)
+		}
+		comp = b
+	} else {
+		if cap(t.comp) < int(compLen) {
+			t.comp = make([]byte, compLen)
+		}
+		t.comp = t.comp[:compLen]
+		if _, err := io.ReadFull(t.r, t.comp); err != nil {
+			return fmt.Errorf("tracefile: truncated block: %w", err)
+		}
+		comp = t.comp
 	}
-	fr := flate.NewReader(bytes.NewReader(comp))
-	raw := make([]byte, 0, rawLen)
-	buf := bytes.NewBuffer(raw)
-	// The compressed payload must decompress to exactly the header's
-	// rawLen; bound the copy so a corrupt stream cannot balloon past it.
-	n, err := io.Copy(buf, io.LimitReader(fr, int64(rawLen)+1))
-	if err != nil {
+	t.compRd.Reset(comp)
+	if t.fr == nil {
+		t.fr = flatepool.GetReader(&t.compRd)
+	} else if err := t.fr.(flate.Resetter).Reset(&t.compRd, nil); err != nil {
 		return fmt.Errorf("tracefile: decompress: %w", err)
 	}
-	if n != int64(rawLen) {
-		return fmt.Errorf("tracefile: block decompressed to %d bytes, header says %d", n, rawLen)
+	if cap(t.raw) < int(rawLen) {
+		t.raw = make([]byte, rawLen)
 	}
-	t.block = bytes.NewReader(buf.Bytes())
+	t.raw = t.raw[:rawLen]
+	t.pos = 0
+	// The compressed payload must decompress to exactly the header's
+	// rawLen; probing one byte past it catches oversized payloads without
+	// letting a corrupt stream balloon the buffer.
+	if _, err := io.ReadFull(t.fr, t.raw); err != nil {
+		return fmt.Errorf("tracefile: decompress: %w", err)
+	}
+	var probe [1]byte
+	if n, _ := t.fr.Read(probe[:]); n != 0 {
+		return fmt.Errorf("tracefile: block decompressed past %d-byte header claim", rawLen)
+	}
 	return nil
 }
 
-// ReadAll drains a reader into a slice.
+// ReadAll drains a reader into a slice, copying each borrowed frame into
+// owned storage (the slice outlives the reader's block buffer).
 func ReadAll(r io.Reader) ([]Record, error) {
 	tr := NewReader(r)
 	var recs []Record
@@ -345,6 +417,7 @@ func ReadAll(r io.Reader) ([]Record, error) {
 		if err != nil {
 			return recs, err
 		}
+		rec.CloneFrame()
 		recs = append(recs, rec)
 	}
 }

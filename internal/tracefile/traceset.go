@@ -10,7 +10,6 @@ package tracefile
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -32,9 +31,48 @@ type Source interface {
 // BufferSource is an in-memory compressed trace.
 type BufferSource []byte
 
-// Open returns a reader over the buffered bytes.
+// Open returns a zero-copy reader over the buffered bytes.
 func (b BufferSource) Open() (io.ReadCloser, error) {
-	return io.NopCloser(bytes.NewReader(b)), nil
+	return &byteStream{b: b}, nil
+}
+
+// byteStream streams an in-memory compressed trace and hands out zero-copy
+// block slices: it implements BlockSlicer, so Reader parses compressed
+// blocks straight out of the backing bytes instead of staging them through
+// a copy. Backs both BufferSource and the mmap path.
+type byteStream struct {
+	b     []byte
+	off   int
+	close func() error
+}
+
+func (s *byteStream) Read(p []byte) (int, error) {
+	if s.off >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// Slice returns the next n bytes of the stream without copying. The slice
+// aliases the backing buffer and is only valid until Close.
+func (s *byteStream) Slice(n int) ([]byte, error) {
+	if len(s.b)-s.off < n {
+		s.off = len(s.b)
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := s.b[s.off : s.off+n : s.off+n]
+	s.off += n
+	return out, nil
+}
+
+func (s *byteStream) Close() error {
+	s.b = nil
+	if s.close != nil {
+		return s.close()
+	}
+	return nil
 }
 
 // fileReadBufSize sizes the read buffer in front of each trace file: big
@@ -62,6 +100,25 @@ func (f FileSource) Open() (io.ReadCloser, error) {
 		return nil, err
 	}
 	return &bufReadCloser{Reader: bufio.NewReaderSize(fh, fileReadBufSize), c: fh}, nil
+}
+
+// MmapSource is a file-backed compressed trace mapped into memory at Open:
+// Reader slices compressed blocks straight out of the mapping instead of
+// copying them through a read buffer. On platforms without mmap (or when
+// the mapping fails) it degrades to FileSource's buffered reads.
+type MmapSource string
+
+// Open maps the trace read-only, falling back to buffered file reads when
+// mmap is unavailable.
+func (m MmapSource) Open() (io.ReadCloser, error) {
+	rc, ok, err := mmapOpen(string(m))
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return rc, nil
+	}
+	return FileSource(m).Open()
 }
 
 // TraceSet maps radio ids to trace sources — the pipeline's input. Memory
@@ -141,7 +198,7 @@ func OpenDir(dir string) (*TraceSet, error) {
 				id, dir, prev, e.Name())
 		}
 		names[id] = e.Name()
-		m[id] = FileSource(filepath.Join(dir, e.Name()))
+		m[id] = MmapSource(filepath.Join(dir, e.Name()))
 	}
 	if len(m) == 0 {
 		return nil, fmt.Errorf("tracefile: no radio traces in %s", dir)

@@ -7,11 +7,18 @@
 // unconsumed instance from each trace, mapped into universal time through a
 // per-radio offset-plus-skew model. Instances popped within a search window
 // are grouped by content into jframes (content comparison short-circuits on
-// length, rate and FCS), each jframe is timestamped with the median of its
-// instances, and whenever a jframe's group dispersion exceeds a threshold
-// the member radios' clocks are snapped back into agreement. Per-radio skew
-// and drift are tracked with EWMAs so that radios which go quiet (up to the
-// ~100 ms beacon gap) stay placed correctly in universal time.
+// a precomputed hash, length and rate before touching bytes), each jframe
+// is timestamped with the median of its instances, and whenever a jframe's
+// group dispersion exceeds a threshold the member radios' clocks are
+// snapped back into agreement. Per-radio skew and drift are tracked with
+// EWMAs so that radios which go quiet (up to the ~100 ms beacon gap) stay
+// placed correctly in universal time.
+//
+// Memory model: the unifier is the boundary where borrowed tracefile
+// records become owned jframes. Incoming record frames (which alias the
+// reader's block buffer) are copied into per-radio queue entries; emitted
+// jframes come from a pool with an explicit Retain/Release ownership
+// contract — see pool.go.
 package unify
 
 import (
@@ -19,6 +26,7 @@ import (
 	"container/heap"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/dot80211"
@@ -47,6 +55,13 @@ type Config struct {
 	// SkewCompensation toggles the EWMA skew/drift model (ablation: the
 	// paper found it necessary at scale).
 	SkewCompensation bool
+	// CoalesceWorkers shards each batch's content grouping across this
+	// many goroutines, keyed by content hash. 0 or 1 keeps coalescing
+	// serial. Output is identical at every worker count: instances with
+	// equal content always land in the same shard in batch order, and
+	// shard-local groups are restored to batch creation order before
+	// corrupt attachment and emission.
+	CoalesceWorkers int
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -71,6 +86,11 @@ type Instance struct {
 }
 
 // JFrame is one unified physical transmission (or error event).
+//
+// Frames produced by the unifier (and the hmerge reader) are pooled and
+// reference counted — see the package ownership rules in pool.go. All
+// byte-slice fields (Wire, Frame.Body) point into storage owned by the
+// frame itself and die with its last Release.
 type JFrame struct {
 	UnivUS  int64 // median instance universal timestamp
 	Frame   dot80211.Frame
@@ -85,6 +105,10 @@ type JFrame struct {
 	// DispersionUS is the group dispersion: latest minus earliest instance
 	// universal timestamp (Figure 4's metric).
 	DispersionUS int64
+
+	refs    int32 // atomic ownership count (pool.go)
+	pooled  bool
+	wireBuf []byte // owned storage backing Wire
 }
 
 // AirtimeUS estimates the jframe's on-air duration from its true length
@@ -127,12 +151,19 @@ func (s *sliceSource) Next() (tracefile.Record, error) {
 	return r, nil
 }
 
-// queueEntry is one radio's head instance in the priority queue.
+// queueEntry is one radio's head instance in the priority queue. Entries
+// own their frame bytes (buf) — records are copied out of the reader's
+// borrowed block buffer on arrival — and are recycled through the
+// unifier's freelist after their batch is emitted.
 type queueEntry struct {
 	univUS int64
-	rec    tracefile.Record
-	radio  int32
-	idx    int // heap index
+	hash   uint32           // FNV-1a over frame bytes: dedup pre-filter and coalesce shard key
+	rec    tracefile.Record // Frame points into buf
+	buf    []byte           // owned frame storage, reused across reuses
+	radio  int32            // radio id (for output)
+	ri     int32            // dense index into Unifier.radios
+	pos    int32            // position within the current batch
+	idx    int              // heap index
 }
 
 type instanceHeap []*queueEntry
@@ -176,56 +207,144 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// radioState is one radio's source and clock, stored densely so the hot
+// path indexes a slice instead of hashing int32 map keys.
+type radioState struct {
+	src     Source
+	tracker *clock.OffsetTracker
+	id      int32
+}
+
+// grp is one content group being assembled from a batch.
+type grp struct {
+	rep     *queueEntry
+	frame   dot80211.Frame // rep's capture, decoded once and shared with emit
+	decErr  bool
+	tx      dot80211.MAC
+	ctrl    bool // rep is a control frame (transmitterless identity: subtype+RA)
+	valid   bool
+	members []*queueEntry
+}
+
+// hasRadio reports whether the group already took an instance from radio
+// r. Groups are at most a handful of members, so a linear scan beats a
+// per-group map.
+func (g *grp) hasRadio(r int32) bool {
+	for _, m := range g.members {
+		if m.radio == r {
+			return true
+		}
+	}
+	return false
+}
+
+// coalesceShard is one worker's slice of a batch's valid-frame grouping.
+type coalesceShard struct {
+	entries []*queueEntry
+	groups  []*grp
+}
+
 // Unifier merges per-radio sources into a jframe stream.
 type Unifier struct {
-	cfg      Config
-	sources  map[int32]Source
-	trackers map[int32]*clock.OffsetTracker
-	heap     instanceHeap
+	cfg    Config
+	radios []radioState
+	ridx   map[int32]int32 // radio id → dense index (diagnostics)
+	heap   instanceHeap
+
 	pending  []*JFrame // jframes assembled from the current batch
-	Stats    Stats
+	pendHead int
+
+	// hot-path scratch, reused across batches
+	free           []*queueEntry
+	batchScratch   []*queueEntry
+	validScratch   []*queueEntry
+	corruptScratch []*queueEntry
+	groupScratch   []*grp
+	grpFree        []*grp
+	shards         []coalesceShard
+	single         [1]*queueEntry
+
+	Stats Stats
 }
 
 // New creates a unifier over per-radio sources using bootstrap offsets.
 // Radios without a bootstrap offset are skipped (unsynced partitions cannot
 // be merged, as the paper observes at 10 pods).
 func New(cfg Config, sources map[int32]Source, boot *timesync.Result) *Unifier {
-	u := &Unifier{
-		cfg:      cfg,
-		sources:  make(map[int32]Source),
-		trackers: make(map[int32]*clock.OffsetTracker),
-	}
-	for radio, src := range sources {
-		off, ok := boot.OffsetUS[radio]
-		if !ok {
-			continue
-		}
-		u.sources[radio] = src
-		tr := clock.NewOffsetTracker(off)
-		tr.SetSkewCompensation(cfg.SkewCompensation)
-		u.trackers[radio] = tr
-	}
+	u := &Unifier{cfg: cfg, ridx: make(map[int32]int32)}
 	// Deterministic initial queue population (map order varies per run).
-	radios := make([]int32, 0, len(u.sources))
-	for radio := range u.sources {
-		radios = append(radios, radio)
+	ids := make([]int32, 0, len(sources))
+	for radio := range sources {
+		if _, ok := boot.OffsetUS[radio]; ok {
+			ids = append(ids, radio)
+		}
 	}
-	sort.Slice(radios, func(i, j int) bool { return radios[i] < radios[j] })
-	for _, radio := range radios {
-		u.advance(radio)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, radio := range ids {
+		tr := clock.NewOffsetTracker(boot.OffsetUS[radio])
+		tr.SetSkewCompensation(cfg.SkewCompensation)
+		u.ridx[radio] = int32(len(u.radios))
+		u.radios = append(u.radios, radioState{src: sources[radio], tracker: tr, id: radio})
+	}
+	for ri := range u.radios {
+		u.advance(int32(ri))
 	}
 	return u
 }
 
-// advance pulls the next record for a radio into the queue.
-func (u *Unifier) advance(radio int32) {
-	src := u.sources[radio]
-	if src == nil {
+// getEntry pops a recycled queue entry (or allocates the first time).
+func (u *Unifier) getEntry() *queueEntry {
+	if n := len(u.free); n > 0 {
+		e := u.free[n-1]
+		u.free = u.free[:n-1]
+		return e
+	}
+	return new(queueEntry)
+}
+
+// putEntry recycles an entry, keeping its frame buffer for reuse.
+func (u *Unifier) putEntry(e *queueEntry) {
+	buf := e.buf[:0]
+	*e = queueEntry{buf: buf}
+	u.free = append(u.free, e)
+}
+
+func (u *Unifier) getGrp() *grp {
+	if n := len(u.grpFree); n > 0 {
+		g := u.grpFree[n-1]
+		u.grpFree = u.grpFree[:n-1]
+		return g
+	}
+	return new(grp)
+}
+
+func (u *Unifier) putGrp(g *grp) {
+	members := g.members[:0]
+	*g = grp{members: members}
+	u.grpFree = append(u.grpFree, g)
+}
+
+// fnv32 is FNV-1a over the frame bytes: the cheap dedup pre-filter (equal
+// content implies equal hash, so grouping skips bytes.Equal on mismatched
+// hashes) and the coalesce shard key.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// advance pulls the next record for a radio into the queue, copying its
+// borrowed frame bytes into entry-owned storage.
+func (u *Unifier) advance(ri int32) {
+	rs := &u.radios[ri]
+	if rs.src == nil {
 		return
 	}
-	rec, err := src.Next()
+	rec, err := rs.src.Next()
 	if err != nil {
-		delete(u.sources, radio)
+		rs.src = nil
 		return
 	}
 	u.Stats.Events++
@@ -234,27 +353,44 @@ func (u *Unifier) advance(radio int32) {
 	} else if !rec.FCSOK() {
 		u.Stats.CRCErrors++
 	}
-	e := &queueEntry{
-		univUS: u.trackers[radio].ToUniversal(rec.LocalUS),
-		rec:    rec, radio: radio,
+	e := u.getEntry()
+	e.univUS = rs.tracker.ToUniversal(rec.LocalUS)
+	e.radio = rs.id
+	e.ri = ri
+	if rec.Frame != nil {
+		// The record borrows its Frame from the reader's block buffer,
+		// valid only until the source's next read — copy now.
+		e.buf = append(e.buf[:0], rec.Frame...)
+		rec.Frame = e.buf
+		e.hash = fnv32(e.buf)
+	} else {
+		e.hash = fnv32(nil)
 	}
+	e.rec = rec
 	heap.Push(&u.heap, e)
 }
 
 // Next returns the next jframe in universal-time order, or io.EOF.
+//
+// The returned frame is pooled: the caller owns one reference and must
+// Release it when done (see pool.go for the full contract).
 func (u *Unifier) Next() (*JFrame, error) {
-	for len(u.pending) == 0 {
+	for u.pendHead >= len(u.pending) {
 		if len(u.heap) == 0 {
 			return nil, io.EOF
 		}
+		u.pendHead = 0
+		u.pending = u.pending[:0]
 		u.batch()
 	}
-	j := u.pending[0]
-	u.pending = u.pending[1:]
+	j := u.pending[u.pendHead]
+	u.pending[u.pendHead] = nil
+	u.pendHead++
 	return j, nil
 }
 
-// batch pops a run of instances and groups them into jframes.
+// batch pops a run of instances, groups them into jframes appended to
+// pending, and recycles the consumed entries.
 //
 // The boundary rule must never cut through a cluster of instances of one
 // transmission (cluster diameter is bounded by clock dispersion, well under
@@ -264,10 +400,12 @@ func (u *Unifier) Next() (*JFrame, error) {
 // unconditionally at four windows.
 func (u *Unifier) batch() {
 	first := heap.Pop(&u.heap).(*queueEntry)
-	u.advance(first.radio)
-	batch := []*queueEntry{first}
+	u.advance(first.ri)
+	batch := u.batchScratch[:0]
+	first.pos = 0
+	batch = append(batch, first)
 	last := first.univUS
-	lastRadio := first.radio
+	lastRI := first.ri
 	for len(u.heap) > 0 {
 		head := u.heap[0]
 		gap := head.univUS - last
@@ -277,7 +415,7 @@ func (u *Unifier) batch() {
 		// microseconds off; keep the batch open across the full search
 		// window so its instances can still reach their group — this is
 		// what the paper's wide search window buys.
-		if !u.trusted(head.radio, head.univUS) || !u.trusted(lastRadio, last) {
+		if !u.trusted(head.ri, head.univUS) || !u.trusted(lastRI, last) {
 			gapLimit = u.cfg.SearchWindowUS
 		}
 		if gap > gapLimit {
@@ -290,19 +428,24 @@ func (u *Unifier) batch() {
 			break // hard cap
 		}
 		e := heap.Pop(&u.heap).(*queueEntry)
-		u.advance(e.radio)
-		last = e.univUS
-		lastRadio = e.radio
+		u.advance(e.ri)
+		e.pos = int32(len(batch))
 		batch = append(batch, e)
+		last = e.univUS
+		lastRI = e.ri
 	}
-	u.pending = append(u.pending, u.group(batch)...)
+	u.group(batch)
+	for _, e := range batch {
+		u.putEntry(e)
+	}
+	u.batchScratch = batch[:0]
 }
 
 // trusted reports whether a radio's clock mapping has been confirmed by
 // recent resynchronization: enough samples and not too long coasting.
-func (u *Unifier) trusted(radio int32, nowUnivUS int64) bool {
-	tr := u.trackers[radio]
-	if tr == nil || tr.Resyncs() < 3 {
+func (u *Unifier) trusted(ri int32, nowUnivUS int64) bool {
+	tr := u.radios[ri].tracker
+	if tr.Resyncs() < 3 {
 		return false
 	}
 	return nowUnivUS-tr.LastResyncUnivUS() <= trustedCoastUS
@@ -315,7 +458,7 @@ const trustedCoastUS = 5_000_000
 // joinTol returns the grouping tolerance for instance e: tight for trusted
 // radios, the full search window for untrusted ones.
 func (u *Unifier) joinTol(e *queueEntry) int64 {
-	if u.trusted(e.radio, e.univUS) {
+	if u.trusted(e.ri, e.univUS) {
 		return u.cfg.JoinToleranceUS
 	}
 	return u.cfg.SearchWindowUS
@@ -339,63 +482,121 @@ func contentEqual(a, b *tracefile.Record) bool {
 	return bytes.Equal(a.Frame, b.Frame)
 }
 
-// group partitions a batch into jframes. Valid frames group by exact
-// content — but a single radio cannot receive one transmission twice, so a
-// group never takes two instances from the same radio: that is how
-// identical-content frames (ACKs to the same station, retransmissions)
-// that land in one batch still separate into distinct jframes. Corrupted
-// frames attach by decoded transmitter address (§4.2), to a valid group if
-// one exists or to each other otherwise; phy errors become singleton error
-// jframes.
-func (u *Unifier) group(batch []*queueEntry) []*JFrame {
-	var frames []*JFrame
-	type grp struct {
-		rep     *queueEntry
-		tx      dot80211.MAC
-		ctrlKey string // subtype+RA identity for transmitterless control frames
-		valid   bool
-		members []*queueEntry
-		radios  map[int32]bool
-	}
-	var groups []*grp
-	var corrupt []*queueEntry
+// makeGroup starts a content group from e, decoding its capture once; the
+// decode is reused for transmitter matching and final emission.
+func makeGroup(alloc func() *grp, e *queueEntry, valid bool) *grp {
+	g := alloc()
+	f, _, err := dot80211.DecodeCapture(e.rec.Frame)
+	g.rep = e
+	g.frame = f
+	g.decErr = err != nil
+	g.tx = f.Transmitter()
+	g.ctrl = f.Type == dot80211.TypeControl
+	g.valid = valid
+	g.members = append(g.members[:0], e)
+	return g
+}
 
-	newGroup := func(e *queueEntry, valid bool) *grp {
-		f, _, _ := dot80211.DecodeCapture(e.rec.Frame)
-		g := &grp{
-			rep: e, tx: f.Transmitter(), valid: valid,
-			members: []*queueEntry{e},
-			radios:  map[int32]bool{e.radio: true},
+// groupValidInto places valid entries into content groups: a frame joins
+// the first (creation-order) group with matching content whose radio set
+// doesn't already contain it — a single radio cannot receive one
+// transmission twice, which is how identical-content frames (ACK trains,
+// retransmissions) in one batch still separate into distinct jframes.
+func (u *Unifier) groupValidInto(entries []*queueEntry, groups []*grp, alloc func() *grp) []*grp {
+	for _, e := range entries {
+		placed := false
+		for _, g := range groups {
+			if g.rep.hash != e.hash || g.hasRadio(e.radio) {
+				continue
+			}
+			tol := max64(u.joinTol(e), u.joinTol(g.rep))
+			if near(e, g.rep, tol) && contentEqual(&g.rep.rec, &e.rec) {
+				g.members = append(g.members, e)
+				placed = true
+				break
+			}
 		}
-		if f.Type == dot80211.TypeControl {
-			g.ctrlKey = ctrlKeyOf(f)
+		if !placed {
+			groups = append(groups, makeGroup(alloc, e, true))
 		}
-		groups = append(groups, g)
-		return g
 	}
+	return groups
+}
+
+// coalesceMinBatch gates the sharded path: tiny batches aren't worth the
+// goroutine handoff.
+const coalesceMinBatch = 8
+
+// groupValidSharded runs the content grouping across w shards keyed by
+// content hash. Entries with equal content always share a shard (equal
+// bytes ⇒ equal hash) and keep their batch order inside it, so shard-local
+// grouping builds exactly the groups the serial pass would; restoring
+// creation order (= the batch position of each group's first member)
+// afterwards makes the result indistinguishable from serial. Trackers are
+// only read during grouping (resyncs happen at emission, strictly after),
+// so shards share them safely.
+func (u *Unifier) groupValidSharded(valid []*queueEntry, groups []*grp, w int) []*grp {
+	if cap(u.shards) < w {
+		u.shards = make([]coalesceShard, w)
+	}
+	shards := u.shards[:w]
+	for i := range shards {
+		shards[i].entries = shards[i].entries[:0]
+		shards[i].groups = shards[i].groups[:0]
+	}
+	for _, e := range valid {
+		s := &shards[e.hash%uint32(w)]
+		s.entries = append(s.entries, e)
+	}
+	var wg sync.WaitGroup
+	for i := range shards {
+		s := &shards[i]
+		if len(s.entries) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Shard workers allocate groups directly: the serial freelist
+			// isn't goroutine-safe, and recycling still happens serially
+			// after emission.
+			s.groups = u.groupValidInto(s.entries, s.groups, func() *grp { return new(grp) })
+		}()
+	}
+	wg.Wait()
+	for i := range shards {
+		groups = append(groups, shards[i].groups...)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].rep.pos < groups[j].rep.pos })
+	return groups
+}
+
+// group partitions a batch into jframes appended to pending. Valid frames
+// group by exact content; corrupted frames attach by decoded transmitter
+// address (§4.2), to a valid group if one exists or to each other
+// otherwise; phy errors become singleton error jframes.
+func (u *Unifier) group(batch []*queueEntry) {
+	start := len(u.pending)
+	valid := u.validScratch[:0]
+	corrupt := u.corruptScratch[:0]
+	groups := u.groupScratch[:0]
 
 	for _, e := range batch {
 		switch {
 		case e.rec.IsPhyErr():
-			frames = append(frames, u.emit([]*queueEntry{e}, nil))
+			u.single[0] = e
+			u.pending = append(u.pending, u.emit(u.single[:], nil))
 		case e.rec.FCSOK():
-			placed := false
-			for _, g := range groups {
-				tol := max64(u.joinTol(e), u.joinTol(g.rep))
-				if g.valid && !g.radios[e.radio] && near(e, g.rep, tol) &&
-					contentEqual(&g.rep.rec, &e.rec) {
-					g.members = append(g.members, e)
-					g.radios[e.radio] = true
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				newGroup(e, true)
-			}
+			valid = append(valid, e)
 		default:
 			corrupt = append(corrupt, e)
 		}
+	}
+
+	if w := u.cfg.CoalesceWorkers; w > 1 && len(valid) >= coalesceMinBatch {
+		groups = u.groupValidSharded(valid, groups, w)
+	} else {
+		groups = u.groupValidInto(valid, groups, u.getGrp)
 	}
 
 	// Attach corrupted instances by transmitter (the paper's rule); control
@@ -403,7 +604,7 @@ func (u *Unifier) group(batch []*queueEntry) []*JFrame {
 	// plus receiver address instead. Valid groups are preferred over
 	// corrupt-only ones.
 	for _, e := range corrupt {
-		f, _, _ := dot80211.DecodeCapture(e.rec.Frame) // partial decode is fine
+		f, _, err := dot80211.DecodeCapture(e.rec.Frame) // partial decode is fine
 		tx := f.Transmitter()
 		ctrl := f.Type == dot80211.TypeControl && !f.Addr1.IsZero()
 		var target *grp
@@ -412,12 +613,12 @@ func (u *Unifier) group(batch []*queueEntry) []*JFrame {
 			// untrusted-radio tolerance buys nothing and multiplies false
 			// matches; always attach tightly.
 			tol := 2 * u.cfg.JoinToleranceUS
-			if g.radios[e.radio] || !near(e, g.rep, tol) {
+			if g.hasRadio(e.radio) || !near(e, g.rep, tol) {
 				continue
 			}
 			switch {
 			case !tx.IsZero() && g.tx == tx:
-			case ctrl && g.ctrlKey == ctrlKeyOf(f):
+			case ctrl && g.ctrl && g.frame.Subtype == f.Subtype && g.frame.Addr1 == f.Addr1:
 			default:
 				continue
 			}
@@ -431,31 +632,59 @@ func (u *Unifier) group(batch []*queueEntry) []*JFrame {
 		}
 		if target != nil {
 			target.members = append(target.members, e)
-			target.radios[e.radio] = true
 		} else {
-			newGroup(e, false)
+			g := u.getGrp()
+			g.rep = e
+			g.frame = f
+			g.decErr = err != nil
+			g.tx = tx
+			g.ctrl = f.Type == dot80211.TypeControl
+			g.valid = false
+			g.members = append(g.members[:0], e)
+			groups = append(groups, g)
 		}
 	}
 
 	for _, g := range groups {
-		frames = append(frames, u.emit(g.members, g.rep))
+		u.pending = append(u.pending, u.emit(g.members, g))
 	}
+
 	// Batches can yield multiple jframes (simultaneous transmissions);
-	// keep output time-ordered.
-	sort.SliceStable(frames, func(i, j int) bool { return frames[i].UnivUS < frames[j].UnivUS })
-	return frames
+	// keep output time-ordered. Stable insertion sort: batches are small,
+	// and ties must keep emission order.
+	for i := start + 1; i < len(u.pending); i++ {
+		j := u.pending[i]
+		k := i - 1
+		for k >= start && u.pending[k].UnivUS > j.UnivUS {
+			u.pending[k+1] = u.pending[k]
+			k--
+		}
+		u.pending[k+1] = j
+	}
+
+	for _, g := range groups {
+		u.putGrp(g)
+	}
+	u.groupScratch = groups[:0]
+	u.validScratch = valid[:0]
+	u.corruptScratch = corrupt[:0]
 }
 
-// emit builds a jframe from grouped instances and applies resynchronization.
-func (u *Unifier) emit(members []*queueEntry, rep *queueEntry) *JFrame {
-	j := &JFrame{}
+// emit builds a jframe from grouped instances and applies
+// resynchronization. g carries the representative's cached decode; nil
+// means a phy-error singleton.
+func (u *Unifier) emit(members []*queueEntry, g *grp) *JFrame {
+	j := NewJFrame()
+	if cap(j.Instances) < len(members) {
+		j.Instances = make([]Instance, 0, len(members))
+	}
 	for _, e := range members {
 		j.Instances = append(j.Instances, Instance{
 			Radio: e.radio, LocalUS: e.rec.LocalUS, UnivUS: e.univUS,
 			RSSIdBm: e.rec.RSSIdBm, FCSOK: e.rec.FCSOK(), PhyErr: e.rec.IsPhyErr(),
 		})
 	}
-	sort.Slice(j.Instances, func(a, b int) bool { return j.Instances[a].UnivUS < j.Instances[b].UnivUS })
+	sortInstances(j.Instances)
 	// Median timestamp and group dispersion over the FCS-valid instances:
 	// those are the radios whose clock agreement the jframe evidences.
 	// Corrupt attachments ride along without weighing on either metric.
@@ -498,21 +727,25 @@ func (u *Unifier) emit(members []*queueEntry, rep *queueEntry) *JFrame {
 		u.Stats.MaxDispersUS = j.DispersionUS
 	}
 
-	if rep == nil {
+	if g == nil {
 		j.PhyOnly = true
 		j.Channel = dot80211.Channel(members[0].rec.Channel)
 		u.Stats.JFrames++
 		return j
 	}
-	j.Wire = rep.rec.Frame
+	rep := g.rep
+	j.SetWire(rep.rec.Frame)
 	j.WireLen = int(rep.rec.OrigLen)
 	j.Rate = dot80211.Rate(rep.rec.Rate)
 	j.Channel = dot80211.Channel(rep.rec.Channel)
 	// The capture hardware validated the FCS on the air; a snapped capture
-	// cannot re-validate, so trust the record's flag once the header parses.
-	f, _, err := dot80211.DecodeCapture(rep.rec.Frame)
-	j.Frame = f
-	j.Valid = rep.rec.FCSOK() && err == nil
+	// cannot re-validate, so trust the record's flag once the header
+	// parses. The decode was cached at grouping time; its Body aliases the
+	// representative entry's buffer, so re-point it into the jframe's own
+	// wire copy.
+	j.Frame = g.frame
+	j.rebaseBody(&g.frame)
+	j.Valid = rep.rec.FCSOK() && !g.decErr
 	u.Stats.JFrames++
 	u.Stats.Unified += int64(len(members))
 
@@ -525,17 +758,41 @@ func (u *Unifier) emit(members []*queueEntry, rep *queueEntry) *JFrame {
 			if !e.rec.FCSOK() {
 				continue
 			}
-			u.trackers[e.radio].Resync(e.rec.LocalUS, j.UnivUS)
+			u.radios[e.ri].tracker.Resync(e.rec.LocalUS, j.UnivUS)
 			u.Stats.Resyncs++
 		}
 	}
 	return j
 }
 
-// Tracker exposes a radio's clock state for diagnostics.
-func (u *Unifier) Tracker(radio int32) *clock.OffsetTracker { return u.trackers[radio] }
+// sortInstances orders instances by universal timestamp. Small groups —
+// the overwhelmingly common case — use an inline insertion sort, which is
+// allocation-free and matches sort.Slice's permutation exactly (Go's
+// pdqsort is insertion sort at or below 12 elements); larger groups fall
+// back to sort.Slice to keep the historical tie order bit-for-bit.
+func sortInstances(in []Instance) {
+	if len(in) <= 12 {
+		for i := 1; i < len(in); i++ {
+			for k := i; k > 0 && in[k].UnivUS < in[k-1].UnivUS; k-- {
+				in[k], in[k-1] = in[k-1], in[k]
+			}
+		}
+		return
+	}
+	sort.Slice(in, func(a, b int) bool { return in[a].UnivUS < in[b].UnivUS })
+}
 
-// Drain consumes the whole stream, returning all jframes.
+// Tracker exposes a radio's clock state for diagnostics.
+func (u *Unifier) Tracker(radio int32) *clock.OffsetTracker {
+	ri, ok := u.ridx[radio]
+	if !ok {
+		return nil
+	}
+	return u.radios[ri].tracker
+}
+
+// Drain consumes the whole stream, returning all jframes. The caller owns
+// every returned frame (one reference each).
 func (u *Unifier) Drain() ([]*JFrame, error) {
 	var out []*JFrame
 	for {
@@ -548,11 +805,6 @@ func (u *Unifier) Drain() ([]*JFrame, error) {
 		}
 		out = append(out, j)
 	}
-}
-
-// ctrlKeyOf identifies a transmitterless control frame by subtype and RA.
-func ctrlKeyOf(f dot80211.Frame) string {
-	return string([]byte{byte(f.Subtype)}) + string(f.Addr1[:])
 }
 
 func max64(a, b int64) int64 {
