@@ -1,0 +1,112 @@
+// benchdiff compares two BENCH_pipeline.json files and fails on throughput
+// regressions: for every gated row present in both files (matched by
+// preset+mode+workers), the new frames_per_sec must not fall more than
+// -max-regress below the old. Rows that don't carry frames_per_sec (e.g.
+// the campus replay row, which moves records rather than jframes) are
+// skipped, as are rows present on only one side — the diff gates rates, it
+// does not police row-set changes.
+//
+//	benchdiff -old BENCH_pipeline.json -new /tmp/bench_new.json
+//
+// Exit status 1 on any regression beyond the threshold. Improvements and
+// small wobble are reported but pass. Intended for CI: run the bench into a
+// fresh file and diff it against the checked-in trajectory before
+// committing a regenerated baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// row is the subset of a bench row benchdiff compares.
+type row struct {
+	Preset       string  `json:"preset"`
+	Mode         string  `json:"mode"`
+	Workers      int     `json:"workers"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
+func (r row) key() string { return fmt.Sprintf("%s/%s/w%d", r.Preset, r.Mode, r.Workers) }
+
+// load reads one bench file (a stream of JSON objects, one per line) into a
+// key→row map. Duplicate keys keep the last row, matching how a reader
+// scanning the file would resolve them.
+func load(path string) (map[string]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows := make(map[string]row)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r row
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		rows[r.key()] = r
+	}
+	return rows, sc.Err()
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench file (e.g. the checked-in BENCH_pipeline.json)")
+	newPath := flag.String("new", "", "candidate bench file to compare against the baseline")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum tolerated fractional frames_per_sec drop on any gated row")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("benchdiff: -old and -new are both required")
+	}
+
+	oldRows, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRows, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keys := make([]string, 0, len(oldRows))
+	for k := range oldRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := false
+	compared := 0
+	for _, k := range keys {
+		o := oldRows[k]
+		n, ok := newRows[k]
+		if !ok || o.FramesPerSec <= 0 || n.FramesPerSec <= 0 {
+			continue // absent row or rate-free row: not gated
+		}
+		compared++
+		delta := n.FramesPerSec/o.FramesPerSec - 1
+		status := "ok"
+		if delta < -*maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %-40s %12.0f -> %12.0f  (%+.1f%%)\n", status, k, o.FramesPerSec, n.FramesPerSec, 100*delta)
+	}
+	if compared == 0 {
+		log.Fatal("benchdiff: no comparable frames_per_sec rows between the two files")
+	}
+	if failed {
+		fmt.Printf("benchdiff: frames_per_sec regressed more than %.0f%% on at least one gated row\n", 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d gated rows within %.0f%%\n", compared, 100**maxRegress)
+}

@@ -66,25 +66,37 @@ type benchRow struct {
 	Clients int     `json:"clients"`
 	DaySec  float64 `json:"day_sec"`
 
+	// Workers marks a workers-sweep row (-bench-workers): the pipeline
+	// worker count the row was measured at. Absent on the standard rows,
+	// which run at the -workers flag's value.
+	Workers int `json:"workers,omitempty"`
+
 	MonitorRecords int64 `json:"monitor_records"`
-	JFrames        int64 `json:"jframes"`
-	Events         int64 `json:"events"`
-	MergeMS        int64 `json:"merge_ms"`
+	// JFrames (and the frames_per_sec/bytes_per_frame rates below) are
+	// omitted on rows that move records rather than jframes — the campus
+	// "replay" row reports records_per_sec instead, and the assert gates
+	// skip absent fields.
+	JFrames int64 `json:"jframes,omitempty"`
+	Events  int64 `json:"events"`
+	MergeMS int64 `json:"merge_ms"`
 	// AnalysisMS is the time spent in analysis after the merge returns:
 	// the whole slice-based report set on "analysis_posthoc" rows, only
 	// the pass Finalize calls on "analysis_inline" rows (their analysis
 	// work rides inside the merge). MergeMS never includes it.
 	AnalysisMS   int64   `json:"analysis_ms,omitempty"`
-	FramesPerSec float64 `json:"frames_per_sec"`
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec"`
-	XRealtime    float64 `json:"x_realtime"`
+	// RecordsPerSec is the sustained monitor-record rate on rows whose unit
+	// of work is the record (campus "replay").
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	XRealtime     float64 `json:"x_realtime"`
 	// HeapPeakBytes is the sampled peak Go heap during the merge;
 	// BytesPerFrame normalizes it by unified jframes. An in-memory merge's
 	// bytes-per-frame grows with trace length (the whole compressed set is
 	// resident); a streaming merge's stays flat — the out-of-core
 	// invariant this file's trajectory pins.
 	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
-	BytesPerFrame float64 `json:"bytes_per_frame"`
+	BytesPerFrame float64 `json:"bytes_per_frame,omitempty"`
 	// AllocsPerFrame is the merge's heap allocations (Mallocs delta across
 	// the measured RunFrom, analysis excluded) per unified jframe — the
 	// pooled frame lifecycle's regression metric, gated by
@@ -147,6 +159,7 @@ type benchArgs struct {
 	day                                       time.Duration
 	workers                                   int
 	workDir                                   string
+	workersSweep                              []int
 	assertStreaming, assertInline, assertJigd float64
 	assertFPS, assertAllocs                   float64
 	campus                                    campusBenchArgs
@@ -200,8 +213,9 @@ func runBenchJSON(a benchArgs) {
 		if a.day > 0 {
 			cfg.Day = sim.Time(a.day.Nanoseconds())
 		}
-		stream, inmem, inline, posthoc, jigd := benchOnePreset(name, cfg, dir, workers)
+		stream, inmem, inline, posthoc, jigd, sweep := benchOnePreset(name, cfg, dir, workers, a.workersSweep)
 		rows = append(rows, stream, inmem, inline, posthoc, jigd)
+		rows = append(rows, sweep...)
 		if !keep {
 			if err := os.RemoveAll(dir); err != nil {
 				log.Fatal(err)
@@ -232,7 +246,9 @@ func runBenchJSON(a benchArgs) {
 				name, jigd.HeapPeakBytes, 100*a.assertJigd, posthoc.HeapPeakBytes)
 			failed = true
 		}
-		if a.assertFPS > 0 && stream.FramesPerSec < a.assertFPS {
+		// Rate gates skip rows whose metric is absent (zero means the row
+		// doesn't measure that unit of work, not a measured zero).
+		if a.assertFPS > 0 && stream.FramesPerSec > 0 && stream.FramesPerSec < a.assertFPS {
 			log.Printf("FAIL %s: streaming merge %.0f frames/s < required %.0f",
 				name, stream.FramesPerSec, a.assertFPS)
 			failed = true
@@ -268,7 +284,7 @@ func runBenchJSON(a benchArgs) {
 // profiles the truth-free analysis report set both ways (inline passes vs
 // retained slices), then profiles jigd's windowed read path over a
 // replayed rotating capture of the same traces.
-func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (stream, inmem, inline, posthoc, jigd benchRow) {
+func benchOnePreset(name string, cfg scenario.Config, dir string, workers int, workersSweep []int) (stream, inmem, inline, posthoc, jigd benchRow, sweep []benchRow) {
 	cfg.SpillDir = dir
 	t0 := time.Now()
 	out, err := scenario.Run(cfg)
@@ -341,6 +357,27 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 		log.Fatalf("%s: %v", name, err)
 	}
 	stream = measure("streaming", ts, ccfg, nil)
+
+	// The workers sweep axis (-bench-workers): the streaming merge at each
+	// requested worker count, plus a serial-pipeline row with only the
+	// sharded coalescer widened — so the trajectory records multi-core
+	// headroom (and the coalescer's share of it) when run on a bigger box.
+	for _, w := range workersSweep {
+		wcfg := ccfg
+		wcfg.Workers = w
+		row := measure("streaming", ts, wcfg, nil)
+		row.Workers = w
+		sweep = append(sweep, row)
+
+		scfg := ccfg
+		scfg.Workers = 1
+		scfg.Unify.CoalesceWorkers = w
+		row = measure("coalesce", ts, scfg, nil)
+		row.Workers = w
+		sweep = append(sweep, row)
+		log.Printf("%s: workers=%d streaming %.0f frames/s, coalesce-only %.0f frames/s",
+			name, w, sweep[len(sweep)-2].FramesPerSec, row.FramesPerSec)
+	}
 
 	// The in-memory path: the whole compressed trace set resident, as
 	// core.Run's buffer map requires.
@@ -427,7 +464,7 @@ func benchOnePreset(name string, cfg scenario.Config, dir string, workers int) (
 	if err := os.RemoveAll(capDir); err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
-	return stream, inmem, inline, posthoc, jigd
+	return stream, inmem, inline, posthoc, jigd, sweep
 }
 
 // benchSinkDump keeps finalized reports reachable until both measurements

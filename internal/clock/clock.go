@@ -205,19 +205,45 @@ type OffsetTracker struct {
 	lastUnivUS int64   // universal time of the last resync
 	est        *SkewEstimator
 	resyncs    int
+
+	// Fast-path snapshot, refreshed once per resync rather than evaluated
+	// per record: whenever the predicted skew cannot vary between resyncs
+	// (estimator disabled, still warming up, or drift estimate exactly
+	// zero), the per-record mapping is a single multiply-add on fastSkew
+	// with no estimator calls. The snapshot replays the exact float
+	// operations of the general path, so results are bit-identical.
+	fastSkew float64
+	fastPath bool
 }
 
 // NewOffsetTracker starts a tracker with the bootstrap offset Ti (µs).
 func NewOffsetTracker(offsetUS int64) *OffsetTracker {
-	return &OffsetTracker{offsetUS: float64(offsetUS), est: NewSkewEstimator(0, 0)}
+	t := &OffsetTracker{offsetUS: float64(offsetUS), est: NewSkewEstimator(0, 0)}
+	t.refreshFast()
+	return t
+}
+
+// refreshFast recomputes the per-resync fast-path snapshot. PredictedSkewPPM
+// is constant between resyncs exactly when the estimator is cold (samples <
+// 2 returns the raw skew) or its drift term is zero (skew + 0·dt == skew);
+// in those states ToUniversal can skip the estimator entirely.
+func (t *OffsetTracker) refreshFast() {
+	e := t.est
+	t.fastPath = e.disabled || e.samples < 2 || e.driftPPS == 0
+	t.fastSkew = e.skewPPM
 }
 
 // ToUniversal maps a local timestamp to universal time, applying the offset
 // and skew-predicted correction since the last resync.
 func (t *OffsetTracker) ToUniversal(localUS int64) int64 {
-	elapsed := localUS - t.anchorUS
 	univ0 := float64(localUS) + t.offsetUS
-	corr := t.est.CorrectionUS(elapsed, int64(univ0))
+	if t.fastPath {
+		// Same operations, same association as CorrectionUS with a
+		// constant predicted skew: (elapsed · s) · 1e-6.
+		corr := float64(localUS-t.anchorUS) * t.fastSkew * 1e-6
+		return int64(univ0 - corr + 0.5)
+	}
+	corr := t.est.CorrectionUS(localUS-t.anchorUS, int64(univ0))
 	return int64(univ0 - corr + 0.5)
 }
 
@@ -230,6 +256,7 @@ func (t *OffsetTracker) Resync(localUS, univUS int64) {
 	t.anchorUS = localUS
 	t.lastUnivUS = univUS
 	t.resyncs++
+	t.refreshFast()
 }
 
 // LastResyncUnivUS returns the universal time of the latest resync (0 if
@@ -253,5 +280,6 @@ func (t *OffsetTracker) SetSkewCompensation(enabled bool) {
 		e := NewSkewEstimator(0, 0)
 		e.disabled = true
 		t.est = e
+		t.refreshFast()
 	}
 }

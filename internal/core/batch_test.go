@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tracefile"
+)
+
+// TestBatchedDispatchDeterministic drives the parallel pipeline with the
+// router's slab flush threshold forced to degenerate sizes (1 = the old
+// per-frame hop, 7 = slabs that straddle tick boundaries, 64 = the shipped
+// default) at several worker counts, asserting every combination emits a
+// byte-identical jframe stream and analysis result. The merge contract —
+// canonical close order restored by the watermark-gated heap — is what
+// makes batch size invisible; this test pins that invariant.
+func TestBatchedDispatchDeterministic(t *testing.T) {
+	out := scenarioOut(t)
+	ts := tracefile.NewBufferSet(TracesFromBuffers(out.Traces))
+
+	run := func(workers int) (*Result, string) {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.KeepExchanges = true
+		cfg.KeepJFrames = true
+		d := newJFDigest()
+		res, err := RunFrom(ts, out.ClockGroups, cfg, &Sink{OnJFrame: d.observe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, d.sum()
+	}
+
+	defer func(orig int) { llcBatchSize = orig }(llcBatchSize)
+
+	llcBatchSize = llcBatch
+	ref, refDigest := run(1)
+
+	for _, batch := range []int{1, 7, 64} {
+		for _, workers := range []int{1, 2, 4} {
+			llcBatchSize = batch
+			res, digest := run(workers)
+			label := fmt.Sprintf("batch=%d/workers=%d", batch, workers)
+			requireIdentical(t, label, ref, res)
+			if digest != refDigest {
+				t.Errorf("%s: jframe stream digest differs from reference", label)
+			}
+			if n := slabBalance.Load(); n != 0 {
+				t.Fatalf("%s: %d slabs outstanding after run; every slab must return to its pool", label, n)
+			}
+		}
+	}
+}
+
+// TestSlabPoolBalance is the pool-contract fixture for the batched hops: a
+// full parallel run must return every router→llc and merge→transport slab
+// to its pool — slabs are retained per send and released per drain, never
+// per frame.
+func TestSlabPoolBalance(t *testing.T) {
+	out := scenarioOut(t)
+	ts := tracefile.NewBufferSet(TracesFromBuffers(out.Traces))
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	if _, err := RunFrom(ts, out.ClockGroups, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := slabBalance.Load(); n != 0 {
+		t.Fatalf("slab balance %d after parallel run, want 0 (get/put must pair per slab)", n)
+	}
+}

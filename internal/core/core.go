@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dot80211"
 	"repro/internal/llc"
@@ -564,12 +565,64 @@ const (
 	flushEvery      = 32
 	prefetchBatch   = 128
 	prefetchChanBuf = 2
+
+	// Batched stage dispatch: router→llc and merge→transport hops carry
+	// owned slabs instead of single messages, amortizing channel
+	// synchronization across up to llcBatch frames (exchangeSlab
+	// exchanges). Slab channel buffers are sized so the frames in flight
+	// per shard stay near the old stageChanBuf.
+	llcBatch     = 64
+	llcChanBuf   = 4
+	exchangeSlab = 64
+	tChanBuf     = 4
 )
+
+// llcBatchSize is the router's slab flush threshold — a variable, not the
+// llcBatch constant, so determinism tests can force degenerate batch sizes
+// and assert output is invariant (the merge contract guarantees it).
+var llcBatchSize = llcBatch
 
 // llcMsg carries either a jframe or a clock tick to a reconstruction shard.
 type llcMsg struct {
 	j      *unify.JFrame
 	tickUS int64
+}
+
+// Slab pools for the batched hops. Slabs follow a strict get/flush/put
+// contract: the sender gets a slab, appends messages it owns (one jframe
+// reference per frame rides inside), sends the whole slab, and the receiver
+// puts it back after draining — Retain/Release stays per frame at the
+// existing ownership boundaries; the slab itself recycles through the pool.
+// slabBalance counts outstanding slabs (gets minus puts) so tests can
+// assert every slab returns to its pool.
+var (
+	slabBalance  atomic.Int64
+	llcSlabPool  = sync.Pool{New: func() any { s := make([]llcMsg, 0, llcBatch+1); return &s }}
+	exchSlabPool = sync.Pool{New: func() any { s := make([]*llc.Exchange, 0, exchangeSlab); return &s }}
+)
+
+func getLLCSlab() *[]llcMsg {
+	slabBalance.Add(1)
+	return llcSlabPool.Get().(*[]llcMsg)
+}
+
+func putLLCSlab(s *[]llcMsg) {
+	clear(*s) // drop stale jframe pointers before pooling
+	*s = (*s)[:0]
+	slabBalance.Add(-1)
+	llcSlabPool.Put(s)
+}
+
+func getExchSlab() *[]*llc.Exchange {
+	slabBalance.Add(1)
+	return exchSlabPool.Get().(*[]*llc.Exchange)
+}
+
+func putExchSlab(s *[]*llc.Exchange) {
+	clear(*s)
+	*s = (*s)[:0]
+	slabBalance.Add(-1)
+	exchSlabPool.Put(s)
 }
 
 // routedExchange pairs an exchange with its transport shard, computed in
@@ -620,9 +673,9 @@ func runParallel(ts *tracefile.TraceSet, boot *timesync.Result, cfg Config, sink
 func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink *Sink, ps *passSet, res *Result, workers int) error {
 	ps.shard(workers)
 
-	llcIn := make([]chan llcMsg, workers)
+	llcIn := make([]chan *[]llcMsg, workers)
 	for i := range llcIn {
-		llcIn[i] = make(chan llcMsg, stageChanBuf)
+		llcIn[i] = make(chan *[]llcMsg, llcChanBuf)
 	}
 	merged := make(chan mergeMsg, workers*2)
 	var llcWG sync.WaitGroup
@@ -638,9 +691,9 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 		close(merged)
 	}()
 
-	tIn := make([]chan *llc.Exchange, workers)
+	tIn := make([]chan *[]*llc.Exchange, workers)
 	for i := range tIn {
-		tIn[i] = make(chan *llc.Exchange, stageChanBuf)
+		tIn[i] = make(chan *[]*llc.Exchange, tChanBuf)
 	}
 	analyzers := make([]*transport.Analyzer, workers)
 	var tWG sync.WaitGroup
@@ -649,12 +702,15 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 		go func(id int) {
 			defer tWG.Done()
 			ta := transport.NewAnalyzer()
-			for ex := range tIn[id] {
-				ta.AddExchange(ex)
-				ps.observeShardExchange(id, ex)
-				// Last consumer on the parallel path: the analyzer copies
-				// what it keeps and shard passes only borrow.
-				ex.Release()
+			for sp := range tIn[id] {
+				for _, ex := range *sp {
+					ta.AddExchange(ex)
+					ps.observeShardExchange(id, ex)
+					// Last consumer on the parallel path: the analyzer
+					// copies what it keeps and shard passes only borrow.
+					ex.Release()
+				}
+				putExchSlab(sp)
 			}
 			analyzers[id] = ta
 		}(w)
@@ -667,9 +723,24 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 	}()
 
 	// Router (this goroutine): drive the stream, observe every jframe,
-	// dispatch valid ones to their conversation's shard, and tick all
+	// append valid ones to their conversation shard's slab, and tick all
 	// shards periodically so quiet ones expire state and advance their
-	// watermarks just as an unsharded reconstructor would.
+	// watermarks just as an unsharded reconstructor would. Each shard's
+	// slab sequence replays exactly the message sequence the per-frame
+	// channel used to carry — a slab flushes when full and every tick
+	// flushes all partial slabs, so batching only chunks the stream, never
+	// reorders or delays it past a tick boundary.
+	slabs := make([]*[]llcMsg, workers)
+	for i := range slabs {
+		slabs[i] = getLLCSlab()
+	}
+	flushShard := func(i int) {
+		if len(*slabs[i]) == 0 {
+			return
+		}
+		llcIn[i] <- slabs[i]
+		slabs[i] = getLLCSlab()
+	}
 	var uerr error
 	count := 0
 	for {
@@ -682,24 +753,30 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 			break
 		}
 		observeJFrame(res, cfg, sink, ps, j)
-		// The frame crosses a channel: read everything the router still
-		// needs before handing the driver's reference to the shard worker
-		// (which releases it after processing).
+		// The frame crosses a channel inside a slab: read everything the
+		// router still needs before handing the driver's reference to the
+		// shard worker (which releases it after processing).
 		univUS := j.UnivUS
 		if j.Valid {
 			shard := int(macHash(llc.ConversationKey(j)) % uint64(workers))
-			llcIn[shard] <- llcMsg{j: j}
+			*slabs[shard] = append(*slabs[shard], llcMsg{j: j})
+			if len(*slabs[shard]) >= llcBatchSize {
+				flushShard(shard)
+			}
 		} else {
 			j.Release()
 		}
 		count++
 		if count%tickEvery == 0 {
 			for i := range llcIn {
-				llcIn[i] <- llcMsg{tickUS: univUS}
+				*slabs[i] = append(*slabs[i], llcMsg{tickUS: univUS})
+				flushShard(i)
 			}
 		}
 	}
 	for i := range llcIn {
+		flushShard(i)
+		putLLCSlab(slabs[i])
 		close(llcIn[i])
 	}
 	<-mergeDone
@@ -718,10 +795,11 @@ func driveParallel(src jframeStream, stats func() unify.Stats, cfg Config, sink 
 	return nil
 }
 
-// llcShardWorker runs one conversation shard's reconstructor, forwarding
-// closed exchanges (pre-routed to their transport shard) and watermarks to
-// the merger in batches.
-func llcShardWorker(id, tShards int, in <-chan llcMsg, out chan<- mergeMsg) {
+// llcShardWorker runs one conversation shard's reconstructor, draining
+// message slabs from the router and forwarding closed exchanges (pre-routed
+// to their transport shard) and watermarks to the merger in batches. Slabs
+// return to their pool here, after the last message is consumed.
+func llcShardWorker(id, tShards int, in <-chan *[]llcMsg, out chan<- mergeMsg) {
 	rec := llc.NewReconstructor()
 	var batch []routedExchange
 	route := func(exs []*llc.Exchange) {
@@ -730,21 +808,24 @@ func llcShardWorker(id, tShards int, in <-chan llcMsg, out chan<- mergeMsg) {
 		}
 	}
 	msgs := 0
-	for m := range in {
-		if m.j != nil {
-			rec.Process(m.j)
-			// The router handed its reference over; the reconstructor
-			// retained whatever it stored.
-			m.j.Release()
-		} else {
-			rec.Tick(m.tickUS)
+	for sp := range in {
+		for _, m := range *sp {
+			if m.j != nil {
+				rec.Process(m.j)
+				// The router handed its reference over; the reconstructor
+				// retained whatever it stored.
+				m.j.Release()
+			} else {
+				rec.Tick(m.tickUS)
+			}
+			route(rec.Take())
+			msgs++
+			if msgs >= flushEvery || len(batch) >= exchangeBatch {
+				out <- mergeMsg{worker: id, exchanges: batch, watermark: rec.Watermark()}
+				batch, msgs = nil, 0
+			}
 		}
-		route(rec.Take())
-		msgs++
-		if msgs >= flushEvery || len(batch) >= exchangeBatch {
-			out <- mergeMsg{worker: id, exchanges: batch, watermark: rec.Watermark()}
-			batch, msgs = nil, 0
-		}
+		putLLCSlab(sp)
 	}
 	route(rec.Flush())
 	st := rec.Stats
@@ -770,19 +851,28 @@ func (h *exchangeHeap) Pop() any {
 // mergeExchanges re-serializes the shards' exchange streams into canonical
 // close order. An exchange is released once its close stamp lies strictly
 // below every shard's watermark — at that point no shard can still emit an
-// earlier one — then routed to its flow's transport shard. Closes the
-// transport channels when all shards have finished.
-func mergeExchanges(in <-chan mergeMsg, tIn []chan *llc.Exchange, res *Result, cfg Config, sink *Sink, ps *passSet, workers int) {
+// earlier one — then appended to its flow's transport shard slab, which
+// ships when full (and finally at end of stream). Closes the transport
+// channels when all shards have finished.
+func mergeExchanges(in <-chan mergeMsg, tIn []chan *[]*llc.Exchange, res *Result, cfg Config, sink *Sink, ps *passSet, workers int) {
 	wm := make([]int64, workers)
 	for i := range wm {
 		wm[i] = math.MinInt64
+	}
+	slabs := make([]*[]*llc.Exchange, len(tIn))
+	for i := range slabs {
+		slabs[i] = getExchSlab()
 	}
 	h := &exchangeHeap{}
 	release := func(limit int64) {
 		for h.Len() > 0 && (*h)[0].ex.CloseUS < limit {
 			re := heap.Pop(h).(routedExchange)
 			deliverExchange(res, cfg, sink, ps, re.ex)
-			tIn[re.shard] <- re.ex
+			*slabs[re.shard] = append(*slabs[re.shard], re.ex)
+			if len(*slabs[re.shard]) >= exchangeSlab {
+				tIn[re.shard] <- slabs[re.shard]
+				slabs[re.shard] = getExchSlab()
+			}
 		}
 	}
 	for m := range in {
@@ -805,6 +895,11 @@ func mergeExchanges(in <-chan mergeMsg, tIn []chan *llc.Exchange, res *Result, c
 	}
 	release(math.MaxInt64)
 	for i := range tIn {
+		if len(*slabs[i]) > 0 {
+			tIn[i] <- slabs[i]
+		} else {
+			putExchSlab(slabs[i])
+		}
 		close(tIn[i])
 	}
 }

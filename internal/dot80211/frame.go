@@ -316,6 +316,27 @@ func headerLen(t Type, s Subtype) int {
 	return 2 + 2 + 6 + 6 + 6 + 2 // FC + Duration + A1 + A2 + A3 + SeqCtl
 }
 
+// fcEntry is one frame-control byte's precomputed decode dispatch: type,
+// subtype, and the on-air MAC header length, so the decoders' hot path is a
+// single table load instead of bit extraction plus a kind switch.
+type fcEntry struct {
+	typ     Type
+	subtype Subtype
+	hdrLen  uint8
+}
+
+// fcTable maps the first frame-control byte (version | type<<2 | subtype<<4)
+// to its decode dispatch. Built from headerLen so the table and the
+// kind-switch reference agree by construction.
+var fcTable = func() (t [256]fcEntry) {
+	for fc := 0; fc < 256; fc++ {
+		typ := Type(fc >> 2 & 0x3)
+		sub := Subtype(fc >> 4 & 0xf)
+		t[fc] = fcEntry{typ: typ, subtype: sub, hdrLen: uint8(headerLen(typ, sub))}
+	}
+	return
+}()
+
 // fcsLen is the length of the frame check sequence.
 const fcsLen = 4
 
@@ -363,31 +384,33 @@ var (
 // A frame whose FCS does not match decodes as far as possible and returns
 // ErrBadFCS alongside the partial frame, mirroring how Jigsaw's monitors
 // deliver corrupted frames with an FCS-failed flag.
+//
+// Decode dispatches through fcTable (the 256-entry frame-control table) and
+// loads header fields at fixed offsets; FuzzDecodeTableMatchesReference
+// pins it byte-for-byte against the pre-table reference decoder.
 func Decode(b []byte) (Frame, error) {
 	var f Frame
 	if len(b) < 4 {
 		return f, ErrTruncated
 	}
-	fc := binary.LittleEndian.Uint16(b[0:2])
-	f.Type = Type(fc >> 2 & 0x3)
-	f.Subtype = Subtype(fc >> 4 & 0xf)
-	f.Flags = Flags(fc >> 8)
-	f.Duration = binary.LittleEndian.Uint16(b[2:4])
-	hl := headerLen(f.Type, f.Subtype)
+	e := &fcTable[b[0]]
+	f.Type, f.Subtype, f.Flags = e.typ, e.subtype, Flags(b[1])
+	f.Duration = uint16(b[2]) | uint16(b[3])<<8
+	hl := int(e.hdrLen)
 	if len(b) < hl {
 		// Partial header: recover what we can (Addr1 at least needs 10 bytes).
 		if len(b) >= 10 {
-			copy(f.Addr1[:], b[4:10])
+			f.Addr1 = MAC(b[4:10])
 		}
 		return f, ErrTruncated
 	}
-	copy(f.Addr1[:], b[4:10])
+	f.Addr1 = MAC(b[4:10])
 	if hl > 10 {
-		copy(f.Addr2[:], b[10:16])
+		f.Addr2 = MAC(b[10:16])
 	}
 	if hl > 16 {
-		copy(f.Addr3[:], b[16:22])
-		sc := binary.LittleEndian.Uint16(b[22:24])
+		f.Addr3 = MAC(b[16:22])
+		sc := uint16(b[22]) | uint16(b[23])<<8
 		f.Frag = uint8(sc & 0x0f)
 		f.Seq = sc >> 4
 	}
@@ -410,30 +433,31 @@ func Decode(b []byte) (Frame, error) {
 // body. The returned bool reports whether the full FCS validated — callers
 // should trust the capture hardware's FCS flag for validity, since a
 // snapped frame cannot re-validate.
+//
+// Like Decode, DecodeCapture is table-driven and fuzz-pinned against the
+// pre-table reference.
 func DecodeCapture(b []byte) (Frame, bool, error) {
 	var f Frame
 	if len(b) < 4 {
 		return f, false, ErrTruncated
 	}
-	fc := binary.LittleEndian.Uint16(b[0:2])
-	f.Type = Type(fc >> 2 & 0x3)
-	f.Subtype = Subtype(fc >> 4 & 0xf)
-	f.Flags = Flags(fc >> 8)
-	f.Duration = binary.LittleEndian.Uint16(b[2:4])
-	hl := headerLen(f.Type, f.Subtype)
+	e := &fcTable[b[0]]
+	f.Type, f.Subtype, f.Flags = e.typ, e.subtype, Flags(b[1])
+	f.Duration = uint16(b[2]) | uint16(b[3])<<8
+	hl := int(e.hdrLen)
 	if len(b) < hl {
 		if len(b) >= 10 {
-			copy(f.Addr1[:], b[4:10])
+			f.Addr1 = MAC(b[4:10])
 		}
 		return f, false, ErrTruncated
 	}
-	copy(f.Addr1[:], b[4:10])
+	f.Addr1 = MAC(b[4:10])
 	if hl > 10 {
-		copy(f.Addr2[:], b[10:16])
+		f.Addr2 = MAC(b[10:16])
 	}
 	if hl > 16 {
-		copy(f.Addr3[:], b[16:22])
-		sc := binary.LittleEndian.Uint16(b[22:24])
+		f.Addr3 = MAC(b[16:22])
+		sc := uint16(b[22]) | uint16(b[23])<<8
 		f.Frag = uint8(sc & 0x0f)
 		f.Seq = sc >> 4
 	}

@@ -1,0 +1,188 @@
+package dot80211
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// This file keeps the pre-table decoders verbatim as unexported references
+// and pins the table-driven rewrites against them: on every input —
+// well-formed, truncated, snapped, corrupted, wrong protocol version — the
+// rewritten Decode/DecodeCapture must return identical Frame values,
+// identical errors, and identical fcsOK verdicts, with Body aliasing the
+// same range of the input buffer.
+
+// decodeReference is the branchy kind-switch Decode this package shipped
+// before the fcTable rewrite.
+func decodeReference(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < 4 {
+		return f, ErrTruncated
+	}
+	fc := binary.LittleEndian.Uint16(b[0:2])
+	f.Type = Type(fc >> 2 & 0x3)
+	f.Subtype = Subtype(fc >> 4 & 0xf)
+	f.Flags = Flags(fc >> 8)
+	f.Duration = binary.LittleEndian.Uint16(b[2:4])
+	hl := headerLen(f.Type, f.Subtype)
+	if len(b) < hl {
+		if len(b) >= 10 {
+			copy(f.Addr1[:], b[4:10])
+		}
+		return f, ErrTruncated
+	}
+	copy(f.Addr1[:], b[4:10])
+	if hl > 10 {
+		copy(f.Addr2[:], b[10:16])
+	}
+	if hl > 16 {
+		copy(f.Addr3[:], b[16:22])
+		sc := binary.LittleEndian.Uint16(b[22:24])
+		f.Frag = uint8(sc & 0x0f)
+		f.Seq = sc >> 4
+	}
+	if len(b) < hl+fcsLen {
+		return f, ErrTruncated
+	}
+	f.Body = b[hl : len(b)-fcsLen]
+	want := binary.LittleEndian.Uint32(b[len(b)-fcsLen:])
+	got := crc32.ChecksumIEEE(b[:len(b)-fcsLen])
+	if want != got {
+		return f, ErrBadFCS
+	}
+	return f, nil
+}
+
+// decodeCaptureReference is the pre-table DecodeCapture.
+func decodeCaptureReference(b []byte) (Frame, bool, error) {
+	var f Frame
+	if len(b) < 4 {
+		return f, false, ErrTruncated
+	}
+	fc := binary.LittleEndian.Uint16(b[0:2])
+	f.Type = Type(fc >> 2 & 0x3)
+	f.Subtype = Subtype(fc >> 4 & 0xf)
+	f.Flags = Flags(fc >> 8)
+	f.Duration = binary.LittleEndian.Uint16(b[2:4])
+	hl := headerLen(f.Type, f.Subtype)
+	if len(b) < hl {
+		if len(b) >= 10 {
+			copy(f.Addr1[:], b[4:10])
+		}
+		return f, false, ErrTruncated
+	}
+	copy(f.Addr1[:], b[4:10])
+	if hl > 10 {
+		copy(f.Addr2[:], b[10:16])
+	}
+	if hl > 16 {
+		copy(f.Addr3[:], b[16:22])
+		sc := binary.LittleEndian.Uint16(b[22:24])
+		f.Frag = uint8(sc & 0x0f)
+		f.Seq = sc >> 4
+	}
+	if len(b) >= hl+fcsLen {
+		want := binary.LittleEndian.Uint32(b[len(b)-fcsLen:])
+		if crc32.ChecksumIEEE(b[:len(b)-fcsLen]) == want {
+			f.Body = b[hl : len(b)-fcsLen]
+			return f, true, nil
+		}
+	}
+	f.Body = b[hl:]
+	return f, false, nil
+}
+
+// sameFrame checks field-for-field equality including Body identity: both
+// decoders must alias the same byte range of the input (or both be nil).
+func sameFrame(t *testing.T, what string, got, want Frame, in []byte) {
+	t.Helper()
+	if got.Header != want.Header {
+		t.Fatalf("%s: header mismatch on %x:\n got=%+v\nwant=%+v", what, in, got.Header, want.Header)
+	}
+	if (got.Body == nil) != (want.Body == nil) || !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("%s: body mismatch on %x:\n got=%x (nil=%v)\nwant=%x (nil=%v)",
+			what, in, got.Body, got.Body == nil, want.Body, want.Body == nil)
+	}
+	// Alias contract: a non-empty Body must share the input's backing array
+	// at the same offset for both decoders.
+	if len(got.Body) > 0 && len(in) > 0 {
+		if &got.Body[0] != &want.Body[0] {
+			t.Fatalf("%s: body aliases different storage on %x", what, in)
+		}
+	}
+}
+
+// fuzzParityCorpus seeds every dispatch-relevant shape: all 256 FC bytes
+// over representative lengths, plus real encoded frames and their
+// truncations/corruptions.
+func fuzzParityCorpus(f *testing.F) {
+	for _, fr := range fuzzSeedFrames() {
+		wire := fr.Encode()
+		f.Add(wire)
+		for _, cut := range []int{3, 4, 9, 10, 15, 16, 23, 24} {
+			if cut < len(wire) {
+				f.Add(wire[:cut])
+			}
+		}
+		if len(wire) > 0 {
+			bad := append([]byte(nil), wire...)
+			bad[len(bad)-1] ^= 0xff // FCS corruption
+			f.Add(bad)
+		}
+	}
+	for fc := 0; fc < 256; fc += 5 {
+		f.Add([]byte{byte(fc), 0x08, 0x10, 0x00, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x08})
+}
+
+// FuzzDecodeTableMatchesReference: the table-driven Decode must be
+// indistinguishable from the pre-rewrite reference on all inputs.
+func FuzzDecodeTableMatchesReference(f *testing.F) {
+	fuzzParityCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gerr := Decode(data)
+		want, werr := decodeReference(data)
+		if gerr != werr {
+			t.Fatalf("Decode error mismatch on %x: got %v, want %v", data, gerr, werr)
+		}
+		sameFrame(t, "Decode", got, want, data)
+
+		gotC, gotOK, gcerr := DecodeCapture(data)
+		wantC, wantOK, wcerr := decodeCaptureReference(data)
+		if gcerr != wcerr || gotOK != wantOK {
+			t.Fatalf("DecodeCapture mismatch on %x: got (ok=%v, %v), want (ok=%v, %v)",
+				data, gotOK, gcerr, wantOK, wcerr)
+		}
+		sameFrame(t, "DecodeCapture", gotC, wantC, data)
+	})
+}
+
+// TestDecodeTableExhaustiveFC runs the parity check across every possible
+// frame-control byte at every interesting length, so the dispatch table is
+// verified exhaustively even without a long fuzz run.
+func TestDecodeTableExhaustiveFC(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+		17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30}
+	for fc := 0; fc < 256; fc++ {
+		for n := 0; n <= len(payload); n++ {
+			in := append([]byte{byte(fc), 0x55}, payload[:n]...)
+			got, gerr := Decode(in)
+			want, werr := decodeReference(in)
+			if gerr != werr {
+				t.Fatalf("fc=%#02x len=%d: Decode error %v, want %v", fc, len(in), gerr, werr)
+			}
+			sameFrame(t, "Decode", got, want, in)
+			gotC, gok, gcerr := DecodeCapture(in)
+			wantC, wok, wcerr := decodeCaptureReference(in)
+			if gcerr != wcerr || gok != wok {
+				t.Fatalf("fc=%#02x len=%d: DecodeCapture (ok=%v, %v), want (ok=%v, %v)",
+					fc, len(in), gok, gcerr, wok, wcerr)
+			}
+			sameFrame(t, "DecodeCapture", gotC, wantC, in)
+		}
+	}
+}
